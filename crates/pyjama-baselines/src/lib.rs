@@ -1,0 +1,27 @@
+//! Baseline offloading approaches the paper compares against (§II, §V-A).
+//!
+//! The GUI benchmark compares Pyjama's directives with the two standard
+//! Java techniques plus the naive one:
+//!
+//! * [`SwingWorker`] — Java's `javax.swing.SwingWorker` pattern (Figure 3):
+//!   a background computation with `publish`/`process` progress chunks and
+//!   a `done` continuation, both marshalled onto the EDT. Swing backs this
+//!   with a shared 10-thread pool; so does this implementation.
+//! * [`ExecutorService`] — `java.util.concurrent`-style fixed thread pool
+//!   with [`JFuture`] results; GUI updates are posted back with
+//!   `invokeLater` (our [`pyjama_events::EventLoopHandle::post`]).
+//! * [`ThreadPerRequest`] — the "most traditional approach" (§II-A):
+//!   spawn a fresh thread per event. Simple, unscalable; the benchmarks
+//!   show its overhead directly.
+//!
+//! These exist so the Figure 7/8 harnesses can reproduce the paper's
+//! comparison: "Performance achieved by the proposed directive based
+//! approach is equal and often superior to manual implementations."
+
+pub mod executor_service;
+pub mod swing_worker;
+pub mod thread_per_request;
+
+pub use executor_service::{ExecutorService, JFuture};
+pub use swing_worker::{SwingWorker, SwingWorkerPool};
+pub use thread_per_request::ThreadPerRequest;

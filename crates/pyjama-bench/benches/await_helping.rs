@@ -1,0 +1,74 @@
+//! Ablation: the `await` logical barrier's *helping* vs plain blocking.
+//!
+//! When a worker thread awaits a block on another target, Algorithm 1 has
+//! it process other tasks from its own queue ("processAnotherEventHandler")
+//! instead of blocking. With a single-threaded pool and a backlog of
+//! tasks, helping turns the wait time into useful work — this bench
+//! measures total makespan with and without it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pyjama_runtime::{Mode, Runtime, TaskHandle};
+
+fn work(us: u64) {
+    let end = std::time::Instant::now() + std::time::Duration::from_micros(us);
+    let mut x = 0u64;
+    while std::time::Instant::now() < end {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+    }
+    black_box(x);
+}
+
+/// Queue BACKLOG tasks on a 1-thread pool, then have that pool's thread
+/// synchronise with a block on another target. With `await` it helps drain
+/// its own backlog during the wait; with plain handle.wait() it idles.
+fn makespan(rt: &Arc<Runtime>, helping: bool) -> std::time::Duration {
+    const BACKLOG: usize = 8;
+    let t0 = std::time::Instant::now();
+    let outer = {
+        let rt = Arc::clone(rt);
+        move || {
+            let mut handles: Vec<TaskHandle> = Vec::new();
+            for _ in 0..BACKLOG {
+                handles.push(rt.target("pool", Mode::NoWait, || work(300)));
+            }
+            if helping {
+                // await: helps run the backlog while "other" computes.
+                rt.target("other", Mode::Await, || work(2_000));
+            } else {
+                // plain blocking wait on the other target's block.
+                let h = rt.target("other", Mode::NoWait, || work(2_000));
+                h.wait();
+            }
+            for h in handles {
+                h.wait();
+            }
+        }
+    };
+    rt.target("pool", Mode::Wait, outer);
+    t0.elapsed()
+}
+
+fn bench_await(c: &mut Criterion) {
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("pool", 1);
+    rt.virtual_target_create_worker("other", 1);
+
+    let mut g = c.benchmark_group("await_helping");
+    g.bench_function("await_helps_backlog", |b| {
+        b.iter(|| makespan(&rt, true))
+    });
+    g.bench_function("blocking_wait_idles", |b| {
+        b.iter(|| makespan(&rt, false))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_await
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Event-substrate microbenchmarks: queue operations and dispatch
+//! round-trips — the fixed costs under every handler in the GUI benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pyjama_events::{Edt, Event, EventQueue, Priority};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+
+    g.bench_function("push_pop_single_thread", |b| {
+        let q = EventQueue::new();
+        b.iter(|| {
+            q.push(Event::new(|| {}));
+            if let Some(e) = black_box(q.try_pop()) { e.dispatch() }
+        })
+    });
+
+    g.bench_function("push_pop_priorities", |b| {
+        let q = EventQueue::new();
+        b.iter(|| {
+            q.push(Event::new(|| {}).with_priority(Priority::Low));
+            q.push(Event::new(|| {}).with_priority(Priority::High));
+            q.push(Event::new(|| {}));
+            while let Some(e) = q.try_pop() {
+                e.dispatch();
+            }
+        })
+    });
+
+    g.bench_function("edt_invoke_and_wait_roundtrip", |b| {
+        let edt = Edt::spawn("bench-edt");
+        b.iter(|| edt.invoke_and_wait(|| black_box(42)));
+    });
+
+    g.bench_function("edt_invoke_later_throughput_100", |b| {
+        let edt = Edt::spawn("bench-edt");
+        b.iter(|| {
+            for _ in 0..100 {
+                edt.invoke_later(|| {});
+            }
+            edt.invoke_and_wait(|| {}); // barrier
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_queue
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Kernel benchmarks: sequential vs `omp parallel`, per Java Grande
+//! kernel, at the event-handler sizes the GUI experiment uses.
+//!
+//! These are the building blocks of Figures 7/8: the sequential time is a
+//! kernel's handler latency under the naive approach; the parallel time is
+//! what sync-/async-parallel handlers pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pyjama_kernels::{KernelKind, Workload};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(15);
+    for kind in KernelKind::ALL {
+        let w = Workload::event_sized(kind);
+        g.bench_with_input(BenchmarkId::new("seq", kind.name()), &w, |b, w| {
+            b.iter(|| w.run(None))
+        });
+        g.bench_with_input(BenchmarkId::new("par3", kind.name()), &w, |b, w| {
+            b.iter(|| w.run(Some(3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Ablation: per-invocation overhead of each scheduling mode vs a direct
+//! call, and the cost of the Algorithm 1 member short-circuit.
+//!
+//! The paper argues "the introduction of additional overhead for the
+//! concurrency of shorter computational spurts needs to be less of a
+//! dilemma for programmers" — this bench quantifies that overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pyjama_runtime::{Mode, Runtime};
+
+fn tiny_work() -> u64 {
+    let mut x = 0u64;
+    for i in 0..64u64 {
+        x = x.wrapping_add(i * i);
+    }
+    black_box(x)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("worker", 2);
+
+    let mut g = c.benchmark_group("mode_overhead");
+
+    g.bench_function("direct_call", |b| b.iter(tiny_work));
+
+    g.bench_function("target_wait", |b| {
+        b.iter(|| {
+            rt.target("worker", Mode::Wait, || {
+                tiny_work();
+            })
+        })
+    });
+
+    g.bench_function("target_await", |b| {
+        b.iter(|| {
+            rt.target("worker", Mode::Await, || {
+                tiny_work();
+            })
+        })
+    });
+
+    g.bench_function("target_nowait_fire", |b| {
+        // Cost at the *call site* only (completion happens elsewhere).
+        b.iter(|| {
+            rt.target("worker", Mode::NoWait, || {
+                tiny_work();
+            })
+        })
+    });
+
+    g.bench_function("target_nowait_roundtrip", |b| {
+        b.iter(|| {
+            let h = rt.target("worker", Mode::NoWait, || {
+                tiny_work();
+            });
+            h.wait();
+        })
+    });
+
+    g.bench_function("name_as_plus_wait_tag", |b| {
+        b.iter(|| {
+            rt.target("worker", Mode::name_as("bench"), || {
+                tiny_work();
+            });
+            rt.wait_tag("bench");
+        })
+    });
+
+    // Member short-circuit: invoking a target from inside that target runs
+    // the block inline (Algorithm 1 line 6–7) — this measures how cheap
+    // the "directive is simply ignored" path is.
+    g.bench_function("member_short_circuit", |b| {
+        let rt2 = Arc::clone(&rt);
+        b.iter(|| {
+            let rt3 = Arc::clone(&rt2);
+            rt2.target("worker", Mode::Wait, move || {
+                rt3.target("worker", Mode::Wait, || {
+                    tiny_work();
+                });
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: worksharing schedules on balanced vs irregular loops.
+//!
+//! Static should win on uniform iterations (no shared-counter traffic);
+//! dynamic/guided should win when iteration cost is skewed — the classic
+//! OpenMP trade-off the kernels rely on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pyjama_omp::{parallel_for, Schedule};
+
+const N: usize = 4_096;
+const THREADS: usize = 4;
+
+fn uniform_iteration(i: usize) -> u64 {
+    let mut x = i as u64;
+    for _ in 0..200 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+/// Skewed: the last 10% of the index space costs ~20x the rest (like the
+/// ray tracer's sphere-dense scanlines).
+fn skewed_iteration(i: usize) -> u64 {
+    let reps = if i >= N - N / 10 { 4_000 } else { 200 };
+    let mut x = i as u64;
+    for _ in 0..reps {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let schedules: [(&str, Schedule); 4] = [
+        ("static", Schedule::Static { chunk: None }),
+        ("static_chunk16", Schedule::Static { chunk: Some(16) }),
+        ("dynamic16", Schedule::Dynamic { chunk: 16 }),
+        ("guided4", Schedule::Guided { min_chunk: 4 }),
+    ];
+
+    let mut g = c.benchmark_group("omp_schedule");
+    for (name, sched) in schedules {
+        g.bench_with_input(BenchmarkId::new("uniform", name), &sched, |b, &s| {
+            b.iter(|| {
+                parallel_for(THREADS, 0..N, s, |i| {
+                    black_box(uniform_iteration(i));
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("skewed", name), &sched, |b, &s| {
+            b.iter(|| {
+                parallel_for(THREADS, 0..N, s, |i| {
+                    black_box(skewed_iteration(i));
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_schedules
+}
+criterion_main!(benches);

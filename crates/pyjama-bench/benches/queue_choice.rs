@@ -1,0 +1,143 @@
+//! Ablation: the worker-pool queue data structure.
+//!
+//! `pyjama-runtime`'s `WorkerTarget` uses a `Mutex<VecDeque>` + `Condvar`
+//! (blocking consumers, FIFO, supports `help_one` stealing from member
+//! threads). This bench compares that choice against crossbeam's
+//! lock-free `SegQueue` and its MPMC channel under the benchmark's actual
+//! access pattern: a few producers posting closures, a few consumers
+//! executing them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send>;
+
+const JOBS: usize = 1_000;
+const PRODUCERS: usize = 2;
+const CONSUMERS: usize = 2;
+
+fn run_mutex_vecdeque() {
+    struct Q {
+        q: Mutex<VecDeque<Job>>,
+        cv: Condvar,
+        done: AtomicUsize,
+    }
+    let q = Arc::new(Q {
+        q: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        done: AtomicUsize::new(0),
+    });
+    std::thread::scope(|s| {
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            s.spawn(move || loop {
+                let job = {
+                    let mut g = q.q.lock();
+                    loop {
+                        if let Some(j) = g.pop_front() {
+                            break Some(j);
+                        }
+                        if q.done.load(Ordering::SeqCst) >= JOBS {
+                            break None;
+                        }
+                        q.cv.wait(&mut g);
+                    }
+                };
+                match job {
+                    Some(j) => {
+                        j();
+                        q.done.fetch_add(1, Ordering::SeqCst);
+                    }
+                    None => return,
+                }
+            });
+        }
+        for _ in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                for _ in 0..JOBS / PRODUCERS {
+                    q.q.lock().push_back(Box::new(|| {}));
+                    q.cv.notify_one();
+                }
+            });
+        }
+        // Wake consumers at the end.
+        while q.done.load(Ordering::SeqCst) < JOBS {
+            std::thread::yield_now();
+        }
+        q.cv.notify_all();
+    });
+}
+
+fn run_segqueue() {
+    let q = Arc::new(crossbeam::queue::SegQueue::<Job>::new());
+    let done = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                while done.load(Ordering::SeqCst) < JOBS {
+                    match q.pop() {
+                        Some(j) => {
+                            j();
+                            done.fetch_add(1, Ordering::SeqCst);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+        for _ in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                for _ in 0..JOBS / PRODUCERS {
+                    q.push(Box::new(|| {}));
+                }
+            });
+        }
+    });
+}
+
+fn run_channel() {
+    let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+    std::thread::scope(|s| {
+        for _ in 0..CONSUMERS {
+            let rx = rx.clone();
+            s.spawn(move || {
+                while let Ok(j) = rx.recv() {
+                    j();
+                }
+            });
+        }
+        for _ in 0..PRODUCERS {
+            let tx = tx.clone();
+            s.spawn(move || {
+                for _ in 0..JOBS / PRODUCERS {
+                    tx.send(Box::new(|| {})).unwrap();
+                }
+            });
+        }
+        drop(tx);
+    });
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_choice");
+    g.sample_size(20);
+    g.bench_function("mutex_vecdeque_condvar", |b| b.iter(run_mutex_vecdeque));
+    g.bench_function("crossbeam_segqueue_spin", |b| b.iter(run_segqueue));
+    g.bench_function("crossbeam_channel", |b| b.iter(run_channel));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_queues
+}
+criterion_main!(benches);

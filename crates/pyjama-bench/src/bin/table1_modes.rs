@@ -1,0 +1,84 @@
+//! **Table I (§III-C)**: observable semantics of the four scheduling
+//! modes, demonstrated with timing.
+//!
+//! For each mode, a 50 ms block is offloaded and two instants are
+//! measured: when the encountering thread reaches the statement after the
+//! target block (the *continuation*), and when the block itself finishes.
+//!
+//! * `wait` / `await`: continuation ≥ block finish.
+//! * `nowait` / `name_as`: continuation ≪ block finish; `wait(tag)` then
+//!   synchronises with the tagged instance.
+//!
+//! Run: `cargo run --release -p pyjama-bench --bin table1_modes`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pyjama_bench::report::{ms, Table};
+use pyjama_runtime::{Mode, Runtime};
+
+const BLOCK: Duration = Duration::from_millis(50);
+
+fn measure(rt: &Runtime, mode: Mode) -> (Duration, Duration, bool) {
+    let t0 = Instant::now();
+    let finished_at: Arc<parking_lot::Mutex<Option<Duration>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    let f2 = Arc::clone(&finished_at);
+    let handle = rt.target("worker", mode.clone(), move || {
+        std::thread::sleep(BLOCK);
+        *f2.lock() = Some(t0.elapsed());
+    });
+    let continuation_at = t0.elapsed();
+    let finished_before_continuation = handle.is_finished();
+    if let Mode::NameAs(tag) = &mode {
+        rt.wait_tag(tag);
+    }
+    handle.wait();
+    let block_at = finished_at.lock().expect("block ran");
+    (continuation_at, block_at, finished_before_continuation)
+}
+
+fn main() {
+    let rt = Runtime::new();
+    rt.virtual_target_create_worker("worker", 2);
+
+    println!("=== Table I — scheduling-property clauses (50 ms target block) ===\n");
+    let mut table = Table::new(&[
+        "clause",
+        "continuation after (ms)",
+        "block finished at (ms)",
+        "blocks continuation?",
+    ]);
+
+    for (label, mode) in [
+        ("(default: wait)", Mode::Wait),
+        ("nowait", Mode::NoWait),
+        ("name_as(t) … wait(t)", Mode::name_as("t")),
+        ("await", Mode::Await),
+    ] {
+        let (cont, block, finished_first) = measure(&rt, mode.clone());
+        table.row(vec![
+            label.to_string(),
+            ms(cont),
+            ms(block),
+            if mode.blocks_continuation() {
+                format!("yes (block finished first: {finished_first})")
+            } else {
+                "no".to_string()
+            },
+        ]);
+        // Sanity assertions — this binary doubles as an executable spec.
+        match mode {
+            Mode::Wait | Mode::Await => assert!(
+                cont >= BLOCK,
+                "{label}: continuation at {cont:?} must follow the 50 ms block"
+            ),
+            Mode::NoWait | Mode::NameAs(_) => assert!(
+                cont < BLOCK / 2,
+                "{label}: continuation at {cont:?} should not wait for the block"
+            ),
+        }
+    }
+    print!("{}", table.render());
+    println!("\nall four modes behaved per Table I ✓");
+}

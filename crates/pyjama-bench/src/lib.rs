@@ -1,0 +1,27 @@
+//! Benchmark harnesses regenerating the paper's evaluation (§V).
+//!
+//! * [`gui`] — the §V-A GUI event-handling experiment: events fired at a
+//!   constant rate, each bound to a Java Grande kernel execution, handled
+//!   by one of the [`gui::Approach`]es; measures mean response time and
+//!   EDT occupancy. Drives the `fig7_response_time` and
+//!   `fig8_parallel_handling` binaries.
+//! * [`httpbench`] — the §V-B HTTP encryption service under virtual-user
+//!   load, Jetty-style vs Pyjama-style, with optional per-event
+//!   `omp parallel` kernels. Drives `fig9_http_throughput`.
+//! * [`report`] — small table/CSV formatting helpers shared by the bins.
+//!
+//! Scaling note: the paper's testbeds (i5 desktop, 16-core Xeon) and JVM
+//! kernels ran hundreds of milliseconds per event; this harness uses
+//! scaled-down kernel sizes (a few ms per event) so a full sweep finishes
+//! in CI time. Shapes — which approach wins, where curves flatten — are
+//! the reproduction target, not absolute numbers (see EXPERIMENTS.md).
+
+pub mod gui;
+pub mod httpbench;
+pub mod report;
+
+/// True when the `PJ_BENCH_QUICK` environment variable requests shortened
+/// sweeps (used by integration tests; the default sweep is the full one).
+pub fn quick_mode() -> bool {
+    std::env::var("PJ_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}

@@ -1,0 +1,285 @@
+//! The PJ abstract syntax tree.
+
+use pyjama_runtime::directive::TargetDirective;
+
+/// A complete PJ program: a set of functions; `main` is the entry point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// All functions by declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (dynamically typed).
+    pub params: Vec<String>,
+    /// Body block.
+    pub body: Block,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// A `{ … }` statement sequence.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Block {
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initialiser.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `name = expr;` or compound (`+=` desugared by the parser).
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `set(a, i, v)`-style index assignment: `name[idx] = value;`
+    IndexAssign {
+        /// Array variable.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// New value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// An expression for its side effects.
+    Expr(Expr),
+    /// `if cond { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_block: Block,
+        /// Optional else-branch.
+        else_block: Option<Block>,
+    },
+    /// `while cond { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `for i in a..b { … }`
+    For {
+        /// Loop variable.
+        var: String,
+        /// Inclusive start.
+        start: Expr,
+        /// Exclusive end.
+        end: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `return expr;` / `return;`
+    Return(Option<Expr>),
+    /// `break;` (innermost loop)
+    Break,
+    /// `continue;` (innermost loop)
+    Continue,
+    /// A nested plain block.
+    Block(Block),
+    /// A directive applied to a block (or, for `parallel for`, a for-loop).
+    Directive {
+        /// Which directive.
+        directive: Directive,
+        /// The annotated statement(s).
+        body: Block,
+        /// Source line of the directive.
+        line: usize,
+    },
+}
+
+/// The directives PJ understands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Directive {
+    /// `target …` (Figure 5 grammar, parsed by the runtime crate). The
+    /// `if(expr)` clause text, if present, is parsed into a PJ expression
+    /// so the interpreter can evaluate it in the enclosing data context.
+    Target {
+        /// The parsed directive.
+        directive: TargetDirective,
+        /// Parsed `if` condition.
+        if_cond: Option<Expr>,
+    },
+    /// Standalone `wait(tag)` synchronisation.
+    WaitTag(String),
+    /// `parallel [num_threads(n)]`.
+    Parallel {
+        /// Team size (default: machine parallelism).
+        num_threads: Option<usize>,
+    },
+    /// `parallel for [num_threads(n)] [schedule(kind[,chunk])]` on a for-loop.
+    ParallelFor {
+        /// Team size.
+        num_threads: Option<usize>,
+        /// Loop schedule.
+        schedule: LoopSchedule,
+    },
+    /// `critical [(name)]`.
+    Critical(String),
+    /// `barrier` (inside `parallel`).
+    Barrier,
+    /// `master` (inside `parallel`).
+    Master,
+    /// `single` (inside `parallel`).
+    Single,
+    /// `task`: asynchronous within a parallel region; **sequential when
+    /// orphaned** — the §I limitation that motivates virtual targets.
+    Task,
+    /// `taskwait`.
+    TaskWait,
+    /// `sections`: each top-level statement of the body is one section.
+    Sections,
+}
+
+/// Loop schedules expressible in PJ directives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum LoopSchedule {
+    /// `schedule(static)`.
+    #[default]
+    Static,
+    /// `schedule(dynamic[,chunk])`.
+    Dynamic(usize),
+    /// `schedule(guided[,min])`.
+    Guided(usize),
+}
+
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Bool literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Array index read: `a[i]`.
+    Index {
+        /// Array expression.
+        array: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator (`-` or `!`).
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line (for error messages).
+        line: usize,
+    },
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_function_lookup() {
+        let p = Program {
+            functions: vec![Function {
+                name: "main".into(),
+                params: vec![],
+                body: Block::default(),
+                line: 1,
+            }],
+        };
+        assert!(p.function("main").is_some());
+        assert!(p.function("other").is_none());
+    }
+
+    #[test]
+    fn default_schedule_is_static() {
+        assert_eq!(LoopSchedule::default(), LoopSchedule::Static);
+    }
+}

@@ -1,0 +1,308 @@
+//! The PJ lexer.
+//!
+//! `//#omp <text>` comment lines become [`TokenKind::Directive`] tokens
+//! (Pyjama's choice for Java, which lacks pragmas: "compilers that do not
+//! support the semantics will safely ignore the directives by regarding
+//! them as comments", §III-B). Ordinary `//` comments are skipped.
+
+use crate::CompileError;
+
+/// A lexical token with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// The kinds of PJ tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (escapes processed).
+    Str(String),
+    /// An `//#omp …` directive (text after `//#omp`).
+    Directive(String),
+    /// Punctuation / operator, e.g. `{`, `==`, `+`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier payload, if this is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    // length-2 first so maximal munch works
+    "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=", "{", "}", "(", ")", "[",
+    "]", ",", ";", "+", "-", "*", "/", "%", "<", ">", "=", "!", ".",
+];
+
+/// Lexes PJ source into tokens (with a trailing [`TokenKind::Eof`]).
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments and directives.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let end = source[i..].find('\n').map(|p| i + p).unwrap_or(bytes.len());
+            let comment = &source[i..end];
+            if let Some(text) = comment.strip_prefix("//#omp") {
+                tokens.push(Token {
+                    kind: TokenKind::Directive(text.trim().to_string()),
+                    line,
+                });
+            }
+            i = end;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let mut s = String::new();
+            let mut j = i + 1;
+            loop {
+                if j >= bytes.len() {
+                    return Err(CompileError::Lex {
+                        line,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                match bytes[j] as char {
+                    '"' => break,
+                    '\\' => {
+                        j += 1;
+                        let esc = bytes.get(j).copied().unwrap_or(b'"') as char;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            '\\' => '\\',
+                            '"' => '"',
+                            other => {
+                                return Err(CompileError::Lex {
+                                    line,
+                                    message: format!("unknown escape `\\{other}`"),
+                                })
+                            }
+                        });
+                        j += 1;
+                    }
+                    '\n' => {
+                        return Err(CompileError::Lex {
+                            line,
+                            message: "newline in string literal".into(),
+                        })
+                    }
+                    ch => {
+                        s.push(ch);
+                        j += 1;
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(s),
+                line,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            // A float only if `.` is followed by a digit (so `0..n` lexes as
+            // int, `..`, int).
+            let is_float = i + 1 < bytes.len()
+                && bytes[i] == b'.'
+                && (bytes[i + 1] as char).is_ascii_digit();
+            if is_float {
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let v: f64 = text.parse().map_err(|_| CompileError::Lex {
+                    line,
+                    message: format!("bad float literal `{text}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Float(v),
+                    line,
+                });
+            } else {
+                let text = &source[start..i];
+                let v: i64 = text.parse().map_err(|_| CompileError::Lex {
+                    line,
+                    message: format!("bad integer literal `{text}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(source[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        // Punctuation (maximal munch).
+        let mut matched = false;
+        for p in PUNCTS {
+            if source[i..].starts_with(p) {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(CompileError::Lex {
+                line,
+                message: format!("unexpected character `{c}`"),
+            });
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                TokenKind::Ident("let".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_ranges_distinctly() {
+        assert_eq!(
+            kinds("1.5 0..10"),
+            vec![
+                TokenKind::Float(1.5),
+                TokenKind::Int(0),
+                TokenKind::Punct(".."),
+                TokenKind::Int(10),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn directive_comments_become_tokens() {
+        let ts = kinds("//#omp target virtual(worker) nowait\n{ }");
+        assert_eq!(
+            ts[0],
+            TokenKind::Directive("target virtual(worker) nowait".into())
+        );
+        assert_eq!(ts[1], TokenKind::Punct("{"));
+    }
+
+    #[test]
+    fn plain_comments_are_skipped() {
+        assert_eq!(kinds("// just a comment\n1"), vec![TokenKind::Int(1), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        assert!(lex("let x = @;").is_err());
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("a\nb\n  c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn two_char_operators_munch_maximally() {
+        assert_eq!(
+            kinds("a <= b == c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("=="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,799 @@
+//! Recursive-descent parser for PJ.
+
+use pyjama_runtime::directive::TargetDirective;
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::CompileError;
+
+/// Parses PJ source into a [`Program`].
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn line(&self) -> usize {
+        self.peek().line
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::Parse {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        match &self.peek().kind {
+            TokenKind::Punct(q) if *q == p => {
+                self.advance();
+                Ok(())
+            }
+            other => self.err(format!("expected `{p}`, found {other:?}")),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), CompileError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.advance();
+                Ok(())
+            }
+            other => self.err(format!("expected keyword `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // ------------------------------------------------------------ program
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut functions = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::Eof) {
+            functions.push(self.function()?);
+        }
+        Ok(Program { functions })
+    }
+
+    fn function(&mut self) -> Result<Function, CompileError> {
+        let line = self.line();
+        self.eat_keyword("fn")?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.at_punct(",") {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.eat_punct("}")?;
+        Ok(Block { stmts })
+    }
+
+    // ------------------------------------------------------------- stmts
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().kind.clone() {
+            TokenKind::Directive(text) => {
+                self.advance();
+                self.directive_stmt(&text, line)
+            }
+            TokenKind::Punct("{") => Ok(Stmt::Block(self.block()?)),
+            TokenKind::Ident(kw) if kw == "let" => {
+                self.advance();
+                let name = self.ident()?;
+                self.eat_punct("=")?;
+                let value = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Let { name, value, line })
+            }
+            TokenKind::Ident(kw) if kw == "if" => self.if_stmt(),
+            TokenKind::Ident(kw) if kw == "while" => {
+                self.advance();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Ident(kw) if kw == "for" => self.for_stmt(),
+            TokenKind::Ident(kw) if kw == "break" => {
+                self.advance();
+                self.eat_punct(";")?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Ident(kw) if kw == "continue" => {
+                self.advance();
+                self.eat_punct(";")?;
+                Ok(Stmt::Continue)
+            }
+            TokenKind::Ident(kw) if kw == "return" => {
+                self.advance();
+                if self.at_punct(";") {
+                    self.advance();
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            _ => self.expr_or_assign_stmt(line),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.eat_keyword("if")?;
+        let cond = self.expr()?;
+        let then_block = self.block()?;
+        let else_block = if self.at_keyword("else") {
+            self.advance();
+            if self.at_keyword("if") {
+                let nested = self.if_stmt()?;
+                Some(Block {
+                    stmts: vec![nested],
+                })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.eat_keyword("for")?;
+        let var = self.ident()?;
+        self.eat_keyword("in")?;
+        let start = self.expr()?;
+        self.eat_punct("..")?;
+        let end = self.expr()?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            var,
+            start,
+            end,
+            body,
+        })
+    }
+
+    fn expr_or_assign_stmt(&mut self, line: usize) -> Result<Stmt, CompileError> {
+        let e = self.expr()?;
+        // Assignment forms.
+        if self.at_punct("=") {
+            self.advance();
+            let value = self.expr()?;
+            self.eat_punct(";")?;
+            return match e {
+                Expr::Var(name) => Ok(Stmt::Assign { name, value, line }),
+                Expr::Index { array, index } => match *array {
+                    Expr::Var(name) => Ok(Stmt::IndexAssign {
+                        name,
+                        index: *index,
+                        value,
+                        line,
+                    }),
+                    _ => self.err("can only index-assign a variable"),
+                },
+                _ => self.err("invalid assignment target"),
+            };
+        }
+        for (punct, op) in [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+        ] {
+            if self.at_punct(punct) {
+                self.advance();
+                let rhs = self.expr()?;
+                self.eat_punct(";")?;
+                return match e {
+                    Expr::Var(name) => Ok(Stmt::Assign {
+                        name: name.clone(),
+                        value: Expr::Binary {
+                            op,
+                            lhs: Box::new(Expr::Var(name)),
+                            rhs: Box::new(rhs),
+                        },
+                        line,
+                    }),
+                    _ => self.err("compound assignment target must be a variable"),
+                };
+            }
+        }
+        self.eat_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    // -------------------------------------------------------- directives
+
+    fn directive_stmt(&mut self, text: &str, line: usize) -> Result<Stmt, CompileError> {
+        // The directive head is its leading word: `wait(tag)` → `wait`.
+        let first = text
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .next()
+            .unwrap_or("");
+        let dir_err = |message: String| CompileError::Directive { line, message };
+
+        let directive = match first {
+            "target" => {
+                let d = TargetDirective::parse(text).map_err(|e| dir_err(e.to_string()))?;
+                let if_cond = match &d.if_condition {
+                    Some(cond_text) => Some(parse_expr_text(cond_text, line)?),
+                    None => None,
+                };
+                Directive::Target {
+                    directive: d,
+                    if_cond,
+                }
+            }
+            "wait" => {
+                let tag = extract_arg(text, "wait").ok_or_else(|| {
+                    dir_err("wait directive needs a tag: wait(tag)".to_string())
+                })?;
+                Directive::WaitTag(tag)
+            }
+            "barrier" => Directive::Barrier,
+            "master" => Directive::Master,
+            "single" => Directive::Single,
+            "task" => Directive::Task,
+            "taskwait" => Directive::TaskWait,
+            "sections" => Directive::Sections,
+            "critical" => {
+                let name = extract_arg(text, "critical").unwrap_or_default();
+                Directive::Critical(name)
+            }
+            "parallel" => {
+                let rest = text["parallel".len()..].trim_start();
+                if let Some(after_for) = rest.strip_prefix("for") {
+                    let clauses = after_for.trim();
+                    Directive::ParallelFor {
+                        num_threads: parse_num_threads(clauses, line)?,
+                        schedule: parse_schedule(clauses, line)?,
+                    }
+                } else {
+                    Directive::Parallel {
+                        num_threads: parse_num_threads(rest, line)?,
+                    }
+                }
+            }
+            other => return Err(dir_err(format!("unknown directive `{other}`"))),
+        };
+
+        // Standalone directives take no body.
+        let body = match directive {
+            Directive::WaitTag(_) | Directive::Barrier | Directive::TaskWait => Block::default(),
+            Directive::ParallelFor { .. } => {
+                // Must annotate a for-loop.
+                let stmt = self.for_stmt()?;
+                Block { stmts: vec![stmt] }
+            }
+            _ => {
+                if self.at_punct("{") {
+                    self.block()?
+                } else {
+                    // A directive may annotate a single statement.
+                    Block {
+                        stmts: vec![self.stmt()?],
+                    }
+                }
+            }
+        };
+        Ok(Stmt::Directive {
+            directive,
+            body,
+            line,
+        })
+    }
+
+    // ------------------------------------------------------------- exprs
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.at_punct("||") {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality()?;
+        while self.at_punct("&&") {
+            self.advance();
+            let rhs = self.equality()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.comparison()?;
+        loop {
+            let op = if self.at_punct("==") {
+                BinOp::Eq
+            } else if self.at_punct("!=") {
+                BinOp::Ne
+            } else {
+                return Ok(lhs);
+            };
+            self.advance();
+            let rhs = self.comparison()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = if self.at_punct("<=") {
+                BinOp::Le
+            } else if self.at_punct(">=") {
+                BinOp::Ge
+            } else if self.at_punct("<") {
+                BinOp::Lt
+            } else if self.at_punct(">") {
+                BinOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            self.advance();
+            let rhs = self.additive()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.at_punct("+") {
+                BinOp::Add
+            } else if self.at_punct("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            self.advance();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.at_punct("*") {
+                BinOp::Mul
+            } else if self.at_punct("/") {
+                BinOp::Div
+            } else if self.at_punct("%") {
+                BinOp::Rem
+            } else {
+                return Ok(lhs);
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.at_punct("-") {
+            self.advance();
+            let e = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            });
+        }
+        if self.at_punct("!") {
+            self.advance();
+            let e = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at_punct("[") {
+                self.advance();
+                let index = self.expr()?;
+                self.eat_punct("]")?;
+                e = Expr::Index {
+                    array: Box::new(e),
+                    index: Box::new(index),
+                };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Ident(s) if s == "true" => {
+                self.advance();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::Ident(s) if s == "false" => {
+                self.advance();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.at_punct("(") {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at_punct(",") {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::Punct("(") => {
+                self.advance();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Parses a standalone expression (used for `if(expr)` clause text).
+fn parse_expr_text(text: &str, line: usize) -> Result<Expr, CompileError> {
+    let tokens = lex(text).map_err(|e| CompileError::Directive {
+        line,
+        message: format!("bad if-clause expression `{text}`: {e}"),
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    match p.peek().kind {
+        TokenKind::Eof => Ok(e),
+        _ => Err(CompileError::Directive {
+            line,
+            message: format!("trailing tokens in if-clause `{text}`"),
+        }),
+    }
+}
+
+/// Extracts `arg` from `head(arg)` anywhere in clause text.
+fn extract_arg(text: &str, head: &str) -> Option<String> {
+    let idx = text.find(head)?;
+    let rest = text[idx + head.len()..].trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.find(')')?;
+    let arg = inner[..close].trim();
+    if arg.is_empty() {
+        None
+    } else {
+        Some(arg.to_string())
+    }
+}
+
+fn parse_num_threads(clauses: &str, line: usize) -> Result<Option<usize>, CompileError> {
+    match extract_arg(clauses, "num_threads") {
+        Some(a) => a.parse::<usize>().map(Some).map_err(|_| CompileError::Directive {
+            line,
+            message: format!("bad num_threads argument `{a}`"),
+        }),
+        None => Ok(None),
+    }
+}
+
+fn parse_schedule(clauses: &str, line: usize) -> Result<LoopSchedule, CompileError> {
+    let Some(arg) = extract_arg(clauses, "schedule") else {
+        return Ok(LoopSchedule::Static);
+    };
+    let mut parts = arg.split(',').map(str::trim);
+    let kind = parts.next().unwrap_or("");
+    let chunk: Option<usize> = match parts.next() {
+        Some(c) => Some(c.parse().map_err(|_| CompileError::Directive {
+            line,
+            message: format!("bad schedule chunk `{c}`"),
+        })?),
+        None => None,
+    };
+    match kind {
+        "static" => Ok(LoopSchedule::Static),
+        "dynamic" => Ok(LoopSchedule::Dynamic(chunk.unwrap_or(1))),
+        "guided" => Ok(LoopSchedule::Guided(chunk.unwrap_or(1))),
+        other => Err(CompileError::Directive {
+            line,
+            message: format!("unknown schedule `{other}`"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyjama_runtime::Mode;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn parses_minimal_main() {
+        let p = parse_ok("fn main() { let x = 1; }");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+        assert_eq!(p.functions[0].body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parses_params_and_calls() {
+        let p = parse_ok("fn add(a, b) { return a + b; } fn main() { let s = add(1, 2); }");
+        assert_eq!(p.functions[0].params, vec!["a", "b"]);
+        match &p.functions[1].body.stmts[0] {
+            Stmt::Let { value: Expr::Call { name, args, .. }, .. } => {
+                assert_eq!(name, "add");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_target_directive_block() {
+        let p = parse_ok(
+            "fn main() {\n //#omp target virtual(worker) nowait\n { let x = 1; } }",
+        );
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Directive {
+                directive: Directive::Target { directive: d, .. },
+                body,
+                ..
+            } => {
+                assert_eq!(d.mode, Mode::NoWait);
+                assert_eq!(body.stmts.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directive_annotates_single_statement() {
+        let p = parse_ok("fn main() { //#omp target virtual(edt)\n show(1); }");
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Directive { body, .. } => assert_eq!(body.stmts.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parallel_with_num_threads() {
+        let p = parse_ok("fn main() { //#omp parallel num_threads(3)\n { work(); } }");
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Directive {
+                directive: Directive::Parallel { num_threads },
+                ..
+            } => assert_eq!(*num_threads, Some(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parallel_for_with_schedule() {
+        let p = parse_ok(
+            "fn main() { //#omp parallel for num_threads(2) schedule(dynamic, 4)\n for i in 0..10 { work(i); } }",
+        );
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Directive {
+                directive:
+                    Directive::ParallelFor {
+                        num_threads,
+                        schedule,
+                    },
+                body,
+                ..
+            } => {
+                assert_eq!(*num_threads, Some(2));
+                assert_eq!(*schedule, LoopSchedule::Dynamic(4));
+                assert!(matches!(body.stmts[0], Stmt::For { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_wait_and_barrier_standalone() {
+        let p = parse_ok("fn main() { //#omp wait(jobs)\n //#omp barrier\n let x = 1; }");
+        assert!(matches!(
+            &p.functions[0].body.stmts[0],
+            Stmt::Directive {
+                directive: Directive::WaitTag(t),
+                ..
+            } if t == "jobs"
+        ));
+        assert!(matches!(
+            &p.functions[0].body.stmts[1],
+            Stmt::Directive {
+                directive: Directive::Barrier,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_if_else_chain_and_loops() {
+        let src = r#"
+fn main() {
+    let x = 0;
+    if x < 1 { x = 1; } else if x < 2 { x = 2; } else { x = 3; }
+    while x > 0 { x -= 1; }
+    for i in 0..10 { x += i; }
+}
+"#;
+        let p = parse_ok(src);
+        assert_eq!(p.functions[0].body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn parses_index_read_and_assign() {
+        let p = parse_ok("fn main() { let a = arr(); a[0] = 5; let v = a[0]; }");
+        assert!(matches!(&p.functions[0].body.stmts[1], Stmt::IndexAssign { .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = parse_ok("fn main() { let x = 1 + 2 * 3; }");
+        match &p.functions[0].body.stmts[0] {
+            Stmt::Let {
+                value: Expr::Binary { op: BinOp::Add, rhs, .. },
+                ..
+            } => assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let e = parse("fn main() { //#omp frobnicate\n { } }").unwrap_err();
+        assert!(matches!(e, CompileError::Directive { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_target_clause() {
+        let e = parse("fn main() { //#omp target virtual()\n { } }").unwrap_err();
+        assert!(matches!(e, CompileError::Directive { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse("fn main() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse("fn main() { 1 = 2; }").is_err());
+    }
+
+    #[test]
+    fn parallel_for_requires_for_loop() {
+        assert!(parse("fn main() { //#omp parallel for\n { } }").is_err());
+    }
+}

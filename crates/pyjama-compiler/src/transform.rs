@@ -1,0 +1,552 @@
+//! The §IV-A source-to-source restructuring.
+//!
+//! "The compiler will restructure a target block as a runnable TargetRegion
+//! class, with its run() function implementing the user code. … The target
+//! region instance is then submitted to the Pyjama runtime, which is
+//! responsible for dispatching the target code block to the appropriate
+//! virtual target."
+//!
+//! [`transform`] walks a parsed PJ program, extracts every `target` block
+//! into a [`RegionClass`] (numbered in encounter order, exactly like
+//! `TargetRegion_0`, `TargetRegion_1` in the paper's example) and replaces
+//! the directive with the generated instantiation + `invokeTargetBlock`
+//! call. [`TransformedProgram::to_java_like_source`] renders the result in
+//! the Java-ish shape of the paper's Figure in §IV-A, so tests can compare
+//! against the published output.
+
+use pyjama_runtime::directive::TargetProperty;
+use pyjama_runtime::Mode;
+
+use crate::ast::*;
+
+/// One generated `TargetRegion_k` runnable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionClass {
+    /// Index `k` (encounter order across the whole program).
+    pub index: usize,
+    /// The virtual target the region is submitted to.
+    pub target: String,
+    /// The scheduling mode at the submission site.
+    pub mode: Mode,
+    /// The region body, already transformed (nested targets replaced).
+    pub body: Block,
+}
+
+impl RegionClass {
+    /// The generated class name.
+    pub fn class_name(&self) -> String {
+        format!("TargetRegion_{}", self.index)
+    }
+
+    /// The generated instance variable name (paper: `_omp_tr_0`).
+    pub fn instance_name(&self) -> String {
+        format!("_omp_tr_{}", self.index)
+    }
+}
+
+/// The result of restructuring a program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransformedProgram {
+    /// Generated region classes, by index.
+    pub regions: Vec<RegionClass>,
+    /// The program with every target directive replaced by submission code.
+    pub rewritten: Program,
+}
+
+/// A synthetic statement the transformer inserts: kept as an `Expr::Call`
+/// to `PjRuntime.invokeTargetBlock` in the rewritten AST so the pretty
+/// printer can render it exactly; the call is never interpreted.
+fn invoke_stmt(region: &RegionClass, line: usize) -> Vec<Stmt> {
+    let async_arg = match &region.mode {
+        Mode::Wait => "Async.wait",
+        Mode::NoWait => "Async.nowait",
+        Mode::NameAs(_) => "Async.name_as",
+        Mode::Await => "Async.await",
+    };
+    vec![
+        Stmt::Let {
+            name: region.instance_name(),
+            value: Expr::Call {
+                name: format!("new {}", region.class_name()),
+                args: vec![],
+                line,
+            },
+            line,
+        },
+        Stmt::Expr(Expr::Call {
+            name: "PjRuntime.invokeTargetBlock".to_string(),
+            args: vec![
+                Expr::Str(region.target.clone()),
+                Expr::Var(region.instance_name()),
+                Expr::Var(async_arg.to_string()),
+            ],
+            line,
+        }),
+    ]
+}
+
+/// Restructures every `target` block in `program`.
+pub fn transform(program: &Program) -> TransformedProgram {
+    let mut t = Transformer {
+        regions: Vec::new(),
+    };
+    let rewritten = Program {
+        functions: program
+            .functions
+            .iter()
+            .map(|f| Function {
+                name: f.name.clone(),
+                params: f.params.clone(),
+                body: t.rewrite_block(&f.body),
+                line: f.line,
+            })
+            .collect(),
+    };
+    TransformedProgram {
+        regions: t.regions,
+        rewritten,
+    }
+}
+
+struct Transformer {
+    regions: Vec<RegionClass>,
+}
+
+impl Transformer {
+    fn rewrite_block(&mut self, block: &Block) -> Block {
+        let mut stmts = Vec::new();
+        for stmt in &block.stmts {
+            self.rewrite_stmt(stmt, &mut stmts);
+        }
+        Block { stmts }
+    }
+
+    fn rewrite_stmt(&mut self, stmt: &Stmt, out: &mut Vec<Stmt>) {
+        match stmt {
+            Stmt::Directive {
+                directive: Directive::Target { directive: d, .. },
+                body,
+                line,
+            } => {
+                // Reserve the index *before* descending so outer regions get
+                // smaller numbers (paper: TargetRegion_0 encloses
+                // TargetRegion_1).
+                let index = self.regions.len();
+                self.regions.push(RegionClass {
+                    index,
+                    target: match &d.target {
+                        TargetProperty::Virtual(name) => name.clone(),
+                        TargetProperty::Device(n) => format!("device:{n}"),
+                        TargetProperty::Default => "default".to_string(),
+                    },
+                    mode: d.mode.clone(),
+                    body: Block::default(), // placeholder, filled below
+                });
+                let rewritten_body = self.rewrite_block(body);
+                self.regions[index].body = rewritten_body;
+                let region = self.regions[index].clone();
+                out.extend(invoke_stmt(&region, *line));
+            }
+            Stmt::Directive {
+                directive,
+                body,
+                line,
+            } => out.push(Stmt::Directive {
+                directive: directive.clone(),
+                body: self.rewrite_block(body),
+                line: *line,
+            }),
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_block: self.rewrite_block(then_block),
+                else_block: else_block.as_ref().map(|b| self.rewrite_block(b)),
+            }),
+            Stmt::While { cond, body } => out.push(Stmt::While {
+                cond: cond.clone(),
+                body: self.rewrite_block(body),
+            }),
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => out.push(Stmt::For {
+                var: var.clone(),
+                start: start.clone(),
+                end: end.clone(),
+                body: self.rewrite_block(body),
+            }),
+            Stmt::Block(b) => out.push(Stmt::Block(self.rewrite_block(b))),
+            other => out.push(other.clone()),
+        }
+    }
+}
+
+impl TransformedProgram {
+    /// Renders the transformation in the Java-like shape of the paper's
+    /// §IV-A example: first the generated `TargetRegion_k` classes, then
+    /// the rewritten functions.
+    pub fn to_java_like_source(&self) -> String {
+        let mut s = String::new();
+        for r in &self.regions {
+            s.push_str(&format!("class {}() implements Runnable {{\n", r.class_name()));
+            s.push_str("    public void run() {\n");
+            print_block(&r.body, 2, &mut s);
+            s.push_str("    }\n}\n\n");
+        }
+        for f in &self.rewritten.functions {
+            s.push_str(&format!("void {}({}) {{\n", f.name, f.params.join(", ")));
+            print_block(&f.body, 1, &mut s);
+            s.push_str("}\n\n");
+        }
+        s
+    }
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(block: &Block, level: usize, out: &mut String) {
+    for stmt in &block.stmts {
+        print_stmt(stmt, level, out);
+    }
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    match stmt {
+        Stmt::Let { name, value, .. } => {
+            indent(level, out);
+            // Generated instantiation statements render Java-style.
+            if name.starts_with("_omp_tr_") {
+                let class = match value {
+                    Expr::Call { name, .. } => name.trim_start_matches("new ").to_string(),
+                    _ => "TargetRegion".to_string(),
+                };
+                out.push_str(&format!("TargetRegion {name} = new {class}();\n"));
+            } else {
+                out.push_str(&format!("let {name} = {};\n", print_expr(value)));
+            }
+        }
+        Stmt::Assign { name, value, .. } => {
+            indent(level, out);
+            out.push_str(&format!("{name} = {};\n", print_expr(value)));
+        }
+        Stmt::IndexAssign {
+            name,
+            index,
+            value,
+            ..
+        } => {
+            indent(level, out);
+            out.push_str(&format!(
+                "{name}[{}] = {};\n",
+                print_expr(index),
+                print_expr(value)
+            ));
+        }
+        Stmt::Expr(e) => {
+            indent(level, out);
+            out.push_str(&format!("{};\n", print_expr(e)));
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            indent(level, out);
+            out.push_str(&format!("if ({}) {{\n", print_expr(cond)));
+            print_block(then_block, level + 1, out);
+            indent(level, out);
+            out.push('}');
+            if let Some(eb) = else_block {
+                out.push_str(" else {\n");
+                print_block(eb, level + 1, out);
+                indent(level, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body } => {
+            indent(level, out);
+            out.push_str(&format!("while ({}) {{\n", print_expr(cond)));
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            var,
+            start,
+            end,
+            body,
+        } => {
+            indent(level, out);
+            out.push_str(&format!(
+                "for ({var} in {}..{}) {{\n",
+                print_expr(start),
+                print_expr(end)
+            ));
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Return(e) => {
+            indent(level, out);
+            match e {
+                Some(e) => out.push_str(&format!("return {};\n", print_expr(e))),
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::Break => {
+            indent(level, out);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue => {
+            indent(level, out);
+            out.push_str("continue;\n");
+        }
+        Stmt::Block(b) => {
+            indent(level, out);
+            out.push_str("{\n");
+            print_block(b, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Directive {
+            directive, body, ..
+        } => {
+            indent(level, out);
+            out.push_str(&format!("//#omp {}\n", directive_text(directive)));
+            indent(level, out);
+            out.push_str("{\n");
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn directive_text(d: &Directive) -> String {
+    match d {
+        Directive::Target { directive, .. } => directive.to_directive_text(),
+        Directive::WaitTag(t) => format!("wait({t})"),
+        Directive::Parallel { num_threads } => match num_threads {
+            Some(n) => format!("parallel num_threads({n})"),
+            None => "parallel".to_string(),
+        },
+        Directive::ParallelFor {
+            num_threads,
+            schedule,
+        } => {
+            let mut s = "parallel for".to_string();
+            if let Some(n) = num_threads {
+                s.push_str(&format!(" num_threads({n})"));
+            }
+            match schedule {
+                LoopSchedule::Static => {}
+                LoopSchedule::Dynamic(c) => s.push_str(&format!(" schedule(dynamic, {c})")),
+                LoopSchedule::Guided(c) => s.push_str(&format!(" schedule(guided, {c})")),
+            }
+            s
+        }
+        Directive::Critical(name) if name.is_empty() => "critical".to_string(),
+        Directive::Critical(name) => format!("critical({name})"),
+        Directive::Barrier => "barrier".to_string(),
+        Directive::Master => "master".to_string(),
+        Directive::Single => "single".to_string(),
+        Directive::Task => "task".to_string(),
+        Directive::TaskWait => "taskwait".to_string(),
+        Directive::Sections => "sections".to_string(),
+    }
+}
+
+fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => format!("{v}"),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Str(s) => format!("{s:?}"),
+        Expr::Var(v) => v.clone(),
+        Expr::Index { array, index } => format!("{}[{}]", print_expr(array), print_expr(index)),
+        Expr::Unary { op, expr } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}{}", print_expr(expr))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {sym} {})", print_expr(lhs), print_expr(rhs))
+        }
+        Expr::Call { name, args, .. } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// The paper's §IV-A compilation example, in PJ.
+    const PAPER_EXAMPLE: &str = r#"
+fn main() {
+    setText("Start Processing Task!");
+    //#omp target virtual(worker) await
+    {
+        compute_half1();
+        //#omp target virtual(edt) nowait
+        {
+            setText("Task half finished");
+        }
+        compute_half2();
+    }
+    setText("Task finished");
+}
+"#;
+
+    #[test]
+    fn paper_example_generates_two_regions() {
+        let program = parse(PAPER_EXAMPLE).unwrap();
+        let t = transform(&program);
+        assert_eq!(t.regions.len(), 2);
+
+        // Outer region: worker + await.
+        assert_eq!(t.regions[0].target, "worker");
+        assert_eq!(t.regions[0].mode, Mode::Await);
+        assert_eq!(t.regions[0].class_name(), "TargetRegion_0");
+
+        // Inner region: edt + nowait, nested inside region 0's body.
+        assert_eq!(t.regions[1].target, "edt");
+        assert_eq!(t.regions[1].mode, Mode::NoWait);
+        assert_eq!(t.regions[1].instance_name(), "_omp_tr_1");
+    }
+
+    #[test]
+    fn outer_region_body_contains_inner_invocation() {
+        let program = parse(PAPER_EXAMPLE).unwrap();
+        let t = transform(&program);
+        // Region 0's body: compute_half1(); <instantiate+invoke region 1>;
+        // compute_half2();
+        let body = &t.regions[0].body;
+        assert_eq!(body.stmts.len(), 4, "{body:#?}");
+        assert!(matches!(&body.stmts[0], Stmt::Expr(Expr::Call { name, .. }) if name == "compute_half1"));
+        assert!(matches!(&body.stmts[1], Stmt::Let { name, .. } if name == "_omp_tr_1"));
+        assert!(
+            matches!(&body.stmts[2], Stmt::Expr(Expr::Call { name, .. }) if name == "PjRuntime.invokeTargetBlock")
+        );
+        assert!(matches!(&body.stmts[3], Stmt::Expr(Expr::Call { name, .. }) if name == "compute_half2"));
+    }
+
+    #[test]
+    fn main_is_rewritten_to_submission_site() {
+        let program = parse(PAPER_EXAMPLE).unwrap();
+        let t = transform(&program);
+        let main = t.rewritten.function("main").unwrap();
+        // setText; let _omp_tr_0; invoke; setText
+        assert_eq!(main.body.stmts.len(), 4);
+        assert!(matches!(&main.body.stmts[1], Stmt::Let { name, .. } if name == "_omp_tr_0"));
+    }
+
+    #[test]
+    fn java_like_output_matches_paper_shape() {
+        let program = parse(PAPER_EXAMPLE).unwrap();
+        let t = transform(&program);
+        let src = t.to_java_like_source();
+        // The structural landmarks of the paper's generated code:
+        assert!(src.contains("class TargetRegion_0() implements Runnable"), "{src}");
+        assert!(src.contains("class TargetRegion_1() implements Runnable"), "{src}");
+        assert!(src.contains("public void run()"), "{src}");
+        assert!(
+            src.contains(r#"PjRuntime.invokeTargetBlock("worker", _omp_tr_0, Async.await);"#),
+            "{src}"
+        );
+        assert!(
+            src.contains(r#"PjRuntime.invokeTargetBlock("edt", _omp_tr_1, Async.nowait);"#),
+            "{src}"
+        );
+        assert!(src.contains("TargetRegion _omp_tr_0 = new TargetRegion_0();"), "{src}");
+    }
+
+    #[test]
+    fn program_without_targets_is_unchanged() {
+        let src = "fn main() { let x = 1; if x > 0 { x = 2; } }";
+        let program = parse(src).unwrap();
+        let t = transform(&program);
+        assert!(t.regions.is_empty());
+        assert_eq!(t.rewritten, program);
+    }
+
+    #[test]
+    fn non_target_directives_survive_rewriting() {
+        let src = "fn main() { //#omp parallel num_threads(2)\n { work(); } }";
+        let program = parse(src).unwrap();
+        let t = transform(&program);
+        assert!(t.regions.is_empty());
+        assert!(matches!(
+            &t.rewritten.function("main").unwrap().body.stmts[0],
+            Stmt::Directive {
+                directive: Directive::Parallel { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn targets_inside_control_flow_are_extracted() {
+        let src = r#"
+fn main() {
+    for i in 0..3 {
+        //#omp target virtual(worker) nowait
+        { work(i); }
+    }
+    if true {
+        //#omp target virtual(edt)
+        { update(); }
+    }
+}
+"#;
+        let program = parse(src).unwrap();
+        let t = transform(&program);
+        assert_eq!(t.regions.len(), 2);
+        assert_eq!(t.regions[0].target, "worker");
+        assert_eq!(t.regions[1].target, "edt");
+    }
+
+    #[test]
+    fn region_numbering_is_encounter_order() {
+        let src = r#"
+fn a() { //#omp target virtual(w1)
+ { x(); } }
+fn b() { //#omp target virtual(w2)
+ { y(); } }
+"#;
+        let program = parse(src).unwrap();
+        let t = transform(&program);
+        assert_eq!(t.regions[0].target, "w1");
+        assert_eq!(t.regions[1].target, "w2");
+    }
+}

@@ -1,0 +1,152 @@
+//! Event coalescing — AWT/Swing-style collapsing of redundant updates.
+//!
+//! GUI frameworks coalesce repaint and progress events: if an update for
+//! the same key is still queued, the new one *replaces* it instead of
+//! piling up behind a slow EDT. The paper's broadcast-style `nowait`
+//! progress updates (§III-C: "broadcasting interim updates") are exactly
+//! the events worth coalescing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::eventloop::EventLoopHandle;
+
+type Job = Box<dyn FnOnce() + Send>;
+/// The freshest not-yet-dispatched handler for one key.
+type Slot = Arc<Mutex<Option<Job>>>;
+
+/// Posts keyed events to a loop, collapsing same-key events that have not
+/// yet dispatched.
+pub struct Coalescer {
+    handle: EventLoopHandle,
+    pending: Arc<Mutex<HashMap<String, Slot>>>,
+}
+
+impl Coalescer {
+    /// Wraps a loop handle.
+    pub fn new(handle: EventLoopHandle) -> Self {
+        Coalescer {
+            handle,
+            pending: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Posts `f` under `key`. If a `key` event is still queued, its
+    /// handler is replaced by `f` (the stale update is dropped) and no new
+    /// event is enqueued.
+    pub fn post(&self, key: &str, f: impl FnOnce() + Send + 'static) {
+        let mut pending = self.pending.lock();
+        if let Some(slot) = pending.get(key) {
+            let mut g = slot.lock();
+            if g.is_some() {
+                // Still queued: replace the stale handler.
+                *g = Some(Box::new(f));
+                return;
+            }
+            // Already dispatched (slot emptied); fall through to repost.
+        }
+        let slot: Slot = Arc::new(Mutex::new(Some(Box::new(f))));
+        pending.insert(key.to_string(), Arc::clone(&slot));
+        drop(pending);
+
+        let pending_map = Arc::clone(&self.pending);
+        let key = key.to_string();
+        self.handle.post(move || {
+            // Take the freshest handler and clear the key before running,
+            // so a post from inside the handler re-enqueues.
+            let job = {
+                let job = slot.lock().take();
+                pending_map.lock().remove(&key);
+                job
+            };
+            if let Some(job) = job {
+                job();
+            }
+        });
+    }
+
+    /// Number of keys with a queued (not yet dispatched) event.
+    pub fn pending_keys(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventLoop;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn burst_of_same_key_updates_coalesces_to_latest() {
+        let el = EventLoop::new("edt");
+        let c = Coalescer::new(el.handle());
+        let last = Arc::new(AtomicU64::new(0));
+        let runs = Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let last = Arc::clone(&last);
+            let runs = Arc::clone(&runs);
+            c.post("progress", move || {
+                last.store(i, Ordering::SeqCst);
+                runs.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        el.run_until_idle();
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "99 stale updates dropped");
+        assert_eq!(last.load(Ordering::SeqCst), 100, "the freshest survives");
+    }
+
+    #[test]
+    fn different_keys_do_not_coalesce() {
+        let el = EventLoop::new("edt");
+        let c = Coalescer::new(el.handle());
+        let runs = Arc::new(AtomicU64::new(0));
+        for key in ["a", "b", "c"] {
+            let runs = Arc::clone(&runs);
+            c.post(key, move || {
+                runs.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        el.run_until_idle();
+        assert_eq!(runs.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn post_after_dispatch_enqueues_again() {
+        let el = EventLoop::new("edt");
+        let c = Coalescer::new(el.handle());
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&runs);
+        c.post("k", move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        el.run_until_idle();
+        let r = Arc::clone(&runs);
+        c.post("k", move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        el.run_until_idle();
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        assert_eq!(c.pending_keys(), 0);
+    }
+
+    #[test]
+    fn repost_from_inside_handler_works() {
+        let el = EventLoop::new("edt");
+        let c = Arc::new(Coalescer::new(el.handle()));
+        let runs = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let r2 = Arc::clone(&runs);
+        c.post("k", move || {
+            r2.fetch_add(1, Ordering::SeqCst);
+            let r3 = Arc::clone(&r2);
+            c2.post("k", move || {
+                r3.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        el.run_until_idle();
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+    }
+}

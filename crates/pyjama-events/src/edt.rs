@@ -1,0 +1,249 @@
+//! A dedicated event-dispatch thread, in the style of the AWT/Swing EDT.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::eventloop::{EventLoop, EventLoopHandle, LoopStats};
+
+/// An owned dispatch thread running an [`EventLoop`].
+///
+/// GUI frameworks confine all widget access to one such thread (§II-A:
+/// "updates to the GUI should only be executed by the EDT"). `Edt` provides
+/// the two `SwingUtilities`-style entry points, [`invoke_later`]
+/// (asynchronous post) and [`invoke_and_wait`] (synchronous round-trip).
+///
+/// [`invoke_later`]: Edt::invoke_later
+/// [`invoke_and_wait`]: Edt::invoke_and_wait
+pub struct Edt {
+    handle: EventLoopHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Edt {
+    /// Spawns a new dispatch thread named `name` and waits until its loop is
+    /// accepting events.
+    pub fn spawn(name: impl Into<String>) -> Self {
+        Self::spawn_with(name, |_| {})
+    }
+
+    /// Like [`spawn`](Self::spawn), but lets the caller configure the loop
+    /// (attach occupancy/latency instrumentation) before it starts.
+    pub fn spawn_with(name: impl Into<String>, configure: impl FnOnce(&EventLoop) + Send + 'static) -> Self {
+        let name = name.into();
+        let slot: Arc<(Mutex<Option<EventLoopHandle>>, Condvar)> =
+            Arc::new((Mutex::new(None), Condvar::new()));
+        let slot2 = Arc::clone(&slot);
+        let tname = name.clone();
+        let thread = std::thread::Builder::new()
+            .name(tname.clone())
+            .spawn(move || {
+                let el = EventLoop::new(tname);
+                configure(&el);
+                {
+                    let (lock, cond) = &*slot2;
+                    *lock.lock() = Some(el.handle());
+                    cond.notify_all();
+                }
+                el.run();
+            })
+            .expect("failed to spawn EDT thread");
+        let handle = {
+            let (lock, cond) = &*slot;
+            let mut g = lock.lock();
+            while g.is_none() {
+                cond.wait(&mut g);
+            }
+            g.take().expect("loop handle published")
+        };
+        Edt {
+            handle,
+            thread: Some(thread),
+        }
+    }
+
+    /// Posts a handler to run on the EDT (SwingUtilities.invokeLater).
+    pub fn invoke_later(&self, f: impl FnOnce() + Send + 'static) {
+        self.handle.post(f);
+    }
+
+    /// Runs `f` on the EDT and blocks until it completes, returning its
+    /// value (SwingUtilities.invokeAndWait).
+    ///
+    /// Unlike Swing — which throws when called from the EDT — calling this
+    /// *on* the EDT runs `f` inline, since blocking there would deadlock.
+    pub fn invoke_and_wait<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+        if self.handle.is_loop_thread() {
+            return f();
+        }
+        let slot: Arc<(Mutex<Option<std::thread::Result<R>>>, Condvar)> =
+            Arc::new((Mutex::new(None), Condvar::new()));
+        let slot2 = Arc::clone(&slot);
+        let posted = self.handle.post(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let (lock, cond) = &*slot2;
+            *lock.lock() = Some(r);
+            cond.notify_all();
+        });
+        assert!(posted.is_some(), "invoke_and_wait on a stopped EDT");
+        let (lock, cond) = &*slot;
+        let mut g = lock.lock();
+        while g.is_none() {
+            cond.wait(&mut g);
+        }
+        match g.take().expect("result published") {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    /// Schedules a handler to run on the EDT after `delay`.
+    pub fn invoke_delayed(&self, delay: Duration, f: impl FnOnce() + Send + 'static) {
+        self.handle.post_delayed(delay, f);
+    }
+
+    /// True when called from the dispatch thread itself.
+    pub fn is_edt(&self) -> bool {
+        self.handle.is_loop_thread()
+    }
+
+    /// The underlying loop handle (for registering as a virtual target).
+    pub fn handle(&self) -> EventLoopHandle {
+        self.handle.clone()
+    }
+
+    /// Dispatch statistics.
+    pub fn stats(&self) -> LoopStats {
+        self.handle.stats()
+    }
+
+    /// Stops the loop and joins the thread. Idempotent.
+    ///
+    /// If called *on the EDT itself* (e.g. the owner was dropped inside a
+    /// handler), the thread is detached instead of joined — a thread cannot
+    /// join itself; the loop still exits via the quit flag.
+    pub fn shutdown(&mut self) {
+        self.handle.quit();
+        if let Some(t) = self.thread.take() {
+            if t.thread().id() == std::thread::current().id() {
+                drop(t);
+            } else {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for Edt {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Edt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Edt").field("name", &self.handle.name()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn invoke_later_runs_on_edt_thread() {
+        let edt = Edt::spawn("edt-test");
+        let h = edt.handle();
+        let on_edt = Arc::new(AtomicBool::new(false));
+        let o = Arc::clone(&on_edt);
+        let done = Arc::new(AtomicBool::new(false));
+        let d = Arc::clone(&done);
+        edt.invoke_later(move || {
+            o.store(h.is_loop_thread(), Ordering::SeqCst);
+            d.store(true, Ordering::SeqCst);
+        });
+        while !done.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(on_edt.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn invoke_and_wait_returns_value() {
+        let edt = Edt::spawn("edt-test");
+        let v = edt.invoke_and_wait(|| 6 * 7);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn invoke_and_wait_from_edt_runs_inline() {
+        let edt = Arc::new(Edt::spawn("edt-test"));
+        let e2 = Arc::clone(&edt);
+        let v = edt.invoke_and_wait(move || e2.invoke_and_wait(|| 7));
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn invoke_and_wait_propagates_panic() {
+        let edt = Edt::spawn("edt-test");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            edt.invoke_and_wait(|| panic!("widget error"))
+        }));
+        assert!(r.is_err());
+        // EDT still alive afterwards.
+        assert_eq!(edt.invoke_and_wait(|| 1), 1);
+    }
+
+    #[test]
+    fn events_execute_in_fifo_order() {
+        let edt = Edt::spawn("edt-test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..100 {
+            let c = Arc::clone(&counter);
+            edt.invoke_later(move || {
+                // Each event asserts it's the i-th to run.
+                let prev = c.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(prev, i);
+            });
+        }
+        // Barrier: round-trip guarantees all prior events dispatched.
+        edt.invoke_and_wait(|| {});
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn is_edt_false_from_outside() {
+        let edt = Edt::spawn("edt-test");
+        assert!(!edt.is_edt());
+        assert!(edt.invoke_and_wait({
+            let h = edt.handle();
+            move || h.is_loop_thread()
+        }));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut edt = Edt::spawn("edt-test");
+        edt.shutdown();
+        edt.shutdown();
+        drop(edt);
+    }
+
+    #[test]
+    fn invoke_delayed_runs() {
+        let edt = Edt::spawn("edt-test");
+        let done = Arc::new(AtomicBool::new(false));
+        let d = Arc::clone(&done);
+        edt.invoke_delayed(Duration::from_millis(20), move || {
+            d.store(true, Ordering::SeqCst)
+        });
+        let t0 = std::time::Instant::now();
+        while !done.load(Ordering::SeqCst) {
+            assert!(t0.elapsed() < Duration::from_secs(5), "timer never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The unit of dispatch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Globally unique identifier of a posted event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+impl EventId {
+    /// Allocates a fresh id.
+    pub fn next() -> Self {
+        EventId(NEXT_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Dispatch priority. Events of equal priority dispatch in FIFO order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Dispatched before everything else (e.g. quit, urgent repaints).
+    High = 2,
+    /// Ordinary events.
+    #[default]
+    Normal = 1,
+    /// Background/idle work.
+    Low = 0,
+}
+
+/// An event: a one-shot handler plus metadata.
+///
+/// In an event-driven framework "the listener triggers the callback function
+/// implemented by programmers" (§II-A); an `Event` is that callback, queued.
+pub struct Event {
+    id: EventId,
+    priority: Priority,
+    label: Option<String>,
+    fired_at: Instant,
+    handler: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl Event {
+    /// Creates a normal-priority event from a handler.
+    pub fn new(handler: impl FnOnce() + Send + 'static) -> Self {
+        Event {
+            id: EventId::next(),
+            priority: Priority::Normal,
+            label: None,
+            fired_at: Instant::now(),
+            handler: Box::new(handler),
+        }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn with_priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Attaches a human-readable label (builder style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The event's unique id.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// The event's priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The label, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// When the event was created ("fired").
+    pub fn fired_at(&self) -> Instant {
+        self.fired_at
+    }
+
+    /// Consumes the event and runs its handler.
+    pub fn dispatch(self) {
+        (self.handler)()
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event")
+            .field("id", &self.id)
+            .field("priority", &self.priority)
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let a = EventId::next();
+        let b = EventId::next();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn dispatch_runs_handler_once() {
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        let e = Event::new(move || r2.store(true, Ordering::SeqCst));
+        e.dispatch();
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn builder_sets_metadata() {
+        let e = Event::new(|| {})
+            .with_priority(Priority::High)
+            .with_label("click");
+        assert_eq!(e.priority(), Priority::High);
+        assert_eq!(e.label(), Some("click"));
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

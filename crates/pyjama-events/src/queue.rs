@@ -1,0 +1,287 @@
+//! The blocking, priority-ordered event queue.
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::event::{Event, Priority};
+
+/// Queue entry ordering: priority first, then FIFO by sequence number.
+struct Entry {
+    priority: Priority,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority wins; within a priority, lower seq
+        // (older) wins, so reverse the seq comparison.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A thread-safe event queue with priorities, blocking pop, and close.
+///
+/// Closing the queue wakes all blocked consumers; remaining events can still
+/// be drained, after which `pop` returns `None`.
+pub struct EventQueue {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl EventQueue {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        EventQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an event. Returns `false` (dropping the event) if the queue
+    /// is closed.
+    pub fn push(&self, event: Event) -> bool {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return false;
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        let priority = event.priority();
+        g.heap.push(Entry {
+            priority,
+            seq,
+            event,
+        });
+        drop(g);
+        self.cond.notify_one();
+        true
+    }
+
+    /// Removes the highest-priority event without blocking.
+    pub fn try_pop(&self) -> Option<Event> {
+        self.inner.lock().heap.pop().map(|e| e.event)
+    }
+
+    /// Blocks until an event is available or the queue is closed *and*
+    /// drained, returning `None` in the latter case.
+    pub fn pop(&self) -> Option<Event> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(e) = g.heap.pop() {
+                return Some(e.event);
+            }
+            if g.closed {
+                return None;
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    /// Like [`pop`](Self::pop) but gives up at `deadline`.
+    pub fn pop_until(&self, deadline: Instant) -> Option<Event> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(e) = g.heap.pop() {
+                return Some(e.event);
+            }
+            if g.closed || Instant::now() >= deadline {
+                return None;
+            }
+            self.cond.wait_until(&mut g, deadline);
+        }
+    }
+
+    /// Like [`pop`](Self::pop) but waits at most `timeout`.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Event> {
+        self.pop_until(Instant::now() + timeout)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes are rejected and blocked consumers
+    /// wake up once the queue drains.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn noop() -> Event {
+        Event::new(|| {})
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let q = EventQueue::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let order = Arc::clone(&order);
+            q.push(Event::new(move || order.lock().push(i)));
+        }
+        while let Some(e) = q.try_pop() {
+            e.dispatch();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn high_priority_jumps_queue() {
+        let q = EventQueue::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        q.push(Event::new(move || o.lock().push("normal")));
+        let o = Arc::clone(&order);
+        q.push(Event::new(move || o.lock().push("high")).with_priority(Priority::High));
+        let o = Arc::clone(&order);
+        q.push(Event::new(move || o.lock().push("low")).with_priority(Priority::Low));
+        while let Some(e) = q.try_pop() {
+            e.dispatch();
+        }
+        assert_eq!(*order.lock(), vec!["high", "normal", "low"]);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(EventQueue::new());
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop().is_some());
+        std::thread::sleep(Duration::from_millis(10));
+        q.push(noop());
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn pop_timeout_expires() {
+        let q = EventQueue::new();
+        let t0 = Instant::now();
+        assert!(q.pop_timeout(Duration::from_millis(20)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn close_rejects_push_and_wakes_poppers() {
+        let q = Arc::new(EventQueue::new());
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+        assert!(!q.push(noop()));
+    }
+
+    #[test]
+    fn close_allows_draining_remaining() {
+        let q = EventQueue::new();
+        q.push(noop());
+        q.push(noop());
+        q.close();
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_events() {
+        let q = Arc::new(EventQueue::new());
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        const N: usize = 2_000;
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let d = Arc::clone(&dispatched);
+                std::thread::spawn(move || {
+                    for _ in 0..N / 4 {
+                        let d = Arc::clone(&d);
+                        q.push(Event::new(move || {
+                            d.fetch_add(1, Ordering::Relaxed);
+                        }));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    while let Some(e) = q.pop() {
+                        e.dispatch();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Wait for drain, then close to release consumers.
+        while !q.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(dispatched.load(Ordering::Relaxed), N);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(noop());
+        q.push(noop());
+        assert_eq!(q.len(), 2);
+        q.try_pop();
+        assert_eq!(q.len(), 1);
+    }
+}

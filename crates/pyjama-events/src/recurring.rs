@@ -1,0 +1,146 @@
+//! Recurring timers — `javax.swing.Timer`-style periodic events.
+//!
+//! The GUI benchmarks and examples need tickers (paper Figure 1's stream
+//! of incoming requests); this module provides a cancelable periodic
+//! event source built on the loop's delayed-post primitive.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::eventloop::EventLoopHandle;
+
+/// Handle to a running periodic timer; dropping it does **not** stop the
+/// timer (like Swing), call [`cancel`](IntervalHandle::cancel).
+#[derive(Clone)]
+pub struct IntervalHandle {
+    cancelled: Arc<AtomicBool>,
+    fired: Arc<AtomicU64>,
+}
+
+impl IntervalHandle {
+    /// Stops the timer after at most one more firing.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True once cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Number of times the callback has run.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+impl EventLoopHandle {
+    /// Schedules `f` to run on the loop every `period`, starting one
+    /// period from now, until cancelled (or the loop shuts down).
+    pub fn post_interval(
+        &self,
+        period: Duration,
+        f: impl Fn() + Send + Sync + 'static,
+    ) -> IntervalHandle {
+        let handle = IntervalHandle {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            fired: Arc::new(AtomicU64::new(0)),
+        };
+        schedule_tick(self.clone(), period, Arc::new(f), handle.clone());
+        handle
+    }
+}
+
+fn schedule_tick(
+    loop_handle: EventLoopHandle,
+    period: Duration,
+    f: Arc<dyn Fn() + Send + Sync>,
+    interval: IntervalHandle,
+) {
+    let lh = loop_handle.clone();
+    loop_handle.post_delayed(period, move || {
+        if interval.cancelled.load(Ordering::SeqCst) {
+            return;
+        }
+        f();
+        interval.fired.fetch_add(1, Ordering::SeqCst);
+        schedule_tick(lh, period, f, interval);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edt::Edt;
+    use std::time::Instant;
+
+    #[test]
+    fn interval_fires_repeatedly_until_cancelled() {
+        let edt = Edt::spawn("edt");
+        let ih = edt.handle().post_interval(Duration::from_millis(5), || {});
+        let t0 = Instant::now();
+        while ih.fired() < 3 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "timer never fired 3×");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ih.cancel();
+        assert!(ih.is_cancelled());
+        let after = ih.fired();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            ih.fired() <= after + 1,
+            "at most one more firing after cancel"
+        );
+    }
+
+    #[test]
+    fn multiple_intervals_coexist() {
+        let edt = Edt::spawn("edt");
+        let fast = edt.handle().post_interval(Duration::from_millis(3), || {});
+        let slow = edt.handle().post_interval(Duration::from_millis(30), || {});
+        let t0 = Instant::now();
+        while fast.fired() < 8 {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            fast.fired() > slow.fired(),
+            "fast ticker must outpace slow one: {} vs {}",
+            fast.fired(),
+            slow.fired()
+        );
+        fast.cancel();
+        slow.cancel();
+    }
+
+    #[test]
+    fn interval_callback_runs_on_the_loop_thread() {
+        let edt = Edt::spawn("edt");
+        let h = edt.handle();
+        let on_loop = Arc::new(AtomicBool::new(false));
+        let o2 = Arc::clone(&on_loop);
+        let h2 = h.clone();
+        let ih = h.post_interval(Duration::from_millis(2), move || {
+            o2.store(h2.is_loop_thread(), Ordering::SeqCst);
+        });
+        let t0 = Instant::now();
+        while ih.fired() == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ih.cancel();
+        assert!(on_loop.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn cancelled_handle_reports_zero_future_fires() {
+        let edt = Edt::spawn("edt");
+        let ih = edt
+            .handle()
+            .post_interval(Duration::from_millis(500), || {});
+        ih.cancel();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ih.fired(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! The application shell: an EDT plus a widget factory.
+
+use std::sync::Arc;
+
+use pyjama_events::{Edt, EventLoopHandle};
+use pyjama_metrics::{LatencyRecorder, OccupancyTracker};
+
+use crate::confinement::{ConfinementGuard, ConfinementPolicy};
+use crate::widgets::{Button, Label, Panel, ProgressBar, TextField};
+
+/// A GUI application: owns the event-dispatch thread, enforces widget
+/// confinement, and dispatches user events (button clicks) through the
+/// event queue, exactly like a Swing `JFrame` + `EventQueue` pair.
+pub struct Gui {
+    edt: Edt,
+    guard: Arc<ConfinementGuard>,
+    occupancy: Arc<OccupancyTracker>,
+    response_times: Arc<LatencyRecorder>,
+}
+
+impl Gui {
+    /// Launches an application with the given confinement policy. The EDT
+    /// is instrumented: handler busy-time feeds an [`OccupancyTracker`] and
+    /// event queueing latency a [`LatencyRecorder`].
+    pub fn launch(policy: ConfinementPolicy) -> Self {
+        let occupancy = Arc::new(OccupancyTracker::new());
+        let response_times = Arc::new(LatencyRecorder::new());
+        let occ = Arc::clone(&occupancy);
+        let lat = Arc::clone(&response_times);
+        let edt = Edt::spawn_with("gui-edt", move |el| {
+            el.attach_occupancy(occ);
+            el.attach_queue_latency(lat);
+        });
+        let guard = ConfinementGuard::new(edt.handle(), policy);
+        Gui {
+            edt,
+            guard,
+            occupancy,
+            response_times,
+        }
+    }
+
+    // ------------------------------------------------------------ widgets
+
+    /// Creates a label.
+    pub fn label(&self, name: impl Into<String>) -> Arc<Label> {
+        Label::new(Arc::clone(&self.guard), name)
+    }
+
+    /// Creates a progress bar.
+    pub fn progress_bar(&self, name: impl Into<String>) -> Arc<ProgressBar> {
+        ProgressBar::new(Arc::clone(&self.guard), name)
+    }
+
+    /// Creates a text field.
+    pub fn text_field(&self, name: impl Into<String>) -> Arc<TextField> {
+        TextField::new(Arc::clone(&self.guard), name)
+    }
+
+    /// Creates a button.
+    pub fn button(&self, name: impl Into<String>) -> Arc<Button> {
+        Button::new(Arc::clone(&self.guard), name)
+    }
+
+    /// Creates a panel.
+    pub fn panel(&self, name: impl Into<String>) -> Arc<Panel> {
+        Panel::new(Arc::clone(&self.guard), name)
+    }
+
+    // ------------------------------------------------------------- events
+
+    /// Simulates a user clicking `button`: the click is posted to the event
+    /// queue and the registered listeners run on the EDT.
+    pub fn click(&self, button: &Arc<Button>) {
+        let btn = Arc::clone(button);
+        self.edt.invoke_later(move || {
+            if !btn.is_enabled() {
+                return;
+            }
+            btn.record_click();
+            for l in btn.listeners() {
+                l();
+            }
+        });
+    }
+
+    /// Runs `f` on the EDT asynchronously (`SwingUtilities.invokeLater`).
+    pub fn invoke_later(&self, f: impl FnOnce() + Send + 'static) {
+        self.edt.invoke_later(f);
+    }
+
+    /// Runs `f` on the EDT and waits (`SwingUtilities.invokeAndWait`).
+    pub fn invoke_and_wait<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+        self.edt.invoke_and_wait(f)
+    }
+
+    /// True on the dispatch thread (`SwingUtilities.isEventDispatchThread`).
+    pub fn is_edt(&self) -> bool {
+        self.edt.is_edt()
+    }
+
+    /// Blocks until every event posted so far has been dispatched.
+    pub fn drain(&self) {
+        self.edt.invoke_and_wait(|| {});
+    }
+
+    // ------------------------------------------------------ introspection
+
+    /// The EDT's loop handle (for registering it as a virtual target).
+    pub fn edt_handle(&self) -> EventLoopHandle {
+        self.edt.handle()
+    }
+
+    /// The confinement guard (policy switches, violation counts).
+    pub fn confinement(&self) -> &Arc<ConfinementGuard> {
+        &self.guard
+    }
+
+    /// EDT busy-time instrumentation.
+    pub fn occupancy(&self) -> &Arc<OccupancyTracker> {
+        &self.occupancy
+    }
+
+    /// Event queueing-latency instrumentation.
+    pub fn queue_latency(&self) -> &Arc<LatencyRecorder> {
+        &self.response_times
+    }
+
+    /// Shuts the EDT down and joins it.
+    pub fn shutdown(mut self) {
+        self.edt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn click_runs_listeners_on_edt() {
+        let gui = Gui::launch(ConfinementPolicy::Enforce);
+        let button = gui.button("go");
+        let label = gui.label("status");
+        let l2 = Arc::clone(&label);
+        // Listener mutates a widget — legal only because clicks dispatch on
+        // the EDT.
+        button.on_click(move || l2.set_text("clicked"));
+        gui.click(&button);
+        gui.drain();
+        assert_eq!(label.text(), "clicked");
+        assert_eq!(button.click_count(), 1);
+    }
+
+    #[test]
+    fn multiple_listeners_all_fire() {
+        let gui = Gui::launch(ConfinementPolicy::Enforce);
+        let button = gui.button("go");
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..3 {
+            let c = Arc::clone(&count);
+            button.on_click(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        gui.click(&button);
+        gui.click(&button);
+        gui.drain();
+        assert_eq!(count.load(Ordering::SeqCst), 6);
+        assert_eq!(button.click_count(), 2);
+    }
+
+    #[test]
+    fn disabled_button_ignores_clicks() {
+        let gui = Gui::launch(ConfinementPolicy::Enforce);
+        let button = gui.button("go");
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        button.on_click(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let b2 = Arc::clone(&button);
+        gui.invoke_and_wait(move || b2.set_enabled(false));
+        gui.click(&button);
+        gui.drain();
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        assert_eq!(button.click_count(), 0);
+        let b2 = Arc::clone(&button);
+        gui.invoke_and_wait(move || b2.set_enabled(true));
+        gui.click(&button);
+        gui.drain();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn is_edt_detection() {
+        let gui = Gui::launch(ConfinementPolicy::Enforce);
+        assert!(!gui.is_edt());
+        let on = gui.invoke_and_wait({
+            let h = gui.edt_handle();
+            move || h.is_loop_thread()
+        });
+        assert!(on);
+    }
+
+    #[test]
+    fn occupancy_reflects_handler_time() {
+        let gui = Gui::launch(ConfinementPolicy::Enforce);
+        gui.occupancy().start_window();
+        gui.invoke_later(|| std::thread::sleep(Duration::from_millis(10)));
+        gui.drain();
+        assert!(gui.occupancy().busy() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn widgets_share_one_guard() {
+        let gui = Gui::launch(ConfinementPolicy::Record);
+        let label = gui.label("a");
+        let bar = gui.progress_bar("b");
+        label.set_text("off-edt");
+        bar.set_value(5);
+        assert_eq!(gui.confinement().violation_count(), 2);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let gui = Gui::launch(ConfinementPolicy::Enforce);
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = Arc::clone(&ran);
+        gui.invoke_and_wait(move || r.store(true, Ordering::SeqCst));
+        gui.shutdown();
+        assert!(ran.load(Ordering::SeqCst));
+    }
+}

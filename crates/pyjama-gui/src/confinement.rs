@@ -1,0 +1,145 @@
+//! EDT thread-confinement checking.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pyjama_events::EventLoopHandle;
+
+/// What to do when a widget is touched off the EDT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConfinementPolicy {
+    /// Panic immediately (develop-time behaviour; Swing's repaint manager
+    /// debug checks do the equivalent).
+    #[default]
+    Enforce,
+    /// Record the violation and proceed — lets benchmarks measure how many
+    /// racy accesses an offloading strategy *would* have produced.
+    Record,
+}
+
+/// A recorded confinement violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The widget that was touched.
+    pub widget: String,
+    /// The operation attempted.
+    pub operation: String,
+    /// Name of the offending thread.
+    pub thread: String,
+}
+
+/// Shared checker handed to every widget of a [`crate::Gui`].
+pub struct ConfinementGuard {
+    edt: EventLoopHandle,
+    policy: Mutex<ConfinementPolicy>,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl ConfinementGuard {
+    /// Creates a guard bound to the given EDT.
+    pub fn new(edt: EventLoopHandle, policy: ConfinementPolicy) -> Arc<Self> {
+        Arc::new(ConfinementGuard {
+            edt,
+            policy: Mutex::new(policy),
+            violations: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// True when the calling thread is the EDT.
+    pub fn on_edt(&self) -> bool {
+        self.edt.is_loop_thread()
+    }
+
+    /// Checks the calling thread before a widget mutation.
+    ///
+    /// # Panics
+    /// Panics under [`ConfinementPolicy::Enforce`] when called off the EDT.
+    pub fn check(&self, widget: &str, operation: &str) {
+        if self.on_edt() {
+            return;
+        }
+        let thread = std::thread::current()
+            .name()
+            .unwrap_or("<unnamed>")
+            .to_string();
+        match *self.policy.lock() {
+            ConfinementPolicy::Enforce => panic!(
+                "EDT confinement violation: {widget}.{operation} called from thread `{thread}` \
+                 — GUI components must only be accessed from the event dispatch thread"
+            ),
+            ConfinementPolicy::Record => self.violations.lock().push(Violation {
+                widget: widget.to_string(),
+                operation: operation.to_string(),
+                thread,
+            }),
+        }
+    }
+
+    /// Switches the policy at runtime.
+    pub fn set_policy(&self, policy: ConfinementPolicy) {
+        *self.policy.lock() = policy;
+    }
+
+    /// Violations recorded so far (only under [`ConfinementPolicy::Record`]).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().clone()
+    }
+
+    /// Number of recorded violations.
+    pub fn violation_count(&self) -> usize {
+        self.violations.lock().len()
+    }
+
+    /// Clears recorded violations.
+    pub fn clear_violations(&self) {
+        self.violations.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyjama_events::Edt;
+
+    #[test]
+    fn on_edt_passes() {
+        let edt = Edt::spawn("edt");
+        let guard = ConfinementGuard::new(edt.handle(), ConfinementPolicy::Enforce);
+        let g = Arc::clone(&guard);
+        edt.invoke_and_wait(move || g.check("Label", "set_text"));
+        assert_eq!(guard.violation_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EDT confinement violation")]
+    fn off_edt_panics_under_enforce() {
+        let edt = Edt::spawn("edt");
+        let guard = ConfinementGuard::new(edt.handle(), ConfinementPolicy::Enforce);
+        guard.check("Label", "set_text");
+    }
+
+    #[test]
+    fn off_edt_recorded_under_record() {
+        let edt = Edt::spawn("edt");
+        let guard = ConfinementGuard::new(edt.handle(), ConfinementPolicy::Record);
+        guard.check("Label", "set_text");
+        guard.check("ProgressBar", "set_value");
+        assert_eq!(guard.violation_count(), 2);
+        let v = guard.violations();
+        assert_eq!(v[0].widget, "Label");
+        assert_eq!(v[1].operation, "set_value");
+        guard.clear_violations();
+        assert_eq!(guard.violation_count(), 0);
+    }
+
+    #[test]
+    fn policy_switch_takes_effect() {
+        let edt = Edt::spawn("edt");
+        let guard = ConfinementGuard::new(edt.handle(), ConfinementPolicy::Record);
+        guard.check("w", "op");
+        guard.set_policy(ConfinementPolicy::Enforce);
+        let g = Arc::clone(&guard);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || g.check("w", "op")));
+        assert!(r.is_err());
+    }
+}

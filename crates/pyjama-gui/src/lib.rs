@@ -1,0 +1,31 @@
+//! A Swing-like, thread-confined GUI toolkit simulation.
+//!
+//! The paper's GUI case study runs under Java Swing, whose cardinal rule
+//! the paper restates: "graphical user interface (GUI) components are not
+//! thread-safe and access is strictly confined to the EDT … Disrespecting
+//! this rule could result in the user interface exhibiting inconsistency or
+//! even errors" (§II-A).
+//!
+//! There is no display in this reproduction — what matters for the
+//! experiments is the *threading contract*, and this crate enforces it:
+//!
+//! * [`Gui`] owns an event-dispatch thread (an [`pyjama_events::Edt`]).
+//! * Every widget mutation checks the calling thread. Off-EDT access either
+//!   panics ([`ConfinementPolicy::Enforce`], like Swing's
+//!   `checkThreadViolations`) or is recorded
+//!   ([`ConfinementPolicy::Record`]) so tests and benchmarks can *count*
+//!   violations instead of dying.
+//! * [`Gui::click`](app::Gui::click) models a user event: it enqueues the registered
+//!   callback on the EDT, exactly like AWT's `EventQueue` does.
+//!
+//! The widgets mirror the paper's Figure 6 (`Panel.showMsg`,
+//! `Panel.collectInput`, `Panel.displayImg`) and Figure 2's progress
+//! updates.
+
+pub mod app;
+pub mod confinement;
+pub mod widgets;
+
+pub use app::Gui;
+pub use confinement::{ConfinementGuard, ConfinementPolicy, Violation};
+pub use widgets::{Button, Image, Label, Panel, ProgressBar, TextField};

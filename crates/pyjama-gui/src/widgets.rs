@@ -1,0 +1,319 @@
+//! Widgets: state + confinement-checked mutators.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::confinement::ConfinementGuard;
+
+/// A decoded image, as produced by Figure 6's `formatConvert`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Packed RGB bytes.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Creates an image; `pixels.len()` must equal `width * height * 3`.
+    pub fn new(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(pixels.len(), width * height * 3, "pixel buffer size mismatch");
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+}
+
+/// A text label (`Label.setText` in the paper's compilation example).
+pub struct Label {
+    guard: Arc<ConfinementGuard>,
+    name: String,
+    text: Mutex<String>,
+    set_count: Mutex<u64>,
+}
+
+impl Label {
+    pub(crate) fn new(guard: Arc<ConfinementGuard>, name: impl Into<String>) -> Arc<Self> {
+        Arc::new(Label {
+            guard,
+            name: name.into(),
+            text: Mutex::new(String::new()),
+            set_count: Mutex::new(0),
+        })
+    }
+
+    /// Sets the label text. EDT-only.
+    pub fn set_text(&self, text: impl Into<String>) {
+        self.guard.check(&self.name, "set_text");
+        *self.text.lock() = text.into();
+        *self.set_count.lock() += 1;
+    }
+
+    /// Reads the text (reads are unchecked, as in Swing practice for
+    /// immutable snapshots; the experiments only mutate from handlers).
+    pub fn text(&self) -> String {
+        self.text.lock().clone()
+    }
+
+    /// How many times the text was set (used by benches as a GUI-update
+    /// counter).
+    pub fn set_count(&self) -> u64 {
+        *self.set_count.lock()
+    }
+}
+
+/// A progress bar (Figure 2's `S2` progress update).
+pub struct ProgressBar {
+    guard: Arc<ConfinementGuard>,
+    name: String,
+    value: Mutex<u8>,
+    history: Mutex<Vec<u8>>,
+}
+
+impl ProgressBar {
+    pub(crate) fn new(guard: Arc<ConfinementGuard>, name: impl Into<String>) -> Arc<Self> {
+        Arc::new(ProgressBar {
+            guard,
+            name: name.into(),
+            value: Mutex::new(0),
+            history: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Sets progress (clamped to 100). EDT-only.
+    pub fn set_value(&self, percent: u8) {
+        self.guard.check(&self.name, "set_value");
+        let v = percent.min(100);
+        *self.value.lock() = v;
+        self.history.lock().push(v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u8 {
+        *self.value.lock()
+    }
+
+    /// Every value ever set, in order.
+    pub fn history(&self) -> Vec<u8> {
+        self.history.lock().clone()
+    }
+}
+
+/// A text input field (Figure 6's `Panel.collectInput`).
+pub struct TextField {
+    guard: Arc<ConfinementGuard>,
+    name: String,
+    content: Mutex<String>,
+}
+
+impl TextField {
+    pub(crate) fn new(guard: Arc<ConfinementGuard>, name: impl Into<String>) -> Arc<Self> {
+        Arc::new(TextField {
+            guard,
+            name: name.into(),
+            content: Mutex::new(String::new()),
+        })
+    }
+
+    /// Sets the field contents. EDT-only.
+    pub fn set_content(&self, s: impl Into<String>) {
+        self.guard.check(&self.name, "set_content");
+        *self.content.lock() = s.into();
+    }
+
+    /// Reads the field contents. EDT-only (a read the user may be editing).
+    pub fn content(&self) -> String {
+        self.guard.check(&self.name, "content");
+        self.content.lock().clone()
+    }
+}
+
+/// A button with click listeners. Clicking fires an event on the EDT.
+pub struct Button {
+    guard: Arc<ConfinementGuard>,
+    name: String,
+    listeners: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+    clicks: Mutex<u64>,
+    enabled: Mutex<bool>,
+}
+
+impl Button {
+    pub(crate) fn new(guard: Arc<ConfinementGuard>, name: impl Into<String>) -> Arc<Self> {
+        Arc::new(Button {
+            guard,
+            name: name.into(),
+            listeners: Mutex::new(Vec::new()),
+            clicks: Mutex::new(0),
+            enabled: Mutex::new(true),
+        })
+    }
+
+    /// Enables or disables the button (a widget mutation — EDT-only).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.guard.check(&self.name, "set_enabled");
+        *self.enabled.lock() = enabled;
+    }
+
+    /// Whether the button currently accepts clicks.
+    pub fn is_enabled(&self) -> bool {
+        *self.enabled.lock()
+    }
+
+    /// Registers a click callback (may be called from any thread, like
+    /// `addActionListener`).
+    pub fn on_click(&self, f: impl Fn() + Send + Sync + 'static) {
+        self.listeners.lock().push(Arc::new(f));
+    }
+
+    /// The registered listeners (the [`crate::Gui`] dispatches them).
+    pub(crate) fn listeners(&self) -> Vec<Arc<dyn Fn() + Send + Sync>> {
+        self.listeners.lock().clone()
+    }
+
+    pub(crate) fn record_click(&self) {
+        *self.clicks.lock() += 1;
+    }
+
+    /// Number of clicks dispatched so far.
+    pub fn click_count(&self) -> u64 {
+        *self.clicks.lock()
+    }
+
+    /// The button's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The paper's `Panel`: a message log plus an image slot
+/// (`showMsg` / `displayImg` from Figure 6).
+pub struct Panel {
+    guard: Arc<ConfinementGuard>,
+    name: String,
+    messages: Mutex<Vec<String>>,
+    image: Mutex<Option<Image>>,
+}
+
+impl Panel {
+    pub(crate) fn new(guard: Arc<ConfinementGuard>, name: impl Into<String>) -> Arc<Self> {
+        Arc::new(Panel {
+            guard,
+            name: name.into(),
+            messages: Mutex::new(Vec::new()),
+            image: Mutex::new(None),
+        })
+    }
+
+    /// Appends a status message (`Panel.showMsg`). EDT-only.
+    pub fn show_msg(&self, msg: impl Into<String>) {
+        self.guard.check(&self.name, "show_msg");
+        self.messages.lock().push(msg.into());
+    }
+
+    /// Renders an image (`Panel.displayImg`). EDT-only.
+    pub fn display_img(&self, img: Image) {
+        self.guard.check(&self.name, "display_img");
+        *self.image.lock() = Some(img);
+    }
+
+    /// All messages shown so far.
+    pub fn messages(&self) -> Vec<String> {
+        self.messages.lock().clone()
+    }
+
+    /// The displayed image, if any.
+    pub fn image(&self) -> Option<Image> {
+        self.image.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confinement::ConfinementPolicy;
+    use pyjama_events::Edt;
+
+    fn record_guard(edt: &Edt) -> Arc<ConfinementGuard> {
+        ConfinementGuard::new(edt.handle(), ConfinementPolicy::Record)
+    }
+
+    #[test]
+    fn label_set_text_on_edt() {
+        let edt = Edt::spawn("edt");
+        let guard = ConfinementGuard::new(edt.handle(), ConfinementPolicy::Enforce);
+        let label = Label::new(guard, "status");
+        let l = Arc::clone(&label);
+        edt.invoke_and_wait(move || l.set_text("hello"));
+        assert_eq!(label.text(), "hello");
+        assert_eq!(label.set_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "confinement violation")]
+    fn label_set_text_off_edt_panics() {
+        let edt = Edt::spawn("edt");
+        let guard = ConfinementGuard::new(edt.handle(), ConfinementPolicy::Enforce);
+        let label = Label::new(guard, "status");
+        label.set_text("boom");
+    }
+
+    #[test]
+    fn progress_clamps_and_records_history() {
+        let edt = Edt::spawn("edt");
+        let bar = ProgressBar::new(record_guard(&edt), "progress");
+        let b = Arc::clone(&bar);
+        edt.invoke_and_wait(move || {
+            b.set_value(10);
+            b.set_value(250);
+        });
+        assert_eq!(bar.value(), 100);
+        assert_eq!(bar.history(), vec![10, 100]);
+    }
+
+    #[test]
+    fn off_edt_mutation_recorded_not_fatal() {
+        let edt = Edt::spawn("edt");
+        let guard = record_guard(&edt);
+        let label = Label::new(Arc::clone(&guard), "status");
+        label.set_text("racy");
+        assert_eq!(label.text(), "racy");
+        assert_eq!(guard.violation_count(), 1);
+    }
+
+    #[test]
+    fn panel_logs_and_displays() {
+        let edt = Edt::spawn("edt");
+        let panel = Panel::new(record_guard(&edt), "panel");
+        let p = Arc::clone(&panel);
+        edt.invoke_and_wait(move || {
+            p.show_msg("Started EDT handling");
+            p.display_img(Image::new(2, 1, vec![0; 6]));
+            p.show_msg("Finished!");
+        });
+        assert_eq!(panel.messages(), vec!["Started EDT handling", "Finished!"]);
+        assert_eq!(panel.image().unwrap().width, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel buffer size mismatch")]
+    fn image_size_validated() {
+        let _ = Image::new(2, 2, vec![0; 5]);
+    }
+
+    #[test]
+    fn textfield_roundtrip_on_edt() {
+        let edt = Edt::spawn("edt");
+        let field = TextField::new(record_guard(&edt), "input");
+        let f = Arc::clone(&field);
+        let got = edt.invoke_and_wait(move || {
+            f.set_content("query");
+            f.content()
+        });
+        assert_eq!(got, "query");
+    }
+}

@@ -1,0 +1,176 @@
+//! Blocking HTTP client and the closed-loop load generator.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pyjama_metrics::{LatencyRecorder, ThroughputMeter};
+
+use crate::message::{Request, Response};
+
+/// Sends one request over a fresh connection and reads the response.
+pub fn send(addr: SocketAddr, req: &Request) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    req.write_to(&mut stream)?;
+    let mut reader = BufReader::new(stream);
+    Response::read_from(&mut reader)
+}
+
+/// Convenience GET.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    send(addr, &Request::new("GET", path, Vec::new()))
+}
+
+/// Convenience POST.
+pub fn http_post(addr: SocketAddr, path: &str, body: Vec<u8>) -> std::io::Result<Response> {
+    send(addr, &Request::new("POST", path, body))
+}
+
+/// Results of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed (I/O error or non-200).
+    pub failed: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Throughput in responses per second.
+    pub throughput: f64,
+    /// Mean response time.
+    pub mean_response: Duration,
+    /// 99th-percentile response time.
+    pub p99_response: Duration,
+}
+
+/// A closed-loop load generator: `users` virtual users, each sending
+/// `requests_per_user` back-to-back requests (§V-B: "100 virtual users,
+/// with each user sending a constant number of requests").
+pub struct LoadGenerator {
+    /// Number of concurrent virtual users.
+    pub users: usize,
+    /// Requests each user sends.
+    pub requests_per_user: usize,
+    /// Request body supplied per request index.
+    pub body: Vec<u8>,
+    /// Request path.
+    pub path: String,
+}
+
+impl LoadGenerator {
+    /// A generator with the paper's default user count.
+    pub fn new(users: usize, requests_per_user: usize, path: impl Into<String>, body: Vec<u8>) -> Self {
+        LoadGenerator {
+            users,
+            requests_per_user,
+            body,
+            path: path.into(),
+        }
+    }
+
+    /// Runs the load against `addr`, blocking until every user finishes.
+    pub fn run(&self, addr: SocketAddr) -> LoadReport {
+        let latency = Arc::new(LatencyRecorder::new());
+        let meter = Arc::new(ThroughputMeter::new());
+        meter.start();
+        let failed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let t0 = Instant::now();
+
+        std::thread::scope(|s| {
+            for u in 0..self.users {
+                let latency = Arc::clone(&latency);
+                let meter = Arc::clone(&meter);
+                let failed = Arc::clone(&failed);
+                let path = self.path.clone();
+                let body = self.body.clone();
+                std::thread::Builder::new()
+                    .name(format!("vuser-{u}"))
+                    .spawn_scoped(s, move || {
+                        for _ in 0..self.requests_per_user {
+                            let start = Instant::now();
+                            match http_post(addr, &path, body.clone()) {
+                                Ok(resp) if resp.status.code() == 200 => {
+                                    latency.record_since(start);
+                                    meter.record();
+                                }
+                                _ => {
+                                    failed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    })
+                    .expect("failed to spawn virtual user");
+            }
+        });
+
+        let wall = t0.elapsed();
+        LoadReport {
+            completed: meter.completed(),
+            failed: failed.load(std::sync::atomic::Ordering::Relaxed),
+            wall,
+            throughput: meter.completed() as f64 / wall.as_secs_f64().max(1e-9),
+            mean_response: latency.mean(),
+            p99_response: latency.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Status;
+    use crate::server::{HttpServer, ServingPolicy};
+
+    #[test]
+    fn load_generator_completes_all_requests() {
+        let mut server = HttpServer::start(ServingPolicy::JettyPool { threads: 4 }, |req| {
+            Response::ok(req.body.clone())
+        })
+        .unwrap();
+        let gen = LoadGenerator::new(8, 5, "/echo", b"payload".to_vec());
+        let report = gen.run(server.addr());
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.failed, 0);
+        assert!(report.throughput > 0.0);
+        assert!(report.mean_response > Duration::ZERO);
+        server.shutdown();
+    }
+
+    #[test]
+    fn failures_are_counted_not_fatal() {
+        // Point at a port with no listener: every request fails.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let gen = LoadGenerator::new(2, 2, "/", vec![]);
+        let report = gen.run(addr);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 4);
+    }
+
+    #[test]
+    fn non_200_counts_as_failure() {
+        let mut server = HttpServer::start(ServingPolicy::JettyPool { threads: 2 }, |_| {
+            Response::error(Status::NotFound, "nope")
+        })
+        .unwrap();
+        let gen = LoadGenerator::new(2, 3, "/", vec![]);
+        let report = gen.run(server.addr());
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_and_post_helpers() {
+        let mut server = HttpServer::start(ServingPolicy::JettyPool { threads: 2 }, |req| {
+            Response::ok(format!("{} {}", req.method, req.path).into_bytes())
+        })
+        .unwrap();
+        let g = http_get(server.addr(), "/a").unwrap();
+        assert_eq!(g.body, b"GET /a");
+        let p = http_post(server.addr(), "/b", vec![1]).unwrap();
+        assert_eq!(p.body, b"POST /b");
+        server.shutdown();
+    }
+}

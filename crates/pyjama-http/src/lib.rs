@@ -1,0 +1,27 @@
+//! HTTP service substrate for the paper's second case study (§V-B).
+//!
+//! The paper implements "an HTTP service that provides data encryption to
+//! web users" two ways: with Jetty's thread-pool framework ("a
+//! thread-per-request policy but reuses a fixed number of threads from a
+//! thread pool") and with Pyjama's virtual targets ("to offload the
+//! time-consuming computations to worker threads"). This crate provides:
+//!
+//! * [`message`] — a small HTTP/1.1 request/response codec (one request per
+//!   connection, `Connection: close`, `Content-Length` bodies).
+//! * [`server`] — a TCP server over loopback with pluggable
+//!   [`ServingPolicy`]: [`ServingPolicy::JettyPool`] or
+//!   [`ServingPolicy::PyjamaVirtualTarget`].
+//! * [`client`] — a blocking client plus the closed-loop
+//!   [`LoadGenerator`]: "100 virtual users, with each user sending a
+//!   constant number of requests", measuring throughput (responses/sec).
+//!
+//! Everything runs over real loopback sockets; no external web server or
+//! load-testing tool is required.
+
+pub mod client;
+pub mod message;
+pub mod server;
+
+pub use client::{http_get, http_post, LoadGenerator, LoadReport};
+pub use message::{Request, Response, Status};
+pub use server::{HttpServer, ServingPolicy};

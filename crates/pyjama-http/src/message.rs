@@ -1,0 +1,315 @@
+//! A minimal HTTP/1.1 codec: enough for the encryption-service benchmark.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Response status codes the service uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// 200.
+    Ok,
+    /// 400.
+    BadRequest,
+    /// 404.
+    NotFound,
+    /// 500.
+    InternalServerError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(&self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::InternalServerError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::InternalServerError => "Internal Server Error",
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Request target, e.g. `/encrypt`.
+    pub path: String,
+    /// Header map (names lower-cased).
+    pub headers: BTreeMap<String, String>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a request with a body and a correct `content-length`.
+    pub fn new(method: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-length".to_string(), body.len().to_string());
+        headers.insert("connection".to_string(), "close".to_string());
+        Request {
+            method: method.into(),
+            path: path.into(),
+            headers,
+            body,
+        }
+    }
+
+    /// Serialises onto a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(w, "{} {} HTTP/1.1\r\n", self.method, self.path)?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Parses one request from a buffered reader.
+    pub fn read_from(r: &mut BufReader<impl Read>) -> std::io::Result<Request> {
+        let mut line = String::new();
+        r.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/") => {
+                (m.to_string(), p.to_string())
+            }
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed request line: {line:?}"),
+                ))
+            }
+        };
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Request {
+            method,
+            path,
+            headers,
+            body,
+        })
+    }
+}
+
+/// An HTTP response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Header map (names lower-cased).
+    pub headers: BTreeMap<String, String>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a body and correct framing headers.
+    pub fn new(status: Status, body: Vec<u8>) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-length".to_string(), body.len().to_string());
+        headers.insert("connection".to_string(), "close".to_string());
+        Response {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    /// `200 OK` with a body.
+    pub fn ok(body: Vec<u8>) -> Self {
+        Self::new(Status::Ok, body)
+    }
+
+    /// An error response with a text body.
+    pub fn error(status: Status, msg: &str) -> Self {
+        Self::new(status, msg.as_bytes().to_vec())
+    }
+
+    /// Serialises onto a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status.code(), self.status.reason())?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Parses one response from a buffered reader.
+    pub fn read_from(r: &mut BufReader<impl Read>) -> std::io::Result<Response> {
+        let mut line = String::new();
+        r.read_line(&mut line)?;
+        let code: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed status line: {line:?}"),
+                )
+            })?;
+        let status = match code {
+            200 => Status::Ok,
+            400 => Status::BadRequest,
+            404 => Status::NotFound,
+            _ => Status::InternalServerError,
+        };
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn read_headers(r: &mut BufReader<impl Read>) -> std::io::Result<BTreeMap<String, String>> {
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+}
+
+fn read_body(
+    r: &mut BufReader<impl Read>,
+    headers: &BTreeMap<String, String>,
+) -> std::io::Result<Vec<u8>> {
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request::new("POST", "/encrypt", b"secret payload".to_vec());
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let mut reader = BufReader::new(&buf[..]);
+        let parsed = Request::read_from(&mut reader).unwrap();
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path, "/encrypt");
+        assert_eq!(parsed.body, b"secret payload");
+        assert_eq!(parsed.headers["content-length"], "14");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response::ok(vec![1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let mut reader = BufReader::new(&buf[..]);
+        let parsed = Response::read_from(&mut reader).unwrap();
+        assert_eq!(parsed.status, Status::Ok);
+        assert_eq!(parsed.body, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_body_is_fine() {
+        let req = Request::new("GET", "/", Vec::new());
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let parsed = Request::read_from(&mut BufReader::new(&buf[..])).unwrap();
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_request_line_is_error() {
+        let mut reader = BufReader::new(&b"NONSENSE\r\n\r\n"[..]);
+        assert!(Request::read_from(&mut reader).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_error() {
+        let text = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+        let mut reader = BufReader::new(&text[..]);
+        assert!(Request::read_from(&mut reader).is_err());
+    }
+
+    #[test]
+    fn header_names_lowercased_values_trimmed() {
+        let text = b"GET /x HTTP/1.1\r\nX-Custom:   hello  \r\n\r\n";
+        let parsed = Request::read_from(&mut BufReader::new(&text[..])).unwrap();
+        assert_eq!(parsed.headers["x-custom"], "hello");
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let text = b"GET / HTTP/1.1\r\n\r\n";
+        let parsed = Request::read_from(&mut BufReader::new(&text[..])).unwrap();
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn large_binary_body_round_trips() {
+        let body: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let req = Request::new("POST", "/bulk", body.clone());
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let parsed = Request::read_from(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn unknown_status_code_maps_to_500() {
+        let text = b"HTTP/1.1 503 Service Unavailable\r\ncontent-length: 0\r\n\r\n";
+        let parsed = Response::read_from(&mut BufReader::new(&text[..])).unwrap();
+        assert_eq!(parsed.status, Status::InternalServerError);
+    }
+
+    #[test]
+    fn body_bytes_are_not_textually_interpreted() {
+        // CRLFs inside a body must not confuse framing.
+        let body = b"\r\n\r\nGET / HTTP/1.1\r\n\r\n".to_vec();
+        let req = Request::new("POST", "/x", body.clone());
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let parsed = Request::read_from(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::BadRequest.code(), 400);
+        assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::InternalServerError.code(), 500);
+    }
+
+    #[test]
+    fn error_response_carries_message() {
+        let resp = Response::error(Status::NotFound, "no such route");
+        assert_eq!(resp.body, b"no such route");
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

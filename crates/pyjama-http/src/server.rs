@@ -1,0 +1,336 @@
+//! The HTTP server with pluggable serving policies.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pyjama_runtime::{Mode, Runtime};
+
+use crate::message::{Request, Response, Status};
+
+/// The request handler: pure application logic, shared across policies so
+/// the benchmark isolates the *serving strategy*.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// How incoming connections are turned into handler executions.
+#[derive(Clone)]
+pub enum ServingPolicy {
+    /// Jetty-style: a fixed pool of `threads` workers; each connection is
+    /// handed to a pool thread which reads, handles and responds.
+    JettyPool {
+        /// Pool size.
+        threads: usize,
+    },
+    /// Pyjama-style: the acceptor thread reads the request, then offloads
+    /// the handler to the named virtual target with `nowait`, staying free
+    /// to accept the next connection — `//#omp target virtual(worker)
+    /// nowait` around the handler body.
+    PyjamaVirtualTarget {
+        /// The runtime owning the target.
+        runtime: Arc<Runtime>,
+        /// Virtual-target name (a worker pool).
+        target: String,
+    },
+}
+
+struct ServerShared {
+    handler: Handler,
+    stop: AtomicBool,
+    served: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A running HTTP server bound to an ephemeral loopback port.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<Arc<pyjama_runtime::WorkerTarget>>,
+}
+
+impl HttpServer {
+    /// Starts a server with the given policy and handler.
+    pub fn start(
+        policy: ServingPolicy,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            handler: Arc::new(handler),
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+
+        // The Jetty policy needs its own pool; reuse WorkerTarget (it is a
+        // plain fixed pool when used without the runtime's semantics).
+        let pool = match &policy {
+            ServingPolicy::JettyPool { threads } => Some(pyjama_runtime::WorkerTarget::new(
+                "jetty-pool",
+                (*threads).max(1),
+            )),
+            ServingPolicy::PyjamaVirtualTarget { .. } => None,
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let pool = pool.clone();
+            std::thread::Builder::new()
+                .name("http-acceptor".into())
+                .spawn(move || accept_loop(listener, shared, policy, pool))
+                .expect("failed to spawn acceptor")
+        };
+
+        Ok(HttpServer {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            pool,
+        })
+    }
+
+    /// The bound address (`127.0.0.1:<ephemeral>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections that failed mid-flight.
+    pub fn errors(&self) -> u64 {
+        self.shared.errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, unblocks the acceptor, joins it. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    policy: ServingPolicy,
+    pool: Option<Arc<pyjama_runtime::WorkerTarget>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match &policy {
+            ServingPolicy::JettyPool { .. } => {
+                // Hand the raw connection to a pool thread: read + compute +
+                // respond all happen there (thread-per-request on a pool).
+                let shared = Arc::clone(&shared);
+                let pool = pool.as_ref().expect("jetty policy has a pool");
+                use pyjama_runtime::VirtualTarget as _;
+                pool.post(pyjama_runtime::TargetRegion::new("http-conn", move || {
+                    serve_connection(stream, &shared);
+                }));
+            }
+            ServingPolicy::PyjamaVirtualTarget { runtime, target } => {
+                // The acceptor parses the request itself (cheap), then
+                // offloads only the time-consuming handler with `nowait`.
+                let mut stream = stream;
+                let mut reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                });
+                let req = match Request::read_from(&mut reader) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                let shared2 = Arc::clone(&shared);
+                let handle = runtime.try_target(target, Mode::NoWait, move || {
+                    let resp = run_handler(&shared2, &req);
+                    // Count before the final write so a client that has read
+                    // the full response always observes the increment.
+                    shared2.served.fetch_add(1, Ordering::Relaxed);
+                    if resp.write_to(&mut stream).is_err() {
+                        shared2.served.fetch_sub(1, Ordering::Relaxed);
+                        shared2.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                if handle.is_err() {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    match Request::read_from(&mut reader) {
+        Ok(req) => {
+            let resp = run_handler(shared, &req);
+            // Count before the final write so a client that has read the
+            // full response always observes the increment.
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            if resp.write_to(&mut write_half).is_err() {
+                shared.served.fetch_sub(1, Ordering::Relaxed);
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Err(_) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn run_handler(shared: &Arc<ServerShared>, req: &Request) -> Response {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (shared.handler)(req))) {
+        Ok(resp) => resp,
+        Err(_) => Response::error(Status::InternalServerError, "handler panicked"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::http_post;
+
+    fn echo_handler(req: &Request) -> Response {
+        Response::ok(req.body.clone())
+    }
+
+    #[test]
+    fn jetty_policy_serves_requests() {
+        let mut server =
+            HttpServer::start(ServingPolicy::JettyPool { threads: 4 }, echo_handler).unwrap();
+        let resp = http_post(server.addr(), "/echo", b"hello".to_vec()).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, b"hello");
+        assert_eq!(server.served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pyjama_policy_serves_requests() {
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("worker", 4);
+        let mut server = HttpServer::start(
+            ServingPolicy::PyjamaVirtualTarget {
+                runtime: Arc::clone(&rt),
+                target: "worker".into(),
+            },
+            echo_handler,
+        )
+        .unwrap();
+        let resp = http_post(server.addr(), "/echo", b"pyjama".to_vec()).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, b"pyjama");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_served() {
+        let mut server =
+            HttpServer::start(ServingPolicy::JettyPool { threads: 8 }, echo_handler).unwrap();
+        let addr = server.addr();
+        let hs: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = format!("client-{i}").into_bytes();
+                    let resp = http_post(addr, "/echo", body.clone()).unwrap();
+                    assert_eq!(resp.body, body);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(server.served(), 16);
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_becomes_500() {
+        let mut server = HttpServer::start(ServingPolicy::JettyPool { threads: 2 }, |req| {
+            if req.path == "/boom" {
+                panic!("handler bug");
+            }
+            Response::ok(vec![])
+        })
+        .unwrap();
+        let resp = http_post(server.addr(), "/boom", vec![]).unwrap();
+        assert_eq!(resp.status, Status::InternalServerError);
+        // Server still works afterwards.
+        let ok = http_post(server.addr(), "/fine", vec![]).unwrap();
+        assert_eq!(ok.status, Status::Ok);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_target_counts_error() {
+        let rt = Arc::new(Runtime::new()); // no targets registered
+        let mut server = HttpServer::start(
+            ServingPolicy::PyjamaVirtualTarget {
+                runtime: rt,
+                target: "ghost".into(),
+            },
+            echo_handler,
+        )
+        .unwrap();
+        // The request cannot be dispatched; the client sees a dropped
+        // connection or empty response.
+        let _ = http_post(server.addr(), "/echo", b"x".to_vec());
+        let t0 = std::time::Instant::now();
+        while server.errors() == 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(server.errors() >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server =
+            HttpServer::start(ServingPolicy::JettyPool { threads: 1 }, echo_handler).unwrap();
+        server.shutdown();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,415 @@
+//! JGF Crypt: IDEA (International Data Encryption Algorithm) over a byte
+//! array — encrypt, then decrypt, then verify round-trip.
+//!
+//! IDEA operates on 64-bit blocks with 16-bit lanes and three group
+//! operations: XOR, addition mod 2^16, multiplication mod 2^16+1 (with 0
+//! standing for 2^16). 8.5 rounds, 52 encryption subkeys derived from a
+//! 128-bit user key by 25-bit rotation; decryption subkeys are the
+//! multiplicative/additive inverses in reverse layout.
+
+use pyjama_omp::{parallel_for, Schedule};
+
+/// Number of 16-bit subkeys.
+const KEYS: usize = 52;
+/// Bytes per IDEA block.
+pub const BLOCK: usize = 8;
+
+/// An IDEA key pair: encryption and decryption subkeys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdeaKey {
+    enc: [u16; KEYS],
+    dec: [u16; KEYS],
+}
+
+/// Multiplication in the group Z*_{65537}, where 0 represents 65536.
+#[inline]
+fn mul(a: u16, b: u16) -> u16 {
+    let a = a as u32;
+    let b = b as u32;
+    if a == 0 {
+        // 65536 * b ≡ -b ≡ 65537 - b (mod 65537)
+        (0x10001 - b) as u16
+    } else if b == 0 {
+        (0x10001 - a) as u16
+    } else {
+        let p = a * b;
+        let hi = p >> 16;
+        let lo = p & 0xFFFF;
+        if lo >= hi {
+            (lo - hi) as u16
+        } else {
+            (lo.wrapping_sub(hi).wrapping_add(0x10001)) as u16
+        }
+    }
+}
+
+/// Multiplicative inverse in Z*_{65537} (0 stands for 65536). `inv(0) = 0`
+/// and `inv(1) = 1` by the group's conventions.
+fn inv(x: u16) -> u16 {
+    if x <= 1 {
+        return x; // 0 and 1 are self-inverse under the representation
+    }
+    // Extended Euclid on (65537, x).
+    let modulus: i64 = 0x10001;
+    let mut t0: i64 = 0;
+    let mut t1: i64 = 1;
+    let mut r0: i64 = modulus;
+    let mut r1: i64 = x as i64;
+    while r1 != 0 {
+        let q = r0 / r1;
+        (t0, t1) = (t1, t0 - q * t1);
+        (r0, r1) = (r1, r0 - q * r1);
+    }
+    debug_assert_eq!(r0, 1, "65537 is prime; gcd must be 1");
+    (t0.rem_euclid(modulus)) as u16
+}
+
+impl IdeaKey {
+    /// Expands a 128-bit user key into encryption and decryption schedules.
+    pub fn new(user_key: [u16; 8]) -> Self {
+        let enc = Self::expand(user_key);
+        let dec = Self::invert(&enc);
+        IdeaKey { enc, dec }
+    }
+
+    /// A fixed key for reproducible benchmarks (JGF uses a generated key;
+    /// any key exercises the same arithmetic).
+    pub fn benchmark_key() -> Self {
+        Self::new([0x0102, 0x0304, 0x0506, 0x0708, 0x090a, 0x0b0c, 0x0d0e, 0x0f10])
+    }
+
+    fn expand(user: [u16; 8]) -> [u16; KEYS] {
+        // Each successive group of 8 subkeys is the 128-bit key rotated
+        // left by a further 25 bits (canonical IDEA schedule).
+        let mut z = [0u16; KEYS];
+        z[..8].copy_from_slice(&user);
+        for j in 8..KEYS {
+            let i = j % 8;
+            z[j] = if i < 6 {
+                (z[j - 7] << 9) | (z[j - 6] >> 7)
+            } else if i == 6 {
+                (z[j - 7] << 9) | (z[j - 14] >> 7)
+            } else {
+                (z[j - 15] << 9) | (z[j - 14] >> 7)
+            };
+        }
+        z
+    }
+
+    fn invert(e: &[u16; KEYS]) -> [u16; KEYS] {
+        // Decryption subkeys are the encryption subkeys' group inverses,
+        // laid out in reverse round order; the two inner additive keys swap
+        // in all but the boundary groups.
+        let mut d = [0u16; KEYS];
+        let mut p = KEYS; // write position, descending
+        let mut k = 0; // read position, ascending
+
+        let (t1, t2, t3, t4) = (
+            inv(e[k]),
+            e[k + 1].wrapping_neg(),
+            e[k + 2].wrapping_neg(),
+            inv(e[k + 3]),
+        );
+        k += 4;
+        d[p - 1] = t4;
+        d[p - 2] = t3;
+        d[p - 3] = t2;
+        d[p - 4] = t1;
+        p -= 4;
+
+        for round in 0..8 {
+            d[p - 1] = e[k + 1];
+            d[p - 2] = e[k];
+            p -= 2;
+            k += 2;
+            let (t1, t2, t3, t4) = (
+                inv(e[k]),
+                e[k + 1].wrapping_neg(),
+                e[k + 2].wrapping_neg(),
+                inv(e[k + 3]),
+            );
+            k += 4;
+            d[p - 1] = t4;
+            if round < 7 {
+                d[p - 2] = t2; // swapped
+                d[p - 3] = t3;
+            } else {
+                d[p - 2] = t3;
+                d[p - 3] = t2;
+            }
+            d[p - 4] = t1;
+            p -= 4;
+        }
+        debug_assert_eq!(p, 0);
+        debug_assert_eq!(k, KEYS);
+        d
+    }
+
+    /// The encryption schedule.
+    pub fn encryption_schedule(&self) -> &[u16; KEYS] {
+        &self.enc
+    }
+
+    /// The decryption schedule.
+    pub fn decryption_schedule(&self) -> &[u16; KEYS] {
+        &self.dec
+    }
+}
+
+/// Transforms one 8-byte block in place with the given 52-subkey schedule.
+fn cipher_block(block: &mut [u8], z: &[u16; KEYS]) {
+    debug_assert_eq!(block.len(), BLOCK);
+    let mut x1 = u16::from_be_bytes([block[0], block[1]]);
+    let mut x2 = u16::from_be_bytes([block[2], block[3]]);
+    let mut x3 = u16::from_be_bytes([block[4], block[5]]);
+    let mut x4 = u16::from_be_bytes([block[6], block[7]]);
+
+    let mut k = 0;
+    for _round in 0..8 {
+        x1 = mul(x1, z[k]);
+        x2 = x2.wrapping_add(z[k + 1]);
+        x3 = x3.wrapping_add(z[k + 2]);
+        x4 = mul(x4, z[k + 3]);
+
+        let t2 = x1 ^ x3;
+        let t2 = mul(t2, z[k + 4]);
+        let t1 = t2.wrapping_add(x2 ^ x4);
+        let t1 = mul(t1, z[k + 5]);
+        let t2 = t1.wrapping_add(t2);
+
+        x1 ^= t1;
+        x4 ^= t2;
+        let tmp = x2 ^ t2;
+        x2 = x3 ^ t1;
+        x3 = tmp;
+        k += 6;
+    }
+    // Output transform.
+    let y1 = mul(x1, z[k]);
+    let y2 = x3.wrapping_add(z[k + 1]);
+    let y3 = x2.wrapping_add(z[k + 2]);
+    let y4 = mul(x4, z[k + 3]);
+
+    block[0..2].copy_from_slice(&y1.to_be_bytes());
+    block[2..4].copy_from_slice(&y2.to_be_bytes());
+    block[4..6].copy_from_slice(&y3.to_be_bytes());
+    block[6..8].copy_from_slice(&y4.to_be_bytes());
+}
+
+/// Encrypts `data` in place, sequentially. Length must be a multiple of 8.
+pub fn encrypt_seq(key: &IdeaKey, data: &mut [u8]) {
+    run_seq(&key.enc, data)
+}
+
+/// Decrypts `data` in place, sequentially.
+pub fn decrypt_seq(key: &IdeaKey, data: &mut [u8]) {
+    run_seq(&key.dec, data)
+}
+
+fn run_seq(z: &[u16; KEYS], data: &mut [u8]) {
+    assert_eq!(data.len() % BLOCK, 0, "data must be block aligned");
+    for block in data.chunks_mut(BLOCK) {
+        cipher_block(block, z);
+    }
+}
+
+/// Encrypts `data` in place with an `omp parallel for` over blocks.
+pub fn encrypt_par(key: &IdeaKey, data: &mut [u8], num_threads: usize) {
+    run_par(&key.enc, data, num_threads)
+}
+
+/// Decrypts `data` in place in parallel.
+pub fn decrypt_par(key: &IdeaKey, data: &mut [u8], num_threads: usize) {
+    run_par(&key.dec, data, num_threads)
+}
+
+fn run_par(z: &[u16; KEYS], data: &mut [u8], num_threads: usize) {
+    assert_eq!(data.len() % BLOCK, 0, "data must be block aligned");
+    let nblocks = data.len() / BLOCK;
+    // Each 8-byte block is an independent unit; hand each iteration a raw
+    // pointer to its own block so the workshared loop can mutate disjoint
+    // chunks without aliasing.
+    struct BlockPtr(*mut u8);
+    unsafe impl Send for BlockPtr {}
+    unsafe impl Sync for BlockPtr {}
+    let blocks: Vec<BlockPtr> = data.chunks_mut(BLOCK).map(|b| BlockPtr(b.as_mut_ptr())).collect();
+    let blocks = &blocks;
+    parallel_for(num_threads, 0..nblocks, Schedule::Static { chunk: None }, move |b| {
+        // SAFETY: every index is assigned to exactly one thread and touches
+        // only its own block.
+        let ptr = blocks[b].0;
+        let block = unsafe { std::slice::from_raw_parts_mut(ptr, BLOCK) };
+        cipher_block(block, z);
+    });
+}
+
+/// Deterministic pseudo-random plaintext of `len` bytes (block aligned).
+pub fn make_plaintext(len: usize) -> Vec<u8> {
+    assert_eq!(len % BLOCK, 0);
+    // xorshift64*: cheap, reproducible, dependency-free.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut v = Vec::with_capacity(len);
+    while v.len() < len {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let x = state.wrapping_mul(0x2545F4914F6CDD1D);
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+/// FNV-1a checksum used to compare kernel outputs.
+pub fn checksum(data: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The full JGF Crypt kernel: encrypt `size` bytes, decrypt, validate the
+/// round-trip, and return the ciphertext checksum.
+pub fn kernel(size: usize, num_threads: Option<usize>) -> u64 {
+    let key = IdeaKey::benchmark_key();
+    let original = make_plaintext(size);
+    let mut data = original.clone();
+    match num_threads {
+        None => encrypt_seq(&key, &mut data),
+        Some(t) => encrypt_par(&key, &mut data, t),
+    }
+    let cipher_sum = checksum(&data);
+    match num_threads {
+        None => decrypt_seq(&key, &mut data),
+        Some(t) => decrypt_par(&key, &mut data, t),
+    }
+    assert_eq!(data, original, "IDEA round-trip failed validation");
+    cipher_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_group_definition() {
+        // Brute-check against the mathematical definition on a sample.
+        let golden = |a: u16, b: u16| -> u16 {
+            let aa: u64 = if a == 0 { 0x10000 } else { a as u64 };
+            let bb: u64 = if b == 0 { 0x10000 } else { b as u64 };
+            let m = (aa * bb) % 0x10001;
+            if m == 0x10000 {
+                0
+            } else {
+                m as u16
+            }
+        };
+        for &a in &[0u16, 1, 2, 3, 255, 256, 4821, 32767, 32768, 65535] {
+            for &b in &[0u16, 1, 2, 77, 1024, 40503, 65535] {
+                assert_eq!(mul(a, b), golden(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inv_is_multiplicative_inverse() {
+        for &x in &[1u16, 2, 3, 100, 255, 32767, 40000, 65535] {
+            assert_eq!(mul(x, inv(x)), 1, "x={x}");
+        }
+        assert_eq!(inv(0), 0, "65536 is self-inverse in the IDEA convention");
+        assert_eq!(mul(0, inv(0)), 1);
+    }
+
+    #[test]
+    fn published_idea_test_vector() {
+        // Key 0001 0002 0003 0004 0005 0006 0007 0008,
+        // plaintext 0000 0001 0002 0003 → ciphertext 11FB ED2B 0198 6DE5.
+        let key = IdeaKey::new([1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut block = [0x00, 0x00, 0x00, 0x01, 0x00, 0x02, 0x00, 0x03];
+        cipher_block(&mut block, key.encryption_schedule());
+        assert_eq!(block, [0x11, 0xFB, 0xED, 0x2B, 0x01, 0x98, 0x6D, 0xE5]);
+        cipher_block(&mut block, key.decryption_schedule());
+        assert_eq!(block, [0x00, 0x00, 0x00, 0x01, 0x00, 0x02, 0x00, 0x03]);
+    }
+
+    #[test]
+    fn encrypt_changes_data_decrypt_restores() {
+        let key = IdeaKey::benchmark_key();
+        let original = make_plaintext(1024);
+        let mut data = original.clone();
+        encrypt_seq(&key, &mut data);
+        assert_ne!(data, original);
+        decrypt_seq(&key, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn single_block_roundtrip_all_byte_patterns() {
+        let key = IdeaKey::benchmark_key();
+        for seed in 0u8..32 {
+            let original: Vec<u8> = (0..8).map(|i| seed.wrapping_mul(31).wrapping_add(i)).collect();
+            let mut block = original.clone();
+            cipher_block(&mut block, key.encryption_schedule());
+            cipher_block(&mut block, key.decryption_schedule());
+            assert_eq!(block, original, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_ciphertext() {
+        let key = IdeaKey::benchmark_key();
+        let mut seq = make_plaintext(4096);
+        let mut par = seq.clone();
+        encrypt_seq(&key, &mut seq);
+        encrypt_par(&key, &mut par, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_roundtrip() {
+        let key = IdeaKey::benchmark_key();
+        let original = make_plaintext(4096);
+        let mut data = original.clone();
+        encrypt_par(&key, &mut data, 3);
+        decrypt_par(&key, &mut data, 5);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn kernel_seq_and_par_same_checksum() {
+        let a = kernel(2048, None);
+        let b = kernel(2048, Some(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_keys_different_ciphertext() {
+        let k1 = IdeaKey::benchmark_key();
+        let k2 = IdeaKey::new([1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut d1 = make_plaintext(64);
+        let mut d2 = d1.clone();
+        encrypt_seq(&k1, &mut d1);
+        encrypt_seq(&k2, &mut d2);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "block aligned")]
+    fn unaligned_data_rejected() {
+        let key = IdeaKey::benchmark_key();
+        let mut data = vec![0u8; 7];
+        encrypt_seq(&key, &mut data);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(&[1, 2, 3]), checksum(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn plaintext_is_deterministic() {
+        assert_eq!(make_plaintext(64), make_plaintext(64));
+    }
+}

@@ -1,0 +1,33 @@
+//! Computational kernels from the Java Grande Forum benchmark suite.
+//!
+//! The paper's GUI evaluation (§V-A) simulates "time-consuming computational
+//! work within event handlers" with four JGF kernels, chosen because each
+//! "can be parallelized by using traditional OpenMP directives":
+//!
+//! * [`crypt`] — IDEA block-cipher encryption/decryption over a byte array.
+//! * [`series`] — Fourier coefficients of `(x+1)^x` over `[0, 2]`.
+//! * [`montecarlo`] — Monte-Carlo simulation of geometric-Brownian-motion
+//!   price paths (a simplified stand-in for JGF's historical-data variant:
+//!   same shape — many independent stochastic paths, then aggregation).
+//! * [`raytracer`] — a sphere-scene ray tracer with shadows and reflections.
+//!
+//! Every kernel has a sequential entry point and an `omp`-parallel one built
+//! on [`pyjama_omp`], and both produce **bit-identical results** so the
+//! parallel versions validate against the sequential ones (the JGF suite's
+//! own validation discipline). Determinism is preserved under any schedule
+//! by making each parallel unit (block, coefficient, path, scanline) a pure
+//! function of its index, written into its own output slot.
+//!
+//! [`workload::Workload`] wraps the four kernels behind one
+//! interface for the benchmark harnesses, with sizes scaled to
+//! event-handler-like durations (the paper's point is that "even
+//! computations lasting only a few hundred milliseconds demand concurrency").
+
+pub mod crypt;
+pub mod montecarlo;
+pub mod raytracer;
+pub mod series;
+pub mod vec3;
+pub mod workload;
+
+pub use workload::{KernelKind, Workload};

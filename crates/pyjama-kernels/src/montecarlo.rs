@@ -1,0 +1,230 @@
+//! JGF MonteCarlo (simplified): Monte-Carlo pricing over geometric
+//! Brownian motion paths.
+//!
+//! The original JGF kernel replays historical rate data to seed thousands of
+//! independent stochastic time-series simulations, then averages them. The
+//! historical dataset is not redistributable, so this reproduction keeps the
+//! *computational shape* — many independent pseudo-random walks, each a
+//! few thousand floating-point steps, then a global aggregation — using a
+//! standard GBM asset-price model (documented substitution, see DESIGN.md).
+//!
+//! Determinism across schedules: each path derives its RNG stream purely
+//! from the path index, and per-path results land in dedicated slots summed
+//! sequentially afterwards, so sequential and parallel runs agree bitwise.
+
+use pyjama_omp::{parallel_for, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McParams {
+    /// Initial asset price.
+    pub s0: f64,
+    /// Drift per year.
+    pub mu: f64,
+    /// Volatility per sqrt-year.
+    pub sigma: f64,
+    /// Time horizon in years.
+    pub horizon: f64,
+    /// Time steps per path.
+    pub steps: usize,
+    /// Strike price of the call option being priced.
+    pub strike: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for McParams {
+    fn default() -> Self {
+        McParams {
+            s0: 100.0,
+            mu: 0.05,
+            sigma: 0.2,
+            horizon: 1.0,
+            steps: 256,
+            strike: 105.0,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// The aggregate result of a simulation run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McResult {
+    /// Mean terminal price across paths.
+    pub mean_final_price: f64,
+    /// Monte-Carlo estimate of the (undiscounted) call payoff.
+    pub call_price: f64,
+    /// Number of simulated paths.
+    pub paths: usize,
+}
+
+/// Standard-normal sample via Box–Muller from two uniforms.
+#[inline]
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Simulates one GBM path, returning its terminal price. Pure in
+/// `(params, path_index)`.
+pub fn simulate_path(p: &McParams, path_index: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(p.seed ^ (path_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let dt = p.horizon / p.steps as f64;
+    let drift = (p.mu - 0.5 * p.sigma * p.sigma) * dt;
+    let vol = p.sigma * dt.sqrt();
+    let mut s = p.s0;
+    for _ in 0..p.steps {
+        s *= (drift + vol * gaussian(&mut rng)).exp();
+    }
+    s
+}
+
+fn aggregate(p: &McParams, finals: &[f64]) -> McResult {
+    let n = finals.len().max(1) as f64;
+    let mean = finals.iter().sum::<f64>() / n;
+    let payoff = finals.iter().map(|s| (s - p.strike).max(0.0)).sum::<f64>() / n;
+    McResult {
+        mean_final_price: mean,
+        call_price: payoff,
+        paths: finals.len(),
+    }
+}
+
+/// Sequential kernel over `paths` simulations.
+pub fn montecarlo_seq(p: &McParams, paths: usize) -> McResult {
+    let finals: Vec<f64> = (0..paths).map(|i| simulate_path(p, i)).collect();
+    aggregate(p, &finals)
+}
+
+/// Parallel kernel: paths workshared with a dynamic schedule, results
+/// written into per-path slots, aggregation done sequentially.
+pub fn montecarlo_par(p: &McParams, paths: usize, num_threads: usize) -> McResult {
+    let mut finals = vec![0.0f64; paths];
+    {
+        struct Slot(*mut f64);
+        unsafe impl Send for Slot {}
+        unsafe impl Sync for Slot {}
+        let slots: Vec<Slot> = finals.iter_mut().map(|v| Slot(v as *mut f64)).collect();
+        let slots = &slots;
+        parallel_for(num_threads, 0..paths, Schedule::Dynamic { chunk: 16 }, move |i| {
+            // SAFETY: each index writes only its own slot.
+            let slot = slots[i].0;
+            unsafe { *slot = simulate_path(p, i) };
+        });
+    }
+    aggregate(p, &finals)
+}
+
+/// Quantised checksum of a result (schedule-independent).
+pub fn checksum(r: &McResult) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in [r.mean_final_price, r.call_price] {
+        let q = (v * 1e9).round() as i64;
+        for byte in q.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h ^ r.paths as u64
+}
+
+/// Full kernel entry point: simulate, sanity-check, checksum.
+pub fn kernel(paths: usize, num_threads: Option<usize>) -> u64 {
+    let p = McParams::default();
+    let r = match num_threads {
+        None => montecarlo_seq(&p, paths),
+        Some(t) => montecarlo_par(&p, paths, t),
+    };
+    if paths >= 1000 {
+        validate(&p, &r);
+    }
+    checksum(&r)
+}
+
+/// Statistical validation: with enough paths the empirical mean must land
+/// near `s0·e^{μT}` (GBM expectation), and the call price must be positive
+/// and below the mean price.
+pub fn validate(p: &McParams, r: &McResult) {
+    let expected = p.s0 * (p.mu * p.horizon).exp();
+    let rel = (r.mean_final_price - expected).abs() / expected;
+    assert!(
+        rel < 0.05,
+        "mean terminal price {} too far from E[S_T] = {expected}",
+        r.mean_final_price
+    );
+    assert!(r.call_price > 0.0 && r.call_price < r.mean_final_price);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_deterministic_in_index() {
+        let p = McParams::default();
+        assert_eq!(simulate_path(&p, 7).to_bits(), simulate_path(&p, 7).to_bits());
+        assert_ne!(simulate_path(&p, 7).to_bits(), simulate_path(&p, 8).to_bits());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let p = McParams::default();
+        let s = montecarlo_seq(&p, 500);
+        let r = montecarlo_par(&p, 500, 4);
+        assert_eq!(s.mean_final_price.to_bits(), r.mean_final_price.to_bits());
+        assert_eq!(s.call_price.to_bits(), r.call_price.to_bits());
+    }
+
+    #[test]
+    fn mean_converges_to_gbm_expectation() {
+        let p = McParams::default();
+        let r = montecarlo_seq(&p, 4000);
+        validate(&p, &r);
+    }
+
+    #[test]
+    fn kernel_checksums_agree() {
+        assert_eq!(kernel(1000, None), kernel(1000, Some(3)));
+    }
+
+    #[test]
+    fn zero_paths_is_safe() {
+        let p = McParams::default();
+        let r = montecarlo_seq(&p, 0);
+        assert_eq!(r.paths, 0);
+        assert_eq!(r.mean_final_price, 0.0);
+    }
+
+    #[test]
+    fn higher_volatility_raises_option_value() {
+        // A core no-arbitrage property: call value increases with σ.
+        let lo = McParams {
+            sigma: 0.1,
+            ..Default::default()
+        };
+        let hi = McParams {
+            sigma: 0.5,
+            ..Default::default()
+        };
+        let n = 4000;
+        let c_lo = montecarlo_seq(&lo, n).call_price;
+        let c_hi = montecarlo_seq(&hi, n).call_price;
+        assert!(c_hi > c_lo, "call({}) = {c_hi} should exceed call({}) = {c_lo}", hi.sigma, lo.sigma);
+    }
+
+    #[test]
+    fn different_seeds_different_results() {
+        let a = McParams::default();
+        let b = McParams {
+            seed: 42,
+            ..Default::default()
+        };
+        assert_ne!(
+            montecarlo_seq(&a, 100).mean_final_price.to_bits(),
+            montecarlo_seq(&b, 100).mean_final_price.to_bits()
+        );
+    }
+}

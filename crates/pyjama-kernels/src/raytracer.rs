@@ -1,0 +1,335 @@
+//! JGF RayTracer: renders a sphere scene with shadows and reflections.
+//!
+//! The JGF kernel renders 64 spheres at N×N and validates a pixel checksum.
+//! This implementation builds a deterministic procedural scene of spheres
+//! over a ground plane, one point light, Phong shading, hard shadows and
+//! recursive reflections. Scanlines are the parallel dimension — each row
+//! is written to its own slice, so parallel rendering is bit-identical to
+//! sequential.
+
+use pyjama_omp::{parallel, Schedule};
+
+use crate::vec3::Vec3;
+
+/// Surface material.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Material {
+    /// Diffuse colour (RGB in `[0,1]`).
+    pub color: Vec3,
+    /// Specular highlight strength.
+    pub specular: f64,
+    /// Phong exponent.
+    pub shininess: f64,
+    /// Mirror reflectivity in `[0,1]`.
+    pub reflect: f64,
+}
+
+/// A sphere primitive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sphere {
+    /// Centre.
+    pub center: Vec3,
+    /// Radius.
+    pub radius: f64,
+    /// Surface material.
+    pub material: Material,
+}
+
+/// A renderable scene.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    /// All spheres.
+    pub spheres: Vec<Sphere>,
+    /// Point-light position.
+    pub light: Vec3,
+    /// Camera origin.
+    pub eye: Vec3,
+    /// Background colour.
+    pub background: Vec3,
+    /// Maximum reflection bounces.
+    pub max_depth: u32,
+}
+
+impl Scene {
+    /// The benchmark scene: a deterministic grid of spheres with varying
+    /// materials above a large "ground" sphere.
+    pub fn benchmark(n_spheres: usize) -> Self {
+        let mut spheres = Vec::with_capacity(n_spheres + 1);
+        // Ground: an enormous sphere acting as a plane.
+        spheres.push(Sphere {
+            center: Vec3::new(0.0, -10_004.0, -20.0),
+            radius: 10_000.0,
+            material: Material {
+                color: Vec3::new(0.4, 0.4, 0.4),
+                specular: 0.0,
+                shininess: 1.0,
+                reflect: 0.05,
+            },
+        });
+        for i in 0..n_spheres {
+            let fi = i as f64;
+            let row = (i / 8) as f64;
+            let col = (i % 8) as f64;
+            spheres.push(Sphere {
+                center: Vec3::new(
+                    -7.0 + col * 2.0,
+                    -2.0 + row * 2.0 + 0.3 * (fi * 1.7).sin(),
+                    -18.0 - 2.0 * (fi * 0.9).cos(),
+                ),
+                radius: 0.7 + 0.25 * ((fi * 2.3).sin() * 0.5 + 0.5),
+                material: Material {
+                    color: Vec3::new(
+                        0.5 + 0.5 * (fi * 0.7).sin().abs(),
+                        0.5 + 0.5 * (fi * 1.1).cos().abs(),
+                        0.5 + 0.5 * (fi * 1.9).sin().abs(),
+                    ),
+                    specular: 0.6,
+                    shininess: 32.0,
+                    reflect: if i % 3 == 0 { 0.4 } else { 0.1 },
+                },
+            });
+        }
+        Scene {
+            spheres,
+            light: Vec3::new(10.0, 20.0, 10.0),
+            eye: Vec3::ZERO,
+            background: Vec3::new(0.1, 0.15, 0.3),
+            max_depth: 3,
+        }
+    }
+
+    /// Nearest intersection of ray `origin + t·dir` with any sphere.
+    fn intersect(&self, origin: Vec3, dir: Vec3) -> Option<(f64, &Sphere)> {
+        let mut best: Option<(f64, &Sphere)> = None;
+        for s in &self.spheres {
+            if let Some(t) = intersect_sphere(origin, dir, s) {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, s));
+                }
+            }
+        }
+        best
+    }
+
+    /// Traces one ray to a colour.
+    fn trace(&self, origin: Vec3, dir: Vec3, depth: u32) -> Vec3 {
+        let Some((t, sphere)) = self.intersect(origin, dir) else {
+            return self.background;
+        };
+        let hit = origin + dir * t;
+        let normal = (hit - sphere.center).normalized();
+        let to_light = (self.light - hit).normalized();
+        let m = sphere.material;
+
+        // Ambient.
+        let mut color = m.color * 0.1;
+
+        // Shadow test: offset along the normal to dodge self-intersection.
+        let shadow_origin = hit + normal * 1e-4;
+        let light_dist = (self.light - hit).len();
+        let lit = match self.intersect(shadow_origin, to_light) {
+            Some((ts, _)) => ts > light_dist,
+            None => true,
+        };
+        if lit {
+            let diff = normal.dot(to_light).max(0.0);
+            color = color + m.color * (0.8 * diff);
+            if m.specular > 0.0 {
+                let refl = (-to_light).reflect(normal);
+                let spec = refl.dot(dir.normalized()).max(0.0).powf(m.shininess);
+                color = color + Vec3::new(1.0, 1.0, 1.0) * (m.specular * spec);
+            }
+        }
+        if m.reflect > 0.0 && depth < self.max_depth {
+            let rdir = dir.reflect(normal).normalized();
+            let rcol = self.trace(hit + normal * 1e-4, rdir, depth + 1);
+            color = color + rcol * m.reflect;
+        }
+        color.clamp01()
+    }
+
+    /// Renders pixel `(x, y)` of an `n × n` image to packed RGB bytes.
+    pub fn render_pixel(&self, x: usize, y: usize, n: usize) -> [u8; 3] {
+        let fov = std::f64::consts::FRAC_PI_3; // 60°
+        let scale = (fov / 2.0).tan();
+        let px = (2.0 * (x as f64 + 0.5) / n as f64 - 1.0) * scale;
+        let py = (1.0 - 2.0 * (y as f64 + 0.5) / n as f64) * scale;
+        let dir = Vec3::new(px, py, -1.0).normalized();
+        let c = self.trace(self.eye, dir, 0);
+        [
+            (c.x * 255.0).round() as u8,
+            (c.y * 255.0).round() as u8,
+            (c.z * 255.0).round() as u8,
+        ]
+    }
+}
+
+fn intersect_sphere(origin: Vec3, dir: Vec3, s: &Sphere) -> Option<f64> {
+    let oc = origin - s.center;
+    let a = dir.dot(dir);
+    let b = 2.0 * oc.dot(dir);
+    let c = oc.dot(oc) - s.radius * s.radius;
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    let t1 = (-b - sq) / (2.0 * a);
+    let t2 = (-b + sq) / (2.0 * a);
+    if t1 > 1e-6 {
+        Some(t1)
+    } else if t2 > 1e-6 {
+        Some(t2)
+    } else {
+        None
+    }
+}
+
+/// Renders the benchmark scene at `n × n`, sequentially. Returns RGB bytes.
+pub fn render_seq(scene: &Scene, n: usize) -> Vec<u8> {
+    let mut img = vec![0u8; n * n * 3];
+    for y in 0..n {
+        render_row(scene, y, n, &mut img[y * n * 3..(y + 1) * n * 3]);
+    }
+    img
+}
+
+fn render_row(scene: &Scene, y: usize, n: usize, row: &mut [u8]) {
+    for x in 0..n {
+        let px = scene.render_pixel(x, y, n);
+        row[x * 3..x * 3 + 3].copy_from_slice(&px);
+    }
+}
+
+/// Renders in parallel: scanlines workshared dynamically (rows near the
+/// spheres cost more than background rows — exactly the irregular load that
+/// motivates non-static schedules).
+pub fn render_par(scene: &Scene, n: usize, num_threads: usize) -> Vec<u8> {
+    let mut img = vec![0u8; n * n * 3];
+    {
+        struct Row(*mut u8, usize);
+        unsafe impl Send for Row {}
+        unsafe impl Sync for Row {}
+        let rows: Vec<Row> = img
+            .chunks_mut(n * 3)
+            .map(|r| Row(r.as_mut_ptr(), r.len()))
+            .collect();
+        let rows = &rows;
+        parallel(num_threads, |ctx| {
+            ctx.for_range_nowait(0..n, Schedule::Dynamic { chunk: 2 }, |y| {
+                // SAFETY: row y is written by exactly one iteration.
+                let row = unsafe { std::slice::from_raw_parts_mut(rows[y].0, rows[y].1) };
+                render_row(scene, y, n, row);
+            });
+        });
+    }
+    img
+}
+
+/// FNV-1a checksum of the image (JGF validates a pixel checksum).
+pub fn checksum(img: &[u8]) -> u64 {
+    crate::crypt::checksum(img)
+}
+
+/// Full kernel entry point: render `n × n` with 32 spheres, sanity-check,
+/// return the checksum.
+pub fn kernel(n: usize, num_threads: Option<usize>) -> u64 {
+    let scene = Scene::benchmark(32);
+    let img = match num_threads {
+        None => render_seq(&scene, n),
+        Some(t) => render_par(&scene, n, t),
+    };
+    validate(&img);
+    checksum(&img)
+}
+
+/// The image must not be a constant field: spheres, shadows and background
+/// produce variation.
+pub fn validate(img: &[u8]) {
+    let first = img[0];
+    assert!(
+        img.iter().any(|&b| b != first),
+        "rendered image is uniform — tracing produced nothing"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_intersection_hits_and_misses() {
+        let s = Sphere {
+            center: Vec3::new(0.0, 0.0, -5.0),
+            radius: 1.0,
+            material: Material {
+                color: Vec3::ZERO,
+                specular: 0.0,
+                shininess: 1.0,
+                reflect: 0.0,
+            },
+        };
+        let hit = intersect_sphere(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), &s);
+        assert!((hit.unwrap() - 4.0).abs() < 1e-9);
+        let miss = intersect_sphere(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), &s);
+        assert!(miss.is_none());
+    }
+
+    #[test]
+    fn intersection_from_inside_returns_far_root() {
+        let s = Sphere {
+            center: Vec3::ZERO,
+            radius: 2.0,
+            material: Material {
+                color: Vec3::ZERO,
+                specular: 0.0,
+                shininess: 1.0,
+                reflect: 0.0,
+            },
+        };
+        let t = intersect_sphere(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), &s).unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn image_has_structure() {
+        let scene = Scene::benchmark(8);
+        let img = render_seq(&scene, 32);
+        validate(&img);
+        assert_eq!(img.len(), 32 * 32 * 3);
+    }
+
+    #[test]
+    fn parallel_render_bit_identical() {
+        let scene = Scene::benchmark(16);
+        let s = render_seq(&scene, 48);
+        let p = render_par(&scene, 48, 4);
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn kernel_checksums_agree() {
+        assert_eq!(kernel(32, None), kernel(32, Some(3)));
+    }
+
+    #[test]
+    fn more_spheres_change_the_image() {
+        let a = render_seq(&Scene::benchmark(4), 32);
+        let b = render_seq(&Scene::benchmark(24), 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deeper_reflections_change_the_image() {
+        let mut scene = Scene::benchmark(16);
+        let shallow = {
+            scene.max_depth = 0;
+            render_seq(&scene, 32)
+        };
+        let deep = {
+            scene.max_depth = 3;
+            render_seq(&scene, 32)
+        };
+        assert_ne!(shallow, deep);
+    }
+}

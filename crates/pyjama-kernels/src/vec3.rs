@@ -1,0 +1,153 @@
+//! Minimal 3-vector math for the ray tracer.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-component `f64` vector.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Constructs from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn len(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction (zero stays zero).
+    pub fn normalized(self) -> Vec3 {
+        let l = self.len();
+        if l == 0.0 {
+            Vec3::ZERO
+        } else {
+            self / l
+        }
+    }
+
+    /// Component-wise product (used for colour modulation).
+    pub fn hadamard(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    /// Reflection of `self` about unit normal `n`.
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Clamps each component to `[0, 1]`.
+    pub fn clamp01(self) -> Vec3 {
+        Vec3::new(self.x.clamp(0.0, 1.0), self.y.clamp(0.0, 1.0), self.z.clamp(0.0, 1.0))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_cross_basics() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(x), -z);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!((v.len() - 5.0).abs() < 1e-12);
+        assert!((v.normalized().len() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn reflection_preserves_length_and_inverts_normal_component() {
+        let d = Vec3::new(1.0, -1.0, 0.0).normalized();
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        let r = d.reflect(n);
+        assert!((r.len() - 1.0).abs() < 1e-12);
+        assert!((r.y - (-d.y)).abs() < 1e-12);
+        assert!((r.x - d.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(a.hadamard(b), Vec3::new(4.0, 10.0, 18.0));
+    }
+
+    #[test]
+    fn clamp01_bounds_components() {
+        let v = Vec3::new(-0.5, 0.5, 1.5).clamp01();
+        assert_eq!(v, Vec3::new(0.0, 0.5, 1.0));
+    }
+}

@@ -1,0 +1,363 @@
+//! Log-bucketed latency histogram.
+//!
+//! A fixed-size, HDR-style histogram over `u64` values (nanoseconds in
+//! practice). Buckets grow geometrically: values below [`Histogram::LINEAR_LIMIT`]
+//! are recorded exactly (1 ns resolution is irrelevant for our use, so the
+//! linear region uses 1 µs steps), and beyond that each power-of-two range is
+//! split into [`Histogram::SUB_BUCKETS`] sub-buckets, giving a bounded
+//! relative error of `1 / SUB_BUCKETS`.
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Recording is `O(1)` and allocation-free after construction. Percentile
+/// queries walk the bucket array.
+#[derive(Clone)]
+pub struct Histogram {
+    /// Linear region: `LINEAR_BUCKETS` buckets of `LINEAR_STEP` each.
+    linear: Vec<u64>,
+    /// Geometric region: for each power-of-two range, `SUB_BUCKETS` buckets.
+    geometric: Vec<u64>,
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Width of one linear bucket: 1 µs.
+    pub const LINEAR_STEP: u64 = 1_000;
+    /// Number of linear buckets (covers 0..1 ms exactly to 1 µs).
+    pub const LINEAR_BUCKETS: usize = 1_000;
+    /// Upper bound of the linear region (1 ms).
+    pub const LINEAR_LIMIT: u64 = Self::LINEAR_STEP * Self::LINEAR_BUCKETS as u64;
+    /// Sub-buckets per power-of-two range in the geometric region.
+    pub const SUB_BUCKETS: usize = 64;
+    /// Number of power-of-two ranges above `LINEAR_LIMIT` (covers > 10^4 s).
+    pub const RANGES: usize = 44;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            linear: vec![0; Self::LINEAR_BUCKETS],
+            geometric: vec![0; Self::RANGES * Self::SUB_BUCKETS],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.total += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let idx = Self::bucket_index(value);
+        match idx {
+            BucketIndex::Linear(i) => self.linear[i] += 1,
+            BucketIndex::Geometric(i) => self.geometric[i] += 1,
+        }
+    }
+
+    /// Records `n` occurrences of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.total += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        match Self::bucket_index(value) {
+            BucketIndex::Linear(i) => self.linear[i] += n,
+            BucketIndex::Geometric(i) => self.geometric[i] += n,
+        }
+    }
+
+    fn bucket_index(value: u64) -> BucketIndex {
+        if value < Self::LINEAR_LIMIT {
+            BucketIndex::Linear((value / Self::LINEAR_STEP) as usize)
+        } else {
+            // Position within the geometric region. Range r covers
+            // [LINEAR_LIMIT * 2^r, LINEAR_LIMIT * 2^(r+1)).
+            let ratio = value / Self::LINEAR_LIMIT;
+            let range = (63 - ratio.leading_zeros()) as usize;
+            let range = range.min(Self::RANGES - 1);
+            let base = Self::LINEAR_LIMIT << range;
+            let width = base / Self::SUB_BUCKETS as u64; // sub-bucket width
+            let sub = ((value.saturating_sub(base)) / width.max(1)) as usize;
+            let sub = sub.min(Self::SUB_BUCKETS - 1);
+            BucketIndex::Geometric(range * Self::SUB_BUCKETS + sub)
+        }
+    }
+
+    /// Representative value (midpoint) for a bucket index.
+    fn bucket_value(idx: BucketIndex) -> u64 {
+        match idx {
+            BucketIndex::Linear(i) => i as u64 * Self::LINEAR_STEP + Self::LINEAR_STEP / 2,
+            BucketIndex::Geometric(i) => {
+                let range = i / Self::SUB_BUCKETS;
+                let sub = (i % Self::SUB_BUCKETS) as u64;
+                let base = Self::LINEAR_LIMIT << range;
+                let width = (base / Self::SUB_BUCKETS as u64).max(1);
+                base + sub * width + width / 2
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of all samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket-midpoint approximation).
+    ///
+    /// Returns 0 for an empty histogram. `q >= 1.0` returns the max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q.max(0.0) * self.count as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.linear.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(BucketIndex::Linear(i)).min(self.max).max(self.min);
+            }
+        }
+        for (i, &c) in self.geometric.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(BucketIndex::Geometric(i)).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.linear.iter_mut().zip(&other.linear) {
+            *a += b;
+        }
+        for (a, b) in self.geometric.iter_mut().zip(&other.geometric) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Resets the histogram to empty.
+    pub fn clear(&mut self) {
+        self.linear.iter_mut().for_each(|c| *c = 0);
+        self.geometric.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.total = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean_ns", &(self.mean() as u64))
+            .field("p50_ns", &self.quantile(0.5))
+            .field("p99_ns", &self.quantile(0.99))
+            .field("max_ns", &self.max)
+            .finish()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BucketIndex {
+    Linear(usize),
+    Geometric(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_in_linear_region() {
+        let mut h = Histogram::new();
+        h.record(42_500);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42_500);
+        assert_eq!(h.max(), 42_500);
+        // Bucket midpoint for 42µs bucket is 42.5µs.
+        assert_eq!(h.quantile(0.5), 42_500);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 250.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 977); // spread across linear region and beyond
+        }
+        let p10 = h.quantile(0.10);
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p999 = h.quantile(0.999);
+        assert!(p10 <= p50 && p50 <= p90 && p90 <= p999, "{p10} {p50} {p90} {p999}");
+    }
+
+    #[test]
+    fn geometric_region_bounded_relative_error() {
+        let mut h = Histogram::new();
+        let v = 123_456_789u64; // ~123 ms, far in geometric region
+        h.record(v);
+        let q = h.quantile(0.5);
+        let err = (q as f64 - v as f64).abs() / v as f64;
+        assert!(err < 2.0 / Histogram::SUB_BUCKETS as f64, "err={err}");
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(5_000, 10);
+        for _ in 0..10 {
+            b.record(5_000);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.quantile(0.9), b.quantile(0.9));
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(1234, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000_000);
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_extrema() {
+        let mut a = Histogram::new();
+        a.record(500);
+        let b = Histogram::new();
+        a.merge(&b);
+        assert_eq!(a.min(), 500);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_one_returns_max() {
+        let mut h = Histogram::new();
+        h.record(77);
+        h.record(1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5) > 0);
+    }
+
+    #[test]
+    fn bucket_index_monotone_nondecreasing() {
+        // Bucket order must follow value order so quantile walks are correct.
+        let mut last = (0usize, 0usize); // (region, idx): region 0 = linear
+        let mut v = 1u64;
+        while v < u64::MAX / 4 {
+            let cur = match Histogram::bucket_index(v) {
+                BucketIndex::Linear(i) => (0, i),
+                BucketIndex::Geometric(i) => (1, i),
+            };
+            assert!(cur >= last, "v={v} cur={cur:?} last={last:?}");
+            last = cur;
+            v = v.saturating_mul(2) / 2 + v / 3 + 1;
+        }
+    }
+}

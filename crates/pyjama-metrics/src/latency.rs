@@ -1,0 +1,139 @@
+//! Thread-safe latency recording.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::histogram::Histogram;
+
+/// A concurrent latency recorder.
+///
+/// Handlers running on many threads (EDT, worker pools, HTTP connections)
+/// record the end-to-end response time of each event. The recorder is shared
+/// via `Arc` and protected by a short `parking_lot::Mutex` section: a single
+/// histogram insert is tens of nanoseconds, negligible next to the
+/// millisecond-scale handlers in the paper's experiments.
+#[derive(Default)]
+pub struct LatencyRecorder {
+    inner: Mutex<Histogram>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            inner: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        self.inner.lock().record(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records the elapsed time since `start`.
+    pub fn record_since(&self, start: Instant) {
+        self.record(start.elapsed());
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count()
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        Duration::from_nanos(self.inner.lock().mean() as u64)
+    }
+
+    /// Latency at quantile `q` (e.g. `0.99`).
+    pub fn quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.inner.lock().quantile(q))
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.inner.lock().max())
+    }
+
+    /// Takes a snapshot of the underlying histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+
+    /// Clears all recorded samples.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+impl std::fmt::Debug for LatencyRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let h = self.inner.lock();
+        write!(f, "LatencyRecorder({:?})", *h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_and_reports() {
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_millis(5));
+        r.record(Duration::from_millis(15));
+        assert_eq!(r.count(), 2);
+        let mean = r.mean();
+        assert!(mean >= Duration::from_millis(9) && mean <= Duration::from_millis(11));
+        assert!(r.max() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn record_since_measures_elapsed() {
+        let r = LatencyRecorder::new();
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        r.record_since(t0);
+        assert_eq!(r.count(), 1);
+        assert!(r.max() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = Arc::new(LatencyRecorder::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        r.record(Duration::from_nanos(t * 1_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.count(), 8_000);
+    }
+
+    #[test]
+    fn snapshot_is_independent_copy() {
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_micros(10));
+        let snap = r.snapshot();
+        r.record(Duration::from_micros(20));
+        assert_eq!(snap.count(), 1);
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_micros(1));
+        r.clear();
+        assert_eq!(r.count(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Measurement infrastructure for the Pyjama-RS reproduction of
+//! *Towards an Event-Driven Programming Model for OpenMP* (ICPP 2016).
+//!
+//! The paper evaluates its programming model with two kinds of metrics:
+//!
+//! * **Response time** of GUI events — the "time flow from the event firing
+//!   to the finish of its event handling" (§V-A). [`LatencyRecorder`]
+//!   captures individual samples, and [`Histogram`] summarises them
+//!   (mean, percentiles).
+//! * **Throughput** of an HTTP service — "responses/sec" under a constant
+//!   load of virtual users (§V-B). [`ThroughputMeter`] counts completions
+//!   over a wall-clock window.
+//!
+//! The crate additionally provides an [`OccupancyTracker`] used to quantify
+//! *responsiveness* directly: the fraction of wall-clock time the event
+//! dispatch thread (EDT) spends busy inside handlers, which is the quantity
+//! the paper's offloading directives are designed to minimise.
+//!
+//! Everything here is synchronisation-cheap (atomics or a short
+//! `parking_lot` critical section) so that recording does not perturb the
+//! systems being measured.
+
+pub mod histogram;
+pub mod latency;
+pub mod occupancy;
+pub mod stats;
+pub mod throughput;
+pub mod timeline;
+
+pub use histogram::Histogram;
+pub use latency::LatencyRecorder;
+pub use occupancy::OccupancyTracker;
+pub use stats::{OnlineStats, Summary};
+pub use throughput::ThroughputMeter;
+pub use timeline::{Timeline, TimelineEvent, TimelineEventKind};

@@ -1,0 +1,208 @@
+//! EDT occupancy: how long the dispatch thread is busy inside handlers.
+//!
+//! The paper's motivation (§I, Figure 1) is that a busy EDT delays
+//! subsequent events; "an essential requirement is to maximize the idleness
+//! of the EDT". [`OccupancyTracker`] measures exactly that: total busy time
+//! accumulated across `enter`/`exit` pairs, and the busy *fraction* over a
+//! measurement window. The synchronous-parallel baseline (Figure 8) is
+//! distinguished from asynchronous offloading precisely by this metric —
+//! its handlers finish faster, but the EDT remains occupied throughout.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Tracks cumulative busy time of a single logical thread (typically the EDT).
+///
+/// `enter()`/`exit()` must be called in matched pairs by the tracked thread;
+/// nesting is supported (only the outermost pair accumulates). Queries may be
+/// made from any thread.
+pub struct OccupancyTracker {
+    busy_ns: AtomicU64,
+    intervals: AtomicU64,
+    state: Mutex<TrackerState>,
+}
+
+struct TrackerState {
+    window_start: Option<Instant>,
+    entered_at: Option<Instant>,
+    depth: u32,
+}
+
+impl OccupancyTracker {
+    /// Creates a tracker; the window opens on `start_window` (or the first
+    /// `enter`).
+    pub fn new() -> Self {
+        OccupancyTracker {
+            busy_ns: AtomicU64::new(0),
+            intervals: AtomicU64::new(0),
+            state: Mutex::new(TrackerState {
+                window_start: None,
+                entered_at: None,
+                depth: 0,
+            }),
+        }
+    }
+
+    /// Opens the measurement window and zeroes accumulated busy time.
+    pub fn start_window(&self) {
+        let mut st = self.state.lock();
+        st.window_start = Some(Instant::now());
+        self.busy_ns.store(0, Ordering::SeqCst);
+        self.intervals.store(0, Ordering::SeqCst);
+    }
+
+    /// Marks the tracked thread as busy (handler entry).
+    pub fn enter(&self) {
+        let mut st = self.state.lock();
+        if st.window_start.is_none() {
+            st.window_start = Some(Instant::now());
+        }
+        if st.depth == 0 {
+            st.entered_at = Some(Instant::now());
+        }
+        st.depth += 1;
+    }
+
+    /// Marks the tracked thread as idle again (handler exit).
+    ///
+    /// # Panics
+    /// Panics if called without a matching [`enter`](Self::enter).
+    pub fn exit(&self) {
+        let mut st = self.state.lock();
+        assert!(st.depth > 0, "OccupancyTracker::exit without enter");
+        st.depth -= 1;
+        if st.depth == 0 {
+            if let Some(t0) = st.entered_at.take() {
+                let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+                self.intervals.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Runs `f` inside an `enter`/`exit` pair.
+    pub fn track<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.enter();
+        struct Guard<'a>(&'a OccupancyTracker);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.exit();
+            }
+        }
+        let _g = Guard(self);
+        f()
+    }
+
+    /// Total accumulated busy time (completed outermost intervals only).
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed))
+    }
+
+    /// Number of completed outermost busy intervals.
+    pub fn intervals(&self) -> u64 {
+        self.intervals.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the window opened (zero if never opened).
+    pub fn window(&self) -> Duration {
+        self.state
+            .lock()
+            .window_start
+            .map(|t| t.elapsed())
+            .unwrap_or_default()
+    }
+
+    /// Busy fraction in `[0, 1]` over the open window.
+    pub fn busy_fraction(&self) -> f64 {
+        let w = self.window().as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            (self.busy().as_secs_f64() / w).min(1.0)
+        }
+    }
+}
+
+impl Default for OccupancyTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for OccupancyTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OccupancyTracker")
+            .field("busy", &self.busy())
+            .field("intervals", &self.intervals())
+            .field("busy_fraction", &self.busy_fraction())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_busy_time() {
+        let t = OccupancyTracker::new();
+        t.start_window();
+        t.track(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(t.busy() >= Duration::from_millis(5));
+        assert_eq!(t.intervals(), 1);
+    }
+
+    #[test]
+    fn nested_tracking_counts_outermost_once() {
+        let t = OccupancyTracker::new();
+        t.start_window();
+        t.track(|| {
+            t.track(|| std::thread::sleep(Duration::from_millis(2)));
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert_eq!(t.intervals(), 1);
+        let busy = t.busy();
+        assert!(busy >= Duration::from_millis(4), "{busy:?}");
+        // Nested interval must not be double counted.
+        assert!(busy < Duration::from_millis(50), "{busy:?}");
+    }
+
+    #[test]
+    fn busy_fraction_bounded() {
+        let t = OccupancyTracker::new();
+        t.start_window();
+        t.track(|| std::thread::sleep(Duration::from_millis(3)));
+        std::thread::sleep(Duration::from_millis(3));
+        let f = t.busy_fraction();
+        assert!(f > 0.0 && f <= 1.0, "{f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exit without enter")]
+    fn unmatched_exit_panics() {
+        let t = OccupancyTracker::new();
+        t.exit();
+    }
+
+    #[test]
+    fn window_zero_before_any_activity() {
+        let t = OccupancyTracker::new();
+        assert_eq!(t.window(), Duration::ZERO);
+        assert_eq!(t.busy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn track_returns_closure_value_and_unwinds_safely() {
+        let t = OccupancyTracker::new();
+        assert_eq!(t.track(|| 42), 42);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.track(|| panic!("boom"))
+        }));
+        assert!(r.is_err());
+        // Guard must have restored depth to zero so a new interval works.
+        t.track(|| ());
+        assert_eq!(t.intervals(), 3);
+    }
+}

@@ -1,0 +1,170 @@
+//! Throughput measurement (responses/sec, §V-B).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Counts completed operations and reports rates over the elapsed window.
+///
+/// The HTTP experiment (Figure 9) measures "the application's ability to
+/// process requests" as responses per second under a closed-loop load of
+/// virtual users. Completions are counted with a relaxed atomic increment;
+/// the window is the wall-clock time between [`ThroughputMeter::start`] and
+/// the query.
+pub struct ThroughputMeter {
+    completed: AtomicU64,
+    started_at: parking_lot::Mutex<Option<Instant>>,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter; the window opens at the first `start()` call
+    /// (or lazily at the first `record()` if `start` was never called).
+    pub fn new() -> Self {
+        ThroughputMeter {
+            completed: AtomicU64::new(0),
+            started_at: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// Opens (or re-opens) the measurement window and zeroes the counter.
+    pub fn start(&self) {
+        self.completed.store(0, Ordering::SeqCst);
+        *self.started_at.lock() = Some(Instant::now());
+    }
+
+    /// Records one completed operation.
+    pub fn record(&self) {
+        {
+            let mut guard = self.started_at.lock();
+            if guard.is_none() {
+                *guard = Some(Instant::now());
+            }
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` completed operations.
+    pub fn record_n(&self, n: u64) {
+        {
+            let mut guard = self.started_at.lock();
+            if guard.is_none() {
+                *guard = Some(Instant::now());
+            }
+        }
+        self.completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total completions since the window opened.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed window time (zero if never started).
+    pub fn elapsed(&self) -> Duration {
+        self.started_at.lock().map(|t| t.elapsed()).unwrap_or_default()
+    }
+
+    /// Completions per second over the elapsed window.
+    pub fn rate_per_sec(&self) -> f64 {
+        let el = self.elapsed().as_secs_f64();
+        if el <= 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / el
+        }
+    }
+
+    /// Completions per second over an externally supplied window, for
+    /// deterministic reporting after a run has finished.
+    pub fn rate_over(&self, window: Duration) -> f64 {
+        let el = window.as_secs_f64();
+        if el <= 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / el
+        }
+    }
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ThroughputMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThroughputMeter")
+            .field("completed", &self.completed())
+            .field("rate_per_sec", &self.rate_per_sec())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_completions() {
+        let m = ThroughputMeter::new();
+        m.start();
+        m.record();
+        m.record_n(9);
+        assert_eq!(m.completed(), 10);
+    }
+
+    #[test]
+    fn rate_without_start_is_zero_before_first_record() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.rate_per_sec(), 0.0);
+        assert_eq!(m.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn lazy_start_on_first_record() {
+        let m = ThroughputMeter::new();
+        m.record();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(m.elapsed() >= Duration::from_millis(2));
+        assert!(m.rate_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn restart_zeroes_counter() {
+        let m = ThroughputMeter::new();
+        m.start();
+        m.record_n(5);
+        m.start();
+        assert_eq!(m.completed(), 0);
+    }
+
+    #[test]
+    fn rate_over_fixed_window() {
+        let m = ThroughputMeter::new();
+        m.start();
+        m.record_n(100);
+        assert!((m.rate_over(Duration::from_secs(2)) - 50.0).abs() < 1e-9);
+        assert_eq!(m.rate_over(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let m = Arc::new(ThroughputMeter::new());
+        m.start();
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.record();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(m.completed(), 40_000);
+    }
+}

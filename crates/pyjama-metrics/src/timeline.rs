@@ -1,0 +1,195 @@
+//! Event timelines for debugging and for visual reconstructions of the
+//! paper's Figure 1 (single- vs multi-threaded event processing).
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// What happened at a timeline point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimelineEventKind {
+    /// An event request was fired (the triangle in Figure 1).
+    Fired,
+    /// Handler execution began (start of the rectangle in Figure 1).
+    HandlingStarted,
+    /// Handler execution completed.
+    HandlingFinished,
+    /// A block was offloaded to a named virtual target.
+    Offloaded(String),
+    /// Free-form annotation.
+    Note(String),
+}
+
+/// One recorded timeline entry.
+#[derive(Clone, Debug)]
+pub struct TimelineEvent {
+    /// Offset from the timeline epoch.
+    pub at: Duration,
+    /// Correlation id (e.g. event/request sequence number).
+    pub id: u64,
+    /// Name of the thread or executor that recorded the entry.
+    pub actor: String,
+    /// What happened.
+    pub kind: TimelineEventKind,
+}
+
+/// An append-only, thread-safe log of timestamped events.
+///
+/// Useful in tests to assert ordering properties ("request 2's handling
+/// started before request 1's finished" is exactly the difference between
+/// Figure 1(i) and 1(ii)).
+pub struct Timeline {
+    epoch: Instant,
+    entries: Mutex<Vec<TimelineEvent>>,
+}
+
+impl Timeline {
+    /// Creates a timeline whose epoch is "now".
+    pub fn new() -> Self {
+        Timeline {
+            epoch: Instant::now(),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends an entry, timestamped against the epoch.
+    pub fn record(&self, id: u64, actor: impl Into<String>, kind: TimelineEventKind) {
+        let at = self.epoch.elapsed();
+        self.entries.lock().push(TimelineEvent {
+            at,
+            id,
+            actor: actor.into(),
+            kind,
+        });
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all entries in recording order.
+    pub fn entries(&self) -> Vec<TimelineEvent> {
+        self.entries.lock().clone()
+    }
+
+    /// Entries for a single correlation id, in recording order.
+    pub fn for_id(&self, id: u64) -> Vec<TimelineEvent> {
+        self.entries.lock().iter().filter(|e| e.id == id).cloned().collect()
+    }
+
+    /// Response time of `id`: `Fired` → `HandlingFinished`, if both present.
+    pub fn response_time(&self, id: u64) -> Option<Duration> {
+        let entries = self.entries.lock();
+        let fired = entries
+            .iter()
+            .find(|e| e.id == id && e.kind == TimelineEventKind::Fired)?
+            .at;
+        let done = entries
+            .iter()
+            .rev()
+            .find(|e| e.id == id && e.kind == TimelineEventKind::HandlingFinished)?
+            .at;
+        done.checked_sub(fired)
+    }
+
+    /// True if the handling intervals of `a` and `b` overlapped in time —
+    /// the signature of multi-threaded event processing (Figure 1(ii)).
+    pub fn handled_concurrently(&self, a: u64, b: u64) -> bool {
+        let span = |id: u64| -> Option<(Duration, Duration)> {
+            let entries = self.entries.lock();
+            let s = entries
+                .iter()
+                .find(|e| e.id == id && e.kind == TimelineEventKind::HandlingStarted)?
+                .at;
+            let f = entries
+                .iter()
+                .rev()
+                .find(|e| e.id == id && e.kind == TimelineEventKind::HandlingFinished)?
+                .at;
+            Some((s, f))
+        };
+        match (span(a), span(b)) {
+            (Some((sa, fa)), Some((sb, fb))) => sa < fb && sb < fa,
+            _ => false,
+        }
+    }
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_monotone_timestamps() {
+        let t = Timeline::new();
+        t.record(1, "edt", TimelineEventKind::Fired);
+        t.record(1, "edt", TimelineEventKind::HandlingStarted);
+        t.record(1, "edt", TimelineEventKind::HandlingFinished);
+        let es = t.entries();
+        assert_eq!(es.len(), 3);
+        assert!(es.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn response_time_requires_both_endpoints() {
+        let t = Timeline::new();
+        t.record(7, "edt", TimelineEventKind::Fired);
+        assert!(t.response_time(7).is_none());
+        t.record(7, "worker", TimelineEventKind::HandlingFinished);
+        assert!(t.response_time(7).is_some());
+        assert!(t.response_time(99).is_none());
+    }
+
+    #[test]
+    fn concurrency_detection() {
+        let t = Timeline::new();
+        t.record(1, "w1", TimelineEventKind::HandlingStarted);
+        t.record(2, "w2", TimelineEventKind::HandlingStarted);
+        t.record(1, "w1", TimelineEventKind::HandlingFinished);
+        t.record(2, "w2", TimelineEventKind::HandlingFinished);
+        assert!(t.handled_concurrently(1, 2));
+    }
+
+    #[test]
+    fn sequential_handling_not_flagged_concurrent() {
+        let t = Timeline::new();
+        t.record(1, "edt", TimelineEventKind::HandlingStarted);
+        std::thread::sleep(Duration::from_millis(1));
+        t.record(1, "edt", TimelineEventKind::HandlingFinished);
+        std::thread::sleep(Duration::from_millis(1));
+        t.record(2, "edt", TimelineEventKind::HandlingStarted);
+        std::thread::sleep(Duration::from_millis(1));
+        t.record(2, "edt", TimelineEventKind::HandlingFinished);
+        assert!(!t.handled_concurrently(1, 2));
+    }
+
+    #[test]
+    fn for_id_filters() {
+        let t = Timeline::new();
+        t.record(1, "a", TimelineEventKind::Note("x".into()));
+        t.record(2, "b", TimelineEventKind::Note("y".into()));
+        t.record(1, "a", TimelineEventKind::Offloaded("worker".into()));
+        assert_eq!(t.for_id(1).len(), 2);
+        assert_eq!(t.for_id(2).len(), 1);
+        assert!(t.for_id(3).is_empty());
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        assert!(!t.handled_concurrently(1, 2));
+    }
+}

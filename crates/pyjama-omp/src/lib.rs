@@ -1,0 +1,73 @@
+//! A classic fork-join OpenMP substrate.
+//!
+//! The paper's model is *complementary* to traditional OpenMP: virtual
+//! targets handle asynchronous offloading while `omp parallel` / `omp for`
+//! keep accelerating compute kernels. The evaluation needs both — the
+//! "synchronous parallel" baseline runs kernels with the EDT as master
+//! thread of a fork-join team, and the "asynchronous parallel" mode nests a
+//! parallel region inside an offloaded target block (§V).
+//!
+//! This crate implements the fork-join subset the paper relies on:
+//!
+//! * [`parallel`] — a parallel region; the encountering thread becomes the
+//!   team's master (thread 0) and **participates**, which is precisely the
+//!   property that makes the fork-join model hostile to event-dispatch
+//!   threads (§I: "the traditional fork-join model forces the master thread
+//!   … to participate in the work-sharing region").
+//! * Worksharing loops with `static` / `dynamic` / `guided` schedules
+//!   ([`Ctx::for_range`], [`Schedule`]).
+//! * Reductions ([`Ctx::for_reduce`], [`parallel_reduce`]).
+//! * Synchronisation: [`Ctx::barrier`], [`Ctx::critical`], [`Ctx::single`],
+//!   [`Ctx::master`].
+//! * Explicit tasks confined to the region ([`Ctx::task`],
+//!   [`Ctx::taskwait`]) — "the lifetime of a task is confined inside a
+//!   parallel region" (§VI-B).
+//!
+//! # SPMD discipline
+//!
+//! As in OpenMP, every thread of a team must encounter the same worksharing
+//! and synchronisation constructs in the same order; construct instances
+//! are matched across threads by encounter order.
+//!
+//! ```
+//! use pyjama_omp::{parallel, Schedule};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let sum = AtomicU64::new(0);
+//! parallel(4, |ctx| {
+//!     ctx.for_range(0..1000usize, Schedule::Static { chunk: None }, |i| {
+//!         sum.fetch_add(i as u64, Ordering::Relaxed);
+//!     });
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+//! ```
+
+pub mod barrier;
+pub mod registry;
+pub mod schedule;
+pub mod sections;
+pub mod sync;
+pub mod tasks;
+pub mod team;
+
+pub use barrier::Barrier;
+pub use schedule::Schedule;
+pub use sections::parallel_sections;
+pub use team::{parallel, parallel_for, parallel_reduce, Ctx, Team};
+
+/// The default team size: the machine's available parallelism.
+///
+/// Mirrors the `nthreads-var` ICV with its implementation-defined default.
+pub fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_num_threads_is_positive() {
+        assert!(super::default_num_threads() >= 1);
+    }
+}

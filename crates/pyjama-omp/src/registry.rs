@@ -1,0 +1,131 @@
+//! Matching worksharing-construct instances across team threads.
+//!
+//! OpenMP's SPMD model means every thread executes the same sequence of
+//! constructs; a `for` loop's shared counter, a `single`'s claim flag or a
+//! reduction's accumulator must be *one object per construct instance*,
+//! shared by all threads. Threads match instances by encounter order: the
+//! k-th construct a thread meets pairs with the k-th of every other thread.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Lazily created, type-erased per-construct shared state.
+pub struct ConstructRegistry {
+    slots: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl ConstructRegistry {
+    /// Creates an empty registry (one per team).
+    pub fn new() -> Self {
+        ConstructRegistry {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the shared state for construct instance `key`, creating it
+    /// with `make` if this thread is the first to arrive.
+    ///
+    /// # Panics
+    /// Panics if another thread registered a different type under the same
+    /// key — that means the team diverged from SPMD (threads executed
+    /// different construct sequences), which is a program bug.
+    pub fn get_or_create<T: Send + Sync + 'static>(
+        &self,
+        key: u64,
+        make: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let mut g = self.slots.lock();
+        let slot = g
+            .entry(key)
+            .or_insert_with(|| Arc::new(make()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(slot)
+            .downcast::<T>()
+            .expect("construct type mismatch: team threads diverged (non-SPMD execution)")
+    }
+
+    /// Drops the state for construct `key` (called by the last thread to
+    /// leave, keeping long regions from accumulating dead slots).
+    pub fn release(&self, key: u64) {
+        self.slots.lock().remove(&key);
+    }
+
+    /// Number of live construct slots (diagnostics).
+    pub fn live(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+impl Default for ConstructRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn same_key_returns_same_instance() {
+        let reg = ConstructRegistry::new();
+        let a = reg.get_or_create(1, || AtomicUsize::new(0));
+        let b = reg.get_or_create(1, || AtomicUsize::new(99));
+        a.store(7, Ordering::SeqCst);
+        assert_eq!(b.load(Ordering::SeqCst), 7, "must be the same object");
+    }
+
+    #[test]
+    fn different_keys_are_independent() {
+        let reg = ConstructRegistry::new();
+        let a = reg.get_or_create(1, || AtomicUsize::new(1));
+        let b = reg.get_or_create(2, || AtomicUsize::new(2));
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+        assert_eq!(b.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn release_frees_slot() {
+        let reg = ConstructRegistry::new();
+        reg.get_or_create(1, || 0usize);
+        assert_eq!(reg.live(), 1);
+        reg.release(1);
+        assert_eq!(reg.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "construct type mismatch")]
+    fn type_mismatch_panics() {
+        let reg = ConstructRegistry::new();
+        let _ = reg.get_or_create(1, || 0usize);
+        let _ = reg.get_or_create(1, || 0u32);
+    }
+
+    #[test]
+    fn concurrent_first_arrival_creates_once() {
+        let reg = Arc::new(ConstructRegistry::new());
+        let created = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let created = Arc::clone(&created);
+                std::thread::spawn(move || {
+                    let slot = reg.get_or_create(42, || {
+                        created.fetch_add(1, Ordering::SeqCst);
+                        AtomicUsize::new(0)
+                    });
+                    slot.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(created.load(Ordering::SeqCst), 1);
+        let slot = reg.get_or_create(42, || AtomicUsize::new(0));
+        assert_eq!(slot.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,105 @@
+//! Worksharing loop schedules (`schedule(static|dynamic|guided[, chunk])`).
+
+/// How a worksharing loop's iteration space is divided among team threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Iterations are divided up front.
+    ///
+    /// With `chunk: None`, each thread gets one contiguous block of roughly
+    /// `n / num_threads` iterations. With `chunk: Some(c)`, blocks of `c`
+    /// are dealt round-robin (cyclic), which balances loops whose cost
+    /// varies smoothly with the index.
+    Static {
+        /// Optional chunk size for cyclic distribution.
+        chunk: Option<usize>,
+    },
+    /// Threads grab chunks of `chunk` iterations from a shared counter as
+    /// they become free. Best for irregular iteration costs; highest
+    /// scheduling overhead.
+    Dynamic {
+        /// Chunk size (≥ 1).
+        chunk: usize,
+    },
+    /// Like `Dynamic`, but chunk sizes start large (`remaining / threads`)
+    /// and shrink exponentially, never below `min_chunk`. A compromise
+    /// between balance and overhead.
+    Guided {
+        /// Lower bound on the shrinking chunk size (≥ 1).
+        min_chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// The default OpenMP schedule: block-static.
+    pub fn default_static() -> Self {
+        Schedule::Static { chunk: None }
+    }
+
+    /// Validates schedule parameters (chunk sizes must be ≥ 1).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Schedule::Static { chunk: Some(0) } => {
+                Err("static chunk size must be >= 1".to_string())
+            }
+            Schedule::Dynamic { chunk: 0 } => Err("dynamic chunk size must be >= 1".to_string()),
+            Schedule::Guided { min_chunk: 0 } => {
+                Err("guided min_chunk must be >= 1".to_string())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The contiguous block of iterations thread `tid` owns under a block-static
+/// schedule of `n` iterations across `num_threads` threads.
+///
+/// Remainder iterations go one-each to the lowest-numbered threads, so block
+/// sizes differ by at most one.
+pub fn static_block(n: usize, num_threads: usize, tid: usize) -> std::ops::Range<usize> {
+    debug_assert!(tid < num_threads);
+    let base = n / num_threads;
+    let rem = n % num_threads;
+    let start = tid * base + tid.min(rem);
+    let len = base + usize::from(tid < rem);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_blocks_partition_exactly() {
+        for n in [0usize, 1, 7, 100, 101, 1024] {
+            for t in [1usize, 2, 3, 7, 16] {
+                let mut covered = vec![false; n];
+                for tid in 0..t {
+                    for i in static_block(n, t, tid) {
+                        assert!(!covered[i], "iteration {i} assigned twice (n={n}, t={t})");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap in coverage (n={n}, t={t})");
+            }
+        }
+    }
+
+    #[test]
+    fn static_blocks_balanced_within_one() {
+        let n = 103;
+        let t = 4;
+        let sizes: Vec<usize> = (0..t).map(|tid| static_block(n, t, tid).len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn validation_rejects_zero_chunks() {
+        assert!(Schedule::Static { chunk: Some(0) }.validate().is_err());
+        assert!(Schedule::Dynamic { chunk: 0 }.validate().is_err());
+        assert!(Schedule::Guided { min_chunk: 0 }.validate().is_err());
+        assert!(Schedule::default_static().validate().is_ok());
+        assert!(Schedule::Dynamic { chunk: 8 }.validate().is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! The `sections` worksharing construct.
+//!
+//! `omp sections` distributes a fixed set of independent code blocks
+//! across the team — the task-parallel counterpart of `omp for`. Each
+//! section executes exactly once, on whichever thread claims it first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::team::Ctx;
+
+impl Ctx<'_, '_> {
+    /// `omp sections`: each closure in `sections` runs exactly once,
+    /// dynamically claimed by team threads. Ends with an implicit barrier.
+    ///
+    /// Like all worksharing constructs, every team thread must encounter
+    /// the same `sections` call (SPMD matching by encounter order).
+    pub fn sections(&self, sections: &[&(dyn Fn() + Sync)]) {
+        self.sections_nowait(sections);
+        self.barrier();
+    }
+
+    /// `omp sections nowait`: as [`sections`](Self::sections) without the
+    /// closing barrier.
+    pub fn sections_nowait(&self, sections: &[&(dyn Fn() + Sync)]) {
+        let key = self.next_construct_key();
+        let next = self
+            .construct_registry()
+            .get_or_create(key, || AtomicUsize::new(0));
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= sections.len() {
+                break;
+            }
+            sections[i]();
+        }
+    }
+}
+
+/// `omp parallel sections`: the combined construct.
+pub fn parallel_sections(num_threads: usize, sections: &[&(dyn Fn() + Sync)]) {
+    crate::team::parallel(num_threads, |ctx| {
+        ctx.sections_nowait(sections);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::parallel;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_section_runs_exactly_once() {
+        let counts: Vec<AtomicU64> = (0..5).map(|_| AtomicU64::new(0)).collect();
+        let fns: Vec<Box<dyn Fn() + Sync>> = (0..5)
+            .map(|i| {
+                let counts = &counts;
+                Box::new(move || {
+                    counts[i].fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn Fn() + Sync>
+            })
+            .collect();
+        let refs: Vec<&(dyn Fn() + Sync)> = fns.iter().map(|b| b.as_ref()).collect();
+        parallel(3, |ctx| {
+            ctx.sections(&refs);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn sections_distribute_across_threads() {
+        // With long-enough sections and as many sections as threads, more
+        // than one thread participates.
+        let who = Mutex::new(HashSet::new());
+        let s0 = || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            who.lock().insert(std::thread::current().id());
+        };
+        let s1 = || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            who.lock().insert(std::thread::current().id());
+        };
+        let s2 = || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            who.lock().insert(std::thread::current().id());
+        };
+        parallel(3, |ctx| {
+            ctx.sections(&[&s0, &s1, &s2]);
+        });
+        assert!(who.lock().len() >= 2, "sections should spread across threads");
+    }
+
+    #[test]
+    fn more_sections_than_threads() {
+        let n = AtomicU64::new(0);
+        let add = || {
+            n.fetch_add(1, Ordering::SeqCst);
+        };
+        parallel(2, |ctx| {
+            ctx.sections(&[&add, &add, &add, &add, &add, &add, &add]);
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn consecutive_sections_constructs_are_independent() {
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        let fa = || {
+            a.fetch_add(1, Ordering::SeqCst);
+        };
+        let fb = || {
+            b.fetch_add(1, Ordering::SeqCst);
+        };
+        parallel(4, |ctx| {
+            ctx.sections(&[&fa, &fa]);
+            ctx.sections(&[&fb, &fb, &fb]);
+        });
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+        assert_eq!(b.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn parallel_sections_combined() {
+        let log = Mutex::new(Vec::new());
+        let s0 = || log.lock().push("download");
+        let s1 = || log.lock().push("render");
+        parallel_sections(2, &[&s0, &s1]);
+        let mut got = log.into_inner();
+        got.sort();
+        assert_eq!(got, vec!["download", "render"]);
+    }
+
+    #[test]
+    fn empty_sections_is_fine() {
+        parallel(2, |ctx| {
+            ctx.sections(&[]);
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! `critical` sections: global, name-keyed mutual exclusion.
+//!
+//! OpenMP `critical` regions exclude *across the whole program*, not just a
+//! team — two concurrent parallel regions naming the same critical section
+//! serialise against each other. Hence a process-global lock registry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+static CRITICALS: OnceLock<Mutex<HashMap<String, Arc<Mutex<()>>>>> = OnceLock::new();
+
+/// The lock behind `critical(name)`. Unnamed criticals share `""`.
+pub fn critical_lock(name: &str) -> Arc<Mutex<()>> {
+    let reg = CRITICALS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut g = reg.lock();
+    Arc::clone(g.entry(name.to_string()).or_insert_with(|| Arc::new(Mutex::new(()))))
+}
+
+/// Runs `f` under the named critical section.
+pub fn critical<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let lock = critical_lock(name);
+    let _g = lock.lock();
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn same_name_same_lock() {
+        let a = critical_lock("x");
+        let b = critical_lock("x");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_names_different_locks() {
+        let a = critical_lock("x1");
+        let b = critical_lock("x2");
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn critical_excludes_concurrent_writers() {
+        // A non-atomic read-modify-write protected only by the critical
+        // section must not lose updates.
+        let counter = StdArc::new(Mutex::new(0u64));
+        let in_section = StdArc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = StdArc::clone(&counter);
+                let in_section = StdArc::clone(&in_section);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        critical("counter-test", || {
+                            assert_eq!(in_section.fetch_add(1, Ordering::SeqCst), 0);
+                            let v = *counter.lock();
+                            *counter.lock() = v + 1;
+                            in_section.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8 * 500);
+    }
+
+    #[test]
+    fn critical_returns_value() {
+        assert_eq!(critical("ret", || 5), 5);
+    }
+}

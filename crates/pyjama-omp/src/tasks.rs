@@ -1,0 +1,175 @@
+//! Explicit tasks, confined to their parallel region.
+//!
+//! OpenMP `task` blocks execute asynchronously on the team; an orphaned
+//! task (outside any region) runs sequentially — the very limitation (§I)
+//! that motivates the paper's virtual targets. This queue lives inside a
+//! [`crate::Team`]; tasks are run by whichever team thread reaches a
+//! scheduling point (`taskwait`, `barrier`, region end) first.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+type Task<'s> = Box<dyn FnOnce() + Send + 's>;
+
+/// A region-scoped task queue.
+pub struct TaskQueue<'s> {
+    queue: Mutex<VecDeque<Task<'s>>>,
+    /// Tasks queued or currently running.
+    outstanding: AtomicUsize,
+    /// First panic payload from any task, re-raised at region end.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'s> TaskQueue<'s> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        TaskQueue {
+            queue: Mutex::new(VecDeque::new()),
+            outstanding: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, f: impl FnOnce() + Send + 's) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().push_back(Box::new(f));
+    }
+
+    /// Pops and runs one task on the calling thread. Returns `false` when
+    /// the queue was empty. Task panics are captured (first wins) so the
+    /// team can finish its barriers before the panic resurfaces.
+    pub fn run_one(&self) -> bool {
+        let task = self.queue.lock().pop_front();
+        match task {
+            Some(t) => {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(t));
+                if let Err(p) = r {
+                    let mut g = self.panic.lock();
+                    if g.is_none() {
+                        *g = Some(p);
+                    }
+                }
+                self.outstanding.fetch_sub(1, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs queued tasks until none are queued *and* none are running
+    /// anywhere (the `taskwait` scheduling point, simplified to "all tasks"
+    /// rather than "child tasks").
+    pub fn drain(&self) {
+        loop {
+            while self.run_one() {}
+            if self.outstanding.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // A task is mid-flight on another thread; yield until it
+            // finishes or enqueues more work for us.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Tasks queued or running.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::SeqCst)
+    }
+
+    /// Takes the first captured panic payload, if any.
+    pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().take()
+    }
+}
+
+impl Default for TaskQueue<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_and_run_one() {
+        let n = AtomicU64::new(0);
+        let q = TaskQueue::new();
+        q.push(|| {
+            n.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(q.outstanding(), 1);
+        assert!(q.run_one());
+        assert!(!q.run_one());
+        assert_eq!(q.outstanding(), 0);
+        drop(q);
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let q = Arc::new(TaskQueue::<'static>::new());
+        let n = Arc::new(AtomicU64::new(0));
+        let q2 = Arc::clone(&q);
+        let n2 = Arc::clone(&n);
+        q.push(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+            let n3 = Arc::clone(&n2);
+            q2.push(move || {
+                n3.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        q.drain();
+        assert_eq!(n.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn drain_waits_for_tasks_running_elsewhere() {
+        let q = Arc::new(TaskQueue::<'static>::new());
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        q.push(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        // Another thread steals and runs the task...
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            q2.run_one();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // ... while drain() on this thread must still wait for it.
+        q.drain();
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn panics_are_captured_not_propagated() {
+        let q = TaskQueue::new();
+        q.push(|| panic!("task a"));
+        q.push(|| panic!("task b"));
+        q.drain();
+        assert!(q.take_panic().is_some(), "first panic retained");
+        assert!(q.take_panic().is_none(), "payload taken once");
+    }
+
+    #[test]
+    fn fifo_order_on_single_thread() {
+        let log = Mutex::new(Vec::new());
+        let q = TaskQueue::new();
+        let lr = &log;
+        for i in 0..5 {
+            q.push(move || lr.lock().push(i));
+        }
+        q.drain();
+        drop(q);
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Asynchronous-I/O integration — the paper's stated future work (§VII:
+//! "integrating non-blocking I/O and asynchronous I/O into this model").
+//!
+//! Two styles are provided, mirroring the paper's discussion of CPS vs
+//! directives (§II-B):
+//!
+//! * [`Runtime::submit_then`] — continuation-passing: run an operation on
+//!   one target, deliver its result to a continuation on another target
+//!   (the `BeginInvoke`-style pattern of Figure 4, but as one call).
+//! * [`TargetFuture::join_pumping`] — the await-style alternative the
+//!   paper advocates: block *logically* on a typed result while the
+//!   current thread keeps processing its own events/tasks, so sequential
+//!   code keeps its shape.
+
+use std::time::Duration;
+
+use crate::registry::{Runtime, RuntimeError};
+use crate::task::{TargetFuture, TargetRegion};
+
+impl Runtime {
+    /// Runs `op` on target `on`, then delivers its value to `continuation`
+    /// executing on target `then_on` — non-blocking for the caller.
+    ///
+    /// This is the classic asynchronous-I/O shape: `op` is the blocking
+    /// read/download (kept off the caller), `then_on` is typically `"edt"`
+    /// so the continuation may touch GUI state.
+    pub fn submit_then<R: Send + 'static>(
+        &self,
+        on: &str,
+        op: impl FnOnce() -> R + Send + 'static,
+        then_on: &str,
+        continuation: impl FnOnce(R) + Send + 'static,
+    ) -> Result<(), RuntimeError> {
+        let io_target = self.lookup(on)?;
+        let cont_target = self.lookup(then_on)?;
+        let label = format!("submit_then:{on}->{then_on}");
+        let region = TargetRegion::new(label.clone(), move || {
+            let value = op();
+            let cont_region = TargetRegion::new(label, move || continuation(value));
+            if cont_target.is_member() {
+                cont_region.execute();
+            } else {
+                cont_target.post(cont_region);
+            }
+        });
+        if io_target.is_member() {
+            region.execute();
+        } else {
+            io_target.post(region);
+        }
+        Ok(())
+    }
+}
+
+impl<R: Send + 'static> TargetFuture<R> {
+    /// Like [`join`](TargetFuture::join), but while the value is not ready
+    /// the calling thread helps its own execution environment (pumps its
+    /// event loop or drains its worker queue) — the `await` logical
+    /// barrier applied to a typed result.
+    pub fn join_pumping(self, rt: &Runtime) -> R {
+        rt.await_barrier(self.handle());
+        self.join()
+    }
+
+    /// Bounded variant: returns `None` if the value is not ready within
+    /// `timeout` (still helping meanwhile).
+    pub fn join_pumping_timeout(self, rt: &Runtime, timeout: Duration) -> Option<R> {
+        let deadline = std::time::Instant::now() + timeout;
+        while !self.handle().is_finished() {
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            if !pyjama_events::pump::try_pump_current()
+                && !crate::worker::WorkerTarget::help_current_thread_pool()
+            {
+                self.handle().wait_timeout(Duration::from_micros(200));
+            }
+        }
+        let _ = rt;
+        Some(self.join())
+    }
+}
+
+/// A convenience for simulated asynchronous reads in examples and tests:
+/// sleeps `latency`, then yields `payload`.
+pub fn simulated_read(latency: Duration, payload: Vec<u8>) -> impl FnOnce() -> Vec<u8> + Send {
+    move || {
+        std::thread::sleep(latency);
+        payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use parking_lot::Mutex;
+    use pyjama_events::Edt;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn submit_then_runs_continuation_on_requested_target() {
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("io", 2);
+        let edt = Edt::spawn("edt");
+        rt.virtual_target_register_edt("edt", edt.handle()).unwrap();
+
+        let on_edt = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        let o2 = Arc::clone(&on_edt);
+        let d2 = Arc::clone(&done);
+        let h = edt.handle();
+        rt.submit_then(
+            "io",
+            simulated_read(Duration::from_millis(10), vec![1, 2, 3]),
+            "edt",
+            move |data| {
+                o2.store(h.is_loop_thread(), Ordering::SeqCst);
+                assert_eq!(data, vec![1, 2, 3]);
+                d2.store(true, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+
+        let t0 = Instant::now();
+        while !done.load(Ordering::SeqCst) {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(on_edt.load(Ordering::SeqCst), "continuation must run on the EDT");
+    }
+
+    #[test]
+    fn submit_then_unknown_targets_error() {
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("io", 1);
+        assert!(rt.submit_then("ghost", || 1, "io", |_| {}).is_err());
+        assert!(rt.submit_then("io", || 1, "ghost", |_| {}).is_err());
+    }
+
+    #[test]
+    fn join_pumping_on_edt_processes_other_events() {
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("io", 1);
+        let edt = Edt::spawn("edt");
+        rt.virtual_target_register_edt("edt", edt.handle()).unwrap();
+
+        let pumped = Arc::new(AtomicBool::new(false));
+        let result = Arc::new(Mutex::new(None));
+
+        let rt2 = Arc::clone(&rt);
+        let p2 = Arc::clone(&pumped);
+        let r2 = Arc::clone(&result);
+        edt.invoke_later(move || {
+            let fut = rt2
+                .submit("io", simulated_read(Duration::from_millis(30), b"payload".to_vec()))
+                .unwrap();
+            let value = fut.join_pumping(&rt2); // EDT pumps while waiting
+            *r2.lock() = Some((value, p2.load(Ordering::SeqCst)));
+        });
+        let p3 = Arc::clone(&pumped);
+        edt.invoke_later(move || p3.store(true, Ordering::SeqCst));
+
+        let t0 = Instant::now();
+        while result.lock().is_none() {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (value, other_event_ran) = result.lock().take().unwrap();
+        assert_eq!(value, b"payload");
+        assert!(other_event_ran, "the EDT must have pumped the second event");
+    }
+
+    #[test]
+    fn join_pumping_timeout_expires() {
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("io", 1);
+        let fut = rt
+            .submit("io", simulated_read(Duration::from_millis(200), vec![]))
+            .unwrap();
+        assert!(fut
+            .join_pumping_timeout(&rt, Duration::from_millis(20))
+            .is_none());
+    }
+
+    #[test]
+    fn join_pumping_timeout_returns_value_when_ready() {
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("io", 1);
+        let fut = rt.submit("io", || 7u32).unwrap();
+        assert_eq!(fut.join_pumping_timeout(&rt, Duration::from_secs(10)), Some(7));
+    }
+
+    #[test]
+    fn chained_async_operations_keep_sequential_shape() {
+        // The paper's point: with await-style primitives the code reads
+        // top-to-bottom even though every step is asynchronous.
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("io", 2);
+        rt.virtual_target_create_worker("cpu", 2);
+
+        let download = rt
+            .submit("io", simulated_read(Duration::from_millis(5), vec![3, 1, 2]))
+            .unwrap();
+        let mut data = download.join_pumping(&rt);
+        let compute = rt
+            .submit("cpu", move || {
+                data.sort();
+                data
+            })
+            .unwrap();
+        let sorted = compute.join_pumping(&rt);
+        assert_eq!(sorted, vec![1, 2, 3]);
+
+        // And the directive-style equivalent still works around it:
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        rt.target("cpu", Mode::Wait, move || f2.store(true, Ordering::SeqCst));
+        assert!(flag.load(Ordering::SeqCst));
+    }
+}

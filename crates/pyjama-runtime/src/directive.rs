@@ -1,0 +1,358 @@
+//! The extended `target` directive model (paper Figure 5).
+//!
+//! ```text
+//! #pragma omp target [clause[,] clause ...]  structured-block
+//! clause:
+//!     target-property-clause | scheduling-property-clause
+//!   | data-handling-clause   | if-clause
+//! target-property-clause:   device(device-number) | virtual(name-tag)
+//! scheduling-property-clause: nowait | name_as(name-tag) | await
+//! ```
+//!
+//! This module gives the clause grammar a typed representation plus a small
+//! textual parser. The source-to-source compiler reuses the parser; the
+//! macro front end and runtime consume the typed form.
+
+use crate::mode::Mode;
+
+/// `target-property-clause`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TargetProperty {
+    /// `device(n)` — a physical accelerator (accepted syntactically;
+    /// execution maps it to the host in this reproduction).
+    Device(u32),
+    /// `virtual(name)` — a software-level executor.
+    Virtual(String),
+    /// No clause: resolved against the `default-device-var`-style ICV.
+    Default,
+}
+
+/// A single parsed clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Clause {
+    /// `device(n)` / `virtual(name)`.
+    Target(TargetProperty),
+    /// `nowait` / `name_as(tag)` / `await`.
+    Scheduling(Mode),
+    /// `wait(tag)` — the synchronisation clause paired with `name_as`.
+    WaitTag(String),
+    /// `if(expr)` — carried as text; evaluation is the host language's job.
+    If(String),
+    /// `default(shared)` — the only data-handling clause a virtual target
+    /// needs (§III-B: shared memory, no mapping).
+    DefaultShared,
+}
+
+/// A fully parsed `target` directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TargetDirective {
+    /// Where the block runs.
+    pub target: TargetProperty,
+    /// How the encountering thread schedules around the block.
+    pub mode: Mode,
+    /// Raw `if` condition text, if present.
+    pub if_condition: Option<String>,
+    /// `wait(tag)` clauses attached to this directive.
+    pub wait_tags: Vec<String>,
+}
+
+/// Errors from directive parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectiveError {
+    /// The text did not start with `target`.
+    NotATarget(String),
+    /// A clause was not recognised.
+    UnknownClause(String),
+    /// A clause needed `(arg)` but had none, or vice versa.
+    BadArgument(String),
+    /// Two clauses of the same family conflict (e.g. `nowait await`).
+    Conflict(String),
+}
+
+impl std::fmt::Display for DirectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectiveError::NotATarget(s) => write!(f, "not a target directive: `{s}`"),
+            DirectiveError::UnknownClause(s) => write!(f, "unknown clause `{s}`"),
+            DirectiveError::BadArgument(s) => write!(f, "bad clause argument in `{s}`"),
+            DirectiveError::Conflict(s) => write!(f, "conflicting clauses: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DirectiveError {}
+
+impl TargetDirective {
+    /// Parses the clause list of a `target` directive, e.g.
+    /// `target virtual(worker) nowait` or
+    /// `target device(0) name_as(jobs) if(n > 3)`.
+    ///
+    /// The `//#omp` / `#pragma omp` sentinel must already be stripped.
+    pub fn parse(text: &str) -> Result<Self, DirectiveError> {
+        let text = text.trim();
+        let rest = text
+            .strip_prefix("target")
+            .ok_or_else(|| DirectiveError::NotATarget(text.to_string()))?;
+        if !rest.is_empty() && !rest.starts_with(char::is_whitespace) {
+            return Err(DirectiveError::NotATarget(text.to_string()));
+        }
+
+        let mut directive = TargetDirective {
+            target: TargetProperty::Default,
+            mode: Mode::Wait,
+            if_condition: None,
+            wait_tags: Vec::new(),
+        };
+        let mut saw_target = false;
+        let mut saw_mode = false;
+
+        for clause in split_clauses(rest)? {
+            match parse_clause(&clause)? {
+                Clause::Target(tp) => {
+                    if saw_target {
+                        return Err(DirectiveError::Conflict(
+                            "multiple target-property clauses".into(),
+                        ));
+                    }
+                    saw_target = true;
+                    directive.target = tp;
+                }
+                Clause::Scheduling(m) => {
+                    if saw_mode {
+                        return Err(DirectiveError::Conflict(
+                            "multiple scheduling-property clauses".into(),
+                        ));
+                    }
+                    saw_mode = true;
+                    directive.mode = m;
+                }
+                Clause::WaitTag(t) => directive.wait_tags.push(t),
+                Clause::If(c) => {
+                    if directive.if_condition.is_some() {
+                        return Err(DirectiveError::Conflict("multiple if clauses".into()));
+                    }
+                    directive.if_condition = Some(c);
+                }
+                Clause::DefaultShared => {}
+            }
+        }
+        Ok(directive)
+    }
+
+    /// Renders the directive back to clause text (normalised spelling).
+    pub fn to_directive_text(&self) -> String {
+        let mut s = String::from("target");
+        match &self.target {
+            TargetProperty::Device(n) => s.push_str(&format!(" device({n})")),
+            TargetProperty::Virtual(name) => s.push_str(&format!(" virtual({name})")),
+            TargetProperty::Default => {}
+        }
+        let mode = self.mode.clause_text();
+        if !mode.is_empty() {
+            s.push(' ');
+            s.push_str(&mode);
+        }
+        for t in &self.wait_tags {
+            s.push_str(&format!(" wait({t})"));
+        }
+        if let Some(c) = &self.if_condition {
+            s.push_str(&format!(" if({c})"));
+        }
+        s
+    }
+}
+
+/// Splits `rest` into clause strings, keeping parenthesised arguments
+/// attached: `virtual(worker) nowait if(a && b)` →
+/// `["virtual(worker)", "nowait", "if(a && b)"]`.
+fn split_clauses(rest: &str) -> Result<Vec<String>, DirectiveError> {
+    let mut clauses = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    for ch in rest.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(DirectiveError::BadArgument(rest.trim().to_string()));
+                }
+                cur.push(ch);
+            }
+            c if (c.is_whitespace() || c == ',') && depth == 0 => {
+                if !cur.is_empty() {
+                    clauses.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if depth != 0 {
+        return Err(DirectiveError::BadArgument(rest.trim().to_string()));
+    }
+    if !cur.is_empty() {
+        clauses.push(cur);
+    }
+    Ok(clauses)
+}
+
+fn parse_clause(clause: &str) -> Result<Clause, DirectiveError> {
+    let (head, arg) = match clause.find('(') {
+        Some(i) => {
+            if !clause.ends_with(')') {
+                return Err(DirectiveError::BadArgument(clause.to_string()));
+            }
+            (&clause[..i], Some(clause[i + 1..clause.len() - 1].trim()))
+        }
+        None => (clause, None),
+    };
+    match (head, arg) {
+        ("virtual", Some(a)) if !a.is_empty() => {
+            Ok(Clause::Target(TargetProperty::Virtual(a.to_string())))
+        }
+        ("device", Some(a)) => a
+            .parse::<u32>()
+            .map(|n| Clause::Target(TargetProperty::Device(n)))
+            .map_err(|_| DirectiveError::BadArgument(clause.to_string())),
+        ("nowait", None) => Ok(Clause::Scheduling(Mode::NoWait)),
+        ("await", None) => Ok(Clause::Scheduling(Mode::Await)),
+        ("name_as", Some(a)) if !a.is_empty() => {
+            Ok(Clause::Scheduling(Mode::NameAs(a.to_string())))
+        }
+        ("wait", Some(a)) if !a.is_empty() => Ok(Clause::WaitTag(a.to_string())),
+        ("if", Some(a)) if !a.is_empty() => Ok(Clause::If(a.to_string())),
+        ("default", Some("shared")) => Ok(Clause::DefaultShared),
+        ("virtual" | "device" | "name_as" | "wait" | "if", _) => {
+            Err(DirectiveError::BadArgument(clause.to_string()))
+        }
+        _ => Err(DirectiveError::UnknownClause(clause.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure6_directives() {
+        let d = TargetDirective::parse("target virtual(worker) nowait").unwrap();
+        assert_eq!(d.target, TargetProperty::Virtual("worker".into()));
+        assert_eq!(d.mode, Mode::NoWait);
+
+        let d = TargetDirective::parse("target virtual(edt)").unwrap();
+        assert_eq!(d.target, TargetProperty::Virtual("edt".into()));
+        assert_eq!(d.mode, Mode::Wait);
+    }
+
+    #[test]
+    fn parses_await_and_name_as() {
+        let d = TargetDirective::parse("target virtual(worker) await").unwrap();
+        assert_eq!(d.mode, Mode::Await);
+
+        let d = TargetDirective::parse("target virtual(worker) name_as(jobs)").unwrap();
+        assert_eq!(d.mode, Mode::name_as("jobs"));
+    }
+
+    #[test]
+    fn parses_device_clause() {
+        let d = TargetDirective::parse("target device(2)").unwrap();
+        assert_eq!(d.target, TargetProperty::Device(2));
+    }
+
+    #[test]
+    fn parses_wait_and_if_clauses() {
+        let d = TargetDirective::parse("target virtual(w) wait(jobs) if(n > 3)").unwrap();
+        assert_eq!(d.wait_tags, vec!["jobs"]);
+        assert_eq!(d.if_condition.as_deref(), Some("n > 3"));
+    }
+
+    #[test]
+    fn if_argument_may_contain_parens_and_spaces() {
+        let d = TargetDirective::parse("target virtual(w) if(f(x, y) && g())").unwrap();
+        assert_eq!(d.if_condition.as_deref(), Some("f(x, y) && g()"));
+    }
+
+    #[test]
+    fn comma_separated_clauses() {
+        let d = TargetDirective::parse("target virtual(w), nowait").unwrap();
+        assert_eq!(d.mode, Mode::NoWait);
+    }
+
+    #[test]
+    fn default_target_when_no_property_clause() {
+        let d = TargetDirective::parse("target nowait").unwrap();
+        assert_eq!(d.target, TargetProperty::Default);
+    }
+
+    #[test]
+    fn default_shared_accepted_and_ignored() {
+        let d = TargetDirective::parse("target virtual(w) default(shared)").unwrap();
+        assert_eq!(d.target, TargetProperty::Virtual("w".into()));
+    }
+
+    #[test]
+    fn rejects_non_target() {
+        assert!(matches!(
+            TargetDirective::parse("parallel for"),
+            Err(DirectiveError::NotATarget(_))
+        ));
+        assert!(matches!(
+            TargetDirective::parse("targetx virtual(w)"),
+            Err(DirectiveError::NotATarget(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_clause() {
+        assert!(matches!(
+            TargetDirective::parse("target virtual(w) fancy"),
+            Err(DirectiveError::UnknownClause(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_conflicting_modes() {
+        assert!(matches!(
+            TargetDirective::parse("target virtual(w) nowait await"),
+            Err(DirectiveError::Conflict(_))
+        ));
+        assert!(matches!(
+            TargetDirective::parse("target virtual(a) virtual(b)"),
+            Err(DirectiveError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_arguments() {
+        for bad in [
+            "target virtual()",
+            "target device(abc)",
+            "target name_as()",
+            "target virtual(w",
+            "target virtual(w))",
+        ] {
+            assert!(
+                TargetDirective::parse(bad).is_err(),
+                "should reject `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_directive_text() {
+        for text in [
+            "target virtual(worker) nowait",
+            "target virtual(edt)",
+            "target device(1) name_as(jobs) wait(prev)",
+            "target virtual(w) await if(x)",
+        ] {
+            let d = TargetDirective::parse(text).unwrap();
+            let rendered = d.to_directive_text();
+            let d2 = TargetDirective::parse(&rendered).unwrap();
+            assert_eq!(d, d2, "round trip changed `{text}` → `{rendered}`");
+        }
+    }
+}

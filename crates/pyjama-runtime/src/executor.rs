@@ -1,0 +1,94 @@
+//! The virtual-target abstraction.
+//!
+//! "Conceptually, a virtual target represents a type of execution
+//! environment defining its thread affiliation … and scale" (§III-D). Two
+//! concrete kinds exist, matching the paper's experimental Pyjama: worker
+//! thread pools ([`crate::WorkerTarget`]) and registered event-dispatch
+//! threads ([`crate::EdtTarget`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::task::TargetRegion;
+
+/// Which kind of execution environment a virtual target is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TargetKind {
+    /// A pool of background worker threads (`virtual_target_create_worker`).
+    Worker,
+    /// A registered event-dispatch thread (`virtual_target_register_edt`).
+    Edt,
+}
+
+/// A named software executor that target blocks can be offloaded to.
+///
+/// Implementations must uphold the paper's *thread-context awareness*
+/// contract: [`is_member`](VirtualTarget::is_member) reports whether the
+/// *calling* thread already belongs to this execution environment, in which
+/// case Algorithm 1 runs the block synchronously instead of posting it.
+pub trait VirtualTarget: Send + Sync {
+    /// The target's registered name (the directive's `name-tag`).
+    fn name(&self) -> &str;
+
+    /// The execution-environment kind.
+    fn kind(&self) -> TargetKind;
+
+    /// Enqueues a region for asynchronous execution (Algorithm 1, line 8:
+    /// `E.post(B)`).
+    fn post(&self, region: Arc<TargetRegion>);
+
+    /// True when the calling thread is a member of this target's thread
+    /// group (Algorithm 1, line 6: `T ∈ E`).
+    fn is_member(&self) -> bool;
+
+    /// If the calling thread is a member, execute one *other* pending item
+    /// from this target's queue (the `await` logical barrier's
+    /// `processAnotherEventHandler`, line 15). Returns `true` if something
+    /// was processed. Non-members must return `false`.
+    fn help_one(&self) -> bool;
+
+    /// Number of regions posted and not yet started.
+    fn pending(&self) -> usize;
+
+    /// Counters for tests and reports.
+    fn stats(&self) -> TargetStats;
+}
+
+/// Per-target counters.
+#[derive(Debug, Default)]
+pub struct TargetStatsInner {
+    /// Blocks posted asynchronously.
+    pub posted: AtomicU64,
+    /// Blocks run synchronously because the encountering thread was already
+    /// a member (Algorithm 1 line 7).
+    pub inline: AtomicU64,
+    /// Blocks executed by the target's own threads.
+    pub executed: AtomicU64,
+    /// Blocks executed by a member thread *helping* during an await barrier.
+    pub helped: AtomicU64,
+}
+
+/// Snapshot of [`TargetStatsInner`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TargetStats {
+    /// Blocks posted asynchronously.
+    pub posted: u64,
+    /// Blocks run synchronously via the member short-circuit.
+    pub inline: u64,
+    /// Blocks executed by the target's own threads.
+    pub executed: u64,
+    /// Blocks executed while helping during an await barrier.
+    pub helped: u64,
+}
+
+impl TargetStatsInner {
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> TargetStats {
+        TargetStats {
+            posted: self.posted.load(Ordering::Relaxed),
+            inline: self.inline.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            helped: self.helped.load(Ordering::Relaxed),
+        }
+    }
+}

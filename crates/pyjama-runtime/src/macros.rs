@@ -1,0 +1,147 @@
+//! Directive-style macro front end.
+//!
+//! The paper's philosophy is that "adding directives does not influence the
+//! original correctness of the sequential execution" (§I). The
+//! [`target_virtual!`](crate::target_virtual) macro is the closest Rust analogue of the `//#omp`
+//! comment-directive: wrap a block, name a target, optionally add a
+//! scheduling clause — remove the macro and the block still runs, inline.
+
+/// Offload a block to a virtual target, directive style.
+///
+/// Grammar (mirroring Figure 5):
+///
+/// ```text
+/// target_virtual!(rt, "name", { block })                 // default: wait
+/// target_virtual!(rt, "name", nowait, { block })
+/// target_virtual!(rt, "name", await, { block })
+/// target_virtual!(rt, "name", name_as = "tag", { block })
+/// target_virtual!(rt, "name", if cond, { block })        // if-clause, wait
+/// ```
+///
+/// Evaluates to the block's [`crate::TaskHandle`].
+///
+/// # Example
+///
+/// ```
+/// use pyjama_runtime::{Runtime, target_virtual};
+///
+/// let rt = Runtime::new();
+/// rt.virtual_target_create_worker("worker", 2);
+///
+/// let h = target_virtual!(rt, "worker", nowait, {
+///     // runs on the worker pool
+/// });
+/// h.wait();
+/// ```
+#[macro_export]
+macro_rules! target_virtual {
+    ($rt:expr, $name:expr, { $($body:tt)* }) => {
+        $rt.target($name, $crate::Mode::Wait, move || { $($body)* })
+    };
+    ($rt:expr, $name:expr, nowait, { $($body:tt)* }) => {
+        $rt.target($name, $crate::Mode::NoWait, move || { $($body)* })
+    };
+    ($rt:expr, $name:expr, await, { $($body:tt)* }) => {
+        $rt.target($name, $crate::Mode::Await, move || { $($body)* })
+    };
+    ($rt:expr, $name:expr, name_as = $tag:expr, { $($body:tt)* }) => {
+        $rt.target($name, $crate::Mode::NameAs($tag.into()), move || { $($body)* })
+    };
+    ($rt:expr, $name:expr, if $cond:expr, { $($body:tt)* }) => {
+        $rt.target_if($name, $crate::Mode::Wait, $cond, move || { $($body)* })
+    };
+}
+
+/// The `wait(tag)` clause as a statement:
+/// `wait_tag!(rt, "jobs")` ≡ `rt.wait_tag("jobs")`.
+#[macro_export]
+macro_rules! wait_tag {
+    ($rt:expr, $tag:expr) => {
+        $rt.wait_tag($tag)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Runtime;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn default_mode_waits() {
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("w", 1);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        target_virtual!(rt, "w", {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nowait_returns_handle() {
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("w", 1);
+        let h = target_virtual!(rt, "w", nowait, {});
+        h.wait();
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    fn await_mode_completes() {
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("w", 1);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        target_virtual!(rt, "w", await, {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn name_as_and_wait_tag_macros() {
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("w", 2);
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let n2 = Arc::clone(&n);
+            target_virtual!(rt, "w", name_as = "batch", {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        wait_tag!(rt, "batch");
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn if_clause_macro() {
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("w", 1);
+        let on_caller = std::thread::current().id();
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let h = target_virtual!(rt, "w", if false, {
+            if std::thread::current().id() == on_caller {
+                n2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(h.is_finished());
+        assert_eq!(n.load(Ordering::SeqCst), 1, "disabled directive runs inline");
+    }
+
+    #[test]
+    fn variables_captured_like_sequential_code() {
+        // Data-context sharing (§III-B): the block sees the same variables.
+        let rt = Runtime::new();
+        rt.virtual_target_create_worker("w", 1);
+        let data = [1, 2, 3];
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&sum);
+        target_virtual!(rt, "w", {
+            s2.store(data.iter().sum::<usize>(), Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+    }
+}

@@ -1,0 +1,107 @@
+//! Scheduling-property clauses (paper §III-A, Table I).
+
+/// The asynchronous-execution mode of a target block — the paper's
+/// *scheduling-property-clause* (`nowait`, `name_as(tag)`, `await`, or
+/// nothing).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// No clause: "the encountering thread will busy-wait until the target
+    /// code block is finished by the specified target … corresponds to the
+    /// standard OpenMP behavior of the target directive" (§III-C).
+    Wait,
+    /// `nowait`: skip the block, continue immediately, no notification —
+    /// "the code block can be safely invoked and ignored".
+    NoWait,
+    /// `name_as(tag)`: skip the block but remember it under `tag`; a later
+    /// `wait(tag)` ([`crate::Runtime::wait_tag`]) synchronises with *all*
+    /// blocks sharing the tag.
+    NameAs(String),
+    /// `await`: skip blocking — while the target block runs, the
+    /// encountering thread "returns to the event loop in search of another
+    /// event to process"; statements after the block run only once it
+    /// completes.
+    Await,
+}
+
+impl Mode {
+    /// Convenience constructor for [`Mode::NameAs`].
+    pub fn name_as(tag: impl Into<String>) -> Self {
+        Mode::NameAs(tag.into())
+    }
+
+    /// True for the modes where the encountering thread continues past the
+    /// block without waiting at the invocation point (`nowait`, `name_as`).
+    pub fn is_fire_and_forget(&self) -> bool {
+        matches!(self, Mode::NoWait | Mode::NameAs(_))
+    }
+
+    /// True when the encountering thread may not proceed past the block
+    /// until it completes (`wait` and `await`).
+    pub fn blocks_continuation(&self) -> bool {
+        matches!(self, Mode::Wait | Mode::Await)
+    }
+
+    /// The clause spelling used in directives, e.g. `name_as(tag)`.
+    pub fn clause_text(&self) -> String {
+        match self {
+            Mode::Wait => String::new(),
+            Mode::NoWait => "nowait".to_string(),
+            Mode::NameAs(tag) => format!("name_as({tag})"),
+            Mode::Await => "await".to_string(),
+        }
+    }
+}
+
+impl Default for Mode {
+    /// The default scheduling behaviour is `wait` (§III-C "Default").
+    fn default() -> Self {
+        Mode::Wait
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Wait => write!(f, "wait"),
+            Mode::NoWait => write!(f, "nowait"),
+            Mode::NameAs(tag) => write!(f, "name_as({tag})"),
+            Mode::Await => write!(f, "await"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_wait() {
+        assert_eq!(Mode::default(), Mode::Wait);
+    }
+
+    #[test]
+    fn classification_matches_table_one() {
+        assert!(!Mode::Wait.is_fire_and_forget());
+        assert!(Mode::NoWait.is_fire_and_forget());
+        assert!(Mode::name_as("t").is_fire_and_forget());
+        assert!(!Mode::Await.is_fire_and_forget());
+
+        assert!(Mode::Wait.blocks_continuation());
+        assert!(Mode::Await.blocks_continuation());
+        assert!(!Mode::NoWait.blocks_continuation());
+    }
+
+    #[test]
+    fn clause_text_round_trips_spelling() {
+        assert_eq!(Mode::Wait.clause_text(), "");
+        assert_eq!(Mode::NoWait.clause_text(), "nowait");
+        assert_eq!(Mode::name_as("jobs").clause_text(), "name_as(jobs)");
+        assert_eq!(Mode::Await.clause_text(), "await");
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Mode::Wait.to_string(), "wait");
+        assert_eq!(Mode::name_as("x").to_string(), "name_as(x)");
+    }
+}

@@ -1,0 +1,143 @@
+//! Name-tag synchronisation (`name_as(tag)` … `wait(tag)`).
+//!
+//! "A task identifier name-tag is created that enables the encountering
+//! thread to explicitly synchronize with the task … different target blocks
+//! are allowed to share the same name-tag, such that when a wait clause is
+//! applied with that name-tag, the encountering thread suspends until all
+//! the name-tag asynchronous target block instances finish" (§III-C).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::task::TaskHandle;
+
+/// Registry mapping name tags to the outstanding target-block instances
+/// registered under them.
+#[derive(Default)]
+pub struct TagRegistry {
+    tags: Mutex<HashMap<String, Vec<TaskHandle>>>,
+}
+
+impl TagRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a task instance under `tag`.
+    pub fn register(&self, tag: &str, handle: TaskHandle) {
+        let mut g = self.tags.lock();
+        let entry = g.entry(tag.to_string()).or_default();
+        // Opportunistically drop already-finished instances so long-running
+        // programs that tag thousands of blocks do not grow without bound.
+        if entry.len() >= 64 {
+            entry.retain(|h| !h.is_finished());
+        }
+        entry.push(handle);
+    }
+
+    /// Snapshot of the instances currently registered under `tag`.
+    ///
+    /// `wait(tag)` semantics: the caller synchronises with the instances
+    /// that exist *at the moment of the wait*; blocks tagged afterwards
+    /// belong to the next wait.
+    pub fn snapshot(&self, tag: &str) -> Vec<TaskHandle> {
+        self.tags.lock().get(tag).cloned().unwrap_or_default()
+    }
+
+    /// Removes finished instances under `tag`; returns how many remain.
+    pub fn prune(&self, tag: &str) -> usize {
+        let mut g = self.tags.lock();
+        match g.get_mut(tag) {
+            Some(v) => {
+                v.retain(|h| !h.is_finished());
+                let n = v.len();
+                if n == 0 {
+                    g.remove(tag);
+                }
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Number of distinct live tags.
+    pub fn tag_count(&self) -> usize {
+        self.tags.lock().len()
+    }
+
+    /// Number of instances (finished or not) recorded under `tag`.
+    pub fn instance_count(&self, tag: &str) -> usize {
+        self.tags.lock().get(tag).map_or(0, |v| v.len())
+    }
+}
+
+impl std::fmt::Debug for TagRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.tags.lock();
+        f.debug_map()
+            .entries(g.iter().map(|(k, v)| (k, v.len())))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TargetRegion;
+
+    #[test]
+    fn snapshot_of_unknown_tag_is_empty() {
+        let reg = TagRegistry::new();
+        assert!(reg.snapshot("nope").is_empty());
+        assert_eq!(reg.instance_count("nope"), 0);
+    }
+
+    #[test]
+    fn register_and_snapshot() {
+        let reg = TagRegistry::new();
+        let r1 = TargetRegion::new("a", || {});
+        let r2 = TargetRegion::new("b", || {});
+        reg.register("jobs", r1.handle());
+        reg.register("jobs", r2.handle());
+        assert_eq!(reg.snapshot("jobs").len(), 2);
+        assert_eq!(reg.tag_count(), 1);
+    }
+
+    #[test]
+    fn tags_are_independent() {
+        let reg = TagRegistry::new();
+        let r = TargetRegion::new("a", || {});
+        reg.register("x", r.handle());
+        assert_eq!(reg.instance_count("x"), 1);
+        assert_eq!(reg.instance_count("y"), 0);
+    }
+
+    #[test]
+    fn prune_drops_finished() {
+        let reg = TagRegistry::new();
+        let done = TargetRegion::new("done", || {});
+        done.execute();
+        let pending = TargetRegion::new("pending", || {});
+        reg.register("t", done.handle());
+        reg.register("t", pending.handle());
+        assert_eq!(reg.prune("t"), 1);
+        assert_eq!(reg.instance_count("t"), 1);
+        pending.execute();
+        assert_eq!(reg.prune("t"), 0);
+        assert_eq!(reg.tag_count(), 0, "empty tags are removed");
+    }
+
+    #[test]
+    fn register_compacts_when_large() {
+        let reg = TagRegistry::new();
+        for _ in 0..200 {
+            let r = TargetRegion::new("x", || {});
+            r.execute(); // finished immediately
+            reg.register("bulk", r.handle());
+        }
+        // Compaction keeps the entry bounded (64 threshold + headroom).
+        assert!(reg.instance_count("bulk") <= 65, "{}", reg.instance_count("bulk"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Target regions and completion handles.
+//!
+//! The Pyjama compiler "will restructure a target block as a runnable
+//! TargetRegion class, with its run() function implementing the user code"
+//! (§IV-A). [`TargetRegion`] is that runnable; [`TaskHandle`] is the
+//! completion state that the scheduling modes synchronise on.
+
+use std::any::Any;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Lifecycle of a target block instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskState {
+    /// Posted but not yet started.
+    Pending,
+    /// Currently executing on some thread.
+    Running,
+    /// Completed normally.
+    Finished,
+    /// The block panicked; the payload is delivered to the first joiner.
+    Panicked,
+}
+
+struct Core {
+    state: Mutex<CoreState>,
+    cond: Condvar,
+}
+
+struct CoreState {
+    state: TaskState,
+    panic_payload: Option<Box<dyn Any + Send>>,
+}
+
+/// A clonable handle observing one target block's completion.
+#[derive(Clone)]
+pub struct TaskHandle {
+    core: Arc<Core>,
+    label: Arc<str>,
+}
+
+impl TaskHandle {
+    fn new(label: Arc<str>) -> Self {
+        TaskHandle {
+            core: Arc::new(Core {
+                state: Mutex::new(CoreState {
+                    state: TaskState::Pending,
+                    panic_payload: None,
+                }),
+                cond: Condvar::new(),
+            }),
+            label,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TaskState {
+        self.core.state.lock().state
+    }
+
+    /// True once the block has finished (normally or by panic).
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state(), TaskState::Finished | TaskState::Panicked)
+    }
+
+    /// Blocks until the task finishes. Does not propagate panics.
+    pub fn wait(&self) {
+        let mut g = self.core.state.lock();
+        while !matches!(g.state, TaskState::Finished | TaskState::Panicked) {
+            self.core.cond.wait(&mut g);
+        }
+    }
+
+    /// Blocks until the task finishes or `timeout` elapses. Returns `true`
+    /// if the task finished.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.core.state.lock();
+        while !matches!(g.state, TaskState::Finished | TaskState::Panicked) {
+            if self.core.cond.wait_until(&mut g, deadline).timed_out() {
+                return matches!(g.state, TaskState::Finished | TaskState::Panicked);
+            }
+        }
+        true
+    }
+
+    /// Blocks until the task finishes, then re-raises its panic (if any) on
+    /// the calling thread — mirroring the behaviour a synchronous execution
+    /// of the block would have had.
+    pub fn join(&self) {
+        self.wait();
+        let payload = self.core.state.lock().panic_payload.take();
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    /// Diagnostic label of the region this handle belongs to.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn transition(&self, to: TaskState, payload: Option<Box<dyn Any + Send>>) {
+        let mut g = self.core.state.lock();
+        g.state = to;
+        if payload.is_some() {
+            g.panic_payload = payload;
+        }
+        drop(g);
+        self.core.cond.notify_all();
+    }
+}
+
+impl std::fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("label", &self.label)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+/// A restructured target block: the user code as a one-shot runnable plus
+/// its completion handle.
+pub struct TargetRegion {
+    body: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    handle: TaskHandle,
+}
+
+impl TargetRegion {
+    /// Wraps user code into a region with a diagnostic label.
+    pub fn new(label: impl Into<String>, body: impl FnOnce() + Send + 'static) -> Arc<Self> {
+        let label: Arc<str> = Arc::from(label.into());
+        Arc::new(TargetRegion {
+            body: Mutex::new(Some(Box::new(body))),
+            handle: TaskHandle::new(label),
+        })
+    }
+
+    /// The completion handle.
+    pub fn handle(&self) -> TaskHandle {
+        self.handle.clone()
+    }
+
+    /// Executes the user code on the calling thread, exactly once.
+    ///
+    /// Panics inside the block are caught and stored on the handle (a
+    /// virtual target must survive misbehaving blocks); they re-raise at
+    /// [`TaskHandle::join`]. Calling `execute` a second time is a no-op.
+    pub fn execute(&self) {
+        let body = self.body.lock().take();
+        let Some(body) = body else { return };
+        self.handle.transition(TaskState::Running, None);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+            Ok(()) => self.handle.transition(TaskState::Finished, None),
+            Err(p) => self.handle.transition(TaskState::Panicked, Some(p)),
+        }
+    }
+}
+
+impl std::fmt::Debug for TargetRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetRegion")
+            .field("label", &self.handle.label)
+            .field("state", &self.handle.state())
+            .finish()
+    }
+}
+
+/// A typed future over a target block that produces a value.
+///
+/// The paper's blocks are statements (they communicate through the shared
+/// data context); `TargetFuture` is the small extension a Rust API needs so
+/// examples can retrieve results without shared mutable state.
+pub struct TargetFuture<R> {
+    handle: TaskHandle,
+    slot: Arc<Mutex<Option<R>>>,
+}
+
+impl<R: Send + 'static> TargetFuture<R> {
+    /// Wraps a value-producing closure into a runnable region plus a typed
+    /// future observing it.
+    pub fn wrap(
+        label: impl Into<String>,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> (Arc<TargetRegion>, TargetFuture<R>) {
+        let slot = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let region = TargetRegion::new(label, move || {
+            let r = f();
+            *slot2.lock() = Some(r);
+        });
+        let fut = TargetFuture {
+            handle: region.handle(),
+            slot,
+        };
+        (region, fut)
+    }
+
+    /// The untyped completion handle.
+    pub fn handle(&self) -> &TaskHandle {
+        &self.handle
+    }
+
+    /// Blocks until the block completes and returns its value, re-raising
+    /// its panic if it had one.
+    pub fn join(self) -> R {
+        self.handle.join();
+        self.slot.lock().take().expect("completed without panic")
+    }
+
+    /// Non-blocking: returns the value if already complete.
+    pub fn try_take(&self) -> Option<R> {
+        if self.handle.is_finished() {
+            self.slot.lock().take()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn region_executes_once() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let r = TargetRegion::new("t", move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(r.handle().state(), TaskState::Pending);
+        r.execute();
+        r.execute();
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+        assert_eq!(r.handle().state(), TaskState::Finished);
+    }
+
+    #[test]
+    fn wait_blocks_until_finished() {
+        let r = TargetRegion::new("t", || std::thread::sleep(Duration::from_millis(10)));
+        let h = r.handle();
+        let t = std::thread::spawn(move || r.execute());
+        h.wait();
+        assert!(h.is_finished());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_expires_on_pending_task() {
+        let r = TargetRegion::new("t", || {});
+        let h = r.handle();
+        assert!(!h.wait_timeout(Duration::from_millis(10)));
+        r.execute();
+        assert!(h.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn panic_is_captured_and_rethrown_at_join() {
+        let r = TargetRegion::new("t", || panic!("block failed"));
+        r.execute();
+        assert_eq!(r.handle().state(), TaskState::Panicked);
+        let h = r.handle();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()));
+        assert!(err.is_err());
+        // Second join does not re-panic (payload consumed).
+        r.handle().join();
+    }
+
+    #[test]
+    fn handle_observes_from_other_thread() {
+        let r = TargetRegion::new("t", || {});
+        let h = r.handle();
+        let t = std::thread::spawn(move || {
+            h.wait();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        r.execute();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn future_returns_value() {
+        let (region, fut) = TargetFuture::wrap("sum", || 2 + 2);
+        assert!(fut.try_take().is_none());
+        region.execute();
+        assert_eq!(fut.join(), 4);
+    }
+
+    #[test]
+    fn future_try_take_after_completion() {
+        let (region, fut) = TargetFuture::wrap("v", || "ok");
+        region.execute();
+        assert_eq!(fut.try_take(), Some("ok"));
+        assert_eq!(fut.try_take(), None, "value is taken once");
+    }
+
+    #[test]
+    fn future_propagates_panic() {
+        let (region, fut) = TargetFuture::<i32>::wrap("boom", || panic!("x"));
+        region.execute();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || fut.join()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn label_is_preserved() {
+        let r = TargetRegion::new("my-label", || {});
+        assert_eq!(r.handle().label(), "my-label");
+    }
+}

@@ -1,0 +1,403 @@
+//! Worker virtual targets: fixed-size thread pools.
+//!
+//! `virtual_target_create_worker(tname, m)` creates "a worker virtual target
+//! with maximum of m threads" (Table II). A worker target's lifecycle "lasts
+//! throughout the program" (§III-D); dropping the handle shuts the pool down
+//! (join on drop) because a Rust library must not leak threads.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::executor::{TargetKind, TargetStats, TargetStatsInner, VirtualTarget};
+use crate::task::TargetRegion;
+
+thread_local! {
+    /// The worker target the current thread belongs to, if any.
+    static CURRENT_WORKER: RefCell<Option<Weak<Inner>>> = const { RefCell::new(None) };
+}
+
+struct Inner {
+    name: String,
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    stats: TargetStatsInner,
+}
+
+struct QueueState {
+    tasks: VecDeque<Arc<TargetRegion>>,
+    shutdown: bool,
+}
+
+impl Inner {
+    fn pop_blocking(&self) -> Option<Arc<TargetRegion>> {
+        let mut g = self.queue.lock();
+        loop {
+            if let Some(t) = g.tasks.pop_front() {
+                return Some(t);
+            }
+            if g.shutdown {
+                return None;
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    fn try_pop(&self) -> Option<Arc<TargetRegion>> {
+        self.queue.lock().tasks.pop_front()
+    }
+}
+
+/// A fixed-size thread-pool virtual target.
+pub struct WorkerTarget {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerTarget {
+    /// Creates a worker target named `name` with `m` threads (Table II's
+    /// `virtual_target_create_worker`).
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(name: impl Into<String>, m: usize) -> Arc<Self> {
+        assert!(m > 0, "a worker virtual target needs at least one thread");
+        let name = name.into();
+        let inner = Arc::new(Inner {
+            name: name.clone(),
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            stats: TargetStatsInner::default(),
+        });
+        let threads = (0..m)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        CURRENT_WORKER
+                            .with(|c| *c.borrow_mut() = Some(Arc::downgrade(&inner)));
+                        while let Some(region) = inner.pop_blocking() {
+                            region.execute();
+                            inner.stats.executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Arc::new(WorkerTarget {
+            inner,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Number of pool threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.lock().len()
+    }
+
+    /// Requests shutdown: queued regions still run, then threads exit.
+    /// Blocks until all pool threads have joined. Idempotent.
+    ///
+    /// When invoked *from a pool thread* (e.g. the last `Arc` of a runtime
+    /// was dropped inside a target block), the calling thread cannot join
+    /// itself; it is detached instead and exits naturally when it drains
+    /// the queue.
+    pub fn shutdown(&self) {
+        {
+            let mut g = self.inner.queue.lock();
+            g.shutdown = true;
+        }
+        self.inner.cond.notify_all();
+        let me = std::thread::current().id();
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            if t.thread().id() == me {
+                drop(t); // detach: a thread must not join itself
+            } else {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// Help-process one pending task of the worker pool the current thread
+    /// belongs to. Free function used by the await logical barrier when the
+    /// encountering thread is itself a pool worker.
+    pub fn help_current_thread_pool() -> bool {
+        let inner = CURRENT_WORKER.with(|c| c.borrow().as_ref().and_then(Weak::upgrade));
+        match inner {
+            Some(inner) => match inner.try_pop() {
+                Some(region) => {
+                    region.execute();
+                    inner.stats.executed.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.helped.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+}
+
+impl VirtualTarget for WorkerTarget {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn kind(&self) -> TargetKind {
+        TargetKind::Worker
+    }
+
+    fn post(&self, region: Arc<TargetRegion>) {
+        {
+            let mut g = self.inner.queue.lock();
+            assert!(!g.shutdown, "posting to a shut-down worker target");
+            g.tasks.push_back(region);
+        }
+        self.inner.stats.posted.fetch_add(1, Ordering::Relaxed);
+        self.inner.cond.notify_one();
+    }
+
+    fn is_member(&self) -> bool {
+        CURRENT_WORKER.with(|c| {
+            c.borrow()
+                .as_ref()
+                .and_then(Weak::upgrade)
+                .is_some_and(|i| Arc::ptr_eq(&i, &self.inner))
+        })
+    }
+
+    fn help_one(&self) -> bool {
+        if !self.is_member() {
+            return false;
+        }
+        match self.inner.try_pop() {
+            Some(region) => {
+                region.execute();
+                self.inner.stats.executed.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.helped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.inner.queue.lock().tasks.len()
+    }
+
+    fn stats(&self) -> TargetStats {
+        self.inner.stats.snapshot()
+    }
+}
+
+impl Drop for WorkerTarget {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for WorkerTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerTarget")
+            .field("name", &self.inner.name)
+            .field("threads", &self.num_threads())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::time::Duration;
+
+    #[test]
+    fn executes_posted_regions() {
+        let w = WorkerTarget::new("w", 2);
+        let n = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..10 {
+            let n = Arc::clone(&n);
+            let r = TargetRegion::new("t", move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+            handles.push(r.handle());
+            w.post(r);
+        }
+        for h in &handles {
+            h.wait();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 10);
+        assert_eq!(w.stats().executed, 10);
+        assert_eq!(w.stats().posted, 10);
+    }
+
+    #[test]
+    fn membership_detected_from_inside() {
+        let w = WorkerTarget::new("w", 1);
+        assert!(!w.is_member());
+        let seen = Arc::new(AtomicBool::new(false));
+        let s = Arc::clone(&seen);
+        let w2 = Arc::clone(&w);
+        let r = TargetRegion::new("t", move || s.store(w2.is_member(), Ordering::SeqCst));
+        let h = r.handle();
+        w.post(r);
+        h.wait();
+        assert!(seen.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn membership_distinguishes_pools() {
+        let a = WorkerTarget::new("a", 1);
+        let b = WorkerTarget::new("b", 1);
+        let ok = Arc::new(AtomicBool::new(false));
+        let okc = Arc::clone(&ok);
+        let a2 = Arc::clone(&a);
+        let b2 = Arc::clone(&b);
+        let r = TargetRegion::new("t", move || {
+            okc.store(a2.is_member() && !b2.is_member(), Ordering::SeqCst);
+        });
+        let h = r.handle();
+        a.post(r);
+        h.wait();
+        assert!(ok.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn help_one_from_member_thread() {
+        let w = WorkerTarget::new("w", 1);
+        // Occupy the single pool thread, then have it help-process a
+        // second region from inside the first.
+        let helped_inside = Arc::new(AtomicBool::new(false));
+        let hi = Arc::clone(&helped_inside);
+        let w2 = Arc::clone(&w);
+
+        let gate = Arc::new(AtomicBool::new(false));
+        let gate2 = Arc::clone(&gate);
+        let first = TargetRegion::new("first", move || {
+            // Wait for the second region to be queued behind us.
+            while !gate2.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            hi.store(w2.help_one(), Ordering::SeqCst);
+        });
+        let h1 = first.handle();
+        w.post(first);
+
+        let second = TargetRegion::new("second", || {});
+        let h2 = second.handle();
+        w.post(second);
+        gate.store(true, Ordering::SeqCst);
+
+        h1.wait();
+        h2.wait();
+        assert!(helped_inside.load(Ordering::SeqCst));
+        assert_eq!(w.stats().helped, 1);
+    }
+
+    #[test]
+    fn help_one_from_non_member_is_false() {
+        let w = WorkerTarget::new("w", 1);
+        let r = TargetRegion::new("t", || {});
+        w.post(r);
+        assert!(!w.help_one());
+    }
+
+    #[test]
+    fn help_current_thread_pool_outside_pool_is_false() {
+        assert!(!WorkerTarget::help_current_thread_pool());
+    }
+
+    #[test]
+    fn shutdown_runs_remaining_tasks() {
+        let w = WorkerTarget::new("w", 2);
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let n = Arc::clone(&n);
+            w.post(TargetRegion::new("t", move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        w.shutdown();
+        assert_eq!(n.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let w = WorkerTarget::new("w", 1);
+        w.shutdown();
+        w.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = WorkerTarget::new("w", 0);
+    }
+
+    #[test]
+    fn panicking_region_does_not_kill_pool() {
+        let w = WorkerTarget::new("w", 1);
+        let bad = TargetRegion::new("bad", || panic!("task bug"));
+        let hb = bad.handle();
+        w.post(bad);
+        hb.wait();
+        let ok = TargetRegion::new("ok", || {});
+        let ho = ok.handle();
+        w.post(ok);
+        ho.wait();
+        assert_eq!(ho.state(), crate::task::TaskState::Finished);
+    }
+
+    #[test]
+    fn dropping_last_handle_on_pool_thread_does_not_deadlock_or_panic() {
+        // Regression: the final Arc<WorkerTarget> dropped *inside* a target
+        // block used to make the pool thread join itself (EDEADLK panic).
+        let w = WorkerTarget::new("w", 2);
+        let done = Arc::new(AtomicBool::new(false));
+        let d = Arc::clone(&done);
+        let w_inner = Arc::clone(&w);
+        let r = TargetRegion::new("self-drop", move || {
+            // This closure owns what will become the last reference.
+            drop(w_inner);
+            d.store(true, Ordering::SeqCst);
+        });
+        let h = r.handle();
+        w.post(r);
+        drop(w); // the task's clone is now the last one
+        h.wait();
+        assert!(done.load(Ordering::SeqCst));
+        // Give the detached thread a moment to exit cleanly.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    #[test]
+    fn parallelism_matches_pool_size() {
+        // With 4 threads, 4 sleeping tasks overlap: total wall clock well
+        // under 4 × sleep.
+        let w = WorkerTarget::new("w", 4);
+        let t0 = std::time::Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = TargetRegion::new("t", || std::thread::sleep(Duration::from_millis(50)));
+                let h = r.handle();
+                w.post(r);
+                h
+            })
+            .collect();
+        for h in &handles {
+            h.wait();
+        }
+        assert!(t0.elapsed() < Duration::from_millis(150), "{:?}", t0.elapsed());
+    }
+}

@@ -1,0 +1,128 @@
+//! The paper's Figure 6, end to end: a button click triggers a download +
+//! image-processing pipeline that hops between the EDT and a worker target.
+//!
+//! ```java
+//! void buttonOnClick() {
+//!     Panel.showMsg("Started EDT handling");
+//!     Info info = Panel.collectInput();
+//!     //#omp target virtual(worker) nowait
+//!     {
+//!         int hscode = getHashCode(info);
+//!         downloadAndCompute(hscode);
+//!         //#omp target virtual(edt)
+//!         Panel.showMsg("Finished!");
+//!     }
+//! }
+//! ```
+//!
+//! The "download" is simulated with a sleep, the "image processing" with
+//! the RayTracer kernel, and the GUI with the thread-confined toolkit — a
+//! wrong-thread widget access would panic, so running this example *is*
+//! the confinement proof.
+//!
+//! Run with: `cargo run --release --example image_pipeline`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pyjama::gui::{ConfinementPolicy, Gui, Image};
+use pyjama::kernels::raytracer::{render_seq, Scene};
+use pyjama::runtime::{Mode, Runtime};
+
+fn main() {
+    let gui = Gui::launch(ConfinementPolicy::Enforce);
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_register_edt("edt", gui.edt_handle()).unwrap();
+    rt.virtual_target_create_worker("worker", 2);
+
+    let panel = gui.panel("main-panel");
+    let input = gui.text_field("query");
+    let button = gui.button("render");
+
+    // Wire the click handler — the body is the Figure 6 callback.
+    {
+        let rt = Arc::clone(&rt);
+        let panel = Arc::clone(&panel);
+        let input = Arc::clone(&input);
+        button.on_click(move || {
+            // Runs on the EDT (the toolkit dispatches clicks there).
+            panel.show_msg("Started EDT handling");
+            let info = input.content(); // Panel.collectInput()
+
+            // //#omp target virtual(worker) nowait
+            let rt2 = Arc::clone(&rt);
+            let panel2 = Arc::clone(&panel);
+            rt.target("worker", Mode::NoWait, move || {
+                let hscode = fnv(&info); // getHashCode(info)
+                let img = download_and_compute(hscode, &rt2, &panel2);
+                // //#omp target virtual(edt)  — display + final message
+                let panel3 = Arc::clone(&panel2);
+                rt2.target("edt", Mode::Wait, move || {
+                    panel3.display_img(img);
+                    panel3.show_msg("Finished!");
+                });
+            });
+        });
+    }
+
+    // Simulate the user: type a query, click the button.
+    {
+        let input = Arc::clone(&input);
+        gui.invoke_and_wait(move || input.set_content("sunset over spheres"));
+    }
+    gui.click(&button);
+
+    // Wait for the pipeline to complete.
+    let t0 = std::time::Instant::now();
+    while panel.image().is_none() {
+        assert!(t0.elapsed() < Duration::from_secs(30), "pipeline stalled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    gui.drain();
+
+    println!("panel log:");
+    for msg in panel.messages() {
+        println!("  {msg}");
+    }
+    let img = panel.image().unwrap();
+    println!("rendered image: {}x{} ({} bytes)", img.width, img.height, img.pixels.len());
+    println!(
+        "EDT dispatched {} events; confinement violations: {}",
+        gui.queue_latency().count(),
+        gui.confinement().violation_count()
+    );
+    gui.shutdown();
+}
+
+/// `downloadAndCompute(hs)`: network fetch (simulated) + image processing
+/// (a real ray-trace), with a progress message marshalled to the EDT.
+fn download_and_compute(
+    hscode: u64,
+    rt: &Arc<Runtime>,
+    panel: &Arc<pyjama::gui::Panel>,
+) -> Image {
+    // networkDownload(hs) — latency, off the EDT.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Interim progress: back on the EDT, nowait (broadcast-style).
+    let panel2 = Arc::clone(panel);
+    rt.target("edt", Mode::NoWait, move || {
+        panel2.show_msg("Download complete, converting…");
+    });
+
+    // formatConvert(buf) — the RayTracer kernel as the pixel-crunching
+    // stand-in; the hash seeds the scene size so input affects output.
+    let n = 32 + (hscode % 3) as usize * 16;
+    let scene = Scene::benchmark(16);
+    let pixels = render_seq(&scene, n);
+    Image::new(n, n, pixels)
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

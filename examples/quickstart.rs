@@ -1,0 +1,69 @@
+//! Quickstart: the virtual-target model in five minutes.
+//!
+//! Demonstrates Table II's runtime functions and all four scheduling modes
+//! of Table I (`wait`, `nowait`, `name_as`/`wait(tag)`, `await`).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pyjama::runtime::{Mode, Runtime};
+use pyjama::target_virtual;
+
+fn main() {
+    // --- Table II: create the virtual targets -------------------------
+    let rt = Runtime::new();
+    rt.virtual_target_create_worker("worker", 4);
+    println!("registered targets: {:?}", rt.target_names());
+
+    // --- Default mode: wait (standard `target` behaviour) -------------
+    let t0 = Instant::now();
+    rt.target("worker", Mode::Wait, || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    });
+    println!("wait    : block finished before continuing ({:?})", t0.elapsed());
+
+    // --- nowait: fire and forget ---------------------------------------
+    let t0 = Instant::now();
+    let handle = rt.target("worker", Mode::NoWait, || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    });
+    println!(
+        "nowait  : continued immediately ({:?}), block finished = {}",
+        t0.elapsed(),
+        handle.is_finished()
+    );
+    handle.wait();
+
+    // --- name_as + wait(tag): batch synchronisation --------------------
+    let sum = Arc::new(AtomicU64::new(0));
+    for i in 0..8u64 {
+        let sum = Arc::clone(&sum);
+        rt.target("worker", Mode::name_as("batch"), move || {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+    }
+    rt.wait_tag("batch");
+    println!("name_as : all 8 tagged blocks done, sum = {}", sum.load(Ordering::Relaxed));
+
+    // --- await: logical barrier ----------------------------------------
+    // Off an event loop this behaves like wait; on an EDT it would pump
+    // other events (see the image_pipeline example).
+    rt.target("worker", Mode::Await, || {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    });
+    println!("await   : completed");
+
+    // --- The directive-style macro -------------------------------------
+    let h = target_virtual!(rt, "worker", nowait, {
+        // offloaded, shares the surrounding data context
+    });
+    h.wait();
+    println!("macro   : target_virtual!(rt, \"worker\", nowait, {{ .. }}) ok");
+
+    // --- Typed results via submit ---------------------------------------
+    let fut = rt.submit("worker", || (1..=10u64).product::<u64>()).unwrap();
+    println!("submit  : 10! = {}", fut.join());
+}

@@ -1,0 +1,51 @@
+//! # Pyjama-RS
+//!
+//! A Rust reproduction of *Towards an Event-Driven Programming Model for
+//! OpenMP* (Fan, Sinnen, Giacaman — ICPP 2016).
+//!
+//! This umbrella crate re-exports the full system:
+//!
+//! * [`runtime`] — the paper's contribution: **virtual target** executors and
+//!   the `target virtual(...)` scheduling modes (`wait`, `nowait`,
+//!   `name_as`/`wait(tag)`, `await`), per §III–§IV.
+//! * [`events`] — the event-loop / event-dispatch-thread (EDT) substrate,
+//!   including the re-entrant pumping the `await` mode relies on.
+//! * [`omp`] — a classic fork-join OpenMP substrate (parallel regions,
+//!   worksharing loops, reductions, tasks) used both by the parallel kernels
+//!   and by the paper's "synchronous parallel" baseline.
+//! * [`gui`] — a Swing-like, thread-confined widget toolkit simulation.
+//! * [`kernels`] — the Java Grande kernels the evaluation uses: Crypt,
+//!   Series, MonteCarlo, RayTracer.
+//! * [`baselines`] — SwingWorker-style, ExecutorService-style and
+//!   thread-per-request baselines (Figures 3–4, §II).
+//! * [`http`] — the HTTP encryption-service case study (§V-B).
+//! * [`compiler`] — a source-to-source compiler for the PJ mini-language
+//!   with `//#omp` directives, reproducing the Section IV.A restructuring.
+//! * [`metrics`] — response-time / throughput / EDT-occupancy measurement.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pyjama::runtime::{Runtime, Mode};
+//!
+//! let rt = Runtime::new();
+//! rt.virtual_target_create_worker("worker", 2);
+//!
+//! // `target virtual(worker) name_as(job)` … `wait(job)`
+//! rt.target("worker", Mode::name_as("job"), || {
+//!     // time-consuming work, off the calling thread
+//! });
+//! rt.wait_tag("job");
+//! ```
+
+pub use pyjama_runtime::{target_virtual, wait_tag};
+
+pub use pyjama_baselines as baselines;
+pub use pyjama_compiler as compiler;
+pub use pyjama_events as events;
+pub use pyjama_gui as gui;
+pub use pyjama_http as http;
+pub use pyjama_kernels as kernels;
+pub use pyjama_metrics as metrics;
+pub use pyjama_omp as omp;
+pub use pyjama_runtime as runtime;

@@ -1,0 +1,195 @@
+//! Integration: the PJ compiler front end driving the real runtime and
+//! fork-join substrates, plus the §IV-A restructuring on realistic input.
+
+use std::sync::Arc;
+
+use pyjama::compiler::{parse, run_source, transform, ExecConfig, Interpreter};
+
+#[test]
+fn figure6_program_compiles_and_runs() {
+    let out = run_source(
+        r#"
+fn get_hash_code(info) { return hash(info); }
+
+fn download_and_compute(hs, log) {
+    sleep_ms(5);
+    push(log, "downloaded:" + hs);
+    //#omp target virtual(edt)
+    { push(log, "display-img"); }
+}
+
+fn button_on_click(log) {
+    push(log, "start-msg");
+    //#omp target virtual(worker) name_as(handler)
+    {
+        let hs = get_hash_code("user-input");
+        download_and_compute(hs, log);
+        //#omp target virtual(edt)
+        { push(log, "finished-msg"); }
+    }
+}
+
+fn main() {
+    let log = arr();
+    button_on_click(log);
+    //#omp wait(handler)
+    for i in 0..len(log) { print(log[i]); }
+}
+"#,
+    )
+    .expect("program runs");
+    assert_eq!(out.output.len(), 4);
+    assert_eq!(out.output[0], "start-msg");
+    assert!(out.output[1].starts_with("downloaded:"));
+    assert_eq!(out.output[2], "display-img");
+    assert_eq!(out.output[3], "finished-msg");
+}
+
+#[test]
+fn mixed_parallel_and_target_directives() {
+    let out = run_source(
+        r#"
+fn main() {
+    let partials = zeros(4);
+    //#omp parallel num_threads(4)
+    {
+        let tid = omp_get_thread_num();
+        partials[tid] = (tid + 1) * 10;
+    }
+    let total = 0;
+    //#omp target virtual(worker)
+    {
+        for i in 0..4 { total += partials[i]; }
+    }
+    print(total);
+}
+"#,
+    )
+    .expect("program runs");
+    assert_eq!(out.output, vec!["100"]);
+}
+
+#[test]
+fn parallel_for_reduction_pattern() {
+    let out = run_source(
+        r#"
+fn main() {
+    let squares = zeros(100);
+    //#omp parallel for num_threads(4) schedule(guided, 2)
+    for i in 0..100 { squares[i] = i * i; }
+    let sum = 0;
+    for i in 0..100 { sum += squares[i]; }
+    print(sum);
+}
+"#,
+    )
+    .expect("program runs");
+    assert_eq!(out.output, vec!["328350"]); // sum of squares 0..99
+}
+
+#[test]
+fn sequential_equivalence_on_a_nontrivial_program() {
+    let src = r#"
+fn work(acc, n) {
+    //#omp critical(acc)
+    { push(acc, n); }
+}
+
+fn main() {
+    let acc = arr();
+    //#omp parallel for num_threads(3)
+    for i in 0..25 { work(acc, i); }
+    //#omp target virtual(worker) name_as(t)
+    { push(acc, 100); }
+    //#omp wait(t)
+    print(len(acc));
+}
+"#;
+    let program = Arc::new(parse(src).unwrap());
+    let interp = Interpreter::new(program);
+    let with = interp.run(&ExecConfig::default()).unwrap();
+    let without = interp
+        .run(&ExecConfig {
+            ignore_directives: true,
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(with.output, without.output);
+    assert_eq!(with.output, vec!["26"]);
+}
+
+#[test]
+fn transformation_index_matches_runtime_behaviour() {
+    // The §IV-A transform extracts the same set of regions the interpreter
+    // dispatches: count dispatched target blocks via tag registry.
+    let src = r#"
+fn main() {
+    //#omp target virtual(worker) name_as(a)
+    { let x = 1; }
+    //#omp target virtual(worker) name_as(a)
+    { let y = 2; }
+    //#omp wait(a)
+    print("done");
+}
+"#;
+    let program = parse(src).unwrap();
+    let t = transform(&program);
+    assert_eq!(t.regions.len(), 2);
+    assert!(t.regions.iter().all(|r| r.target == "worker"));
+
+    let out = Interpreter::new(Arc::new(program))
+        .run(&ExecConfig::default())
+        .unwrap();
+    assert_eq!(out.output, vec!["done"]);
+}
+
+#[test]
+fn java_like_rendering_of_realistic_handler() {
+    let src = r#"
+fn main() {
+    setText("Start Processing Task!");
+    //#omp target virtual(worker) await
+    {
+        compute_half1();
+        //#omp target virtual(edt) nowait
+        { setText("Task half finished"); }
+        compute_half2();
+    }
+    setText("Task finished");
+}
+"#;
+    let t = transform(&parse(src).unwrap());
+    let rendered = t.to_java_like_source();
+    // The §IV-A landmarks, in order:
+    let landmarks = [
+        "class TargetRegion_0() implements Runnable",
+        "compute_half1();",
+        "TargetRegion _omp_tr_1 = new TargetRegion_1();",
+        "PjRuntime.invokeTargetBlock(\"edt\", _omp_tr_1, Async.nowait);",
+        "compute_half2();",
+        "TargetRegion _omp_tr_0 = new TargetRegion_0();",
+        "PjRuntime.invokeTargetBlock(\"worker\", _omp_tr_0, Async.await);",
+    ];
+    let mut pos = 0;
+    for lm in landmarks {
+        let found = rendered[pos..]
+            .find(lm)
+            .unwrap_or_else(|| panic!("missing `{lm}` after byte {pos} in:\n{rendered}"));
+        pos += found;
+    }
+}
+
+#[test]
+fn compile_errors_are_reported_not_panicked() {
+    for bad in [
+        "fn main() { let = 1; }",
+        "fn main() { //#omp target virtual() \n { } }",
+        "fn main() { x = 1; }", // assignment to undeclared is a runtime error
+    ] {
+        if let Ok(p) = parse(bad) {
+            // Parsed fine → must fail at runtime, not panic.
+            let r = Interpreter::new(Arc::new(p)).run(&ExecConfig::default());
+            assert!(r.is_err(), "`{bad}` should fail");
+        } // else: compile error is the expected path
+    }
+}

@@ -1,0 +1,224 @@
+//! Integration tests for the extension surface: simulated devices,
+//! async-I/O helpers, coalescing, recurring timers, and `sections`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pyjama::events::{Coalescer, Edt};
+use pyjama::gui::{ConfinementPolicy, Gui};
+use pyjama::kernels::crypt::{decrypt_seq, encrypt_seq, IdeaKey};
+use pyjama::omp::parallel_sections;
+use pyjama::runtime::asyncio::simulated_read;
+use pyjama::runtime::{DeviceTarget, Mode, Runtime, SimulatedDevice, VirtualTarget};
+
+/// Offload IDEA encryption to a simulated accelerator with explicit data
+/// mapping, then verify on the host — the full `target device` ceremony
+/// that `target virtual` removes.
+#[test]
+fn device_offloaded_encryption_round_trips() {
+    let device = SimulatedDevice::new(0, Duration::ZERO);
+    let key = IdeaKey::benchmark_key();
+    let plaintext = pyjama::kernels::crypt::make_plaintext(256);
+
+    device.map_to("buf", &plaintext).unwrap();
+    let key2 = key.clone();
+    device
+        .launch("idea-encrypt", move |mem| {
+            let buf = mem.buffer_mut("buf").unwrap();
+            encrypt_seq(&key2, buf);
+        })
+        .join();
+    let mut ciphertext = Vec::new();
+    device.map_from("buf", &mut ciphertext).unwrap();
+
+    assert_ne!(ciphertext, plaintext);
+    let mut round = ciphertext;
+    decrypt_seq(&key, &mut round);
+    assert_eq!(round, plaintext);
+    assert_eq!(device.bytes_to_device(), 256);
+    assert_eq!(device.bytes_from_device(), 256);
+}
+
+/// A device target participates in the normal directive machinery
+/// (`wait`, `nowait`, `await`) like any virtual target.
+#[test]
+fn device_target_supports_scheduling_modes() {
+    let rt = Runtime::new();
+    let device = SimulatedDevice::new(3, Duration::ZERO);
+    let target = DeviceTarget::new(device);
+    rt.register(target.name().to_string(), target as Arc<dyn VirtualTarget>)
+        .unwrap();
+
+    let ran = Arc::new(AtomicU64::new(0));
+    for mode in [Mode::Wait, Mode::NoWait, Mode::Await, Mode::name_as("dev")] {
+        let r = Arc::clone(&ran);
+        let h = rt.target("device:3", mode, move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        h.wait();
+    }
+    rt.wait_tag("dev");
+    assert_eq!(ran.load(Ordering::SeqCst), 4);
+}
+
+/// submit_then chains: download on io pool → decode on cpu pool → display
+/// on the EDT, with widget confinement enforced throughout.
+#[test]
+fn submit_then_chain_across_three_targets() {
+    let gui = Gui::launch(ConfinementPolicy::Enforce);
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_register_edt("edt", gui.edt_handle()).unwrap();
+    rt.virtual_target_create_worker("io", 1);
+    rt.virtual_target_create_worker("cpu", 1);
+
+    let label = gui.label("status");
+    let done = Arc::new(AtomicBool::new(false));
+
+    let rt2 = Arc::clone(&rt);
+    let l2 = Arc::clone(&label);
+    let d2 = Arc::clone(&done);
+    rt.submit_then(
+        "io",
+        simulated_read(Duration::from_millis(10), b"abc".to_vec()),
+        "cpu",
+        move |raw| {
+            let decoded = raw.iter().map(|b| b.to_ascii_uppercase()).collect::<Vec<_>>();
+            let l3 = Arc::clone(&l2);
+            let d3 = Arc::clone(&d2);
+            rt2.target("edt", Mode::NoWait, move || {
+                l3.set_text(String::from_utf8(decoded).unwrap());
+                d3.store(true, Ordering::SeqCst);
+            });
+        },
+    )
+    .unwrap();
+
+    let t0 = Instant::now();
+    while !done.load(Ordering::SeqCst) {
+        assert!(t0.elapsed() < Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(label.text(), "ABC");
+    assert_eq!(gui.confinement().violation_count(), 0);
+    gui.shutdown();
+}
+
+/// Coalesced progress updates during an offloaded computation: many
+/// `nowait`-style broadcasts collapse to few EDT dispatches, and the final
+/// value always survives.
+#[test]
+fn coalesced_progress_updates_from_worker() {
+    let gui = Gui::launch(ConfinementPolicy::Enforce);
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_register_edt("edt", gui.edt_handle()).unwrap();
+    rt.virtual_target_create_worker("worker", 1);
+    let bar = gui.progress_bar("bar");
+    let coalescer = Arc::new(Coalescer::new(gui.edt_handle()));
+
+    // Park the EDT briefly so the burst piles up behind one event.
+    gui.invoke_later(|| std::thread::sleep(Duration::from_millis(40)));
+
+    let b2 = Arc::clone(&bar);
+    let c2 = Arc::clone(&coalescer);
+    let h = rt.target("worker", Mode::NoWait, move || {
+        for pct in 1..=100u8 {
+            let b3 = Arc::clone(&b2);
+            c2.post("progress", move || b3.set_value(pct));
+        }
+    });
+    h.wait();
+    gui.drain();
+    assert_eq!(bar.value(), 100, "the final update must win");
+    assert!(
+        bar.history().len() < 100,
+        "coalescing should collapse updates: {} dispatched",
+        bar.history().len()
+    );
+    gui.shutdown();
+}
+
+/// A recurring timer measures EDT availability while an await-offloaded
+/// computation runs — the Figure 1(ii) scenario with library primitives.
+#[test]
+fn interval_ticks_during_await_offload() {
+    let edt = Edt::spawn("edt");
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_register_edt("edt", edt.handle()).unwrap();
+    rt.virtual_target_create_worker("worker", 1);
+
+    let interval = edt.handle().post_interval(Duration::from_millis(3), || {});
+    let baseline = interval.fired();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let rt2 = Arc::clone(&rt);
+    let d2 = Arc::clone(&done);
+    edt.invoke_later(move || {
+        rt2.target("worker", Mode::Await, || {
+            std::thread::sleep(Duration::from_millis(60));
+        });
+        d2.store(true, Ordering::SeqCst);
+    });
+    let t0 = Instant::now();
+    while !done.load(Ordering::SeqCst) {
+        assert!(t0.elapsed() < Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let during = interval.fired() - baseline;
+    interval.cancel();
+    assert!(
+        during >= 3,
+        "EDT should have dispatched ticks while awaiting (got {during})"
+    );
+}
+
+/// `parallel sections` runs heterogeneous blocks concurrently — the
+/// download+render split of the image pipeline as a fork-join construct.
+#[test]
+fn parallel_sections_overlap_io_phases() {
+    let t0 = Instant::now();
+    let a = || std::thread::sleep(Duration::from_millis(40));
+    let b = || std::thread::sleep(Duration::from_millis(40));
+    let c = || std::thread::sleep(Duration::from_millis(40));
+    parallel_sections(3, &[&a, &b, &c]);
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(110),
+        "three 40 ms sections on 3 threads took {elapsed:?}"
+    );
+}
+
+/// Devices charge transfer costs; virtual targets do not — quantifying the
+/// §III-A contrast.
+#[test]
+fn transfer_cost_separates_device_from_virtual_target() {
+    let rt = Runtime::new();
+    rt.virtual_target_create_worker("worker", 1);
+    let payload = vec![0u8; 64 * 1024];
+
+    // Virtual target: shared memory, no copy.
+    let p2 = payload.clone();
+    let t0 = Instant::now();
+    rt.target("worker", Mode::Wait, move || {
+        std::hint::black_box(p2.len());
+    });
+    let virtual_time = t0.elapsed();
+
+    // Device with 1 ms/KiB transfer cost: 64 KiB in + out ≈ ≥128 ms.
+    let device = SimulatedDevice::new(1, Duration::from_millis(1));
+    let t0 = Instant::now();
+    device.map_to("p", &payload).unwrap();
+    device.launch("touch", |mem| {
+        let b = mem.buffer("p").unwrap();
+        std::hint::black_box(b.len());
+    }).join();
+    let mut back = Vec::new();
+    device.map_from("p", &mut back).unwrap();
+    let device_time = t0.elapsed();
+
+    assert!(device_time >= Duration::from_millis(100));
+    assert!(
+        device_time > virtual_time * 10,
+        "device {device_time:?} should dwarf virtual {virtual_time:?}"
+    );
+}

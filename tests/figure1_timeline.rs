@@ -1,0 +1,114 @@
+//! Figure 1, reconstructed with the Timeline instrumentation: the same
+//! three event requests, handled single-threaded (i) vs multi-threaded
+//! (ii), asserting the paper's picture — serialised rectangles vs
+//! overlapping ones — from recorded timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pyjama::gui::{ConfinementPolicy, Gui};
+use pyjama::metrics::{Timeline, TimelineEventKind};
+use pyjama::runtime::{Mode, Runtime};
+
+const HANDLER_TIME: Duration = Duration::from_millis(25);
+const REQUESTS: u64 = 3;
+
+fn run(offload: bool) -> Timeline {
+    let gui = Gui::launch(ConfinementPolicy::Enforce);
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_register_edt("edt", gui.edt_handle()).unwrap();
+    rt.virtual_target_create_worker("worker", REQUESTS as usize);
+
+    let timeline = Arc::new(Timeline::new());
+    let completed = Arc::new(AtomicU64::new(0));
+
+    for id in 1..=REQUESTS {
+        timeline.record(id, "generator", TimelineEventKind::Fired);
+        let tl = Arc::clone(&timeline);
+        let rt2 = Arc::clone(&rt);
+        let done = Arc::clone(&completed);
+        gui.invoke_later(move || {
+            let work = {
+                let tl = Arc::clone(&tl);
+                let done = Arc::clone(&done);
+                move || {
+                    tl.record(id, "handler", TimelineEventKind::HandlingStarted);
+                    std::thread::sleep(HANDLER_TIME);
+                    tl.record(id, "handler", TimelineEventKind::HandlingFinished);
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            };
+            if offload {
+                tl.record(id, "edt", TimelineEventKind::Offloaded("worker".into()));
+                rt2.target("worker", Mode::NoWait, work);
+            } else {
+                work();
+            }
+        });
+    }
+
+    let t0 = Instant::now();
+    while completed.load(Ordering::SeqCst) < REQUESTS {
+        assert!(t0.elapsed() < Duration::from_secs(30), "handlers stalled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    gui.shutdown();
+    Arc::try_unwrap(timeline).ok().expect("sole owner after shutdown")
+}
+
+#[test]
+fn single_threaded_processing_serialises_handlers() {
+    let tl = run(false);
+    // Figure 1(i): no two handling rectangles overlap.
+    for a in 1..=REQUESTS {
+        for b in a + 1..=REQUESTS {
+            assert!(
+                !tl.handled_concurrently(a, b),
+                "requests {a} and {b} overlapped on a single-threaded EDT"
+            );
+        }
+    }
+    // Later requests inherit the queueing delay: response(3) well above
+    // response(1).
+    let r1 = tl.response_time(1).unwrap();
+    let r3 = tl.response_time(3).unwrap();
+    assert!(
+        r3 > r1 + HANDLER_TIME,
+        "request 3 ({r3:?}) should queue behind 1 ({r1:?})"
+    );
+}
+
+#[test]
+fn multi_threaded_processing_overlaps_handlers() {
+    let tl = run(true);
+    // Figure 1(ii): at least one pair overlaps (three workers available).
+    let mut overlaps = 0;
+    for a in 1..=REQUESTS {
+        for b in a + 1..=REQUESTS {
+            if tl.handled_concurrently(a, b) {
+                overlaps += 1;
+            }
+        }
+    }
+    assert!(overlaps >= 1, "offloaded handlers never overlapped");
+    // Every request was explicitly offloaded.
+    for id in 1..=REQUESTS {
+        assert!(tl
+            .for_id(id)
+            .iter()
+            .any(|e| matches!(&e.kind, TimelineEventKind::Offloaded(t) if t == "worker")));
+    }
+}
+
+#[test]
+fn offloading_cuts_tail_response_time() {
+    let seq = run(false);
+    let off = run(true);
+    let worst_seq = (1..=REQUESTS).map(|i| seq.response_time(i).unwrap()).max().unwrap();
+    let worst_off = (1..=REQUESTS).map(|i| off.response_time(i).unwrap()).max().unwrap();
+    assert!(
+        worst_off < worst_seq,
+        "offloaded worst-case {worst_off:?} should beat sequential {worst_seq:?}"
+    );
+}

@@ -1,0 +1,194 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use pyjama::kernels::crypt::{self, IdeaKey};
+use pyjama::metrics::{Histogram, OnlineStats};
+use pyjama::omp::{parallel_reduce, Schedule};
+use pyjama::runtime::directive::TargetDirective;
+use pyjama::runtime::Mode;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IDEA round-trips for any key and any block-aligned payload.
+    #[test]
+    fn idea_roundtrip(
+        key in prop::array::uniform8(any::<u16>()),
+        blocks in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let key = IdeaKey::new(key);
+        let mut data: Vec<u8> = blocks;
+        data.truncate(data.len() / 8 * 8);
+        let original = data.clone();
+        crypt::encrypt_seq(&key, &mut data);
+        crypt::decrypt_seq(&key, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    /// Parallel IDEA equals sequential IDEA for any thread count.
+    #[test]
+    fn idea_parallel_matches_sequential(
+        len_blocks in 1usize..64,
+        threads in 1usize..6,
+    ) {
+        let key = IdeaKey::benchmark_key();
+        let mut a = crypt::make_plaintext(len_blocks * 8);
+        let mut b = a.clone();
+        crypt::encrypt_seq(&key, &mut a);
+        crypt::encrypt_par(&key, &mut b, threads);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Histogram mean is exact; quantiles are monotone and bounded by
+    /// min/max.
+    #[test]
+    fn histogram_invariants(samples in prop::collection::vec(0u64..10_000_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact_mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+
+        let mut last = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantiles must be monotone");
+            prop_assert!(v >= h.min() && v <= h.max());
+            last = v;
+        }
+    }
+
+    /// Histogram merge is equivalent to recording the concatenation.
+    #[test]
+    fn histogram_merge_equivalence(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a { ha.record(v); }
+        let mut hb = Histogram::new();
+        for &v in &b { hb.record(v); }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+
+        let mut whole = Histogram::new();
+        for &v in a.iter().chain(&b) { whole.record(v); }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.quantile(0.5), whole.quantile(0.5));
+        prop_assert_eq!(merged.quantile(0.99), whole.quantile(0.99));
+    }
+
+    /// OnlineStats merge is order-independent and matches single-pass.
+    #[test]
+    fn online_stats_merge(xs in prop::collection::vec(-1e6f64..1e6, 1..100), split in 0usize..100) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = OnlineStats::new();
+        for &x in &xs[..split] { left.push(x); }
+        let mut right = OnlineStats::new();
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((left.variance() - whole.variance()).abs() <= 1e-4 * whole.variance().abs().max(1.0));
+    }
+
+    /// Every schedule covers every iteration exactly once, and a parallel
+    /// sum-reduction equals the sequential fold.
+    #[test]
+    fn omp_reduction_correct_for_any_schedule(
+        n in 0usize..2_000,
+        threads in 1usize..6,
+        sched_pick in 0u8..4,
+        chunk in 1usize..32,
+    ) {
+        let schedule = match sched_pick {
+            0 => Schedule::Static { chunk: None },
+            1 => Schedule::Static { chunk: Some(chunk) },
+            2 => Schedule::Dynamic { chunk },
+            _ => Schedule::Guided { min_chunk: chunk },
+        };
+        let total = parallel_reduce(
+            threads,
+            0..n,
+            schedule,
+            0u64,
+            |acc, i| acc + i as u64,
+            |a, b| a + b,
+        );
+        prop_assert_eq!(total, (0..n as u64).sum::<u64>());
+    }
+
+    /// Directive text round-trips: parse → render → parse is a fixpoint.
+    #[test]
+    fn directive_roundtrip(
+        target_pick in 0u8..3,
+        device in 0u32..8,
+        mode_pick in 0u8..4,
+        tag in "[a-z]{1,8}",
+        wait_tag in "[a-z]{1,8}",
+        with_wait in any::<bool>(),
+    ) {
+        let target = match target_pick {
+            0 => String::new(),
+            1 => format!(" device({device})"),
+            _ => format!(" virtual({tag})"),
+        };
+        let mode = match mode_pick {
+            0 => String::new(),
+            1 => " nowait".to_string(),
+            2 => format!(" name_as({tag})"),
+            _ => " await".to_string(),
+        };
+        let wait = if with_wait { format!(" wait({wait_tag})") } else { String::new() };
+        let text = format!("target{target}{mode}{wait}");
+        let d1 = TargetDirective::parse(&text).unwrap();
+        let d2 = TargetDirective::parse(&d1.to_directive_text()).unwrap();
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// Mode classification is a partition: every mode either blocks the
+    /// continuation or is fire-and-forget, never both.
+    #[test]
+    fn mode_classification_partition(pick in 0u8..4, tag in "[a-z]{1,6}") {
+        let mode = match pick {
+            0 => Mode::Wait,
+            1 => Mode::NoWait,
+            2 => Mode::NameAs(tag),
+            _ => Mode::Await,
+        };
+        prop_assert!(mode.blocks_continuation() != mode.is_fire_and_forget());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random workshared loops write each slot exactly once (no lost or
+    /// duplicated iterations under any schedule/thread combination).
+    #[test]
+    fn worksharing_covers_exactly_once(
+        n in 1usize..500,
+        threads in 1usize..5,
+        chunk in 1usize..16,
+        dynamic in any::<bool>(),
+    ) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let schedule = if dynamic {
+            Schedule::Dynamic { chunk }
+        } else {
+            Schedule::Static { chunk: Some(chunk) }
+        };
+        pyjama::omp::parallel_for(threads, 0..n, schedule, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration test: Table I's scheduling-mode semantics, end to end,
+//! with a real EDT as the encountering thread.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pyjama::events::Edt;
+use pyjama::runtime::{Mode, Runtime};
+
+const BLOCK: Duration = Duration::from_millis(40);
+
+fn rt_with_worker() -> Runtime {
+    let rt = Runtime::new();
+    rt.virtual_target_create_worker("worker", 2);
+    rt
+}
+
+#[test]
+fn default_mode_blocks_the_encountering_thread() {
+    let rt = rt_with_worker();
+    let t0 = Instant::now();
+    rt.target("worker", Mode::Wait, || std::thread::sleep(BLOCK));
+    assert!(t0.elapsed() >= BLOCK, "wait must not return early");
+}
+
+#[test]
+fn nowait_skips_past_without_notification() {
+    let rt = rt_with_worker();
+    let t0 = Instant::now();
+    let h = rt.target("worker", Mode::NoWait, || std::thread::sleep(BLOCK));
+    assert!(
+        t0.elapsed() < BLOCK / 2,
+        "nowait must return well before the block completes"
+    );
+    assert!(!h.is_finished());
+    h.wait();
+}
+
+#[test]
+fn name_as_instances_all_complete_at_wait_tag() {
+    let rt = rt_with_worker();
+    let done = Arc::new(AtomicUsize::new(0));
+    for _ in 0..6 {
+        let d = Arc::clone(&done);
+        rt.target("worker", Mode::name_as("batch"), move || {
+            std::thread::sleep(Duration::from_millis(5));
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    rt.wait_tag("batch");
+    assert_eq!(done.load(Ordering::SeqCst), 6);
+}
+
+#[test]
+fn await_on_edt_keeps_dispatching_other_events() {
+    // The Table I row that distinguishes `await` from `wait`: while the
+    // block runs, the EDT processes other handlers.
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("worker", 1);
+    let edt = Edt::spawn("edt");
+    rt.virtual_target_register_edt("edt", edt.handle()).unwrap();
+
+    let pumped = Arc::new(AtomicBool::new(false));
+    let continuation_saw_pumped = Arc::new(AtomicBool::new(false));
+
+    let rt2 = Arc::clone(&rt);
+    let p2 = Arc::clone(&pumped);
+    let c2 = Arc::clone(&continuation_saw_pumped);
+    edt.invoke_later(move || {
+        rt2.target("worker", Mode::Await, || std::thread::sleep(BLOCK));
+        // By now the other event must have been dispatched re-entrantly.
+        c2.store(p2.load(Ordering::SeqCst), Ordering::SeqCst);
+    });
+    let p3 = Arc::clone(&pumped);
+    edt.invoke_later(move || p3.store(true, Ordering::SeqCst));
+
+    let t0 = Instant::now();
+    while !continuation_saw_pumped.load(Ordering::SeqCst) {
+        assert!(t0.elapsed() < Duration::from_secs(10), "await deadlocked");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn wait_on_edt_does_not_dispatch_other_events() {
+    // Contrast with the await test: plain `wait` keeps the EDT blocked, so
+    // the second event runs only after the first handler completes.
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("worker", 1);
+    let edt = Edt::spawn("edt");
+    rt.virtual_target_register_edt("edt", edt.handle()).unwrap();
+
+    let second_ran_during_wait = Arc::new(AtomicBool::new(false));
+    let second = Arc::new(AtomicBool::new(false));
+
+    let rt2 = Arc::clone(&rt);
+    let flag = Arc::clone(&second);
+    let observed = Arc::new(AtomicBool::new(false));
+    let obs2 = Arc::clone(&observed);
+    let srdw = Arc::clone(&second_ran_during_wait);
+    edt.invoke_later(move || {
+        rt2.target("worker", Mode::Wait, || std::thread::sleep(BLOCK));
+        srdw.store(flag.load(Ordering::SeqCst), Ordering::SeqCst);
+        obs2.store(true, Ordering::SeqCst);
+    });
+    let s2 = Arc::clone(&second);
+    edt.invoke_later(move || s2.store(true, Ordering::SeqCst));
+
+    let t0 = Instant::now();
+    while !observed.load(Ordering::SeqCst) {
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        !second_ran_during_wait.load(Ordering::SeqCst),
+        "wait must not process other events"
+    );
+}
+
+#[test]
+fn shared_tag_across_different_blocks() {
+    // "different target blocks are allowed to share the same name-tag"
+    let rt = rt_with_worker();
+    let a = Arc::new(AtomicBool::new(false));
+    let b = Arc::new(AtomicBool::new(false));
+    let a2 = Arc::clone(&a);
+    rt.target("worker", Mode::name_as("shared"), move || {
+        std::thread::sleep(Duration::from_millis(10));
+        a2.store(true, Ordering::SeqCst);
+    });
+    let b2 = Arc::clone(&b);
+    rt.target("worker", Mode::name_as("shared"), move || {
+        std::thread::sleep(Duration::from_millis(20));
+        b2.store(true, Ordering::SeqCst);
+    });
+    rt.wait_tag("shared");
+    assert!(a.load(Ordering::SeqCst) && b.load(Ordering::SeqCst));
+}
