@@ -63,6 +63,13 @@ fn bench_await(c: &mut Criterion) {
     g.bench_function("blocking_wait_idles", |b| {
         b.iter(|| makespan(&rt, false))
     });
+    // No backlog: there is nothing to help with, so the awaiting thread
+    // takes the pure park/wake path — parks once, is woken by the block's
+    // terminal transition. Measures barrier overhead beyond the block
+    // itself (the old polling park added up to a full 200µs quantum here).
+    g.bench_function("await_no_backlog_pure_wake", |b| {
+        b.iter(|| rt.target("other", Mode::Await, || work(300)))
+    });
     g.finish();
 }
 

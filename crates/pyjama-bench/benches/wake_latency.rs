@@ -1,0 +1,62 @@
+//! Post→dispatch latency of an event arriving while the EDT is blocked in
+//! an `await` logical barrier.
+//!
+//! This is the latency the wake-driven barrier exists to fix: the old
+//! implementation parked in 200µs quanta, so an event posted right after
+//! the EDT went to sleep waited out the remainder of the quantum before
+//! being helped. With real wakeups the posting thread notifies the parked
+//! EDT directly and the event is dispatched as fast as a condvar handoff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pyjama_events::Edt;
+use pyjama_runtime::{Mode, Runtime};
+
+fn bench_wake_latency(c: &mut Criterion) {
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("worker", 1);
+    let edt = Edt::spawn("edt");
+    let h = edt.handle();
+
+    let mut g = c.benchmark_group("wake_latency");
+    g.bench_function("post_to_dispatch_during_await", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                // Hold the EDT inside an await barrier: the awaited worker
+                // block only returns once we release the gate, so the probe
+                // below can only be dispatched by the barrier's helping.
+                let (gate_tx, gate_rx) = mpsc::channel::<()>();
+                let (entered_tx, entered_rx) = mpsc::channel::<()>();
+                let (ack_tx, ack_rx) = mpsc::channel::<Instant>();
+                let rt2 = Arc::clone(&rt);
+                h.post(move || {
+                    rt2.target("worker", Mode::Await, move || {
+                        entered_tx.send(()).unwrap();
+                        let _ = gate_rx.recv();
+                    });
+                });
+                entered_rx.recv().unwrap();
+                let t0 = Instant::now();
+                h.post(move || {
+                    let _ = ack_tx.send(Instant::now());
+                });
+                let dispatched_at = ack_rx.recv().unwrap();
+                total += dispatched_at.duration_since(t0);
+                gate_tx.send(()).unwrap();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wake_latency
+}
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use pyjama_metrics::{LatencyRecorder, OccupancyTracker};
 
 use crate::event::{Event, EventId, Priority};
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueWaker};
 use crate::timer::TimerQueue;
 
 thread_local! {
@@ -260,6 +260,26 @@ impl EventLoopHandle {
                 .iter()
                 .any(|s| Arc::ptr_eq(s, &self.shared))
         })
+    }
+
+    /// Registers a waker notified whenever an event is posted to this loop
+    /// (or the loop shuts down). Used by the runtime's await barrier so a
+    /// parked EDT wakes the instant new work arrives. Returns a token for
+    /// [`remove_waker`](Self::remove_waker).
+    pub fn add_waker(&self, waker: Arc<dyn QueueWaker>) -> u64 {
+        self.shared.queue.add_waker(waker)
+    }
+
+    /// Removes a waker registered with [`add_waker`](Self::add_waker).
+    pub fn remove_waker(&self, id: u64) {
+        self.shared.queue.remove_waker(id)
+    }
+
+    /// The deadline of the earliest pending delayed event, if any. A parked
+    /// helper bounds its sleep by this: a timer firing is the one wake no
+    /// post-side hook can deliver.
+    pub fn next_timer_deadline(&self) -> Option<Instant> {
+        self.shared.timers.next_deadline()
     }
 
     /// Number of queued (not yet dispatched) events.

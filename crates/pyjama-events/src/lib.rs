@@ -34,6 +34,6 @@ pub use coalesce::Coalescer;
 pub use edt::Edt;
 pub use event::{Event, EventId, Priority};
 pub use eventloop::{EventLoop, EventLoopHandle, LoopStats};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueWaker};
 pub use recurring::IntervalHandle;
 pub use timer::TimerQueue;

@@ -13,6 +13,12 @@
 //! runtime library". Our event loop exposes the same capability directly:
 //! from inside a handler, [`try_pump_current`] dispatches one other pending
 //! event on the same loop, re-entrantly.
+//!
+//! When the loop has *nothing* pending, the barrier does not poll this
+//! function: it registers a waker on the current loop (via
+//! [`current_handle`] + [`crate::EventLoopHandle::add_waker`]) and parks
+//! until a post signals it, at which point one `try_pump_current` call
+//! dispatches the newly arrived event.
 
 use crate::eventloop::{current_shared, EventLoopHandle};
 

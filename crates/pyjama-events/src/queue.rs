@@ -1,11 +1,27 @@
 //! The blocking, priority-ordered event queue.
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::event::{Event, Priority};
+
+/// An observer notified whenever work arrives on (or the lifecycle of) an
+/// [`EventQueue`] changes.
+///
+/// This is the hook behind the runtime's wake-driven `await` barrier: a
+/// thread logically blocked in an await registers its parker here so an
+/// event posted to its loop wakes it immediately, instead of being
+/// discovered a poll quantum later. `wake` is called *after* the event is
+/// visible to `try_pop`, and also on [`EventQueue::close`] so registered
+/// observers re-check rather than sleep through shutdown. Implementations
+/// must be cheap and must not call back into the queue.
+pub trait QueueWaker: Send + Sync {
+    /// A new event was enqueued, or the queue closed.
+    fn wake(&self);
+}
 
 /// Queue entry ordering: priority first, then FIFO by sequence number.
 struct Entry {
@@ -39,6 +55,20 @@ struct Inner {
     heap: BinaryHeap<Entry>,
     next_seq: u64,
     closed: bool,
+    wakers: Vec<(u64, Arc<dyn QueueWaker>)>,
+    next_waker_id: u64,
+}
+
+impl Inner {
+    /// Clones the registered wakers so they can be notified after the lock
+    /// is released (a waker must never run under the queue lock).
+    fn wakers_snapshot(&self) -> Vec<Arc<dyn QueueWaker>> {
+        if self.wakers.is_empty() {
+            Vec::new()
+        } else {
+            self.wakers.iter().map(|(_, w)| Arc::clone(w)).collect()
+        }
+    }
 }
 
 /// A thread-safe event queue with priorities, blocking pop, and close.
@@ -58,6 +88,8 @@ impl EventQueue {
                 heap: BinaryHeap::new(),
                 next_seq: 0,
                 closed: false,
+                wakers: Vec::new(),
+                next_waker_id: 0,
             }),
             cond: Condvar::new(),
         }
@@ -78,8 +110,12 @@ impl EventQueue {
             seq,
             event,
         });
+        let wakers = g.wakers_snapshot();
         drop(g);
         self.cond.notify_one();
+        for w in wakers {
+            w.wake();
+        }
         true
     }
 
@@ -135,8 +171,34 @@ impl EventQueue {
     /// Closes the queue: future pushes are rejected and blocked consumers
     /// wake up once the queue drains.
     pub fn close(&self) {
-        self.inner.lock().closed = true;
+        let wakers = {
+            let mut g = self.inner.lock();
+            g.closed = true;
+            g.wakers_snapshot()
+        };
         self.cond.notify_all();
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// Registers a waker to be notified on every subsequent push (and on
+    /// close). Returns a token for [`remove_waker`](Self::remove_waker).
+    ///
+    /// Registration works on a closed queue too (the caller re-checks its
+    /// own condition after registering, so no notification is lost either
+    /// way). Tokens are never reused, so a stale deregistration is harmless.
+    pub fn add_waker(&self, waker: Arc<dyn QueueWaker>) -> u64 {
+        let mut g = self.inner.lock();
+        let id = g.next_waker_id;
+        g.next_waker_id += 1;
+        g.wakers.push((id, waker));
+        id
+    }
+
+    /// Removes a previously registered waker. Unknown tokens are ignored.
+    pub fn remove_waker(&self, id: u64) {
+        self.inner.lock().wakers.retain(|(i, _)| *i != id);
     }
 
     /// True once [`close`](Self::close) has been called.
@@ -272,6 +334,44 @@ mod tests {
             c.join().unwrap();
         }
         assert_eq!(dispatched.load(Ordering::Relaxed), N);
+    }
+
+    struct CountingWaker(AtomicUsize);
+    impl QueueWaker for CountingWaker {
+        fn wake(&self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn waker_fires_on_push_and_close_not_after_removal() {
+        let q = EventQueue::new();
+        let w = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let id = q.add_waker(Arc::clone(&w) as Arc<dyn QueueWaker>);
+        q.push(noop());
+        q.push(noop());
+        assert_eq!(w.0.load(Ordering::SeqCst), 2);
+        q.remove_waker(id);
+        q.push(noop());
+        assert_eq!(w.0.load(Ordering::SeqCst), 2, "removed waker must not fire");
+
+        let id2 = q.add_waker(Arc::clone(&w) as Arc<dyn QueueWaker>);
+        q.close();
+        assert_eq!(w.0.load(Ordering::SeqCst), 3, "close must wake observers");
+        q.remove_waker(id2);
+    }
+
+    #[test]
+    fn waker_tokens_are_independent() {
+        let q = EventQueue::new();
+        let a = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let b = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let ida = q.add_waker(Arc::clone(&a) as Arc<dyn QueueWaker>);
+        let _idb = q.add_waker(Arc::clone(&b) as Arc<dyn QueueWaker>);
+        q.remove_waker(ida);
+        q.push(noop());
+        assert_eq!(a.0.load(Ordering::SeqCst), 0);
+        assert_eq!(b.0.load(Ordering::SeqCst), 1);
     }
 
     #[test]

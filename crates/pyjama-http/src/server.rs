@@ -15,6 +15,12 @@ use crate::message::{Request, Response, Status};
 /// the benchmark isolates the *serving strategy*.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
+/// Read/write deadline applied to every accepted connection. A client that
+/// stalls mid-request (or never drains the response) fails its own I/O
+/// within this bound instead of pinning a serving thread — or, under the
+/// Pyjama policy, the acceptor itself — forever.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_millis(500);
+
 /// How incoming connections are turned into handler executions.
 #[derive(Clone)]
 pub enum ServingPolicy {
@@ -134,18 +140,34 @@ fn accept_loop(
     policy: ServingPolicy,
     pool: Option<Arc<pyjama_runtime::WorkerTarget>>,
 ) {
+    let mut consecutive_errors: u32 = 0;
     loop {
         let stream = match listener.accept() {
-            Ok((s, _)) => s,
+            Ok((s, _)) => {
+                consecutive_errors = 0;
+                s
+            }
             Err(_) => {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // Transient accept failures (ECONNABORTED, EMFILE, …) used
+                // to busy-spin this thread at 100% CPU. Back off
+                // exponentially instead, capped at 128ms so recovery from a
+                // brief fd exhaustion stays prompt.
+                consecutive_errors = consecutive_errors.saturating_add(1);
+                std::thread::sleep(Duration::from_millis(1u64 << consecutive_errors.min(7)));
                 continue;
             }
         };
         if shared.stop.load(Ordering::SeqCst) {
             return;
+        }
+        if stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT)).is_err()
+            || stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT)).is_err()
+        {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            continue;
         }
         match &policy {
             ServingPolicy::JettyPool { .. } => {
@@ -323,6 +345,48 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert!(server.errors() >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_times_out_and_does_not_block_accepts() {
+        // A connection that never sends a request used to pin the single
+        // pool thread indefinitely; with per-connection I/O timeouts it
+        // fails within CLIENT_IO_TIMEOUT and later requests are served.
+        let mut server =
+            HttpServer::start(ServingPolicy::JettyPool { threads: 1 }, echo_handler).unwrap();
+        let stalled = TcpStream::connect(server.addr()).unwrap(); // sends nothing
+        std::thread::sleep(Duration::from_millis(50)); // ensure it is accepted first
+        let resp = http_post(server.addr(), "/echo", b"alive".to_vec()).unwrap();
+        assert_eq!(resp.body, b"alive");
+        let t0 = std::time::Instant::now();
+        while server.errors() == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(server.errors() >= 1, "the stalled connection must be counted");
+        drop(stalled);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_pyjama_acceptor() {
+        // Under the Pyjama policy the *acceptor* reads the request; a silent
+        // connection must release it within the I/O timeout.
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("worker", 2);
+        let mut server = HttpServer::start(
+            ServingPolicy::PyjamaVirtualTarget {
+                runtime: rt,
+                target: "worker".into(),
+            },
+            echo_handler,
+        )
+        .unwrap();
+        let stalled = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let resp = http_post(server.addr(), "/echo", b"alive".to_vec()).unwrap();
+        assert_eq!(resp.body, b"alive");
+        drop(stalled);
         server.shutdown();
     }
 

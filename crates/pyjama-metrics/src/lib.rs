@@ -14,7 +14,9 @@
 //! The crate additionally provides an [`OccupancyTracker`] used to quantify
 //! *responsiveness* directly: the fraction of wall-clock time the event
 //! dispatch thread (EDT) spends busy inside handlers, which is the quantity
-//! the paper's offloading directives are designed to minimise.
+//! the paper's offloading directives are designed to minimise, and
+//! [`ParkCounters`] observing the runtime's wake-driven await barrier
+//! (parks, wakeups, spurious wakeups).
 //!
 //! Everything here is synchronisation-cheap (atomics or a short
 //! `parking_lot` critical section) so that recording does not perturb the
@@ -23,6 +25,7 @@
 pub mod histogram;
 pub mod latency;
 pub mod occupancy;
+pub mod park;
 pub mod stats;
 pub mod throughput;
 pub mod timeline;
@@ -30,6 +33,7 @@ pub mod timeline;
 pub use histogram::Histogram;
 pub use latency::LatencyRecorder;
 pub use occupancy::OccupancyTracker;
+pub use park::{ParkCounters, ParkStats};
 pub use stats::{OnlineStats, Summary};
 pub use throughput::ThroughputMeter;
 pub use timeline::{Timeline, TimelineEvent, TimelineEventKind};

@@ -63,21 +63,18 @@ impl<R: Send + 'static> TargetFuture<R> {
     }
 
     /// Bounded variant: returns `None` if the value is not ready within
-    /// `timeout` (still helping meanwhile).
+    /// `timeout` (still helping meanwhile). Shares the wake-driven barrier
+    /// loop with [`Runtime::await_barrier`]: when nothing can be helped the
+    /// thread parks until a wake source fires or the deadline passes —
+    /// never on a poll quantum.
     pub fn join_pumping_timeout(self, rt: &Runtime, timeout: Duration) -> Option<R> {
-        let deadline = std::time::Instant::now() + timeout;
-        while !self.handle().is_finished() {
-            if std::time::Instant::now() >= deadline {
-                return None;
-            }
-            if !pyjama_events::pump::try_pump_current()
-                && !crate::worker::WorkerTarget::help_current_thread_pool()
-            {
-                self.handle().wait_timeout(Duration::from_micros(200));
-            }
-        }
         let _ = rt;
-        Some(self.join())
+        let deadline = std::time::Instant::now() + timeout;
+        if crate::parker::await_until(self.handle(), Some(deadline)) {
+            Some(self.join())
+        } else {
+            None
+        }
     }
 }
 

@@ -66,6 +66,9 @@ pub struct TargetStatsInner {
     pub executed: AtomicU64,
     /// Blocks executed by a member thread *helping* during an await barrier.
     pub helped: AtomicU64,
+    /// Blocks rejected (cancelled without running) because the target could
+    /// no longer execute them, e.g. a post racing a pool shutdown.
+    pub rejected: AtomicU64,
 }
 
 /// Snapshot of [`TargetStatsInner`].
@@ -79,6 +82,8 @@ pub struct TargetStats {
     pub executed: u64,
     /// Blocks executed while helping during an await barrier.
     pub helped: u64,
+    /// Blocks rejected (cancelled without running) by the target.
+    pub rejected: u64,
 }
 
 impl TargetStatsInner {
@@ -89,6 +94,7 @@ impl TargetStatsInner {
             inline: self.inline.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             helped: self.helped.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,20 +1,11 @@
 //! Algorithm 1: `invokeTargetBlock` and the scheduling-mode semantics.
 
 use std::sync::Arc;
-use std::time::Duration;
-
-use pyjama_events::pump;
 
 use crate::executor::VirtualTarget;
 use crate::mode::Mode;
 use crate::registry::{Runtime, RuntimeError};
 use crate::task::{TargetFuture, TargetRegion, TaskHandle};
-use crate::worker::WorkerTarget;
-
-/// How long an await barrier parks when there is nothing to help with.
-/// Short enough that completion latency is negligible next to the
-/// millisecond-scale handlers of the evaluation; long enough not to spin.
-const AWAIT_PARK: Duration = Duration::from_micros(200);
 
 impl Runtime {
     /// The paper's Algorithm 1, verbatim in structure:
@@ -120,11 +111,14 @@ impl Runtime {
             self.target(name, mode, block)
         } else {
             let region = TargetRegion::new(format!("target virtual({name}) if(false)"), block);
-            region.execute();
             let handle = region.handle();
-            if let Mode::NameAs(tag) = mode {
-                self.tags.register(&tag, handle.clone());
+            // Register-before-run, the same ordering invoke_target_block
+            // guarantees: a concurrent wait_tag racing with this synchronous
+            // execution must still observe the instance.
+            if let Mode::NameAs(tag) = &mode {
+                self.tags.register(tag, handle.clone());
             }
+            region.execute();
             // Wait/Await semantics are trivially satisfied; propagate panics
             // like a plain synchronous execution would.
             if matches!(handle.state(), crate::task::TaskState::Panicked) {
@@ -173,15 +167,14 @@ impl Runtime {
     ///
     /// * On an event-loop thread (the EDT), pump the loop re-entrantly.
     /// * On a worker-pool thread, execute another task from the pool queue.
-    /// * Otherwise (a plain thread has nothing it may legally steal), park
-    ///   briefly between completion checks.
+    /// * When there is nothing to help with, park on a
+    ///   [`WakeSignal`](crate::parker::WakeSignal) that all three wake
+    ///   sources notify — the awaited handle's completion, an event posted
+    ///   to this thread's loop, a task enqueued on this thread's pool. No
+    ///   timed polling: work arriving mid-park is helped immediately, and a
+    ///   plain thread sleeps exactly until the block finishes.
     pub fn await_barrier(&self, handle: &TaskHandle) {
-        while !handle.is_finished() {
-            let helped = pump::try_pump_current() || WorkerTarget::help_current_thread_pool();
-            if !helped {
-                handle.wait_timeout(AWAIT_PARK);
-            }
-        }
+        crate::parker::await_until(handle, None);
     }
 }
 
@@ -193,6 +186,7 @@ mod tests {
     use pyjama_events::{Edt, EventLoop};
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn rt_with_worker(m: usize) -> Runtime {
         let rt = Runtime::new();
@@ -400,6 +394,102 @@ mod tests {
     }
 
     #[test]
+    fn await_on_plain_thread_parks_and_wakes() {
+        // A plain thread has nothing to help with: the barrier must block on
+        // the wake signal (observable in the park metrics) and return
+        // promptly when the task's terminal transition notifies it.
+        let before = crate::parker::park_stats();
+        let rt = rt_with_worker(1);
+        rt.target("worker", Mode::Await, || {
+            std::thread::sleep(Duration::from_millis(30));
+        });
+        let after = crate::parker::park_stats();
+        assert!(after.parks > before.parks, "the barrier must have parked");
+        assert!(after.notifies > before.notifies, "completion must notify");
+    }
+
+    #[test]
+    fn reentrant_awaits_nest_without_missing_wakeups() {
+        // An EDT handler awaits; while helping it dispatches another handler
+        // that awaits again (nested barrier, own signal and registrations).
+        // Both must resolve, and the inner deregistration must not detach
+        // the outer barrier's wakers.
+        let rt = Arc::new(rt_with_worker(2));
+        let el = EventLoop::new("edt");
+        let h = el.handle();
+        let done = Arc::new(AtomicUsize::new(0));
+
+        let rt1 = Arc::clone(&rt);
+        let d1 = Arc::clone(&done);
+        h.post(move || {
+            let rt_in = Arc::clone(&rt1);
+            let d_in = Arc::clone(&d1);
+            rt1.target("worker", Mode::Await, move || {
+                std::thread::sleep(Duration::from_millis(20));
+                let _ = &rt_in;
+                d_in.fetch_add(1, Ordering::SeqCst);
+            });
+            d1.fetch_add(1, Ordering::SeqCst);
+        });
+        let rt2 = Arc::clone(&rt);
+        let d2 = Arc::clone(&done);
+        h.post(move || {
+            rt2.target("worker", Mode::Await, {
+                let d = Arc::clone(&d2);
+                move || {
+                    std::thread::sleep(Duration::from_millis(10));
+                    d.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            d2.fetch_add(1, Ordering::SeqCst);
+        });
+
+        el.run_until_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn stress_awaits_race_posts_completions_and_shutdown() {
+        // ABA-style stress for the waker registration protocol: many awaits
+        // enter and exit barriers while producers keep posting and pools
+        // shut down, across several rounds so registrations/deregistrations
+        // interleave with notifies in every order.
+        for _ in 0..10 {
+            let rt = Arc::new(Runtime::new());
+            rt.virtual_target_create_worker("a", 2);
+            rt.virtual_target_create_worker("b", 2);
+            let total = Arc::new(AtomicUsize::new(0));
+
+            let drivers: Vec<_> = (0..4)
+                .map(|i| {
+                    let rt = Arc::clone(&rt);
+                    let total = Arc::clone(&total);
+                    std::thread::spawn(move || {
+                        let (own, other) = if i % 2 == 0 { ("a", "b") } else { ("b", "a") };
+                        for _ in 0..25 {
+                            let t = Arc::clone(&total);
+                            rt.target(own, Mode::NoWait, move || {
+                                t.fetch_add(1, Ordering::SeqCst);
+                            });
+                            let t = Arc::clone(&total);
+                            rt.target(other, Mode::Await, move || {
+                                t.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    })
+                })
+                .collect();
+            for d in drivers {
+                d.join().unwrap();
+            }
+            // Dropping the runtime shuts both pools down; queued nowait
+            // regions drain first, so every increment happened.
+            drop(rt);
+            assert_eq!(total.load(Ordering::SeqCst), 4 * 25 * 2);
+        }
+    }
+
+    #[test]
     fn await_propagates_panic() {
         let rt = rt_with_worker(1);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -502,6 +592,27 @@ mod tests {
         rt.target_if("worker", Mode::name_as("t"), false, || {});
         assert_eq!(rt.tags().instance_count("t"), 1);
         rt.wait_tag("t");
+    }
+
+    #[test]
+    fn if_false_with_name_as_registers_before_running() {
+        // Regression: the tag used to be registered *after* the synchronous
+        // execution, so a wait_tag racing the block could miss the instance.
+        // Observed from inside the block itself: the instance must already
+        // be registered while the block runs.
+        let rt = Arc::new(rt_with_worker(1));
+        let seen = Arc::new(AtomicUsize::new(usize::MAX));
+        let rt2 = Arc::clone(&rt);
+        let s2 = Arc::clone(&seen);
+        rt.target_if("worker", Mode::name_as("ordered"), false, move || {
+            s2.store(rt2.tags().instance_count("ordered"), Ordering::SeqCst);
+        });
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            1,
+            "tag must be visible before the block runs"
+        );
+        rt.wait_tag("ordered");
     }
 
     // ----- submit / futures ---------------------------------------------------

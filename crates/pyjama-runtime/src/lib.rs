@@ -60,6 +60,7 @@ pub mod executor;
 pub mod invoke;
 pub mod macros;
 pub mod mode;
+pub mod parker;
 pub mod registry;
 pub mod sync;
 pub mod target_edt;
@@ -70,6 +71,7 @@ pub use device::{DeviceTarget, SimulatedDevice};
 pub use directive::{Clause, TargetDirective, TargetProperty};
 pub use executor::{TargetKind, TargetStats, VirtualTarget};
 pub use mode::Mode;
+pub use parker::{park_stats, ParkStats, WakeSignal};
 pub use registry::{Runtime, RuntimeError};
 pub use sync::TagRegistry;
 pub use target_edt::EdtTarget;

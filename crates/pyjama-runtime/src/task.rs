@@ -11,6 +11,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::parker::WakeSignal;
+
 /// Lifecycle of a target block instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TaskState {
@@ -22,6 +24,20 @@ pub enum TaskState {
     Finished,
     /// The block panicked; the payload is delivered to the first joiner.
     Panicked,
+    /// Rejected before it could run (e.g. posted to a shut-down pool); the
+    /// body was dropped without executing. Terminal, like `Finished`, so
+    /// waiters are released rather than deadlocked.
+    Cancelled,
+}
+
+impl TaskState {
+    /// True for states the task can never leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TaskState::Finished | TaskState::Panicked | TaskState::Cancelled
+        )
+    }
 }
 
 struct Core {
@@ -32,6 +48,10 @@ struct Core {
 struct CoreState {
     state: TaskState,
     panic_payload: Option<Box<dyn Any + Send>>,
+    /// Await-barrier parkers to notify on the terminal transition. Tokens
+    /// are handle-local and never reused.
+    wakers: Vec<(u64, Arc<WakeSignal>)>,
+    next_waker_id: u64,
 }
 
 /// A clonable handle observing one target block's completion.
@@ -48,6 +68,8 @@ impl TaskHandle {
                 state: Mutex::new(CoreState {
                     state: TaskState::Pending,
                     panic_payload: None,
+                    wakers: Vec::new(),
+                    next_waker_id: 0,
                 }),
                 cond: Condvar::new(),
             }),
@@ -60,15 +82,16 @@ impl TaskHandle {
         self.core.state.lock().state
     }
 
-    /// True once the block has finished (normally or by panic).
+    /// True once the block has reached a terminal state (finished normally,
+    /// panicked, or was cancelled before running).
     pub fn is_finished(&self) -> bool {
-        matches!(self.state(), TaskState::Finished | TaskState::Panicked)
+        self.state().is_terminal()
     }
 
     /// Blocks until the task finishes. Does not propagate panics.
     pub fn wait(&self) {
         let mut g = self.core.state.lock();
-        while !matches!(g.state, TaskState::Finished | TaskState::Panicked) {
+        while !g.state.is_terminal() {
             self.core.cond.wait(&mut g);
         }
     }
@@ -78,9 +101,9 @@ impl TaskHandle {
     pub fn wait_timeout(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut g = self.core.state.lock();
-        while !matches!(g.state, TaskState::Finished | TaskState::Panicked) {
+        while !g.state.is_terminal() {
             if self.core.cond.wait_until(&mut g, deadline).timed_out() {
-                return matches!(g.state, TaskState::Finished | TaskState::Panicked);
+                return g.state.is_terminal();
             }
         }
         true
@@ -108,8 +131,37 @@ impl TaskHandle {
         if payload.is_some() {
             g.panic_payload = payload;
         }
+        // The terminal transition is a wake source for await barriers: drain
+        // the registered parkers under the lock, signal them after it.
+        let wakers = if to.is_terminal() && !g.wakers.is_empty() {
+            std::mem::take(&mut g.wakers)
+        } else {
+            Vec::new()
+        };
         drop(g);
         self.core.cond.notify_all();
+        for (_, w) in wakers {
+            w.notify();
+        }
+    }
+
+    /// Registers an await-barrier parker to be signalled on the terminal
+    /// transition. If the task is already terminal the registration is inert
+    /// (the caller re-checks [`is_finished`](Self::is_finished) after
+    /// registering, so no wake is lost). Returns a token for
+    /// [`remove_waker`](Self::remove_waker).
+    pub(crate) fn add_waker(&self, waker: Arc<WakeSignal>) -> u64 {
+        let mut g = self.core.state.lock();
+        let id = g.next_waker_id;
+        g.next_waker_id += 1;
+        g.wakers.push((id, waker));
+        id
+    }
+
+    /// Removes a parker registered with [`add_waker`](Self::add_waker).
+    /// Already-drained or unknown tokens are ignored.
+    pub(crate) fn remove_waker(&self, id: u64) {
+        self.core.state.lock().wakers.retain(|(i, _)| *i != id);
     }
 }
 
@@ -157,6 +209,25 @@ impl TargetRegion {
             Ok(()) => self.handle.transition(TaskState::Finished, None),
             Err(p) => self.handle.transition(TaskState::Panicked, Some(p)),
         }
+    }
+
+    /// Rejects the region without running it: the body is dropped and the
+    /// handle transitions to [`TaskState::Cancelled`], releasing any waiter
+    /// (`wait`/`join` return normally; there is no panic to propagate).
+    ///
+    /// Used when a region races into a target that can no longer execute it,
+    /// e.g. a post to a worker pool that has begun shutdown. Returns `true`
+    /// if this call cancelled the region; `false` if it already started
+    /// executing (or was already cancelled), in which case the existing
+    /// outcome stands.
+    pub fn cancel(&self) -> bool {
+        let body = self.body.lock().take();
+        if body.is_none() {
+            return false;
+        }
+        drop(body);
+        self.handle.transition(TaskState::Cancelled, None);
+        true
     }
 }
 
@@ -312,5 +383,61 @@ mod tests {
     fn label_is_preserved() {
         let r = TargetRegion::new("my-label", || {});
         assert_eq!(r.handle().label(), "my-label");
+    }
+
+    #[test]
+    fn cancel_is_terminal_and_releases_waiters() {
+        let r = TargetRegion::new("t", || unreachable!("must never run"));
+        let h = r.handle();
+        let waiter = {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                h.wait();
+                h.state()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(r.cancel());
+        assert_eq!(waiter.join().unwrap(), TaskState::Cancelled);
+        assert!(h.is_finished());
+        h.join(); // no panic to propagate
+        // Cancelling again (or executing) is a no-op.
+        assert!(!r.cancel());
+        r.execute();
+        assert_eq!(h.state(), TaskState::Cancelled);
+    }
+
+    #[test]
+    fn cancel_after_execute_is_noop() {
+        let r = TargetRegion::new("t", || {});
+        r.execute();
+        assert!(!r.cancel());
+        assert_eq!(r.handle().state(), TaskState::Finished);
+    }
+
+    #[test]
+    fn waker_notified_on_completion_and_removable() {
+        use crate::parker::WakeSignal;
+        let r = TargetRegion::new("t", || {});
+        let h = r.handle();
+        let w = Arc::new(WakeSignal::new());
+        let id = h.add_waker(Arc::clone(&w));
+        let _ = id;
+        r.execute();
+        // The terminal transition must have set the permit: a park now
+        // returns immediately instead of blocking.
+        w.park();
+
+        // A removed waker is not signalled.
+        let r2 = TargetRegion::new("t2", || {});
+        let h2 = r2.handle();
+        let w2 = Arc::new(WakeSignal::new());
+        let id2 = h2.add_waker(Arc::clone(&w2));
+        h2.remove_waker(id2);
+        r2.execute();
+        assert!(
+            !w2.park_until(Instant::now() + Duration::from_millis(10)),
+            "removed waker must not be notified"
+        );
     }
 }

@@ -14,6 +14,7 @@ use std::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex};
 
 use crate::executor::{TargetKind, TargetStats, TargetStatsInner, VirtualTarget};
+use crate::parker::WakeSignal;
 use crate::task::TargetRegion;
 
 thread_local! {
@@ -31,6 +32,22 @@ struct Inner {
 struct QueueState {
     tasks: VecDeque<Arc<TargetRegion>>,
     shutdown: bool,
+    /// Parkers of member threads blocked in an await barrier; notified on
+    /// every enqueue and on shutdown. Tokens are pool-local, never reused.
+    wakers: Vec<(u64, Arc<WakeSignal>)>,
+    next_waker_id: u64,
+}
+
+impl QueueState {
+    /// Clones the registered wakers so they can be notified after the queue
+    /// lock is released.
+    fn wakers_snapshot(&self) -> Vec<Arc<WakeSignal>> {
+        if self.wakers.is_empty() {
+            Vec::new()
+        } else {
+            self.wakers.iter().map(|(_, w)| Arc::clone(w)).collect()
+        }
+    }
 }
 
 impl Inner {
@@ -49,6 +66,22 @@ impl Inner {
 
     fn try_pop(&self) -> Option<Arc<TargetRegion>> {
         self.queue.lock().tasks.pop_front()
+    }
+}
+
+/// RAII registration of an await-barrier parker with a worker pool; removes
+/// the waker on drop (including on a propagating panic). Holds the pool
+/// weakly so a pool torn down mid-await needs no special casing.
+pub(crate) struct PoolWakerGuard {
+    inner: Weak<Inner>,
+    id: u64,
+}
+
+impl Drop for PoolWakerGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.queue.lock().wakers.retain(|(i, _)| *i != self.id);
+        }
     }
 }
 
@@ -72,6 +105,8 @@ impl WorkerTarget {
             queue: Mutex::new(QueueState {
                 tasks: VecDeque::new(),
                 shutdown: false,
+                wakers: Vec::new(),
+                next_waker_id: 0,
             }),
             cond: Condvar::new(),
             stats: TargetStatsInner::default(),
@@ -111,11 +146,16 @@ impl WorkerTarget {
     /// itself; it is detached instead and exits naturally when it drains
     /// the queue.
     pub fn shutdown(&self) {
-        {
+        let wakers = {
             let mut g = self.inner.queue.lock();
             g.shutdown = true;
-        }
+            g.wakers_snapshot()
+        };
         self.inner.cond.notify_all();
+        // Parked helpers re-check rather than sleep through the shutdown.
+        for w in wakers {
+            w.notify();
+        }
         let me = std::thread::current().id();
         let mut threads = self.threads.lock();
         for t in threads.drain(..) {
@@ -125,6 +165,25 @@ impl WorkerTarget {
                 let _ = t.join();
             }
         }
+    }
+
+    /// Registers an await-barrier parker with the pool the current thread
+    /// belongs to, so a region posted to the pool wakes the parked helper
+    /// immediately. Returns `None` off pool threads. The registration is
+    /// removed when the returned guard drops.
+    pub(crate) fn register_current_waker(signal: &Arc<WakeSignal>) -> Option<PoolWakerGuard> {
+        let inner = CURRENT_WORKER.with(|c| c.borrow().as_ref().and_then(Weak::upgrade))?;
+        let id = {
+            let mut g = inner.queue.lock();
+            let id = g.next_waker_id;
+            g.next_waker_id += 1;
+            g.wakers.push((id, Arc::clone(signal)));
+            id
+        };
+        Some(PoolWakerGuard {
+            inner: Arc::downgrade(&inner),
+            id,
+        })
     }
 
     /// Help-process one pending task of the worker pool the current thread
@@ -157,13 +216,26 @@ impl VirtualTarget for WorkerTarget {
     }
 
     fn post(&self, region: Arc<TargetRegion>) {
-        {
+        let wakers = {
             let mut g = self.inner.queue.lock();
-            assert!(!g.shutdown, "posting to a shut-down worker target");
+            if g.shutdown {
+                drop(g);
+                // A producer racing the pool's shutdown degrades gracefully:
+                // the region is rejected in a terminal Cancelled state, so
+                // waiters are released instead of the producer panicking.
+                self.inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                region.cancel();
+                return;
+            }
             g.tasks.push_back(region);
-        }
+            g.wakers_snapshot()
+        };
         self.inner.stats.posted.fetch_add(1, Ordering::Relaxed);
         self.inner.cond.notify_one();
+        // Wake members parked in an await barrier: they help-drain the queue.
+        for w in wakers {
+            w.notify();
+        }
     }
 
     fn is_member(&self) -> bool {
@@ -337,6 +409,95 @@ mod tests {
         let w = WorkerTarget::new("w", 1);
         w.shutdown();
         w.shutdown();
+    }
+
+    #[test]
+    fn post_after_shutdown_cancels_instead_of_panicking() {
+        // Regression: this used to assert (panic) on the producer thread.
+        let w = WorkerTarget::new("w", 1);
+        w.shutdown();
+        let r = TargetRegion::new("late", || unreachable!("must never run"));
+        let h = r.handle();
+        w.post(r);
+        assert_eq!(h.state(), crate::task::TaskState::Cancelled);
+        h.wait(); // terminal: returns immediately
+        h.join(); // no panic to propagate
+        assert_eq!(w.stats().rejected, 1);
+        assert_eq!(w.stats().posted, 0);
+    }
+
+    #[test]
+    fn racing_producers_during_shutdown_never_panic() {
+        for _ in 0..20 {
+            let w = WorkerTarget::new("w", 2);
+            let producers: Vec<_> = (0..4)
+                .map(|_| {
+                    let w = Arc::clone(&w);
+                    std::thread::spawn(move || {
+                        let mut handles = Vec::new();
+                        for _ in 0..10 {
+                            let r = TargetRegion::new("t", || {});
+                            handles.push(r.handle());
+                            w.post(r);
+                        }
+                        handles
+                    })
+                })
+                .collect();
+            w.shutdown();
+            for p in producers {
+                for h in p.join().expect("producer must not panic") {
+                    h.wait(); // every region reaches a terminal state
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registered_waker_notified_on_post_and_dropped_on_deregistration() {
+        use crate::parker::WakeSignal;
+        use std::time::Instant;
+
+        let w = WorkerTarget::new("w", 1);
+        let signal = Arc::new(WakeSignal::new());
+
+        // Registration only works from a member thread.
+        assert!(WorkerTarget::register_current_waker(&signal).is_none());
+
+        let s2 = Arc::clone(&signal);
+        let w2 = Arc::clone(&w);
+        let reg = TargetRegion::new("register", move || {
+            let guard = WorkerTarget::register_current_waker(&s2);
+            assert!(guard.is_some());
+            // Keep the guard alive while a concurrent post arrives.
+            while w2.pending() == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            drop(guard);
+        });
+        let hr = reg.handle();
+        w.post(reg);
+
+        std::thread::sleep(Duration::from_millis(10));
+        let probe = TargetRegion::new("probe", || {});
+        let hp = probe.handle();
+        w.post(probe); // must notify the registered waker
+        assert!(
+            signal.park_until(Instant::now() + Duration::from_secs(5)),
+            "post must signal the registered pool waker"
+        );
+        hr.wait();
+        hp.wait();
+
+        // After the guard dropped, posts no longer signal.
+        let quiet = TargetRegion::new("quiet", || {});
+        let hq = quiet.handle();
+        w.post(quiet);
+        hq.wait();
+        assert!(
+            !signal.park_until(Instant::now() + Duration::from_millis(20)),
+            "deregistered waker must stay silent"
+        );
     }
 
     #[test]
