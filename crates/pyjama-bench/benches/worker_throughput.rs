@@ -1,0 +1,135 @@
+//! Submit→complete throughput of the work-stealing `WorkerTarget`
+//! scheduler, against the single shared `Mutex<VecDeque>` + `Condvar` pool
+//! it replaced, at 1/2/4/8 pool threads.
+//!
+//! One external producer posts `JOBS` trivial regions and waits for the
+//! last to finish — the same access pattern `Runtime::target(...,
+//! Mode::NoWait)` produces. At 1 thread this measures pure scheduler
+//! overhead (the stealer path never runs); at higher thread counts it
+//! measures how well submission scales when every consumer is fighting
+//! over the incoming work.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::{Condvar, Mutex};
+use pyjama_runtime::{TargetRegion, VirtualTarget, WorkerTarget};
+
+const JOBS: usize = 1_000;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The pre-work-stealing pool: one shared FIFO under a single lock, all
+/// consumers blocking on one condvar. Kept here as the bench baseline.
+struct SingleQueuePool {
+    shared: Arc<SingleQueueShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct SingleQueueShared {
+    queue: Mutex<VecDeque<Arc<TargetRegion>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl SingleQueuePool {
+    fn new(n: usize) -> Self {
+        let shared = Arc::new(SingleQueueShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let threads = (0..n)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let region = {
+                        let mut g = shared.queue.lock();
+                        loop {
+                            if let Some(r) = g.pop_front() {
+                                break Some(r);
+                            }
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                break None;
+                            }
+                            shared.cv.wait(&mut g);
+                        }
+                    };
+                    match region {
+                        Some(r) => r.execute(),
+                        None => return,
+                    }
+                })
+            })
+            .collect();
+        SingleQueuePool { shared, threads }
+    }
+
+    fn post(&self, region: Arc<TargetRegion>) {
+        self.shared.queue.lock().push_back(region);
+        self.shared.cv.notify_one();
+    }
+
+    fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn drive<P: Fn(Arc<TargetRegion>)>(post: P) {
+    let mut last = None;
+    for _ in 0..JOBS {
+        let region = TargetRegion::new("bench", || {});
+        last = Some(region.handle());
+        post(region);
+    }
+    last.unwrap().join();
+}
+
+fn bench_worker_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worker_throughput");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(JOBS as u64));
+    for n in THREADS {
+        g.bench_with_input(
+            BenchmarkId::new("work_stealing", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || WorkerTarget::new("bench", n),
+                    |w| {
+                        drive(|r| w.post(r));
+                        w.shutdown();
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("single_queue_baseline", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || SingleQueuePool::new(n),
+                    |p| {
+                        drive(|r| p.post(r));
+                        p.shutdown();
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_worker_throughput
+}
+criterion_main!(benches);

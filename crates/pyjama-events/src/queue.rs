@@ -1,6 +1,14 @@
 //! The blocking, priority-ordered event queue.
+//!
+//! Almost all traffic in practice is [`Priority::Normal`] (the default), for
+//! which priority order degenerates to FIFO. The queue therefore runs a
+//! plain `VecDeque` fast lane while every queued event is Normal, and only
+//! falls back to the binary heap for the duration of a *mixed episode*: the
+//! first non-Normal push migrates the pending fast-lane events into the heap
+//! (keeping their sequence numbers, so ordering is unchanged), and once the
+//! heap drains the queue reverts to the fast lane.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,7 +60,14 @@ impl Ord for Entry {
 }
 
 struct Inner {
+    /// FIFO fast lane, holding `(seq, event)` pairs. Non-empty only while
+    /// `mixed` is false (i.e. every queued event is `Priority::Normal`).
+    fifo: VecDeque<(u64, Event)>,
+    /// Priority heap, used only during a mixed episode (`mixed` is true).
     heap: BinaryHeap<Entry>,
+    /// True while a non-Normal event has been seen and the heap has not yet
+    /// drained. Exactly one of `fifo`/`heap` is in use at a time.
+    mixed: bool,
     next_seq: u64,
     closed: bool,
     wakers: Vec<(u64, Arc<dyn QueueWaker>)>,
@@ -68,6 +83,24 @@ impl Inner {
         } else {
             self.wakers.iter().map(|(_, w)| Arc::clone(w)).collect()
         }
+    }
+
+    /// Removes the next event in dispatch order from whichever lane is
+    /// active, reverting to the fast lane once the heap drains.
+    fn take_next(&mut self) -> Option<Event> {
+        if self.mixed {
+            let e = self.heap.pop().map(|e| e.event);
+            if self.heap.is_empty() {
+                self.mixed = false;
+            }
+            e
+        } else {
+            self.fifo.pop_front().map(|(_, e)| e)
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.fifo.len() + self.heap.len()
     }
 }
 
@@ -85,7 +118,9 @@ impl EventQueue {
     pub fn new() -> Self {
         EventQueue {
             inner: Mutex::new(Inner {
+                fifo: VecDeque::new(),
                 heap: BinaryHeap::new(),
+                mixed: false,
                 next_seq: 0,
                 closed: false,
                 wakers: Vec::new(),
@@ -105,11 +140,30 @@ impl EventQueue {
         let seq = g.next_seq;
         g.next_seq += 1;
         let priority = event.priority();
-        g.heap.push(Entry {
-            priority,
-            seq,
-            event,
-        });
+        if !g.mixed && priority == Priority::Normal {
+            g.fifo.push_back((seq, event));
+        } else {
+            if !g.mixed {
+                // First non-Normal event: begin a mixed episode. Migrate the
+                // pending fast-lane events with their original sequence
+                // numbers, so relative order is exactly what the heap alone
+                // would have produced.
+                g.mixed = true;
+                let inner = &mut *g;
+                for (s, e) in inner.fifo.drain(..) {
+                    inner.heap.push(Entry {
+                        priority: Priority::Normal,
+                        seq: s,
+                        event: e,
+                    });
+                }
+            }
+            g.heap.push(Entry {
+                priority,
+                seq,
+                event,
+            });
+        }
         let wakers = g.wakers_snapshot();
         drop(g);
         self.cond.notify_one();
@@ -121,7 +175,7 @@ impl EventQueue {
 
     /// Removes the highest-priority event without blocking.
     pub fn try_pop(&self) -> Option<Event> {
-        self.inner.lock().heap.pop().map(|e| e.event)
+        self.inner.lock().take_next()
     }
 
     /// Blocks until an event is available or the queue is closed *and*
@@ -129,8 +183,8 @@ impl EventQueue {
     pub fn pop(&self) -> Option<Event> {
         let mut g = self.inner.lock();
         loop {
-            if let Some(e) = g.heap.pop() {
-                return Some(e.event);
+            if let Some(e) = g.take_next() {
+                return Some(e);
             }
             if g.closed {
                 return None;
@@ -143,8 +197,8 @@ impl EventQueue {
     pub fn pop_until(&self, deadline: Instant) -> Option<Event> {
         let mut g = self.inner.lock();
         loop {
-            if let Some(e) = g.heap.pop() {
-                return Some(e.event);
+            if let Some(e) = g.take_next() {
+                return Some(e);
             }
             if g.closed || Instant::now() >= deadline {
                 return None;
@@ -160,7 +214,14 @@ impl EventQueue {
 
     /// Number of queued events.
     pub fn len(&self) -> usize {
-        self.inner.lock().heap.len()
+        self.inner.lock().queued()
+    }
+
+    /// True while the queue is running on the FIFO fast lane (no non-Normal
+    /// event queued since the last time the heap drained). Exposed for tests
+    /// and diagnostics; dispatch order does not depend on it.
+    pub fn is_fast_path(&self) -> bool {
+        !self.inner.lock().mixed
     }
 
     /// True when no events are queued.
@@ -372,6 +433,61 @@ mod tests {
         q.push(noop());
         assert_eq!(a.0.load(Ordering::SeqCst), 0);
         assert_eq!(b.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn mixed_episode_migrates_fast_lane_and_reverts_after_drain() {
+        let q = EventQueue::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let o = Arc::clone(&order);
+            q.push(Event::new(move || o.lock().push(i)));
+        }
+        assert!(q.is_fast_path(), "normal-only traffic stays on the fast lane");
+
+        let o = Arc::clone(&order);
+        q.push(Event::new(move || o.lock().push(99)).with_priority(Priority::High));
+        assert!(!q.is_fast_path(), "a non-Normal push starts a mixed episode");
+        for i in 3..5 {
+            let o = Arc::clone(&order);
+            q.push(Event::new(move || o.lock().push(i)));
+        }
+        assert_eq!(q.len(), 6);
+
+        while let Some(e) = q.try_pop() {
+            e.dispatch();
+        }
+        // The high event jumps the queue; the migrated fast-lane events and
+        // the mid-episode normals keep their original FIFO order.
+        assert_eq!(*order.lock(), vec![99, 0, 1, 2, 3, 4]);
+        assert!(q.is_fast_path(), "draining the heap ends the episode");
+
+        // Post-episode traffic is FIFO again without heap involvement.
+        order.lock().clear();
+        for i in 0..4 {
+            let o = Arc::clone(&order);
+            q.push(Event::new(move || o.lock().push(i)));
+        }
+        assert!(q.is_fast_path());
+        while let Some(e) = q.try_pop() {
+            e.dispatch();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn low_priority_alone_still_forces_heap_order() {
+        let q = EventQueue::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        q.push(Event::new(move || o.lock().push("low")).with_priority(Priority::Low));
+        assert!(!q.is_fast_path(), "Low is non-Normal and must use the heap");
+        let o = Arc::clone(&order);
+        q.push(Event::new(move || o.lock().push("normal")));
+        while let Some(e) = q.try_pop() {
+            e.dispatch();
+        }
+        assert_eq!(*order.lock(), vec!["normal", "low"]);
     }
 
     #[test]

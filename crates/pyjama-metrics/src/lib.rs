@@ -14,9 +14,11 @@
 //! The crate additionally provides an [`OccupancyTracker`] used to quantify
 //! *responsiveness* directly: the fraction of wall-clock time the event
 //! dispatch thread (EDT) spends busy inside handlers, which is the quantity
-//! the paper's offloading directives are designed to minimise, and
+//! the paper's offloading directives are designed to minimise,
 //! [`ParkCounters`] observing the runtime's wake-driven await barrier
-//! (parks, wakeups, spurious wakeups).
+//! (parks, wakeups, spurious wakeups), and [`StealCounters`] observing the
+//! worker pools' work-stealing scheduler (local pops, steals, injector
+//! drains).
 //!
 //! Everything here is synchronisation-cheap (atomics or a short
 //! `parking_lot` critical section) so that recording does not perturb the
@@ -27,6 +29,7 @@ pub mod latency;
 pub mod occupancy;
 pub mod park;
 pub mod stats;
+pub mod steal;
 pub mod throughput;
 pub mod timeline;
 
@@ -35,5 +38,6 @@ pub use latency::LatencyRecorder;
 pub use occupancy::OccupancyTracker;
 pub use park::{ParkCounters, ParkStats};
 pub use stats::{OnlineStats, Summary};
+pub use steal::{StealCounters, StealStats};
 pub use throughput::ThroughputMeter;
 pub use timeline::{Timeline, TimelineEvent, TimelineEventKind};

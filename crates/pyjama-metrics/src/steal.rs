@@ -1,0 +1,123 @@
+//! Scheduler counters for the work-stealing worker pools.
+//!
+//! The worker virtual target schedules through three sources — the owner's
+//! per-thread deque (LIFO), sibling deques (steals), and a global FIFO
+//! injector for external submissions. These counters make the distribution
+//! observable: a healthy pool under member-produced load shows mostly
+//! `local_pops`; external load drains through `injector_pops`; imbalance
+//! shows up as `steals`. A high `steal_attempts`-to-`steals` ratio means
+//! threads are scanning empty siblings — the pool is starved, not unbalanced.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative work-stealing scheduler counters. Increments are single
+/// relaxed atomic adds so recording does not perturb the paths measured.
+#[derive(Debug, Default)]
+pub struct StealCounters {
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    steal_attempts: AtomicU64,
+    injector_pops: AtomicU64,
+}
+
+impl StealCounters {
+    /// An all-zero counter set, usable in `static` position.
+    pub const fn new() -> Self {
+        StealCounters {
+            local_pops: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            steal_attempts: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+        }
+    }
+
+    /// A thread took a task from its own deque.
+    pub fn record_local_pop(&self) {
+        self.local_pops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A thread took a task from a sibling's deque.
+    pub fn record_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A thread probed one sibling deque (hit or miss).
+    pub fn record_steal_attempt(&self) {
+        self.steal_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A thread took a task from the global injector.
+    pub fn record_injector_pop(&self) {
+        self.injector_pops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StealStats {
+        StealStats {
+            local_pops: self.local_pops.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of [`StealCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Tasks taken from the owning thread's deque.
+    pub local_pops: u64,
+    /// Tasks taken from a sibling thread's deque.
+    pub steals: u64,
+    /// Sibling deques probed, successfully or not.
+    pub steal_attempts: u64,
+    /// Tasks taken from the global FIFO injector.
+    pub injector_pops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let c = StealCounters::new();
+        assert_eq!(c.snapshot(), StealStats::default());
+    }
+
+    #[test]
+    fn increments_are_visible_in_snapshot() {
+        let c = StealCounters::new();
+        c.record_local_pop();
+        c.record_local_pop();
+        c.record_steal();
+        c.record_steal_attempt();
+        c.record_steal_attempt();
+        c.record_steal_attempt();
+        c.record_injector_pop();
+        let s = c.snapshot();
+        assert_eq!(s.local_pops, 2);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.steal_attempts, 3);
+        assert_eq!(s.injector_pops, 1);
+    }
+
+    #[test]
+    fn concurrent_increments_conserve_counts() {
+        let c = std::sync::Arc::new(StealCounters::new());
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_steal();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().steals, 4000);
+    }
+}

@@ -1,0 +1,392 @@
+//! A Chase–Lev work-stealing deque, implemented in-repo on `std::sync::atomic`.
+//!
+//! One deque belongs to each worker-pool thread. The *owner* pushes and pops
+//! at the bottom (LIFO, cache-warm); *thieves* steal single items from the
+//! top (FIFO, oldest first). This is the classic dynamic circular work-
+//! stealing deque of Chase & Lev (SPAA 2005); the memory orderings follow
+//! the C11 formulation proven correct by Lê, Pop, Cohen & Zappa Nardelli,
+//! *Correct and Efficient Work-Stealing for Weak Memory Models* (PPoPP 2013).
+//!
+//! ## Ownership discipline
+//!
+//! The type is `pub(crate)` and relies on a structural invariant the worker
+//! pool upholds: [`push`](ChaseLev::push) and [`pop`](ChaseLev::pop) are
+//! only ever called from the one thread that owns the deque (pool thread
+//! `i` for slot `i`), while [`steal`](ChaseLev::steal) and
+//! [`len`](ChaseLev::len) may be called from anywhere. Owner calls are
+//! never concurrent with each other — re-entrant helping (an await barrier
+//! inside a running task) is same-thread and therefore sequential.
+//!
+//! ## Memory reclamation
+//!
+//! Growing swaps in a doubled buffer while thieves may still hold a pointer
+//! to the old one. Instead of an epoch scheme, retired buffers are parked in
+//! a `Mutex<Vec<_>>` owned by the deque and freed when the deque drops.
+//! Capacity doubles on each growth, so the retired chain totals less than
+//! the final buffer — bounded memory for an unbounded-lifetime pool.
+//!
+//! Items are stored as raw `Box` pointers so a steal that loses its CAS race
+//! can simply abandon the slot without dropping or duplicating the value.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use parking_lot::Mutex;
+
+/// A growable circular buffer of raw item pointers.
+///
+/// Slots are `AtomicPtr` solely so concurrent owner-writes and thief-reads
+/// of the *same slot* are not a data race in the Rust memory model; the
+/// deque protocol (fences + the `top` CAS) provides the actual ordering.
+struct Buffer<T> {
+    mask: usize,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer { mask: cap - 1, slots })
+    }
+
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn slot(&self, index: isize) -> &AtomicPtr<T> {
+        &self.slots[index as usize & self.mask]
+    }
+}
+
+/// A work-stealing deque of `T` values. See the module docs for the
+/// ownership discipline and memory-ordering provenance.
+pub(crate) struct ChaseLev<T> {
+    /// Next index a thief steals from; only ever incremented (by a
+    /// successful CAS in `steal` or the owner's last-item CAS in `pop`).
+    top: AtomicIsize,
+    /// Next index the owner pushes to; moved only by the owner.
+    bottom: AtomicIsize,
+    /// The live buffer; replaced (by the owner) on growth.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Outgrown buffers, kept alive until drop — see module docs.
+    retired: Mutex<Vec<Box<Buffer<T>>>>,
+    _marker: PhantomData<T>,
+}
+
+// The deque hands `T` values across threads (owner push → thief steal), so
+// `T: Send` is required and sufficient; the shared state is all atomics.
+unsafe impl<T: Send> Send for ChaseLev<T> {}
+unsafe impl<T: Send> Sync for ChaseLev<T> {}
+
+impl<T> ChaseLev<T> {
+    /// An empty deque with room for `min_cap` items before the first growth
+    /// (rounded up to a power of two, at least 2).
+    pub(crate) fn with_capacity(min_cap: usize) -> Self {
+        let cap = min_cap.next_power_of_two().max(2);
+        ChaseLev {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::new(cap))),
+            retired: Mutex::new(Vec::new()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// An empty deque with the default initial capacity.
+    pub(crate) fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// Approximate number of queued items. Lock-free; exact when no
+    /// operation is in flight, never negative.
+    pub(crate) fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Acquire);
+        let t = self.top.load(Ordering::Acquire);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// True when [`len`](Self::len) observes zero items.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-only: pushes an item at the bottom. Grows the buffer when full.
+    pub(crate) fn push(&self, value: T) {
+        let item = Box::into_raw(Box::new(value));
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // Only the owner stores `buffer`, so a relaxed load reads its own
+        // last store; thieves use Acquire.
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buf.cap() as isize {
+            self.grow(b, t, buf);
+            buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        }
+        buf.slot(b).store(item, Ordering::Relaxed);
+        // Publish the slot before the new bottom: a thief that Acquire-loads
+        // the incremented bottom must see the item pointer.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pops the most recently pushed item (LIFO).
+    pub(crate) fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        // Store-load barrier: the bottom decrement must be visible to
+        // thieves before we read top, or owner and thief could both take
+        // the same last item (Lê et al. §3.1).
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty. The slot read races no one unless b == t.
+            let item = buf.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last item: race thieves for it via the top CAS.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    // A thief got it; the pointer is theirs now.
+                    return None;
+                }
+            }
+            Some(unsafe { *Box::from_raw(item) })
+        } else {
+            // Already empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Steals the oldest item (FIFO). Callable from any thread. Retries
+    /// internally on a lost CAS race (the item went to someone else — the
+    /// system made progress) and returns `None` only on an empty deque.
+    pub(crate) fn steal(&self) -> Option<T> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            // Load-load barrier ordering the top read before the bottom
+            // read, pairing with the owner's SeqCst fence in `pop`.
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            // Acquire pairs with the owner's buffer-swap store in `grow`.
+            let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+            let item = buf.slot(t).load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(unsafe { *Box::from_raw(item) });
+            }
+            // Lost the race for index t; re-read and try the next item.
+        }
+    }
+
+    /// Owner-only: doubles the buffer, copying the live range `t..b`.
+    fn grow(&self, b: isize, t: isize, old: &Buffer<T>) {
+        let new = Buffer::new(old.cap() * 2);
+        let mut i = t;
+        while i < b {
+            new.slot(i)
+                .store(old.slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
+            i += 1;
+        }
+        let old_ptr = self.buffer.load(Ordering::Relaxed);
+        // Release: a thief Acquire-loading the new buffer pointer sees the
+        // copied slots.
+        self.buffer.store(Box::into_raw(new), Ordering::Release);
+        // Keep the old buffer alive: a concurrent thief may still read its
+        // slots. Freed when the deque itself drops.
+        self.retired.lock().push(unsafe { Box::from_raw(old_ptr) });
+    }
+}
+
+impl<T> Drop for ChaseLev<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drain remaining items so their destructors run.
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        let buf = unsafe { Box::from_raw(self.buffer.load(Ordering::Relaxed)) };
+        let mut i = t;
+        while i < b {
+            let item = buf.slot(i).load(Ordering::Relaxed);
+            drop(unsafe { Box::from_raw(item) });
+            i += 1;
+        }
+        // `buf` and the retired buffers drop here.
+    }
+}
+
+impl<T> Default for ChaseLev<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for ChaseLev<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaseLev").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_for_owner() {
+        let d = ChaseLev::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn fifo_for_thief() {
+        let d = ChaseLev::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.steal(), Some(2));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let d = ChaseLev::with_capacity(2);
+        for i in 0..1000 {
+            d.push(i);
+        }
+        assert_eq!(d.len(), 1000);
+        // Oldest at the top, newest at the bottom — across several growths.
+        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.pop(), Some(999));
+        for expected in (1..999).rev() {
+            assert_eq!(d.pop(), Some(expected));
+        }
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks_pushes_pops_steals() {
+        let d = ChaseLev::new();
+        assert!(d.is_empty());
+        d.push(7);
+        d.push(8);
+        assert_eq!(d.len(), 2);
+        d.steal();
+        assert_eq!(d.len(), 1);
+        d.pop();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_remaining_items() {
+        let live = Arc::new(AtomicUsize::new(0));
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let d = ChaseLev::with_capacity(2);
+        for _ in 0..100 {
+            live.fetch_add(1, Ordering::SeqCst);
+            d.push(Counted(Arc::clone(&live)));
+        }
+        drop(d);
+        assert_eq!(live.load(Ordering::SeqCst), 0, "drop must free queued items");
+    }
+
+    /// The steal-vs-owner-pop race: one owner pushing and popping, several
+    /// thieves stealing, every item claimed exactly once. This is the
+    /// single-last-item CAS race at the heart of the algorithm.
+    #[test]
+    fn steal_vs_owner_pop_race_claims_each_item_once() {
+        const ITEMS: usize = 20_000;
+        const THIEVES: usize = 3;
+        let d = Arc::new(ChaseLev::with_capacity(4));
+        let claimed = Arc::new(Mutex::new(HashSet::new()));
+
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                let d = Arc::clone(&d);
+                let claimed = Arc::clone(&claimed);
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    // Keep stealing until the owner is done and the deque
+                    // observed empty.
+                    loop {
+                        match d.steal() {
+                            Some(v) => mine.push(v),
+                            None => {
+                                if d.len() == 0 && Arc::strong_count(&d) <= THIEVES + 1 {
+                                    // Owner dropped its handle: done.
+                                    if d.steal().is_none() {
+                                        break;
+                                    }
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                    let mut g = claimed.lock();
+                    for v in mine {
+                        assert!(g.insert(v), "item {v} claimed twice");
+                    }
+                });
+            }
+            {
+                let d = Arc::clone(&d);
+                let claimed = Arc::clone(&claimed);
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..ITEMS {
+                        d.push(i);
+                        // Interleave pops so the owner contends on the last
+                        // item with thieves constantly.
+                        if i % 2 == 0 {
+                            if let Some(v) = d.pop() {
+                                mine.push(v);
+                            }
+                        }
+                    }
+                    while let Some(v) = d.pop() {
+                        mine.push(v);
+                    }
+                    let mut g = claimed.lock();
+                    for v in mine {
+                        assert!(g.insert(v), "item {v} claimed twice");
+                    }
+                    drop(d); // signals the thieves via strong_count
+                });
+            }
+        });
+
+        assert_eq!(
+            claimed.lock().len(),
+            ITEMS,
+            "every pushed item must be claimed exactly once"
+        );
+    }
+}

@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use pyjama_metrics::steal::StealCounters;
+
 use crate::task::TargetRegion;
 
 /// Which kind of execution environment a virtual target is.
@@ -69,6 +71,9 @@ pub struct TargetStatsInner {
     /// Blocks rejected (cancelled without running) because the target could
     /// no longer execute them, e.g. a post racing a pool shutdown.
     pub rejected: AtomicU64,
+    /// Work-stealing scheduler counters (worker pools; zero for targets
+    /// without distributed queues, e.g. EDTs).
+    pub steal: StealCounters,
 }
 
 /// Snapshot of [`TargetStatsInner`].
@@ -84,17 +89,30 @@ pub struct TargetStats {
     pub helped: u64,
     /// Blocks rejected (cancelled without running) by the target.
     pub rejected: u64,
+    /// Blocks taken from the executing thread's own deque.
+    pub local_pops: u64,
+    /// Blocks stolen from a sibling thread's deque.
+    pub steals: u64,
+    /// Sibling deques probed while looking for work (hit or miss).
+    pub steal_attempts: u64,
+    /// Blocks taken from the pool's global FIFO injector.
+    pub injector_pops: u64,
 }
 
 impl TargetStatsInner {
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> TargetStats {
+        let steal = self.steal.snapshot();
         TargetStats {
             posted: self.posted.load(Ordering::Relaxed),
             inline: self.inline.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             helped: self.helped.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            local_pops: steal.local_pops,
+            steals: steal.steals,
+            steal_attempts: steal.steal_attempts,
+            injector_pops: steal.injector_pops,
         }
     }
 }

@@ -54,6 +54,7 @@
 //! the `await` *logical barrier* that keeps dispatching other work.
 
 pub mod asyncio;
+pub(crate) mod deque;
 pub mod device;
 pub mod directive;
 pub mod executor;

@@ -1,71 +1,258 @@
-//! Worker virtual targets: fixed-size thread pools.
+//! Worker virtual targets: fixed-size thread pools with a work-stealing
+//! scheduler.
 //!
 //! `virtual_target_create_worker(tname, m)` creates "a worker virtual target
 //! with maximum of m threads" (Table II). A worker target's lifecycle "lasts
 //! throughout the program" (§III-D); dropping the handle shuts the pool down
 //! (join on drop) because a Rust library must not leak threads.
+//!
+//! ## Scheduling
+//!
+//! The pool used to funnel every submit, pop and await-barrier help through
+//! one `Mutex<VecDeque>` + `Condvar`, so an m-thread pool serialized on a
+//! single lock exactly where the HTTP and GUI benchmarks stress it hardest.
+//! It now schedules through three distributed sources:
+//!
+//! * a **per-thread [`ChaseLev`] deque** — a pool thread posting to its own
+//!   pool pushes here (owner LIFO, no lock, cache-warm);
+//! * **sibling deques** — an idle thread steals the oldest item from another
+//!   member's deque;
+//! * a **global FIFO injector** (short `Mutex<VecDeque>` critical section) —
+//!   external submissions land here, preserving the observable FIFO
+//!   ordering of same-producer regions.
+//!
+//! Members look for work in that order (local, steal, injector) and park on
+//! their [`WakeSignal`] when all three are dry. An enqueue wakes exactly
+//! **one** parked helper — a parked pool thread if there is one, otherwise
+//! one registered await-barrier parker — and a woken thread that finds more
+//! work pending cascades the wake to the next sleeper. Only shutdown
+//! notifies everyone. The park/wake handshake is the standard eventcount
+//! protocol: a thread marks itself parked, fences, re-checks all sources,
+//! and only then blocks; a producer publishes the item, fences, and only
+//! then scans for sleepers — one side always observes the other.
+//!
+//! The await logical barrier's helping path (`help_one`,
+//! [`WorkerTarget::help_current_thread_pool`], Algorithm 1 line 15) runs the
+//! same local-pop → steal → injector sequence, so a member blocked in an
+//! `await` drains work without contending on a pool-wide lock.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
+use crate::deque::ChaseLev;
 use crate::executor::{TargetKind, TargetStats, TargetStatsInner, VirtualTarget};
 use crate::parker::WakeSignal;
 use crate::task::TargetRegion;
 
+/// What the current thread knows about the pool it belongs to.
+struct WorkerCtx {
+    inner: Weak<Inner>,
+    /// This thread's slot index — its deque in `Inner::slots`.
+    index: usize,
+}
+
 thread_local! {
     /// The worker target the current thread belongs to, if any.
-    static CURRENT_WORKER: RefCell<Option<Weak<Inner>>> = const { RefCell::new(None) };
+    static CURRENT_WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+/// Per-pool-thread scheduler state.
+struct WorkerSlot {
+    /// The thread's own deque: owner pushes/pops the bottom, siblings steal
+    /// the top. The owner-only discipline is structural — only pool thread
+    /// `i` (its run loop and its re-entrant helping, which are sequential on
+    /// that thread) ever calls `push`/`pop` on slot `i`.
+    deque: ChaseLev<Arc<TargetRegion>>,
+    /// Parker for the thread's idle loop.
+    signal: WakeSignal,
+    /// True while the thread is inside (or committing to) a park in its run
+    /// loop; producers scan this to pick a single thread to wake.
+    parked: AtomicBool,
+}
+
+/// The injector's lock also serializes posts against shutdown, preserving
+/// the old single-lock guarantee that a post either lands before shutdown
+/// (and runs) or observes it (and cancels).
+struct Injector {
+    tasks: VecDeque<Arc<TargetRegion>>,
+    shutdown: bool,
+}
+
+/// Await-barrier parkers of member threads; one is notified per enqueue
+/// when no pool thread is parked, all on shutdown. Tokens never reused.
+struct BarrierWakers {
+    wakers: Vec<(u64, Arc<WakeSignal>)>,
+    next_id: u64,
 }
 
 struct Inner {
     name: String,
-    queue: Mutex<QueueState>,
-    cond: Condvar,
+    slots: Box<[WorkerSlot]>,
+    injector: Mutex<Injector>,
+    /// Injector length mirror for lock-free `pending()` and the pre-park
+    /// re-check. SeqCst on both sides of the eventcount handshake.
+    injector_len: AtomicUsize,
+    /// Lock-free mirror of `Injector::shutdown`.
+    shutdown: AtomicBool,
+    barrier: Mutex<BarrierWakers>,
+    /// Round-robin cursor over registered barrier wakers.
+    barrier_rr: AtomicUsize,
     stats: TargetStatsInner,
 }
 
-struct QueueState {
-    tasks: VecDeque<Arc<TargetRegion>>,
-    shutdown: bool,
-    /// Parkers of member threads blocked in an await barrier; notified on
-    /// every enqueue and on shutdown. Tokens are pool-local, never reused.
-    wakers: Vec<(u64, Arc<WakeSignal>)>,
-    next_waker_id: u64,
-}
-
-impl QueueState {
-    /// Clones the registered wakers so they can be notified after the queue
-    /// lock is released.
-    fn wakers_snapshot(&self) -> Vec<Arc<WakeSignal>> {
-        if self.wakers.is_empty() {
-            Vec::new()
-        } else {
-            self.wakers.iter().map(|(_, w)| Arc::clone(w)).collect()
-        }
-    }
-}
-
 impl Inner {
-    fn pop_blocking(&self) -> Option<Arc<TargetRegion>> {
-        let mut g = self.queue.lock();
-        loop {
-            if let Some(t) = g.tasks.pop_front() {
-                return Some(t);
+    /// This thread's slot index, if it is a member of *this* pool.
+    fn member_index(&self) -> Option<usize> {
+        CURRENT_WORKER.with(|c| {
+            c.borrow()
+                .as_ref()
+                .filter(|ctx| std::ptr::eq(ctx.inner.as_ptr(), self as *const Inner))
+                .map(|ctx| ctx.index)
+        })
+    }
+
+    /// Pops the oldest externally submitted region, recording the hit.
+    fn pop_injector(&self) -> Option<Arc<TargetRegion>> {
+        if self.injector_len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let region = self.injector.lock().tasks.pop_front()?;
+        self.injector_len.fetch_sub(1, Ordering::SeqCst);
+        self.stats.steal.record_injector_pop();
+        Some(region)
+    }
+
+    /// Probes every sibling deque once, starting after `me`.
+    fn try_steal(&self, me: usize) -> Option<Arc<TargetRegion>> {
+        let n = self.slots.len();
+        for i in 1..n {
+            let victim = (me + i) % n;
+            self.stats.steal.record_steal_attempt();
+            if let Some(region) = self.slots[victim].deque.steal() {
+                self.stats.steal.record_steal();
+                return Some(region);
             }
-            if g.shutdown {
-                return None;
+        }
+        None
+    }
+
+    /// One acquisition pass for a member thread: own deque, then siblings,
+    /// then the injector. Shared by the run loop and the helping paths.
+    fn acquire(&self, me: usize) -> Option<Arc<TargetRegion>> {
+        if let Some(region) = self.slots[me].deque.pop() {
+            self.stats.steal.record_local_pop();
+            return Some(region);
+        }
+        if let Some(region) = self.try_steal(me) {
+            // Cascade: the victim still has work (or the injector does), so
+            // one more sleeper can be productive.
+            if self.has_pending() {
+                self.wake_one();
             }
-            self.cond.wait(&mut g);
+            return Some(region);
+        }
+        if let Some(region) = self.pop_injector() {
+            if self.has_pending() {
+                self.wake_one();
+            }
+            return Some(region);
+        }
+        None
+    }
+
+    /// Whether any source has queued work (racy; used for re-checks and
+    /// cascade decisions, never for correctness-critical emptiness).
+    fn has_pending(&self) -> bool {
+        self.injector_len.load(Ordering::SeqCst) > 0
+            || self.slots.iter().any(|s| !s.deque.is_empty())
+    }
+
+    /// Lock-free queue length: injector plus every member deque.
+    fn queue_len(&self) -> usize {
+        self.injector_len.load(Ordering::SeqCst)
+            + self.slots.iter().map(|s| s.deque.len()).sum::<usize>()
+    }
+
+    /// Wakes a single parked helper: a parked pool thread if any, otherwise
+    /// one registered await-barrier parker (round-robin). Callers must have
+    /// published the new work (and fenced) first.
+    fn wake_one(&self) {
+        for slot in self.slots.iter() {
+            if slot.parked.load(Ordering::SeqCst) {
+                slot.signal.notify();
+                return;
+            }
+        }
+        let waker = {
+            let g = self.barrier.lock();
+            if g.wakers.is_empty() {
+                None
+            } else {
+                let i = self.barrier_rr.fetch_add(1, Ordering::Relaxed) % g.wakers.len();
+                Some(Arc::clone(&g.wakers[i].1))
+            }
+        };
+        if let Some(w) = waker {
+            w.notify();
         }
     }
 
-    fn try_pop(&self) -> Option<Arc<TargetRegion>> {
-        self.queue.lock().tasks.pop_front()
+    /// Executes one region on behalf of the pool.
+    fn run(&self, region: Arc<TargetRegion>) {
+        // Counted before running: a waiter released by the region's
+        // completion must never observe a snapshot missing this execution.
+        self.stats.executed.fetch_add(1, Ordering::Relaxed);
+        region.execute();
+    }
+
+    /// The member thread run loop: acquire → execute; park when dry; exit
+    /// once shutdown is flagged and every source is dry. Items can never be
+    /// stranded: after the shutdown flag is set no source can grow, so a
+    /// thread exits only when the work it is responsible for observing is
+    /// gone, and any already-popped region is executed by its holder before
+    /// that holder's next (and final) empty check.
+    fn run_loop(self: &Arc<Self>, me: usize) {
+        CURRENT_WORKER.with(|c| {
+            *c.borrow_mut() = Some(WorkerCtx {
+                inner: Arc::downgrade(self),
+                index: me,
+            });
+        });
+        loop {
+            if let Some(region) = self.acquire(me) {
+                self.run(region);
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Eventcount park: declare, fence, re-check, then block. A
+            // producer publishes first and scans second, so either our
+            // re-check sees the item or the producer sees `parked`.
+            let slot = &self.slots[me];
+            slot.parked.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if self.has_pending() || self.shutdown.load(Ordering::SeqCst) {
+                slot.parked.store(false, Ordering::SeqCst);
+                continue;
+            }
+            slot.signal.park();
+            slot.parked.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Cancels a region that can no longer be executed by this pool.
+    fn reject(&self, region: Arc<TargetRegion>) {
+        // A producer racing the pool's shutdown degrades gracefully: the
+        // region is rejected in a terminal Cancelled state, so waiters are
+        // released instead of the producer panicking.
+        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        region.cancel();
     }
 }
 
@@ -80,7 +267,7 @@ pub(crate) struct PoolWakerGuard {
 impl Drop for PoolWakerGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.upgrade() {
-            inner.queue.lock().wakers.retain(|(i, _)| *i != self.id);
+            inner.barrier.lock().wakers.retain(|(i, _)| *i != self.id);
         }
     }
 }
@@ -100,15 +287,28 @@ impl WorkerTarget {
     pub fn new(name: impl Into<String>, m: usize) -> Arc<Self> {
         assert!(m > 0, "a worker virtual target needs at least one thread");
         let name = name.into();
+        let slots = (0..m)
+            .map(|_| WorkerSlot {
+                deque: ChaseLev::new(),
+                signal: WakeSignal::new(),
+                parked: AtomicBool::new(false),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         let inner = Arc::new(Inner {
             name: name.clone(),
-            queue: Mutex::new(QueueState {
+            slots,
+            injector: Mutex::new(Injector {
                 tasks: VecDeque::new(),
                 shutdown: false,
-                wakers: Vec::new(),
-                next_waker_id: 0,
             }),
-            cond: Condvar::new(),
+            injector_len: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            barrier: Mutex::new(BarrierWakers {
+                wakers: Vec::new(),
+                next_id: 0,
+            }),
+            barrier_rr: AtomicUsize::new(0),
             stats: TargetStatsInner::default(),
         });
         let threads = (0..m)
@@ -116,14 +316,7 @@ impl WorkerTarget {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || {
-                        CURRENT_WORKER
-                            .with(|c| *c.borrow_mut() = Some(Arc::downgrade(&inner)));
-                        while let Some(region) = inner.pop_blocking() {
-                            region.execute();
-                            inner.stats.executed.fetch_add(1, Ordering::Relaxed);
-                        }
-                    })
+                    .spawn(move || inner.run_loop(i))
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -135,7 +328,7 @@ impl WorkerTarget {
 
     /// Number of pool threads.
     pub fn num_threads(&self) -> usize {
-        self.threads.lock().len()
+        self.inner.slots.len()
     }
 
     /// Requests shutdown: queued regions still run, then threads exit.
@@ -146,13 +339,21 @@ impl WorkerTarget {
     /// itself; it is detached instead and exits naturally when it drains
     /// the queue.
     pub fn shutdown(&self) {
-        let wakers = {
-            let mut g = self.inner.queue.lock();
-            g.shutdown = true;
-            g.wakers_snapshot()
+        // Take the injector lock so the flag flip serializes with racing
+        // posts: a post either landed (and will be drained below) or sees
+        // the flag and cancels.
+        self.inner.injector.lock().shutdown = true;
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Shutdown is the one event that notifies everyone: parked pool
+        // threads re-check and exit, parked helpers re-check rather than
+        // sleep through it.
+        for slot in self.inner.slots.iter() {
+            slot.signal.notify();
+        }
+        let wakers: Vec<_> = {
+            let g = self.inner.barrier.lock();
+            g.wakers.iter().map(|(_, w)| Arc::clone(w)).collect()
         };
-        self.inner.cond.notify_all();
-        // Parked helpers re-check rather than sleep through the shutdown.
         for w in wakers {
             w.notify();
         }
@@ -168,15 +369,17 @@ impl WorkerTarget {
     }
 
     /// Registers an await-barrier parker with the pool the current thread
-    /// belongs to, so a region posted to the pool wakes the parked helper
-    /// immediately. Returns `None` off pool threads. The registration is
-    /// removed when the returned guard drops.
+    /// belongs to, so a region posted to the pool wakes the parked helper.
+    /// Returns `None` off pool threads. The registration is removed when the
+    /// returned guard drops.
     pub(crate) fn register_current_waker(signal: &Arc<WakeSignal>) -> Option<PoolWakerGuard> {
-        let inner = CURRENT_WORKER.with(|c| c.borrow().as_ref().and_then(Weak::upgrade))?;
+        let inner = CURRENT_WORKER
+            .with(|c| c.borrow().as_ref().map(|ctx| ctx.inner.clone()))?
+            .upgrade()?;
         let id = {
-            let mut g = inner.queue.lock();
-            let id = g.next_waker_id;
-            g.next_waker_id += 1;
+            let mut g = inner.barrier.lock();
+            let id = g.next_id;
+            g.next_id += 1;
             g.wakers.push((id, Arc::clone(signal)));
             id
         };
@@ -188,19 +391,22 @@ impl WorkerTarget {
 
     /// Help-process one pending task of the worker pool the current thread
     /// belongs to. Free function used by the await logical barrier when the
-    /// encountering thread is itself a pool worker.
+    /// encountering thread is itself a pool worker. Runs the same
+    /// local-pop → steal → injector acquisition as the pool's run loop.
     pub fn help_current_thread_pool() -> bool {
-        let inner = CURRENT_WORKER.with(|c| c.borrow().as_ref().and_then(Weak::upgrade));
-        match inner {
-            Some(inner) => match inner.try_pop() {
-                Some(region) => {
-                    region.execute();
-                    inner.stats.executed.fetch_add(1, Ordering::Relaxed);
-                    inner.stats.helped.fetch_add(1, Ordering::Relaxed);
-                    true
-                }
-                None => false,
-            },
+        let ctx = CURRENT_WORKER.with(|c| {
+            c.borrow()
+                .as_ref()
+                .map(|ctx| (ctx.inner.clone(), ctx.index))
+        });
+        let Some((weak, me)) = ctx else { return false };
+        let Some(inner) = weak.upgrade() else { return false };
+        match inner.acquire(me) {
+            Some(region) => {
+                inner.run(region);
+                inner.stats.helped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
             None => false,
         }
     }
@@ -216,45 +422,47 @@ impl VirtualTarget for WorkerTarget {
     }
 
     fn post(&self, region: Arc<TargetRegion>) {
-        let wakers = {
-            let mut g = self.inner.queue.lock();
+        let inner = &*self.inner;
+        if let Some(me) = inner.member_index() {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                inner.reject(region);
+                return;
+            }
+            // Member fast path: owner push, no lock. (If shutdown raced in
+            // after the check above, this thread's own run loop still drains
+            // the deque before exiting — nothing is stranded.)
+            inner.slots[me].deque.push(region);
+        } else {
+            let mut g = inner.injector.lock();
             if g.shutdown {
                 drop(g);
-                // A producer racing the pool's shutdown degrades gracefully:
-                // the region is rejected in a terminal Cancelled state, so
-                // waiters are released instead of the producer panicking.
-                self.inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                region.cancel();
+                inner.reject(region);
                 return;
             }
             g.tasks.push_back(region);
-            g.wakers_snapshot()
-        };
-        self.inner.stats.posted.fetch_add(1, Ordering::Relaxed);
-        self.inner.cond.notify_one();
-        // Wake members parked in an await barrier: they help-drain the queue.
-        for w in wakers {
-            w.notify();
+            // Increment under the lock: once an item is visible to a locked
+            // pop, the lock-free mirror already reports it, so the length
+            // fast path in `pop_injector` can never hide a queued region.
+            inner.injector_len.fetch_add(1, Ordering::SeqCst);
+            drop(g);
         }
+        inner.stats.posted.fetch_add(1, Ordering::Relaxed);
+        // Publish-then-scan half of the eventcount handshake (see run_loop).
+        fence(Ordering::SeqCst);
+        inner.wake_one();
     }
 
     fn is_member(&self) -> bool {
-        CURRENT_WORKER.with(|c| {
-            c.borrow()
-                .as_ref()
-                .and_then(Weak::upgrade)
-                .is_some_and(|i| Arc::ptr_eq(&i, &self.inner))
-        })
+        self.inner.member_index().is_some()
     }
 
     fn help_one(&self) -> bool {
-        if !self.is_member() {
+        let Some(me) = self.inner.member_index() else {
             return false;
-        }
-        match self.inner.try_pop() {
+        };
+        match self.inner.acquire(me) {
             Some(region) => {
-                region.execute();
-                self.inner.stats.executed.fetch_add(1, Ordering::Relaxed);
+                self.inner.run(region);
                 self.inner.stats.helped.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -263,7 +471,7 @@ impl VirtualTarget for WorkerTarget {
     }
 
     fn pending(&self) -> usize {
-        self.inner.queue.lock().tasks.len()
+        self.inner.queue_len()
     }
 
     fn stats(&self) -> TargetStats {
@@ -290,8 +498,9 @@ impl std::fmt::Debug for WorkerTarget {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::TaskState;
     use std::sync::atomic::{AtomicBool, AtomicUsize};
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn executes_posted_regions() {
@@ -419,7 +628,7 @@ mod tests {
         let r = TargetRegion::new("late", || unreachable!("must never run"));
         let h = r.handle();
         w.post(r);
-        assert_eq!(h.state(), crate::task::TaskState::Cancelled);
+        assert_eq!(h.state(), TaskState::Cancelled);
         h.wait(); // terminal: returns immediately
         h.join(); // no panic to propagate
         assert_eq!(w.stats().rejected, 1);
@@ -427,7 +636,10 @@ mod tests {
     }
 
     #[test]
-    fn racing_producers_during_shutdown_never_panic() {
+    fn racing_producers_during_shutdown_end_terminal_never_lost() {
+        // Producers race the pool's shutdown: every region must end in a
+        // terminal state — Finished (it ran) or Cancelled (it was rejected),
+        // never lost in a dead queue. Every accepted post must have run.
         for _ in 0..20 {
             let w = WorkerTarget::new("w", 2);
             let producers: Vec<_> = (0..4)
@@ -445,40 +657,55 @@ mod tests {
                 })
                 .collect();
             w.shutdown();
+            let mut finished = 0u64;
+            let mut cancelled = 0u64;
             for p in producers {
                 for h in p.join().expect("producer must not panic") {
-                    h.wait(); // every region reaches a terminal state
+                    h.wait(); // would hang forever on a lost region
+                    match h.state() {
+                        TaskState::Finished => finished += 1,
+                        TaskState::Cancelled => cancelled += 1,
+                        s => panic!("non-terminal or unexpected state {s:?}"),
+                    }
                 }
             }
+            assert_eq!(finished + cancelled, 40);
+            let s = w.stats();
+            assert_eq!(s.posted, finished, "every accepted post must execute");
+            assert_eq!(s.executed, finished);
+            assert_eq!(s.rejected, cancelled);
         }
     }
 
     #[test]
     fn registered_waker_notified_on_post_and_dropped_on_deregistration() {
-        use crate::parker::WakeSignal;
-        use std::time::Instant;
-
         let w = WorkerTarget::new("w", 1);
         let signal = Arc::new(WakeSignal::new());
 
         // Registration only works from a member thread.
         assert!(WorkerTarget::register_current_waker(&signal).is_none());
 
+        let release = Arc::new(AtomicBool::new(false));
         let s2 = Arc::clone(&signal);
-        let w2 = Arc::clone(&w);
+        let r2 = Arc::clone(&release);
         let reg = TargetRegion::new("register", move || {
             let guard = WorkerTarget::register_current_waker(&s2);
             assert!(guard.is_some());
-            // Keep the guard alive while a concurrent post arrives.
-            while w2.pending() == 0 {
+            // Keep the guard alive until the main thread observed the wake.
+            while !r2.load(Ordering::SeqCst) {
                 std::thread::sleep(Duration::from_millis(1));
             }
             drop(guard);
         });
         let hr = reg.handle();
         w.post(reg);
+        // Wait until the single pool thread is inside the region: it is
+        // busy (not parked), so the next post can only wake the registered
+        // barrier parker.
+        while hr.state() == TaskState::Pending {
+            std::thread::sleep(Duration::from_millis(1));
+        }
 
-        std::thread::sleep(Duration::from_millis(10));
         let probe = TargetRegion::new("probe", || {});
         let hp = probe.handle();
         w.post(probe); // must notify the registered waker
@@ -486,10 +713,12 @@ mod tests {
             signal.park_until(Instant::now() + Duration::from_secs(5)),
             "post must signal the registered pool waker"
         );
+        release.store(true, Ordering::SeqCst);
         hr.wait();
         hp.wait();
 
-        // After the guard dropped, posts no longer signal.
+        // After the guard dropped, posts wake the (now idle) pool thread,
+        // never the deregistered barrier waker.
         let quiet = TargetRegion::new("quiet", || {});
         let hq = quiet.handle();
         w.post(quiet);
@@ -498,6 +727,124 @@ mod tests {
             !signal.park_until(Instant::now() + Duration::from_millis(20)),
             "deregistered waker must stay silent"
         );
+    }
+
+    #[test]
+    fn same_producer_external_posts_run_fifo() {
+        // Regression: external submissions flow through the FIFO injector,
+        // so one producer's regions execute in post order on a 1-thread
+        // pool — the observable ordering the old single queue provided.
+        let w = WorkerTarget::new("w", 1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..100 {
+            let o = Arc::clone(&order);
+            let r = TargetRegion::new("t", move || o.lock().push(i));
+            handles.push(r.handle());
+            w.post(r);
+        }
+        for h in &handles {
+            h.wait();
+        }
+        assert_eq!(*order.lock(), (0..100).collect::<Vec<_>>());
+        let s = w.stats();
+        assert_eq!(s.injector_pops, 100);
+        assert_eq!(s.local_pops, 0);
+        assert_eq!(s.steals, 0);
+    }
+
+    #[test]
+    fn member_posts_pop_locally_lifo() {
+        // A pool thread posting to its own pool takes the owner fast path:
+        // the regions land on its deque and are popped newest-first.
+        let w = WorkerTarget::new("w", 1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let w2 = Arc::clone(&w);
+        let o2 = Arc::clone(&order);
+        let outer = TargetRegion::new("outer", move || {
+            for i in 0..3 {
+                let o = Arc::clone(&o2);
+                w2.post(TargetRegion::new("sub", move || o.lock().push(i)));
+            }
+        });
+        let h = outer.handle();
+        w.post(outer);
+        h.wait();
+        w.shutdown(); // drains the member deque
+        assert_eq!(*order.lock(), vec![2, 1, 0], "owner pops are LIFO");
+        let s = w.stats();
+        assert_eq!(s.local_pops, 3);
+        assert_eq!(s.injector_pops, 1);
+        assert_eq!(s.executed, 4);
+    }
+
+    #[test]
+    fn idle_sibling_steals_from_member_deque() {
+        // The member that owns a deque is blocked, so its queued region can
+        // only run if the idle sibling steals it.
+        let w = WorkerTarget::new("w", 2);
+        let stolen_ran = Arc::new(AtomicBool::new(false));
+        let w2 = Arc::clone(&w);
+        let sr = Arc::clone(&stolen_ran);
+        let outer = TargetRegion::new("outer", move || {
+            let sr2 = Arc::clone(&sr);
+            let item = TargetRegion::new("stolen", move || sr2.store(true, Ordering::SeqCst));
+            let h = item.handle();
+            w2.post(item); // member fast path → this thread's deque
+            let t0 = Instant::now();
+            while !h.is_finished() {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(5),
+                    "sibling never stole the queued item"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let h = outer.handle();
+        w.post(outer);
+        h.wait();
+        assert!(stolen_ran.load(Ordering::SeqCst));
+        let s = w.stats();
+        assert_eq!(s.steals, 1, "the item can only have arrived by stealing");
+        assert!(s.steal_attempts >= 1);
+        assert_eq!(s.local_pops, 0);
+        assert_eq!(s.injector_pops, 1);
+    }
+
+    #[test]
+    fn scheduler_counters_account_for_every_execution() {
+        // Conservation: every executed region was acquired through exactly
+        // one of the three sources.
+        let w = WorkerTarget::new("w", 4);
+        let inner_handles = Arc::new(Mutex::new(Vec::new()));
+        let mut outer_handles = Vec::new();
+        for _ in 0..100 {
+            let w2 = Arc::clone(&w);
+            let ih = Arc::clone(&inner_handles);
+            let r = TargetRegion::new("outer", move || {
+                let sub = TargetRegion::new("sub", || {});
+                ih.lock().push(sub.handle());
+                w2.post(sub); // member fast path
+            });
+            outer_handles.push(r.handle());
+            w.post(r);
+        }
+        for h in &outer_handles {
+            h.wait();
+        }
+        let inner_handles = std::mem::take(&mut *inner_handles.lock());
+        for h in &inner_handles {
+            h.wait();
+        }
+        let s = w.stats();
+        assert_eq!(s.posted, 200);
+        assert_eq!(s.executed, 200);
+        assert_eq!(
+            s.executed,
+            s.local_pops + s.steals + s.injector_pops,
+            "each execution must be acquired exactly once: {s:?}"
+        );
+        assert_eq!(s.injector_pops, 100, "external posts drain via the injector");
     }
 
     #[test]
@@ -517,7 +864,7 @@ mod tests {
         let ho = ok.handle();
         w.post(ok);
         ho.wait();
-        assert_eq!(ho.state(), crate::task::TaskState::Finished);
+        assert_eq!(ho.state(), TaskState::Finished);
     }
 
     #[test]
@@ -560,5 +907,36 @@ mod tests {
             h.wait();
         }
         assert!(t0.elapsed() < Duration::from_millis(150), "{:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn pending_is_lock_free_and_sums_all_sources() {
+        let w = WorkerTarget::new("w", 1);
+        assert_eq!(w.pending(), 0);
+        // Occupy the pool thread so posted regions stay queued.
+        let gate = Arc::new(AtomicBool::new(false));
+        let g2 = Arc::clone(&gate);
+        let blocker = TargetRegion::new("blocker", move || {
+            while !g2.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let hb = blocker.handle();
+        w.post(blocker);
+        while hb.state() == TaskState::Pending {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut handles = Vec::new();
+        for _ in 0..5 {
+            let r = TargetRegion::new("queued", || {});
+            handles.push(r.handle());
+            w.post(r);
+        }
+        assert_eq!(w.pending(), 5);
+        gate.store(true, Ordering::SeqCst);
+        for h in &handles {
+            h.wait();
+        }
+        assert_eq!(w.pending(), 0);
     }
 }

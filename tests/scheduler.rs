@@ -1,0 +1,122 @@
+//! Integration test: the work-stealing worker scheduler, observed through
+//! the public API only (`Runtime` + `VirtualTarget::stats`).
+//!
+//! The per-worker deque / global injector split is an implementation detail;
+//! what these tests pin down is the observable contract: same-producer FIFO
+//! for external posts, no lost or duplicated executions, and the
+//! [`TargetStats`] acquisition counters conserving every execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pyjama::runtime::{Mode, Runtime};
+
+fn spin_until(deadline_ms: u64, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for condition");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn steal_counters_conserve_every_execution() {
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("worker", 4);
+
+    const OUTER: usize = 200;
+    let done = Arc::new(AtomicUsize::new(0));
+    let inline_done = Arc::new(AtomicUsize::new(0));
+    for _ in 0..OUTER {
+        let rt2 = Arc::clone(&rt);
+        let done = Arc::clone(&done);
+        let inline_done = Arc::clone(&inline_done);
+        rt.target("worker", Mode::NoWait, move || {
+            // A nested target from a member thread takes Algorithm 1's
+            // member short-circuit and runs inline, not through the queues.
+            let i2 = Arc::clone(&inline_done);
+            rt2.target("worker", Mode::NoWait, move || {
+                i2.fetch_add(1, Ordering::SeqCst);
+            });
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    spin_until(5_000, || {
+        done.load(Ordering::SeqCst) == OUTER && inline_done.load(Ordering::SeqCst) == OUTER
+    });
+
+    let target = rt.lookup("worker").unwrap();
+    spin_until(5_000, || target.pending() == 0);
+    let s = target.stats();
+    // The nested member posts took the inline short-circuit, so only the
+    // external posts flow through the scheduler.
+    assert_eq!(s.posted, OUTER as u64, "every external post is counted");
+    assert_eq!(s.executed, OUTER as u64);
+    assert_eq!(s.rejected, 0);
+    // Conservation: each executed region was acquired through exactly one
+    // scheduler path — the owner's deque, a steal, or the global injector.
+    assert_eq!(
+        s.executed,
+        s.local_pops + s.steals + s.injector_pops,
+        "acquisition counters must account for every execution: {s:?}",
+    );
+    assert!(
+        s.injector_pops > 0,
+        "external posts land in the injector: {s:?}",
+    );
+}
+
+#[test]
+fn external_posts_from_one_producer_run_fifo() {
+    let rt = Runtime::new();
+    rt.virtual_target_create_worker("solo", 1);
+
+    const N: usize = 64;
+    let order = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..N {
+        let order = Arc::clone(&order);
+        rt.target("solo", Mode::NoWait, move || {
+            order.lock().unwrap().push(i);
+        });
+    }
+    spin_until(5_000, || order.lock().unwrap().len() == N);
+    assert_eq!(
+        *order.lock().unwrap(),
+        (0..N).collect::<Vec<_>>(),
+        "a single producer's posts must execute in submission order",
+    );
+}
+
+#[test]
+fn pool_drains_everything_under_concurrent_external_producers() {
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("pool", 4);
+
+    const PRODUCERS: usize = 8;
+    const PER: usize = 50;
+    let done = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|_| {
+            let rt = Arc::clone(&rt);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for _ in 0..PER {
+                    let d = Arc::clone(&done);
+                    rt.target("pool", Mode::NoWait, move || {
+                        d.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    spin_until(5_000, || done.load(Ordering::SeqCst) == PRODUCERS * PER);
+
+    let s = rt.lookup("pool").unwrap().stats();
+    assert_eq!(s.posted, (PRODUCERS * PER) as u64);
+    assert_eq!(s.executed, (PRODUCERS * PER) as u64);
+    assert_eq!(s.executed, s.local_pops + s.steals + s.injector_pops);
+}
