@@ -27,11 +27,31 @@
 //!
 //! Items are stored as raw `Box` pointers so a steal that loses its CAS race
 //! can simply abandon the slot without dropping or duplicating the value.
+//! A lost race surfaces to the caller as [`Steal::Retry`] (the PPoPP-2013
+//! ABORT outcome) so thieves rotate to the next victim instead of spinning
+//! on one contended deque.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 
 use parking_lot::Mutex;
+
+/// Result of one [`ChaseLev::steal`] probe.
+///
+/// `Retry` is the PPoPP-2013 ABORT outcome: the thief lost the `top` CAS to
+/// the owner or another thief, so the probed item went to someone else (the
+/// system made progress). The caller should move on — to its next victim,
+/// or to the injector — instead of spinning on one hot deque, and may treat
+/// a `Retry` round as "work may still exist" when deciding whether to park.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Steal<T> {
+    /// Claimed the oldest item.
+    Item(T),
+    /// The deque was observed empty.
+    Empty,
+    /// Lost the claim race; try elsewhere rather than spinning here.
+    Retry,
+}
 
 /// A growable circular buffer of raw item pointers.
 ///
@@ -165,30 +185,33 @@ impl<T> ChaseLev<T> {
         }
     }
 
-    /// Steals the oldest item (FIFO). Callable from any thread. Retries
-    /// internally on a lost CAS race (the item went to someone else — the
-    /// system made progress) and returns `None` only on an empty deque.
-    pub(crate) fn steal(&self) -> Option<T> {
-        loop {
-            let t = self.top.load(Ordering::Acquire);
-            // Load-load barrier ordering the top read before the bottom
-            // read, pairing with the owner's SeqCst fence in `pop`.
-            fence(Ordering::SeqCst);
-            let b = self.bottom.load(Ordering::Acquire);
-            if t >= b {
-                return None;
-            }
-            // Acquire pairs with the owner's buffer-swap store in `grow`.
-            let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
-            let item = buf.slot(t).load(Ordering::Relaxed);
-            if self
-                .top
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok()
-            {
-                return Some(unsafe { *Box::from_raw(item) });
-            }
-            // Lost the race for index t; re-read and try the next item.
+    /// Probes the top of the deque once, claiming the oldest item (FIFO).
+    /// Callable from any thread. A lost CAS race returns [`Steal::Retry`]
+    /// instead of looping internally, so a caller rotating over victims
+    /// moves on rather than spinning on one contended deque (and so probe
+    /// counters count actual probes).
+    pub(crate) fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        // Load-load barrier ordering the top read before the bottom read,
+        // pairing with the owner's SeqCst fence in `pop`.
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Acquire pairs with the owner's buffer-swap store in `grow`.
+        let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+        let item = buf.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Item(unsafe { *Box::from_raw(item) })
+        } else {
+            // Lost the race for index t: the item went to the owner or
+            // another thief.
+            Steal::Retry
         }
     }
 
@@ -264,10 +287,10 @@ mod tests {
         d.push(1);
         d.push(2);
         d.push(3);
-        assert_eq!(d.steal(), Some(1));
-        assert_eq!(d.steal(), Some(2));
+        assert_eq!(d.steal(), Steal::Item(1));
+        assert_eq!(d.steal(), Steal::Item(2));
         assert_eq!(d.pop(), Some(3));
-        assert_eq!(d.steal(), None);
+        assert_eq!(d.steal(), Steal::Empty);
     }
 
     #[test]
@@ -278,7 +301,7 @@ mod tests {
         }
         assert_eq!(d.len(), 1000);
         // Oldest at the top, newest at the bottom — across several growths.
-        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.steal(), Steal::Item(0));
         assert_eq!(d.pop(), Some(999));
         for expected in (1..999).rev() {
             assert_eq!(d.pop(), Some(expected));
@@ -317,6 +340,35 @@ mod tests {
         assert_eq!(live.load(Ordering::SeqCst), 0, "drop must free queued items");
     }
 
+    /// `steal` is a single probe: when several thieves race for one item,
+    /// exactly one gets `Item` and every loser returns immediately with
+    /// `Empty` or `Retry` — it never blocks or spins internally.
+    #[test]
+    fn contended_single_probe_claims_item_exactly_once() {
+        for _ in 0..200 {
+            let d = Arc::new(ChaseLev::with_capacity(2));
+            d.push(42usize);
+            let won = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let d = Arc::clone(&d);
+                    let won = Arc::clone(&won);
+                    s.spawn(move || match d.steal() {
+                        Steal::Item(v) => {
+                            assert_eq!(v, 42);
+                            won.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Steal::Empty | Steal::Retry => {}
+                    });
+                }
+            });
+            // Every thief saw the pre-spawn push, so the CASes all start
+            // from the same top index and exactly one can win it.
+            assert_eq!(won.load(Ordering::SeqCst), 1);
+            assert_eq!(d.pop(), None);
+        }
+    }
+
     /// The steal-vs-owner-pop race: one owner pushing and popping, several
     /// thieves stealing, every item claimed exactly once. This is the
     /// single-last-item CAS race at the heart of the algorithm.
@@ -337,12 +389,18 @@ mod tests {
                     // observed empty.
                     loop {
                         match d.steal() {
-                            Some(v) => mine.push(v),
-                            None => {
+                            Steal::Item(v) => mine.push(v),
+                            // Lost a race: someone else made progress; the
+                            // real scheduler would move to its next victim.
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
                                 if d.len() == 0 && Arc::strong_count(&d) <= THIEVES + 1 {
-                                    // Owner dropped its handle: done.
-                                    if d.steal().is_none() {
-                                        break;
+                                    // Owner dropped its handle: one more
+                                    // probe confirms the deque stayed dry.
+                                    match d.steal() {
+                                        Steal::Item(v) => mine.push(v),
+                                        Steal::Empty => break,
+                                        Steal::Retry => {}
                                     }
                                 } else {
                                     std::hint::spin_loop();

@@ -44,7 +44,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use crate::deque::ChaseLev;
+use crate::deque::{ChaseLev, Steal};
 use crate::executor::{TargetKind, TargetStats, TargetStatsInner, VirtualTarget};
 use crate::parker::WakeSignal;
 use crate::task::TargetRegion;
@@ -121,21 +121,32 @@ impl Inner {
         if self.injector_len.load(Ordering::SeqCst) == 0 {
             return None;
         }
-        let region = self.injector.lock().tasks.pop_front()?;
+        let mut g = self.injector.lock();
+        let region = g.tasks.pop_front()?;
+        // Decrement while still holding the lock so the lock-free mirror
+        // never over-reports a popped item (post's increment is likewise
+        // under the lock).
         self.injector_len.fetch_sub(1, Ordering::SeqCst);
+        drop(g);
         self.stats.steal.record_injector_pop();
         Some(region)
     }
 
-    /// Probes every sibling deque once, starting after `me`.
+    /// Probes every sibling deque once, starting after `me`. A probe that
+    /// loses a claim race ([`Steal::Retry`]) moves on to the next victim —
+    /// the contended item went to someone else, and spinning on one hot
+    /// deque would starve the other sources.
     fn try_steal(&self, me: usize) -> Option<Arc<TargetRegion>> {
         let n = self.slots.len();
         for i in 1..n {
             let victim = (me + i) % n;
             self.stats.steal.record_steal_attempt();
-            if let Some(region) = self.slots[victim].deque.steal() {
-                self.stats.steal.record_steal();
-                return Some(region);
+            match self.slots[victim].deque.steal() {
+                Steal::Item(region) => {
+                    self.stats.steal.record_steal();
+                    return Some(region);
+                }
+                Steal::Empty | Steal::Retry => {}
             }
         }
         None
@@ -212,10 +223,13 @@ impl Inner {
 
     /// The member thread run loop: acquire → execute; park when dry; exit
     /// once shutdown is flagged and every source is dry. Items can never be
-    /// stranded: after the shutdown flag is set no source can grow, so a
-    /// thread exits only when the work it is responsible for observing is
-    /// gone, and any already-popped region is executed by its holder before
-    /// that holder's next (and final) empty check.
+    /// stranded: a post accepted before shutdown increments `injector_len`
+    /// under the injector lock *before* the flag flips, so after a SeqCst
+    /// read of `shutdown == true` the final drain below is guaranteed to
+    /// observe it; after the flag is set no source can grow (late posts are
+    /// rejected, member pushes are drained by their own thread's final
+    /// drain), and any already-popped region is executed by its holder
+    /// before that holder's next (and final) empty check.
     fn run_loop(self: &Arc<Self>, me: usize) {
         CURRENT_WORKER.with(|c| {
             *c.borrow_mut() = Some(WorkerCtx {
@@ -229,6 +243,15 @@ impl Inner {
                 continue;
             }
             if self.shutdown.load(Ordering::SeqCst) {
+                // Drain once more before exiting: a producer may have won
+                // the injector lock (post accepted) between our failed
+                // acquire above and the flag flip, with every sibling past
+                // its own acquire too — so no parked thread existed for
+                // wake_one to pick. Without this pass that region would be
+                // neither executed nor cancelled and its waiters would hang.
+                while let Some(region) = self.acquire(me) {
+                    self.run(region);
+                }
                 return;
             }
             // Eventcount park: declare, fence, re-check, then block. A
