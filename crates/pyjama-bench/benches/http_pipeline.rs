@@ -1,0 +1,137 @@
+//! Persistent-connection serving pipeline: keep-alive vs
+//! `connection: close`, per policy, at 4 workers on loopback.
+//!
+//! Two parts:
+//!
+//! 1. A load-generator pass (printed before criterion runs) reporting
+//!    requests/s plus p50/p99 latency for every (policy × keep-alive)
+//!    cell — the acceptance numbers: keep-alive should clear ≥ 2× the
+//!    `connection: close` baseline with a light handler, because the
+//!    baseline pays TCP setup/teardown and a cold codec per request.
+//! 2. Criterion benches of single-request round-trip latency on a held
+//!    connection vs a fresh connection per request.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pyjama_bench::httpbench::{run_http_benchmark, HttpBenchConfig, ServerFlavor};
+use pyjama_http::{ClientConn, HttpServer, Request, Response, ServingPolicy};
+use pyjama_runtime::Runtime;
+
+const WORKERS: usize = 4;
+
+fn light_config(keepalive: bool) -> HttpBenchConfig {
+    HttpBenchConfig {
+        users: 8,
+        requests_per_user: 50,
+        worker_threads: WORKERS,
+        omp_parallel_per_event: None,
+        payload: 256,
+        // Minimal handler work so connection overhead dominates — the
+        // quantity this bench isolates.
+        work_factor: 1,
+        io_ms: 0,
+        keepalive,
+    }
+}
+
+/// The printed report: requests/s and latency percentiles per cell.
+fn report_pipeline_throughput() {
+    println!("=== http_pipeline — {WORKERS} workers, light handler, loopback ===");
+    println!(
+        "{:<8} {:<10} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "policy", "keepalive", "req/s", "p50_us", "p99_us", "reused", "pipelined"
+    );
+    for flavor in [ServerFlavor::Jetty, ServerFlavor::Pyjama] {
+        let mut rps = [0.0f64; 2];
+        for (i, keepalive) in [false, true].into_iter().enumerate() {
+            let r = run_http_benchmark(flavor, &light_config(keepalive));
+            assert_eq!(r.failed, 0, "{flavor:?} keepalive={keepalive}");
+            rps[i] = r.throughput;
+            println!(
+                "{:<8} {:<10} {:>12.0} {:>10} {:>10} {:>9} {:>9}",
+                flavor.name(),
+                keepalive,
+                r.throughput,
+                r.p50_response.as_micros(),
+                r.p99_response.as_micros(),
+                r.conns.reused,
+                r.conns.pipelined,
+            );
+        }
+        println!(
+            "  {} keep-alive speedup: {:.2}x",
+            flavor.name(),
+            rps[1] / rps[0].max(1e-9)
+        );
+    }
+}
+
+fn echo_server(policy_flavor: ServerFlavor) -> HttpServer {
+    let handler = |req: &Request| Response::ok(req.body.clone());
+    match policy_flavor {
+        ServerFlavor::Jetty => {
+            HttpServer::start(ServingPolicy::JettyPool { threads: WORKERS }, handler)
+                .expect("start jetty")
+        }
+        ServerFlavor::Pyjama => {
+            let rt = Arc::new(Runtime::new());
+            rt.virtual_target_create_worker("worker", WORKERS);
+            HttpServer::start(
+                ServingPolicy::PyjamaVirtualTarget {
+                    runtime: rt,
+                    target: "worker".into(),
+                },
+                handler,
+            )
+            .expect("start pyjama")
+        }
+    }
+}
+
+fn bench_http_pipeline(c: &mut Criterion) {
+    report_pipeline_throughput();
+
+    let mut g = c.benchmark_group("http_pipeline");
+    g.sample_size(30);
+    for flavor in [ServerFlavor::Jetty, ServerFlavor::Pyjama] {
+        // Keep-alive: one persistent connection, request round-trips on it.
+        let mut server = echo_server(flavor);
+        {
+            let mut conn = ClientConn::new(server.addr());
+            let mut req = Request::new("POST", "/echo", vec![0xA5; 256]);
+            req.headers.insert("connection", "keep-alive");
+            g.bench_with_input(
+                BenchmarkId::new("keepalive", flavor.name()),
+                &flavor,
+                |b, _| {
+                    b.iter(|| conn.send(&req).expect("keep-alive round-trip"));
+                },
+            );
+        }
+        // Baseline: a fresh TCP connection per request.
+        {
+            let addr = server.addr();
+            let req = Request::new("POST", "/echo", vec![0xA5; 256]);
+            g.bench_with_input(
+                BenchmarkId::new("conn_per_request", flavor.name()),
+                &flavor,
+                |b, _| {
+                    b.iter(|| {
+                        let mut conn = ClientConn::new(addr);
+                        conn.send(&req).expect("cold round-trip")
+                    });
+                },
+            );
+        }
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_http_pipeline
+}
+criterion_main!(benches);

@@ -10,7 +10,8 @@
 
 use std::sync::Arc;
 
-use pyjama_http::{HttpServer, LoadGenerator, Response, ServingPolicy};
+use pyjama_http::{HttpServer, LoadGenerator, Response, ServerOptions, ServingPolicy};
+use pyjama_metrics::ConnStats;
 use pyjama_kernels::crypt::{encrypt_par, encrypt_seq, IdeaKey};
 use pyjama_runtime::Runtime;
 
@@ -40,8 +41,16 @@ pub struct HttpBenchResult {
     pub throughput: f64,
     /// Mean response time.
     pub mean_response: std::time::Duration,
+    /// Median response time.
+    pub p50_response: std::time::Duration,
+    /// 99th-percentile response time.
+    pub p99_response: std::time::Duration,
     /// Requests that failed.
     pub failed: u64,
+    /// Server-side connection-lifecycle counters (accepts, reuse,
+    /// pipelining, idle evictions) — separates connection overhead from
+    /// handler cost in the Fig. 9 comparison.
+    pub conns: ConnStats,
 }
 
 /// Configuration of one Figure 9 cell.
@@ -68,6 +77,11 @@ pub struct HttpBenchConfig {
     /// that makes worker-thread scaling observable (documented
     /// substitution, see DESIGN.md/EXPERIMENTS.md).
     pub io_ms: u64,
+    /// HTTP keep-alive on both sides: each virtual user holds one
+    /// persistent connection for all its requests and the server honors
+    /// it. `false` reproduces the original connection-per-request
+    /// (`connection: close`) baseline.
+    pub keepalive: bool,
 }
 
 impl Default for HttpBenchConfig {
@@ -80,6 +94,7 @@ impl Default for HttpBenchConfig {
             payload: 2048,
             work_factor: 32,
             io_ms: 0,
+            keepalive: true,
         }
     }
 }
@@ -110,24 +125,31 @@ fn encryption_handler(
     }
 }
 
-/// Runs one (flavor × worker-threads × per-event-parallel) cell.
+/// Runs one (flavor × worker-threads × per-event-parallel × keep-alive)
+/// cell.
 pub fn run_http_benchmark(flavor: ServerFlavor, config: &HttpBenchConfig) -> HttpBenchResult {
+    let opts = ServerOptions {
+        keep_alive: config.keepalive,
+        ..ServerOptions::default()
+    };
     let mut server = match flavor {
-        ServerFlavor::Jetty => HttpServer::start(
+        ServerFlavor::Jetty => HttpServer::start_with(
             ServingPolicy::JettyPool {
                 threads: config.worker_threads,
             },
+            opts,
             encryption_handler(config),
         )
         .expect("start jetty server"),
         ServerFlavor::Pyjama => {
             let rt = Arc::new(Runtime::new());
             rt.virtual_target_create_worker("worker", config.worker_threads);
-            HttpServer::start(
+            HttpServer::start_with(
                 ServingPolicy::PyjamaVirtualTarget {
                     runtime: rt,
                     target: "worker".into(),
                 },
+                opts,
                 encryption_handler(config),
             )
             .expect("start pyjama server")
@@ -141,13 +163,18 @@ pub fn run_http_benchmark(flavor: ServerFlavor, config: &HttpBenchConfig) -> Htt
         "/encrypt",
         payload,
     )
+    .with_keepalive(config.keepalive)
     .run(server.addr());
+    let conns = server.conn_stats();
     server.shutdown();
 
     HttpBenchResult {
         throughput: report.throughput,
         mean_response: report.mean_response,
+        p50_response: report.p50_response,
+        p99_response: report.p99_response,
         failed: report.failed,
+        conns,
     }
 }
 
@@ -164,6 +191,7 @@ mod tests {
             payload: 512,
             work_factor: 8,
             io_ms: 2,
+            keepalive: true,
         }
     }
 
@@ -173,7 +201,24 @@ mod tests {
             let r = run_http_benchmark(flavor, &tiny(2, None));
             assert_eq!(r.failed, 0, "{flavor:?}");
             assert!(r.throughput > 0.0, "{flavor:?}");
+            assert!(
+                r.conns.reused > 0,
+                "{flavor:?}: keep-alive must reuse connections ({:?})",
+                r.conns
+            );
         }
+    }
+
+    #[test]
+    fn keepalive_off_reproduces_conn_per_request_baseline() {
+        let cfg = HttpBenchConfig {
+            keepalive: false,
+            ..tiny(2, None)
+        };
+        let r = run_http_benchmark(ServerFlavor::Jetty, &cfg);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.conns.reused, 0, "{:?}", r.conns);
+        assert_eq!(r.conns.accepted, 24, "one connection per request");
     }
 
     #[test]

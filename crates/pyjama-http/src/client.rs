@@ -1,6 +1,13 @@
 //! Blocking HTTP client and the closed-loop load generator.
+//!
+//! [`ClientConn`] is the persistent-connection client a real load generator
+//! would use: it holds one keep-alive connection, serialises requests into a
+//! reused buffer, and transparently reconnects once when a reused connection
+//! turns out to be stale (the server evicted it between requests — the
+//! standard keep-alive race, safe to retry because the stale connection
+//! never delivered the request).
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,6 +35,87 @@ pub fn http_post(addr: SocketAddr, path: &str, body: Vec<u8>) -> std::io::Result
     send(addr, &Request::new("POST", path, body))
 }
 
+/// A client holding one persistent connection to a server.
+///
+/// Connects lazily on first send; drops the connection when the server
+/// announces `connection: close` or on any I/O error; retries exactly once
+/// over a fresh connection when a *reused* connection fails (idle-evicted
+/// or max-requests-closed since the previous response).
+pub struct ClientConn {
+    addr: SocketAddr,
+    read_timeout: Duration,
+    stream: Option<(TcpStream, BufReader<TcpStream>)>,
+    buf: Vec<u8>,
+}
+
+impl ClientConn {
+    /// A disconnected client for `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        ClientConn {
+            addr,
+            read_timeout: Duration::from_secs(30),
+            stream: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Overrides the response-read timeout (default 30 s).
+    pub fn with_read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// True when a connection is currently held open.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Drops the held connection (next send reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    /// Sends `req` and reads the response, reusing the held connection.
+    pub fn send(&mut self, req: &Request) -> std::io::Result<Response> {
+        let reused = self.stream.is_some();
+        match self.try_send(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.stream = None;
+                if reused {
+                    // The connection died between requests; the request was
+                    // never processed, so a single retry on a fresh
+                    // connection is safe.
+                    self.try_send(req).map_err(|retry_err| {
+                        self.stream = None;
+                        retry_err
+                    })
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn try_send(&mut self, req: &Request) -> std::io::Result<Response> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_nodelay(true)?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.stream = Some((stream, reader));
+        }
+        let (write, reader) = self.stream.as_mut().expect("connected above");
+        req.write_into(&mut self.buf);
+        write.write_all(&self.buf)?;
+        let resp = Response::read_from(reader)?;
+        if resp.announces_close() {
+            self.stream = None;
+        }
+        Ok(resp)
+    }
+}
+
 /// Results of one load-generation run.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
@@ -41,13 +129,18 @@ pub struct LoadReport {
     pub throughput: f64,
     /// Mean response time.
     pub mean_response: Duration,
+    /// Median response time.
+    pub p50_response: Duration,
     /// 99th-percentile response time.
     pub p99_response: Duration,
 }
 
 /// A closed-loop load generator: `users` virtual users, each sending
 /// `requests_per_user` back-to-back requests (§V-B: "100 virtual users,
-/// with each user sending a constant number of requests").
+/// with each user sending a constant number of requests"). By default each
+/// user holds one keep-alive connection for all its requests, as a real
+/// load generator would; with [`keepalive`](Self::keepalive) off every
+/// request announces `connection: close` and pays a fresh TCP setup.
 pub struct LoadGenerator {
     /// Number of concurrent virtual users.
     pub users: usize,
@@ -57,17 +150,26 @@ pub struct LoadGenerator {
     pub body: Vec<u8>,
     /// Request path.
     pub path: String,
+    /// Reuse each user's connection across its requests.
+    pub keepalive: bool,
 }
 
 impl LoadGenerator {
-    /// A generator with the paper's default user count.
+    /// A generator with the paper's default user count and keep-alive on.
     pub fn new(users: usize, requests_per_user: usize, path: impl Into<String>, body: Vec<u8>) -> Self {
         LoadGenerator {
             users,
             requests_per_user,
             body,
             path: path.into(),
+            keepalive: true,
         }
+    }
+
+    /// Sets connection reuse on or off.
+    pub fn with_keepalive(mut self, keepalive: bool) -> Self {
+        self.keepalive = keepalive;
+        self
     }
 
     /// Runs the load against `addr`, blocking until every user finishes.
@@ -83,14 +185,18 @@ impl LoadGenerator {
                 let latency = Arc::clone(&latency);
                 let meter = Arc::clone(&meter);
                 let failed = Arc::clone(&failed);
-                let path = self.path.clone();
-                let body = self.body.clone();
                 std::thread::Builder::new()
                     .name(format!("vuser-{u}"))
                     .spawn_scoped(s, move || {
+                        let mut conn = ClientConn::new(addr);
+                        // One request shell per user, reused across sends.
+                        let mut req = Request::new("POST", &self.path, self.body.clone());
+                        if self.keepalive {
+                            req.headers.insert("connection", "keep-alive");
+                        }
                         for _ in 0..self.requests_per_user {
                             let start = Instant::now();
-                            match http_post(addr, &path, body.clone()) {
+                            match conn.send(&req) {
                                 Ok(resp) if resp.status.code() == 200 => {
                                     latency.record_since(start);
                                     meter.record();
@@ -112,6 +218,7 @@ impl LoadGenerator {
             wall,
             throughput: meter.completed() as f64 / wall.as_secs_f64().max(1e-9),
             mean_response: latency.mean(),
+            p50_response: latency.quantile(0.5),
             p99_response: latency.quantile(0.99),
         }
     }
@@ -121,7 +228,7 @@ impl LoadGenerator {
 mod tests {
     use super::*;
     use crate::message::Status;
-    use crate::server::{HttpServer, ServingPolicy};
+    use crate::server::{HttpServer, ServerOptions, ServingPolicy};
 
     #[test]
     fn load_generator_completes_all_requests() {
@@ -135,6 +242,51 @@ mod tests {
         assert_eq!(report.failed, 0);
         assert!(report.throughput > 0.0);
         assert!(report.mean_response > Duration::ZERO);
+        assert!(report.p50_response <= report.p99_response);
+        server.shutdown();
+    }
+
+    #[test]
+    fn load_generator_without_keepalive_opens_a_conn_per_request() {
+        let mut server = HttpServer::start(ServingPolicy::JettyPool { threads: 4 }, |req| {
+            Response::ok(req.body.clone())
+        })
+        .unwrap();
+        let gen = LoadGenerator::new(4, 3, "/echo", b"x".to_vec()).with_keepalive(false);
+        let report = gen.run(server.addr());
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.failed, 0);
+        let t0 = Instant::now();
+        while server.conn_stats().accepted < 12 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = server.conn_stats();
+        assert_eq!(stats.accepted, 12, "every request on its own connection");
+        assert_eq!(stats.reused, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn load_generator_with_keepalive_reuses_connections() {
+        let mut server = HttpServer::start(ServingPolicy::JettyPool { threads: 4 }, |req| {
+            Response::ok(req.body.clone())
+        })
+        .unwrap();
+        let gen = LoadGenerator::new(2, 6, "/echo", b"x".to_vec());
+        let report = gen.run(server.addr());
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.failed, 0);
+        let t0 = Instant::now();
+        while server.conn_stats().reused < 10 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = server.conn_stats();
+        assert!(
+            stats.accepted <= 4,
+            "2 users must not need more than a few connections (got {})",
+            stats.accepted
+        );
+        assert_eq!(stats.reused, 10, "5 reuses per user");
         server.shutdown();
     }
 
@@ -171,6 +323,59 @@ mod tests {
         assert_eq!(g.body, b"GET /a");
         let p = http_post(server.addr(), "/b", vec![1]).unwrap();
         assert_eq!(p.body, b"POST /b");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_conn_reconnects_after_server_side_close() {
+        // Tiny idle timeout: the server evicts the parked/held connection
+        // between two sends; the client's single retry must hide it.
+        let opts = ServerOptions {
+            idle_timeout: Duration::from_millis(50),
+            ..ServerOptions::default()
+        };
+        let mut server = HttpServer::start_with(
+            ServingPolicy::JettyPool { threads: 2 },
+            opts,
+            |req| Response::ok(req.body.clone()),
+        )
+        .unwrap();
+        let mut conn = ClientConn::new(server.addr());
+        let mut req = Request::new("POST", "/echo", b"one".to_vec());
+        req.headers.insert("connection", "keep-alive");
+        assert_eq!(conn.send(&req).unwrap().body, b"one");
+        assert!(conn.is_connected());
+        std::thread::sleep(Duration::from_millis(400)); // definitely evicted
+        let resp = conn.send(&req).unwrap();
+        assert_eq!(resp.body, b"one", "retry over a fresh connection");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_conn_max_requests_close_is_transparent() {
+        let opts = ServerOptions {
+            max_requests_per_conn: 2,
+            ..ServerOptions::default()
+        };
+        let mut server = HttpServer::start_with(
+            ServingPolicy::JettyPool { threads: 2 },
+            opts,
+            |req| Response::ok(req.body.clone()),
+        )
+        .unwrap();
+        let mut conn = ClientConn::new(server.addr());
+        let mut req = Request::new("POST", "/echo", b"x".to_vec());
+        req.headers.insert("connection", "keep-alive");
+        for _ in 0..5 {
+            assert_eq!(conn.send(&req).unwrap().status.code(), 200);
+        }
+        let t0 = Instant::now();
+        while server.served() < 5 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.served(), 5);
+        let stats = server.conn_stats();
+        assert!(stats.accepted >= 3, "cap of 2 forces reconnects (got {})", stats.accepted);
         server.shutdown();
     }
 }

@@ -1,0 +1,277 @@
+//! Per-connection serving state for persistent (keep-alive) connections.
+//!
+//! [`ConnState`] owns everything one TCP connection needs across its whole
+//! lifetime — the buffered reader, the parsed-request shell, the line
+//! scratch and the outgoing serialisation buffer — so that serving request
+//! *n+1* on a connection allocates nothing the serving of request *n* did
+//! not already allocate. Responses leave in a single `write_all` of the
+//! reused buffer (with `TCP_NODELAY` set, so the kernel does not hold the
+//! tail of a response hostage to Nagle/delayed-ACK interplay).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::message::{ReadError, ReadScratch, Request, Response};
+
+/// One accepted connection and its reusable serving buffers.
+pub(crate) struct ConnState {
+    /// Write half (`try_clone` of the reader's stream — same socket).
+    write: TcpStream,
+    /// Buffered read half; persists so pipelined bytes are never dropped.
+    reader: BufReader<TcpStream>,
+    /// Parsed-request shell, reused across requests.
+    pub(crate) req: Request,
+    /// Line scratch for the parser.
+    scratch: ReadScratch,
+    /// Outgoing serialisation buffer, reused across responses.
+    out: Vec<u8>,
+    /// Requests fully served (written) on this connection.
+    pub(crate) served: u32,
+}
+
+impl ConnState {
+    /// Wraps an accepted stream: sets `TCP_NODELAY` plus the per-I/O
+    /// timeouts and splits read/write halves.
+    pub(crate) fn new(stream: TcpStream, io_timeout: Duration) -> std::io::Result<ConnState> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        let write = stream.try_clone()?;
+        Ok(ConnState {
+            write,
+            reader: BufReader::new(stream),
+            req: Request::empty(),
+            scratch: ReadScratch::new(),
+            out: Vec::new(),
+            served: 0,
+        })
+    }
+
+    /// True when bytes of a further request are already buffered — the
+    /// client pipelined.
+    pub(crate) fn has_buffered(&self) -> bool {
+        !self.reader.buffer().is_empty()
+    }
+
+    /// Parses the next request into the reused shell.
+    pub(crate) fn read_request(&mut self) -> Result<(), ReadError> {
+        Request::read_into(&mut self.reader, &mut self.req, &mut self.scratch)
+    }
+
+    /// Serialises `resp` (with the connection header forced to
+    /// `close`/`keep-alive` per `close`) into the reused buffer and sends it
+    /// as one write.
+    pub(crate) fn write_response(&mut self, resp: &Response, close: bool) -> std::io::Result<()> {
+        let tok = if close { "close" } else { "keep-alive" };
+        resp.write_into(&mut self.out, Some(tok));
+        self.write.write_all(&self.out)?;
+        self.write.flush()
+    }
+
+    /// The underlying socket (for readiness polling).
+    pub(crate) fn socket(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+
+    /// Restores the per-I/O read timeout (after readiness waiting fiddled
+    /// with it).
+    pub(crate) fn set_read_timeout(&self, t: Duration) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(Some(t))
+    }
+}
+
+impl std::fmt::Debug for ConnState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnState")
+            .field("peer", &self.socket().peer_addr().ok())
+            .field("served", &self.served)
+            .finish()
+    }
+}
+
+/// Outcome of waiting for the next request on a persistent connection.
+#[derive(Debug)]
+pub(crate) enum NextRequest {
+    /// Request bytes are available; `pipelined` when they were already
+    /// buffered before the wait (no read happened in between).
+    Ready {
+        /// True when the bytes were sitting in the read buffer already.
+        pipelined: bool,
+    },
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// No request arrived within the deadline.
+    IdleTimeout,
+    /// The server began shutdown while waiting.
+    Stopped,
+    /// Transport failure (payload kept for `Debug` diagnostics only).
+    Err(#[allow(dead_code)] std::io::Error),
+}
+
+/// Blocks (in short slices, so `stop` stays responsive) until request bytes
+/// are available on `conn`, the peer closes, `deadline` passes, or `stop`
+/// is raised. Used by the pool-thread (Jetty-style) session loop; the
+/// Pyjama policy parks idle connections on the shared poller instead.
+pub(crate) fn wait_readable(
+    conn: &mut ConnState,
+    deadline: Instant,
+    io_timeout: Duration,
+    stop: &AtomicBool,
+) -> NextRequest {
+    if conn.has_buffered() {
+        return NextRequest::Ready { pipelined: true };
+    }
+    const SLICE: Duration = Duration::from_millis(50);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return NextRequest::Stopped;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return NextRequest::IdleTimeout;
+        }
+        let wait = SLICE.min(deadline - now);
+        if let Err(e) = conn.socket().set_read_timeout(Some(wait.max(Duration::from_millis(1)))) {
+            return NextRequest::Err(e);
+        }
+        match conn.reader.fill_buf() {
+            Ok(buf) if buf.is_empty() => return NextRequest::Eof,
+            Ok(_) => {
+                return match conn.set_read_timeout(io_timeout) {
+                    Ok(()) => NextRequest::Ready { pipelined: false },
+                    Err(e) => NextRequest::Err(e),
+                };
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return NextRequest::Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn ready_pipelined_when_bytes_already_buffered() {
+        let (mut client, server) = pair();
+        let mut conn = ConnState::new(server, Duration::from_millis(500)).unwrap();
+        let mut wire = Vec::new();
+        Request::new("GET", "/a", Vec::new()).write_to(&mut wire).unwrap();
+        Request::new("GET", "/b", Vec::new()).write_to(&mut wire).unwrap();
+        client.write_all(&wire).unwrap();
+
+        // First read buffers both requests; only one is consumed.
+        conn.read_request().unwrap();
+        assert_eq!(conn.req.path, "/a");
+        assert!(conn.has_buffered());
+        let stop = AtomicBool::new(false);
+        let next = wait_readable(
+            &mut conn,
+            Instant::now() + Duration::from_secs(1),
+            Duration::from_millis(500),
+            &stop,
+        );
+        assert!(matches!(next, NextRequest::Ready { pipelined: true }), "{next:?}");
+        conn.read_request().unwrap();
+        assert_eq!(conn.req.path, "/b");
+    }
+
+    #[test]
+    fn wait_sees_late_arriving_bytes_without_pipelined_flag() {
+        let (mut client, server) = pair();
+        let mut conn = ConnState::new(server, Duration::from_millis(500)).unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            Request::new("GET", "/late", Vec::new()).write_to(&mut client).unwrap();
+            client
+        });
+        let stop = AtomicBool::new(false);
+        let next = wait_readable(
+            &mut conn,
+            Instant::now() + Duration::from_secs(2),
+            Duration::from_millis(500),
+            &stop,
+        );
+        assert!(matches!(next, NextRequest::Ready { pipelined: false }), "{next:?}");
+        conn.read_request().unwrap();
+        assert_eq!(conn.req.path, "/late");
+        drop(t.join().unwrap());
+    }
+
+    #[test]
+    fn wait_reports_eof_on_peer_close() {
+        let (client, server) = pair();
+        let mut conn = ConnState::new(server, Duration::from_millis(500)).unwrap();
+        drop(client);
+        let stop = AtomicBool::new(false);
+        let next = wait_readable(
+            &mut conn,
+            Instant::now() + Duration::from_secs(1),
+            Duration::from_millis(500),
+            &stop,
+        );
+        assert!(matches!(next, NextRequest::Eof), "{next:?}");
+    }
+
+    #[test]
+    fn wait_times_out_and_honors_stop() {
+        let (_client, server) = pair();
+        let mut conn = ConnState::new(server, Duration::from_millis(500)).unwrap();
+        let stop = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let next = wait_readable(
+            &mut conn,
+            Instant::now() + Duration::from_millis(80),
+            Duration::from_millis(500),
+            &stop,
+        );
+        assert!(matches!(next, NextRequest::IdleTimeout), "{next:?}");
+        assert!(t0.elapsed() >= Duration::from_millis(75));
+
+        stop.store(true, Ordering::SeqCst);
+        let next = wait_readable(
+            &mut conn,
+            Instant::now() + Duration::from_secs(10),
+            Duration::from_millis(500),
+            &stop,
+        );
+        assert!(matches!(next, NextRequest::Stopped), "{next:?}");
+    }
+
+    #[test]
+    fn write_response_is_single_buffered_write_with_override() {
+        let (client, server) = pair();
+        let mut conn = ConnState::new(server, Duration::from_millis(500)).unwrap();
+        let resp = Response::ok(b"abc".to_vec());
+        conn.write_response(&resp, false).unwrap();
+        let cap = conn.out.capacity();
+        let ptr = conn.out.as_ptr();
+        conn.write_response(&resp, true).unwrap();
+        assert_eq!(conn.out.capacity(), cap, "out buffer must be reused");
+        assert_eq!(conn.out.as_ptr(), ptr);
+
+        let mut reader = BufReader::new(client);
+        let first = Response::read_from(&mut reader).unwrap();
+        assert!(!first.announces_close());
+        let second = Response::read_from(&mut reader).unwrap();
+        assert!(second.announces_close());
+        assert_eq!(second.body, b"abc");
+    }
+}

@@ -1,0 +1,431 @@
+//! Idle-connection parking for the Pyjama serving policy.
+//!
+//! The paper's invariant is that the event-dispatch side never blocks: a
+//! worker offloaded a handler must not then sit in `read` waiting for a
+//! keep-alive client that may stay silent for seconds. Instead, once a
+//! response is written and no further request is buffered, the connection is
+//! *parked* here. A single poller thread multiplexes every parked socket
+//! (one `poll(2)` over all of them on Linux; a non-blocking probe sweep
+//! elsewhere) and hands a connection back to the serving policy — via the
+//! `on_ready` callback, which posts a fresh target region — only when bytes
+//! have actually arrived. Connections idle past their deadline are evicted
+//! through `on_timeout`.
+//!
+//! One thread, however many thousand parked sockets; pool workers only ever
+//! touch connections with data waiting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::conn::ConnState;
+
+/// A parked connection and its eviction deadline.
+pub(crate) struct Parked {
+    /// The idle connection (no request bytes buffered when parked).
+    pub(crate) conn: ConnState,
+    /// Evict at this instant if still silent.
+    pub(crate) deadline: Instant,
+}
+
+/// State shared between parkers (worker threads finishing a response) and
+/// the poller thread.
+pub(crate) struct ParkerShared {
+    incoming: Mutex<Vec<Parked>>,
+    stop: AtomicBool,
+    #[cfg(target_os = "linux")]
+    wake_tx: std::os::unix::net::UnixStream,
+    #[cfg(target_os = "linux")]
+    wake_rx: Mutex<Option<std::os::unix::net::UnixStream>>,
+}
+
+impl ParkerShared {
+    /// Fresh parker state (on Linux this allocates the wake pipe).
+    pub(crate) fn new() -> std::io::Result<Arc<Self>> {
+        #[cfg(target_os = "linux")]
+        {
+            let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            Ok(Arc::new(ParkerShared {
+                incoming: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+                wake_tx: tx,
+                wake_rx: Mutex::new(Some(rx)),
+            }))
+        }
+        #[cfg(not(target_os = "linux"))]
+        Ok(Arc::new(ParkerShared {
+            incoming: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        }))
+    }
+
+    /// Hands an idle connection to the poller. If the parker has stopped the
+    /// connection is simply dropped (socket closed) — the client observes a
+    /// clean EOF, never a stranded half-open connection.
+    pub(crate) fn park(&self, conn: ConnState, deadline: Instant) {
+        if self.stop.load(Ordering::SeqCst) {
+            return; // drop closes the socket
+        }
+        self.incoming.lock().push(Parked { conn, deadline });
+        self.wake();
+    }
+
+    /// Raises the stop flag and wakes the poller.
+    pub(crate) fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        #[cfg(target_os = "linux")]
+        {
+            use std::io::Write as _;
+            // A full pipe means a wake is already pending; any error here is
+            // therefore ignorable.
+            let _ = (&self.wake_tx).write(&[1]);
+        }
+    }
+}
+
+/// The poller thread plus its shared state. Dropping (or
+/// [`shutdown`](IdleParker::shutdown)) stops the thread and closes every
+/// still-parked connection.
+pub(crate) struct IdleParker {
+    shared: Arc<ParkerShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl IdleParker {
+    /// Spawns the poller over `shared`. `on_ready` receives connections with
+    /// bytes (or EOF/error) waiting; `on_timeout` receives idle-evicted
+    /// ones. Both run on the poller thread, so they must be cheap — the
+    /// serving policies just post a target region / bump a counter.
+    pub(crate) fn spawn(
+        shared: Arc<ParkerShared>,
+        on_ready: impl Fn(ConnState) + Send + 'static,
+        on_timeout: impl Fn(ConnState) + Send + 'static,
+    ) -> std::io::Result<IdleParker> {
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("http-idle-poller".into())
+                .spawn(move || poll_loop(shared, on_ready, on_timeout))?
+        };
+        Ok(IdleParker {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// Stops and joins the poller; parked connections are closed. Idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        self.shared.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for IdleParker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Linux: one `poll(2)` over the wake pipe plus every parked socket.
+///
+/// The raw FFI declaration avoids a libc dependency (std-only constraint);
+/// it is gated to Linux because `nfds_t` is `unsigned long` here but not on
+/// every unix.
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_int, c_ulong};
+    use std::os::unix::io::RawFd;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub(super) struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub(super) const POLLIN: i16 = 0x001;
+    pub(super) const POLLERR: i16 = 0x008;
+    pub(super) const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        pub(super) fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn poll_loop(
+    shared: Arc<ParkerShared>,
+    on_ready: impl Fn(ConnState),
+    on_timeout: impl Fn(ConnState),
+) {
+    use std::io::Read as _;
+    use std::os::unix::io::AsRawFd as _;
+    use sys::{PollFd, POLLERR, POLLHUP, POLLIN};
+
+    let wake_rx = shared
+        .wake_rx
+        .lock()
+        .take()
+        .expect("poller spawned twice over one ParkerShared");
+    let mut parked: Vec<Parked> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    loop {
+        parked.append(&mut shared.incoming.lock());
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        fds.clear();
+        fds.push(PollFd {
+            fd: wake_rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for p in &parked {
+            fds.push(PollFd {
+                fd: p.conn.socket().as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+        }
+        // Sleep until the earliest eviction deadline (or indefinitely when
+        // nothing is parked — the wake pipe interrupts for new arrivals and
+        // stop).
+        let now = Instant::now();
+        let timeout_ms: i32 = parked
+            .iter()
+            .map(|p| p.deadline.saturating_duration_since(now))
+            .min()
+            .map(|d| (d.as_millis().min(60_000) as i32).saturating_add(1))
+            .unwrap_or(-1);
+        let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as _, timeout_ms) };
+        if n < 0 {
+            // EINTR or similar; don't spin hot on a persistent error.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            continue;
+        }
+        if fds[0].revents != 0 {
+            let mut buf = [0u8; 64];
+            while matches!((&wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+        }
+        // Ready (data, error or hangup — the read path disambiguates) and
+        // expired connections leave `parked` back to front so `swap_remove`
+        // indices stay valid.
+        for i in (0..parked.len()).rev() {
+            if fds[i + 1].revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+                on_ready(parked.swap_remove(i).conn);
+            }
+        }
+        let now = Instant::now();
+        for i in (0..parked.len()).rev() {
+            if parked[i].deadline <= now {
+                on_timeout(parked.swap_remove(i).conn);
+            }
+        }
+    }
+    // Dropping parked connections closes their sockets: clients see EOF.
+    parked.clear();
+    shared.incoming.lock().clear();
+}
+
+/// Portable fallback: a non-blocking `peek` sweep every couple of
+/// milliseconds. O(parked) per tick, but correct anywhere std's TcpStream
+/// works.
+#[cfg(not(target_os = "linux"))]
+fn poll_loop(
+    shared: Arc<ParkerShared>,
+    on_ready: impl Fn(ConnState),
+    on_timeout: impl Fn(ConnState),
+) {
+    let mut parked: Vec<Parked> = Vec::new();
+    let mut probe = [0u8; 1];
+    loop {
+        parked.append(&mut shared.incoming.lock());
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        for i in (0..parked.len()).rev() {
+            let ready = {
+                let sock = parked[i].conn.socket();
+                if sock.set_nonblocking(true).is_err() {
+                    true // surface the broken socket to the read path
+                } else {
+                    let r = match sock.peek(&mut probe) {
+                        Ok(_) => true, // data, or Ok(0) = EOF
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+                        Err(_) => true,
+                    };
+                    let _ = sock.set_nonblocking(false);
+                    r
+                }
+            };
+            if ready {
+                on_ready(parked.swap_remove(i).conn);
+            }
+        }
+        let now = Instant::now();
+        for i in (0..parked.len()).rev() {
+            if parked[i].deadline <= now {
+                on_timeout(parked.swap_remove(i).conn);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    parked.clear();
+    shared.incoming.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Request;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        (a, b)
+    }
+
+    fn conn(stream: TcpStream) -> ConnState {
+        ConnState::new(stream, Duration::from_millis(500)).unwrap()
+    }
+
+    #[test]
+    fn parked_conn_is_returned_when_bytes_arrive() {
+        let shared = ParkerShared::new().unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut parker = IdleParker::spawn(
+            Arc::clone(&shared),
+            move |c| ready_tx.send(c).unwrap(),
+            |_| panic!("no timeout expected"),
+        )
+        .unwrap();
+
+        let (mut client, server) = pair();
+        shared.park(conn(server), Instant::now() + Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(20)); // definitely parked
+        Request::new("GET", "/x", Vec::new()).write_to(&mut client).unwrap();
+
+        let mut c = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        c.read_request().unwrap();
+        assert_eq!(c.req.path, "/x");
+        parker.shutdown();
+    }
+
+    #[test]
+    fn idle_conn_is_evicted_at_deadline() {
+        let shared = ParkerShared::new().unwrap();
+        let (to_tx, to_rx) = mpsc::channel();
+        let mut parker = IdleParker::spawn(
+            Arc::clone(&shared),
+            |_| panic!("no data expected"),
+            move |c| to_tx.send(c).unwrap(),
+        )
+        .unwrap();
+
+        let (client, server) = pair();
+        shared.park(conn(server), Instant::now() + Duration::from_millis(60));
+        let evicted = to_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        drop(evicted);
+        // The client observes the close as EOF.
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut buf = [0u8; 8];
+        use std::io::Read as _;
+        assert_eq!((&client).read(&mut buf).unwrap(), 0);
+        parker.shutdown();
+    }
+
+    #[test]
+    fn peer_close_counts_as_ready_not_leak() {
+        let shared = ParkerShared::new().unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut parker = IdleParker::spawn(
+            Arc::clone(&shared),
+            move |c| ready_tx.send(c).unwrap(),
+            |_| {},
+        )
+        .unwrap();
+        let (client, server) = pair();
+        shared.park(conn(server), Instant::now() + Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(client); // EOF must surface as readiness
+        let mut c = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(matches!(
+            c.read_request(),
+            Err(crate::message::ReadError::Eof)
+        ));
+        parker.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_parked_conns_and_is_idempotent() {
+        let shared = ParkerShared::new().unwrap();
+        let mut parker =
+            IdleParker::spawn(Arc::clone(&shared), |_| {}, |_| {}).unwrap();
+        let (client, server) = pair();
+        shared.park(conn(server), Instant::now() + Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(20));
+        parker.shutdown();
+        parker.shutdown();
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        use std::io::Read as _;
+        let mut buf = [0u8; 8];
+        assert_eq!((&client).read(&mut buf).unwrap(), 0, "socket must be closed");
+        // Parking after stop silently closes the connection too.
+        let (client2, server2) = pair();
+        shared.park(conn(server2), Instant::now() + Duration::from_secs(30));
+        client2.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        assert_eq!((&client2).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn many_parked_conns_wake_individually() {
+        let shared = ParkerShared::new().unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut parker = IdleParker::spawn(
+            Arc::clone(&shared),
+            move |c| ready_tx.send(c).unwrap(),
+            |_| {},
+        )
+        .unwrap();
+        let mut clients = Vec::new();
+        for _ in 0..16 {
+            let (client, server) = pair();
+            shared.park(conn(server), Instant::now() + Duration::from_secs(30));
+            clients.push(client);
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        for (i, client) in clients.iter_mut().enumerate() {
+            Request::new("GET", format!("/c{i}"), Vec::new())
+                .write_to(client)
+                .unwrap();
+        }
+        let mut paths: Vec<String> = (0..16)
+            .map(|_| {
+                let mut c = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+                c.read_request().unwrap();
+                c.req.path.clone()
+            })
+            .collect();
+        paths.sort();
+        let mut expect: Vec<String> = (0..16).map(|i| format!("/c{i}")).collect();
+        expect.sort();
+        assert_eq!(paths, expect);
+        parker.shutdown();
+    }
+}

@@ -6,22 +6,29 @@
 //! thread pool") and with Pyjama's virtual targets ("to offload the
 //! time-consuming computations to worker threads"). This crate provides:
 //!
-//! * [`message`] — a small HTTP/1.1 request/response codec (one request per
-//!   connection, `Connection: close`, `Content-Length` bodies).
-//! * [`server`] — a TCP server over loopback with pluggable
-//!   [`ServingPolicy`]: [`ServingPolicy::JettyPool`] or
-//!   [`ServingPolicy::PyjamaVirtualTarget`].
-//! * [`client`] — a blocking client plus the closed-loop
-//!   [`LoadGenerator`]: "100 virtual users, with each user sending a
-//!   constant number of requests", measuring throughput (responses/sec).
+//! * [`message`] — a small HTTP/1.1 request/response codec with an
+//!   allocation-conscious hot path (reusable request shells, header slots
+//!   and serialisation buffers; `Content-Length` bodies, 8 MiB cap).
+//! * [`server`] — a TCP server over loopback with persistent (keep-alive,
+//!   pipelining-capable) connections, a sharded accept path, and pluggable
+//!   [`ServingPolicy`]: [`ServingPolicy::JettyPool`] (thread-pinned
+//!   sessions) or [`ServingPolicy::PyjamaVirtualTarget`] (each connection
+//!   re-arms itself as a chain of `nowait` target regions; idle sockets
+//!   park on a poller instead of pinning a worker).
+//! * [`client`] — a blocking client, the persistent-connection
+//!   [`ClientConn`], and the closed-loop [`LoadGenerator`]: "100 virtual
+//!   users, with each user sending a constant number of requests",
+//!   measuring throughput (responses/sec) and latency percentiles.
 //!
 //! Everything runs over real loopback sockets; no external web server or
 //! load-testing tool is required.
 
 pub mod client;
+pub(crate) mod conn;
+pub(crate) mod idle;
 pub mod message;
 pub mod server;
 
-pub use client::{http_get, http_post, LoadGenerator, LoadReport};
-pub use message::{Request, Response, Status};
-pub use server::{HttpServer, ServingPolicy};
+pub use client::{http_get, http_post, ClientConn, LoadGenerator, LoadReport};
+pub use message::{Headers, ReadError, Request, Response, Status, MAX_BODY_BYTES};
+pub use server::{HttpServer, ServerOptions, ServingPolicy};

@@ -1,7 +1,22 @@
 //! A minimal HTTP/1.1 codec: enough for the encryption-service benchmark.
+//!
+//! The hot path is allocation-conscious: [`Request::read_into`] parses into
+//! a *reused* [`Request`] (method/path `String`s, [`Headers`] slots and the
+//! body `Vec` all keep their capacity across requests on a persistent
+//! connection), and [`Response::write_into`] serialises status line, headers
+//! and body into one reused `Vec<u8>` so the server answers with a single
+//! `write_all` instead of a burst of small writes.
 
-use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
+
+/// Largest accepted message body. A hostile `content-length` beyond this is
+/// answered with `400 Bad Request` instead of an attempted allocation, so a
+/// single header cannot OOM a worker.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Largest accepted header count per message (anti-abuse bound).
+pub const MAX_HEADERS: usize = 128;
 
 /// Response status codes the service uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +53,177 @@ impl Status {
     }
 }
 
+/// An ordered header map with case-insensitive names.
+///
+/// Backed by a `Vec` of `(name, value)` slots with a logical length:
+/// [`clear`](Headers::clear) keeps the slot `String`s alive, so parsing the
+/// next request on a persistent connection reuses their capacity instead of
+/// re-allocating per header. Lookup compares names with
+/// `eq_ignore_ascii_case` — no per-lookup or per-header lowercasing.
+#[derive(Default)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+    live: usize,
+}
+
+impl Headers {
+    /// An empty header map.
+    pub fn new() -> Self {
+        Headers {
+            entries: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Removes all headers, keeping slot capacity for reuse.
+    pub fn clear(&mut self) {
+        self.live = 0;
+    }
+
+    /// The value of `name` (ASCII case-insensitive), if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries[..self.live]
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when `name` is present (ASCII case-insensitive).
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries[..self.live]
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Sets `name` to `value`, replacing an existing entry with the same
+    /// (case-insensitive) name. The value is formatted into a reused slot
+    /// `String`, so `headers.insert("content-length", body.len())` does not
+    /// allocate once the slot exists.
+    pub fn insert(&mut self, name: &str, value: impl std::fmt::Display) {
+        let slot = self.slot_for(name);
+        slot.1.clear();
+        let _ = write!(slot.1, "{value}");
+    }
+
+    /// Finds (or creates, reusing a dead slot when possible) the slot for
+    /// `name`, with the name written into it.
+    fn slot_for(&mut self, name: &str) -> &mut (String, String) {
+        if let Some(i) = self.entries[..self.live]
+            .iter()
+            .position(|(k, _)| k.eq_ignore_ascii_case(name))
+        {
+            return &mut self.entries[i];
+        }
+        if self.live == self.entries.len() {
+            self.entries.push((String::new(), String::new()));
+        }
+        let slot = &mut self.entries[self.live];
+        self.live += 1;
+        slot.0.clear();
+        slot.0.push_str(name);
+        slot
+    }
+}
+
+impl Clone for Headers {
+    fn clone(&self) -> Self {
+        Headers {
+            entries: self.entries[..self.live].to_vec(),
+            live: self.live,
+        }
+    }
+}
+
+impl std::fmt::Debug for Headers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for Headers {
+    /// Order-independent; names compare case-insensitively.
+    fn eq(&self, other: &Self) -> bool {
+        self.live == other.live
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+    }
+}
+
+impl Eq for Headers {}
+
+impl std::ops::Index<&str> for Headers {
+    type Output = str;
+
+    fn index(&self, name: &str) -> &str {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no header named {name:?}"))
+    }
+}
+
+/// Reused line buffer for request/response parsing. One per connection.
+#[derive(Debug, Default)]
+pub struct ReadScratch {
+    line: String,
+}
+
+impl ReadScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Why a message could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly before the first byte of a
+    /// message — the normal end of a persistent connection, not an error.
+    Eof,
+    /// The message is malformed in a way the sender should be told about:
+    /// answer `400 Bad Request` and close.
+    BadRequest(&'static str),
+    /// Transport failure (timeout, reset, truncation mid-message).
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl ReadError {
+    /// Collapses into an `io::Error` for the non-streaming entry points.
+    pub fn into_io(self) -> std::io::Error {
+        match self {
+            ReadError::Eof => std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a request",
+            ),
+            ReadError::BadRequest(msg) => {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+            }
+            ReadError::Io(e) => e,
+        }
+    }
+}
+
 /// A parsed HTTP request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
@@ -45,8 +231,8 @@ pub struct Request {
     pub method: String,
     /// Request target, e.g. `/encrypt`.
     pub path: String,
-    /// Header map (names lower-cased).
-    pub headers: BTreeMap<String, String>,
+    /// Header map (names matched case-insensitively).
+    pub headers: Headers,
     /// Message body.
     pub body: Vec<u8>,
 }
@@ -54,9 +240,9 @@ pub struct Request {
 impl Request {
     /// Builds a request with a body and a correct `content-length`.
     pub fn new(method: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> Self {
-        let mut headers = BTreeMap::new();
-        headers.insert("content-length".to_string(), body.len().to_string());
-        headers.insert("connection".to_string(), "close".to_string());
+        let mut headers = Headers::new();
+        headers.insert("content-length", body.len());
+        headers.insert("connection", "close");
         Request {
             method: method.into(),
             path: path.into(),
@@ -65,41 +251,107 @@ impl Request {
         }
     }
 
-    /// Serialises onto a writer.
-    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
-        write!(w, "{} {} HTTP/1.1\r\n", self.method, self.path)?;
-        for (k, v) in &self.headers {
-            write!(w, "{k}: {v}\r\n")?;
+    /// An empty request shell whose buffers [`read_into`](Request::read_into)
+    /// fills and reuses.
+    pub fn empty() -> Self {
+        Request {
+            method: String::new(),
+            path: String::new(),
+            headers: Headers::new(),
+            body: Vec::new(),
         }
-        w.write_all(b"\r\n")?;
-        w.write_all(&self.body)?;
+    }
+
+    /// True when the sender asked for the connection to be closed after
+    /// this request (`connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Serialises into `buf` (cleared first): request line, headers, blank
+    /// line, body — ready for a single `write_all`.
+    pub fn write_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        let _ = write!(
+            ByteWriter(buf),
+            "{} {} HTTP/1.1\r\n",
+            self.method,
+            self.path
+        );
+        for (k, v) in self.headers.iter() {
+            let _ = write!(ByteWriter(buf), "{k}: {v}\r\n");
+        }
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&self.body);
+    }
+
+    /// Serialises onto a writer (buffers internally; one write + flush).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(128 + self.body.len());
+        self.write_into(&mut buf);
+        w.write_all(&buf)?;
         w.flush()
     }
 
-    /// Parses one request from a buffered reader.
+    /// Parses one request from a buffered reader into fresh storage.
     pub fn read_from(r: &mut BufReader<impl Read>) -> std::io::Result<Request> {
-        let mut line = String::new();
-        r.read_line(&mut line)?;
-        let mut parts = line.split_whitespace();
-        let (method, path) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/") => {
-                (m.to_string(), p.to_string())
+        let mut req = Request::empty();
+        let mut scratch = ReadScratch::new();
+        Request::read_into(r, &mut req, &mut scratch).map_err(ReadError::into_io)?;
+        Ok(req)
+    }
+
+    /// Parses one request into `req`, reusing its buffers and `scratch`.
+    ///
+    /// Framing rules (the server turns [`ReadError::BadRequest`] into an
+    /// immediate `400` instead of stalling on a body that will never come):
+    ///
+    /// * `POST`/`PUT`/`PATCH` **must** carry a `content-length`;
+    /// * a `content-length` that does not parse as an integer is rejected;
+    /// * a `content-length` above [`MAX_BODY_BYTES`] is rejected.
+    pub fn read_into(
+        r: &mut BufReader<impl Read>,
+        req: &mut Request,
+        scratch: &mut ReadScratch,
+    ) -> Result<(), ReadError> {
+        scratch.line.clear();
+        if r.read_line(&mut scratch.line)? == 0 {
+            return Err(ReadError::Eof);
+        }
+        {
+            let mut parts = scratch.line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/") => {
+                    req.method.clear();
+                    req.method.push_str(m);
+                    req.path.clear();
+                    req.path.push_str(p);
+                }
+                _ => return Err(ReadError::BadRequest("malformed request line")),
             }
-            _ => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("malformed request line: {line:?}"),
-                ))
+        }
+        read_header_block(r, &mut req.headers, &mut scratch.line)?;
+
+        let body_expected = matches!(req.method.as_str(), "POST" | "PUT" | "PATCH");
+        let len = match req.headers.get("content-length") {
+            None if body_expected => {
+                return Err(ReadError::BadRequest("missing content-length"))
             }
+            None => 0,
+            Some(v) => v
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| ReadError::BadRequest("unparseable content-length"))?,
         };
-        let headers = read_headers(r)?;
-        let body = read_body(r, &headers)?;
-        Ok(Request {
-            method,
-            path,
-            headers,
-            body,
-        })
+        if len > MAX_BODY_BYTES as u64 {
+            return Err(ReadError::BadRequest("body exceeds size limit"));
+        }
+        req.body.clear();
+        req.body.resize(len as usize, 0);
+        r.read_exact(&mut req.body)?;
+        Ok(())
     }
 }
 
@@ -108,8 +360,8 @@ impl Request {
 pub struct Response {
     /// Status code.
     pub status: Status,
-    /// Header map (names lower-cased).
-    pub headers: BTreeMap<String, String>,
+    /// Header map (names matched case-insensitively).
+    pub headers: Headers,
     /// Message body.
     pub body: Vec<u8>,
 }
@@ -117,9 +369,9 @@ pub struct Response {
 impl Response {
     /// A response with a body and correct framing headers.
     pub fn new(status: Status, body: Vec<u8>) -> Self {
-        let mut headers = BTreeMap::new();
-        headers.insert("content-length".to_string(), body.len().to_string());
-        headers.insert("connection".to_string(), "close".to_string());
+        let mut headers = Headers::new();
+        headers.insert("content-length", body.len());
+        headers.insert("connection", "close");
         Response {
             status,
             headers,
@@ -137,73 +389,137 @@ impl Response {
         Self::new(status, msg.as_bytes().to_vec())
     }
 
-    /// Serialises onto a writer.
-    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status.code(), self.status.reason())?;
-        for (k, v) in &self.headers {
-            write!(w, "{k}: {v}\r\n")?;
+    /// True when this response announces the connection will close.
+    pub fn announces_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Serialises into `buf` (cleared first) as one contiguous message.
+    ///
+    /// With `connection: Some(tok)` any `connection` header carried by the
+    /// response is *replaced* by `connection: tok` — the serving loop, not
+    /// the handler, decides connection lifetime under keep-alive.
+    pub fn write_into(&self, buf: &mut Vec<u8>, connection: Option<&str>) {
+        buf.clear();
+        let _ = write!(
+            ByteWriter(buf),
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        );
+        for (k, v) in self.headers.iter() {
+            if connection.is_some() && k.eq_ignore_ascii_case("connection") {
+                continue;
+            }
+            let _ = write!(ByteWriter(buf), "{k}: {v}\r\n");
         }
-        w.write_all(b"\r\n")?;
-        w.write_all(&self.body)?;
+        if let Some(tok) = connection {
+            let _ = write!(ByteWriter(buf), "connection: {tok}\r\n");
+        }
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&self.body);
+    }
+
+    /// Serialises onto a writer (buffers internally; one write + flush).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(128 + self.body.len());
+        self.write_into(&mut buf, None);
+        w.write_all(&buf)?;
         w.flush()
     }
 
     /// Parses one response from a buffered reader.
     pub fn read_from(r: &mut BufReader<impl Read>) -> std::io::Result<Response> {
-        let mut line = String::new();
-        r.read_line(&mut line)?;
-        let code: u16 = line
+        let mut scratch = ReadScratch::new();
+        let mut resp = Response {
+            status: Status::InternalServerError,
+            headers: Headers::new(),
+            body: Vec::new(),
+        };
+        Response::read_into(r, &mut resp, &mut scratch).map_err(ReadError::into_io)?;
+        Ok(resp)
+    }
+
+    /// Parses one response into `resp`, reusing its buffers and `scratch`.
+    pub fn read_into(
+        r: &mut BufReader<impl Read>,
+        resp: &mut Response,
+        scratch: &mut ReadScratch,
+    ) -> Result<(), ReadError> {
+        scratch.line.clear();
+        if r.read_line(&mut scratch.line)? == 0 {
+            return Err(ReadError::Eof);
+        }
+        let code: u16 = scratch
+            .line
             .split_whitespace()
             .nth(1)
             .and_then(|c| c.parse().ok())
-            .ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("malformed status line: {line:?}"),
-                )
-            })?;
-        let status = match code {
+            .ok_or(ReadError::BadRequest("malformed status line"))?;
+        resp.status = match code {
             200 => Status::Ok,
             400 => Status::BadRequest,
             404 => Status::NotFound,
             _ => Status::InternalServerError,
         };
-        let headers = read_headers(r)?;
-        let body = read_body(r, &headers)?;
-        Ok(Response {
-            status,
-            headers,
-            body,
-        })
+        read_header_block(r, &mut resp.headers, &mut scratch.line)?;
+        // Responses stay lenient about a missing/odd content-length (treated
+        // as an empty body) but share the size cap.
+        let len = resp
+            .headers
+            .get("content-length")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        if len > MAX_BODY_BYTES as u64 {
+            return Err(ReadError::BadRequest("body exceeds size limit"));
+        }
+        resp.body.clear();
+        resp.body.resize(len as usize, 0);
+        r.read_exact(&mut resp.body)?;
+        Ok(())
     }
 }
 
-fn read_headers(r: &mut BufReader<impl Read>) -> std::io::Result<BTreeMap<String, String>> {
-    let mut headers = BTreeMap::new();
-    loop {
-        let mut line = String::new();
-        r.read_line(&mut line)?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            return Ok(headers);
-        }
-        if let Some((k, v)) = line.split_once(':') {
-            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
-        }
-    }
-}
-
-fn read_body(
+/// Reads header lines until the blank separator into `headers` (cleared
+/// first), reusing `line` as scratch.
+fn read_header_block(
     r: &mut BufReader<impl Read>,
-    headers: &BTreeMap<String, String>,
-) -> std::io::Result<Vec<u8>> {
-    let len: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(body)
+    headers: &mut Headers,
+    line: &mut String,
+) -> Result<(), ReadError> {
+    headers.clear();
+    loop {
+        line.clear();
+        if r.read_line(line)? == 0 {
+            return Err(ReadError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside header block",
+            )));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            return Ok(());
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::BadRequest("too many headers"));
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            headers.insert(k.trim(), v.trim());
+        }
+    }
+}
+
+/// `fmt::Write` over a byte buffer, so header serialisation can use `write!`
+/// without the `io::Write` error plumbing (writes to a `Vec` cannot fail).
+struct ByteWriter<'a>(&'a mut Vec<u8>);
+
+impl std::fmt::Write for ByteWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +536,7 @@ mod tests {
         assert_eq!(parsed.method, "POST");
         assert_eq!(parsed.path, "/encrypt");
         assert_eq!(parsed.body, b"secret payload");
-        assert_eq!(parsed.headers["content-length"], "14");
+        assert_eq!(&parsed.headers["content-length"], "14");
     }
 
     #[test]
@@ -257,17 +573,104 @@ mod tests {
     }
 
     #[test]
-    fn header_names_lowercased_values_trimmed() {
+    fn header_lookup_is_case_insensitive_values_trimmed() {
         let text = b"GET /x HTTP/1.1\r\nX-Custom:   hello  \r\n\r\n";
         let parsed = Request::read_from(&mut BufReader::new(&text[..])).unwrap();
-        assert_eq!(parsed.headers["x-custom"], "hello");
+        assert_eq!(&parsed.headers["x-custom"], "hello");
+        assert_eq!(&parsed.headers["X-CUSTOM"], "hello");
     }
 
     #[test]
-    fn missing_content_length_means_empty_body() {
+    fn missing_content_length_means_empty_body_for_get() {
         let text = b"GET / HTTP/1.1\r\n\r\n";
         let parsed = Request::read_from(&mut BufReader::new(&text[..])).unwrap();
         assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn post_without_content_length_is_bad_request() {
+        // Regression: this used to be parsed as an empty body, leaving any
+        // actual body bytes to poison the next request on the connection
+        // (or the reader stalling on them until the I/O timeout).
+        let text = b"POST /submit HTTP/1.1\r\n\r\nrogue body";
+        let mut req = Request::empty();
+        let mut scratch = ReadScratch::new();
+        let err = Request::read_into(&mut BufReader::new(&text[..]), &mut req, &mut scratch);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+    }
+
+    #[test]
+    fn unparseable_content_length_is_bad_request() {
+        let text = b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n";
+        let mut req = Request::empty();
+        let mut scratch = ReadScratch::new();
+        let err = Request::read_into(&mut BufReader::new(&text[..]), &mut req, &mut scratch);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_content_length_is_bad_request_not_an_allocation() {
+        let text = b"POST / HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n";
+        let mut req = Request::empty();
+        let mut scratch = ReadScratch::new();
+        let err = Request::read_into(&mut BufReader::new(&text[..]), &mut req, &mut scratch);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+        assert!(req.body.capacity() <= MAX_BODY_BYTES);
+    }
+
+    #[test]
+    fn clean_eof_before_request_is_eof_not_bad_request() {
+        let mut req = Request::empty();
+        let mut scratch = ReadScratch::new();
+        let err = Request::read_into(&mut BufReader::new(&b""[..]), &mut req, &mut scratch);
+        assert!(matches!(err, Err(ReadError::Eof)), "{err:?}");
+    }
+
+    #[test]
+    fn read_into_reuses_buffers_across_requests() {
+        let mut one = Vec::new();
+        Request::new("POST", "/a", vec![9u8; 64]).write_to(&mut one).unwrap();
+        let mut two = Vec::new();
+        Request::new("POST", "/bb", vec![7u8; 32]).write_to(&mut two).unwrap();
+        one.extend_from_slice(&two);
+
+        let mut reader = BufReader::new(&one[..]);
+        let mut req = Request::empty();
+        let mut scratch = ReadScratch::new();
+        Request::read_into(&mut reader, &mut req, &mut scratch).unwrap();
+        assert_eq!(req.path, "/a");
+        assert_eq!(req.body, vec![9u8; 64]);
+        let body_ptr = req.body.as_ptr();
+        let cap = req.body.capacity();
+
+        Request::read_into(&mut reader, &mut req, &mut scratch).unwrap();
+        assert_eq!(req.path, "/bb");
+        assert_eq!(req.body, vec![7u8; 32]);
+        assert_eq!(req.body.as_ptr(), body_ptr, "body buffer must be reused");
+        assert_eq!(req.body.capacity(), cap);
+        assert_eq!(req.headers.len(), 2);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let mut stream = Vec::new();
+        for i in 0..5u8 {
+            let mut b = Vec::new();
+            Request::new("POST", format!("/r{i}"), vec![i; 8]).write_to(&mut b).unwrap();
+            stream.extend_from_slice(&b);
+        }
+        let mut reader = BufReader::new(&stream[..]);
+        let mut req = Request::empty();
+        let mut scratch = ReadScratch::new();
+        for i in 0..5u8 {
+            Request::read_into(&mut reader, &mut req, &mut scratch).unwrap();
+            assert_eq!(req.path, format!("/r{i}"));
+            assert_eq!(req.body, vec![i; 8]);
+        }
+        assert!(matches!(
+            Request::read_into(&mut reader, &mut req, &mut scratch),
+            Err(ReadError::Eof)
+        ));
     }
 
     #[test]
@@ -311,5 +714,74 @@ mod tests {
         let resp = Response::error(Status::NotFound, "no such route");
         assert_eq!(resp.body, b"no such route");
         assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn headers_insert_replaces_case_insensitively() {
+        let mut h = Headers::new();
+        h.insert("Content-Length", 10);
+        h.insert("content-length", 20);
+        assert_eq!(h.len(), 1);
+        assert_eq!(&h["CONTENT-LENGTH"], "20");
+    }
+
+    #[test]
+    fn headers_clear_keeps_slot_allocations() {
+        let mut h = Headers::new();
+        h.insert("x-first", "one");
+        h.insert("x-second", "two");
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.get("x-first"), None);
+        h.insert("x-third", "three");
+        assert_eq!(h.len(), 1);
+        assert_eq!(&h["x-third"], "three");
+    }
+
+    #[test]
+    fn headers_equality_is_order_and_case_independent() {
+        let mut a = Headers::new();
+        a.insert("Alpha", "1");
+        a.insert("beta", "2");
+        let mut b = Headers::new();
+        b.insert("BETA", "2");
+        b.insert("alpha", "1");
+        assert_eq!(a, b);
+        b.insert("gamma", "3");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn too_many_headers_is_bad_request() {
+        let mut text = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            text.extend_from_slice(format!("x-h{i}: v\r\n").as_bytes());
+        }
+        text.extend_from_slice(b"\r\n");
+        let mut req = Request::empty();
+        let mut scratch = ReadScratch::new();
+        let err = Request::read_into(&mut BufReader::new(&text[..]), &mut req, &mut scratch);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+    }
+
+    #[test]
+    fn response_write_into_overrides_connection_header() {
+        let resp = Response::ok(b"hi".to_vec()); // Response::new says close
+        let mut buf = Vec::new();
+        resp.write_into(&mut buf, Some("keep-alive"));
+        let text = String::from_utf8_lossy(&buf).to_lowercase();
+        assert!(text.contains("connection: keep-alive"), "{text}");
+        assert!(!text.contains("connection: close"), "{text}");
+        let parsed = Response::read_from(&mut BufReader::new(&buf[..])).unwrap();
+        assert!(!parsed.announces_close());
+        assert_eq!(parsed.body, b"hi");
+    }
+
+    #[test]
+    fn wants_close_reflects_connection_header() {
+        let mut req = Request::new("GET", "/", Vec::new());
+        assert!(req.wants_close(), "Request::new defaults to close");
+        req.headers.insert("Connection", "Keep-Alive");
+        assert!(!req.wants_close());
     }
 }

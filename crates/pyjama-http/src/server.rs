@@ -1,39 +1,52 @@
-//! The HTTP server with pluggable serving policies.
+//! The HTTP server with pluggable serving policies and persistent
+//! (keep-alive) connections.
+//!
+//! Connections are accepted by a small shard of acceptor threads and then
+//! served according to the [`ServingPolicy`]:
+//!
+//! * **JettyPool** — a pool thread owns the connection for its lifetime,
+//!   looping read → handle → write until the client closes, goes idle past
+//!   the timeout, or the per-connection request cap is hit (thread-pinned
+//!   sessions, as a thread-per-request pool does keep-alive).
+//! * **PyjamaVirtualTarget** — no thread ever owns an idle connection. The
+//!   acceptor reads only the *first* request and posts the handler to the
+//!   virtual target with `nowait`; each completed handler *re-arms* the
+//!   connection by posting a fresh "serve the next request" region (when
+//!   the next request is already pipelined) or parking the socket on the
+//!   shared idle poller (when it is not). A persistent connection is thus a
+//!   chain of `nowait` target regions — the paper's event-handler offload
+//!   pattern applied to connection lifetime — and a worker thread only ever
+//!   touches a socket with request bytes waiting.
 
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use pyjama_runtime::{Mode, Runtime};
+use pyjama_metrics::{ConnCounters, ConnStats};
+use pyjama_runtime::{Runtime, TargetRegion, VirtualTarget, WorkerTarget};
 
-use crate::message::{Request, Response, Status};
+use crate::conn::{wait_readable, ConnState, NextRequest};
+use crate::idle::{IdleParker, ParkerShared};
+use crate::message::{ReadError, Request, Response, Status};
 
 /// The request handler: pure application logic, shared across policies so
 /// the benchmark isolates the *serving strategy*.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
-/// Read/write deadline applied to every accepted connection. A client that
-/// stalls mid-request (or never drains the response) fails its own I/O
-/// within this bound instead of pinning a serving thread — or, under the
-/// Pyjama policy, the acceptor itself — forever.
-const CLIENT_IO_TIMEOUT: Duration = Duration::from_millis(500);
-
 /// How incoming connections are turned into handler executions.
 #[derive(Clone)]
 pub enum ServingPolicy {
     /// Jetty-style: a fixed pool of `threads` workers; each connection is
-    /// handed to a pool thread which reads, handles and responds.
+    /// handed to a pool thread which serves it until it closes.
     JettyPool {
         /// Pool size.
         threads: usize,
     },
-    /// Pyjama-style: the acceptor thread reads the request, then offloads
-    /// the handler to the named virtual target with `nowait`, staying free
-    /// to accept the next connection — `//#omp target virtual(worker)
-    /// nowait` around the handler body.
+    /// Pyjama-style: handlers are offloaded to the named virtual target
+    /// with `nowait` — `//#omp target virtual(worker) nowait` around the
+    /// handler body — and connections re-arm themselves between requests.
     PyjamaVirtualTarget {
         /// The runtime owning the target.
         runtime: Arc<Runtime>,
@@ -42,27 +55,78 @@ pub enum ServingPolicy {
     },
 }
 
+/// Tunables for the serving pipeline. [`Default`] matches the benchmark
+/// configuration; [`HttpServer::start`] uses it.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Number of acceptor threads sharing the listener.
+    pub acceptors: usize,
+    /// Honor HTTP/1.1 keep-alive. When `false` every response carries
+    /// `connection: close` (the pre-keep-alive behaviour, kept as the
+    /// baseline the benchmarks compare against).
+    pub keep_alive: bool,
+    /// Close a connection after this many responses.
+    pub max_requests_per_conn: u32,
+    /// Evict a keep-alive connection idle for this long.
+    pub idle_timeout: Duration,
+    /// Per-read/write deadline on client sockets. A client that stalls
+    /// mid-request (or never drains a response) fails its own I/O within
+    /// this bound instead of pinning a serving thread forever.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            acceptors: 2,
+            keep_alive: true,
+            max_requests_per_conn: 1000,
+            idle_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
 struct ServerShared {
     handler: Handler,
     stop: AtomicBool,
     served: AtomicU64,
     errors: AtomicU64,
+    conn: ConnCounters,
+    /// Pyjama-policy regions posted but not yet finished. The virtual
+    /// target belongs to the application's runtime — `shutdown` cannot join
+    /// it, so it quiesces on this count instead.
+    inflight: AtomicU64,
+    opts: ServerOptions,
 }
 
 /// A running HTTP server bound to an ephemeral loopback port.
 pub struct HttpServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    acceptor: Option<JoinHandle<()>>,
-    pool: Option<Arc<pyjama_runtime::WorkerTarget>>,
+    acceptors: Vec<JoinHandle<()>>,
+    pool: Option<Arc<WorkerTarget>>,
+    parker: Option<IdleParker>,
 }
 
 impl HttpServer {
-    /// Starts a server with the given policy and handler.
+    /// Starts a server with the given policy, default options and handler.
     pub fn start(
         policy: ServingPolicy,
         handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
     ) -> std::io::Result<Self> {
+        Self::start_with(policy, ServerOptions::default(), handler)
+    }
+
+    /// Starts a server with explicit [`ServerOptions`].
+    pub fn start_with(
+        policy: ServingPolicy,
+        mut opts: ServerOptions,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        opts.acceptors = opts.acceptors.max(1);
+        opts.max_requests_per_conn = opts.max_requests_per_conn.max(1);
+
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -70,32 +134,90 @@ impl HttpServer {
             stop: AtomicBool::new(false),
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            conn: ConnCounters::new(),
+            inflight: AtomicU64::new(0),
+            opts,
         });
 
-        // The Jetty policy needs its own pool; reuse WorkerTarget (it is a
-        // plain fixed pool when used without the runtime's semantics).
-        let pool = match &policy {
-            ServingPolicy::JettyPool { threads } => Some(pyjama_runtime::WorkerTarget::new(
-                "jetty-pool",
-                (*threads).max(1),
-            )),
-            ServingPolicy::PyjamaVirtualTarget { .. } => None,
+        let (pool, parker, sink) = match &policy {
+            ServingPolicy::JettyPool { threads } => {
+                // The Jetty policy needs its own pool; reuse WorkerTarget
+                // (it is a plain fixed pool when used without the runtime's
+                // semantics).
+                let pool = WorkerTarget::new("jetty-pool", (*threads).max(1));
+                let sink = AcceptSink::Jetty {
+                    pool: Arc::clone(&pool),
+                    label: Arc::from("http-conn"),
+                };
+                (Some(pool), None, sink)
+            }
+            ServingPolicy::PyjamaVirtualTarget { runtime, target } => {
+                let parker_shared = ParkerShared::new()?;
+                // Resolve the target once; when it is not registered (yet)
+                // fall back to a per-request lookup so each failed dispatch
+                // is counted instead of the server refusing to start.
+                let dispatch = match runtime.lookup(target) {
+                    Ok(t) => Dispatch::Direct(t),
+                    Err(_) => Dispatch::Lookup {
+                        runtime: Arc::clone(runtime),
+                        name: target.clone(),
+                    },
+                };
+                let ctx = Arc::new(PyjamaCtx {
+                    shared: Arc::clone(&shared),
+                    dispatch,
+                    label: Arc::from(format!("target virtual({target})").as_str()),
+                    parker: Arc::clone(&parker_shared),
+                });
+                // A parked connection turning readable re-enters the target
+                // as a fresh region; going idle past the deadline evicts it.
+                let on_ready = {
+                    let ctx = Arc::clone(&ctx);
+                    move |conn: ConnState| {
+                        let ctx2 = Arc::clone(&ctx);
+                        let posted = ctx.post(move || {
+                            let mut conn = conn;
+                            match conn.read_request() {
+                                Ok(()) => serve_one(conn, &ctx2),
+                                Err(e) => fail_read(conn, e, &ctx2.shared, false),
+                            }
+                        });
+                        if !posted {
+                            ctx.shared.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                };
+                let on_timeout = {
+                    let shared = Arc::clone(&shared);
+                    move |conn: ConnState| {
+                        shared.conn.record_timed_out_idle();
+                        drop(conn); // closes the socket
+                    }
+                };
+                let parker = IdleParker::spawn(parker_shared, on_ready, on_timeout)?;
+                (None, Some(parker), AcceptSink::Pyjama { ctx })
+            }
         };
 
-        let acceptor = {
+        let mut acceptors = Vec::with_capacity(opts.acceptors);
+        for i in 0..opts.acceptors {
+            let listener = listener.try_clone()?;
             let shared = Arc::clone(&shared);
-            let pool = pool.clone();
-            std::thread::Builder::new()
-                .name("http-acceptor".into())
-                .spawn(move || accept_loop(listener, shared, policy, pool))
-                .expect("failed to spawn acceptor")
-        };
+            let sink = sink.clone();
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("http-acceptor-{i}"))
+                    .spawn(move || accept_loop(listener, shared, sink))
+                    .expect("failed to spawn acceptor"),
+            );
+        }
 
         Ok(HttpServer {
             addr,
             shared,
-            acceptor: Some(acceptor),
+            acceptors,
             pool,
+            parker,
         })
     }
 
@@ -104,26 +226,65 @@ impl HttpServer {
         self.addr
     }
 
-    /// Requests answered so far.
+    /// Requests answered so far (counted after the response write succeeds,
+    /// so the value is monotone — it never decrements).
     pub fn served(&self) -> u64 {
         self.shared.served.load(Ordering::Relaxed)
     }
 
-    /// Connections that failed mid-flight.
+    /// A detached probe for [`served`](Self::served): a closure another
+    /// thread can poll while this handle stays usable (e.g. a monotonicity
+    /// sampler racing `shutdown`).
+    pub fn served_probe(&self) -> impl Fn() -> u64 + Send + Sync + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections/requests that failed mid-flight.
     pub fn errors(&self) -> u64 {
         self.shared.errors.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, unblocks the acceptor, joins it. Idempotent.
+    /// Connection-lifecycle counters (accepts, reuse, pipelining, idle
+    /// evictions).
+    pub fn conn_stats(&self) -> ConnStats {
+        self.shared.conn.snapshot()
+    }
+
+    /// The options the server is running with (normalised).
+    pub fn options(&self) -> ServerOptions {
+        self.shared.opts
+    }
+
+    /// Stops accepting, unblocks and joins every acceptor, stops the idle
+    /// poller (closing parked connections) and shuts the Jetty pool down.
+    /// Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock `accept` with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-        if let Some(a) = self.acceptor.take() {
+        // Unblock `accept`: each blocked acceptor consumes exactly one
+        // throwaway connection, so make one per acceptor thread.
+        for _ in 0..self.acceptors.len() {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        }
+        for a in self.acceptors.drain(..) {
             let _ = a.join();
+        }
+        if let Some(mut parker) = self.parker.take() {
+            parker.shutdown();
         }
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
+        }
+        // Quiesce Pyjama regions still running on the application's worker
+        // target (which is not ours to join): with `stop` set and the
+        // acceptors and poller gone, no region re-arms, so the count only
+        // falls. The deadline is a backstop against a target that was shut
+        // down underneath us with regions still queued.
+        let t0 = Instant::now();
+        while self.shared.inflight.load(Ordering::SeqCst) > 0
+            && t0.elapsed() < Duration::from_secs(5)
+        {
+            std::thread::sleep(Duration::from_micros(50));
         }
     }
 }
@@ -134,12 +295,71 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
+/// Where an acceptor hands a fresh connection.
+#[derive(Clone)]
+enum AcceptSink {
+    Jetty {
+        pool: Arc<WorkerTarget>,
+        label: Arc<str>,
+    },
+    Pyjama {
+        ctx: Arc<PyjamaCtx>,
+    },
+}
+
+/// How the Pyjama policy reaches its virtual target.
+enum Dispatch {
+    /// Resolved once at startup — the hot path posts with no registry
+    /// access or name formatting.
+    Direct(Arc<dyn VirtualTarget>),
+    /// The target was unknown at startup; retry the lookup per request.
+    Lookup { runtime: Arc<Runtime>, name: String },
+}
+
+/// Everything a Pyjama-policy serving region needs to re-arm a connection.
+struct PyjamaCtx {
     shared: Arc<ServerShared>,
-    policy: ServingPolicy,
-    pool: Option<Arc<pyjama_runtime::WorkerTarget>>,
-) {
+    dispatch: Dispatch,
+    /// Interned region label: re-posting clones the `Arc` instead of
+    /// formatting a fresh string per request.
+    label: Arc<str>,
+    parker: Arc<ParkerShared>,
+}
+
+impl PyjamaCtx {
+    /// Posts `body` to the virtual target as a `nowait` region. Returns
+    /// `false` when the target cannot be resolved.
+    fn post(&self, body: impl FnOnce() + Send + 'static) -> bool {
+        // Count the region in-flight across its whole run so `shutdown` can
+        // quiesce: the decrement runs after `body` — including the counter
+        // updates inside it — has finished.
+        self.shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(&self.shared);
+        let region = TargetRegion::with_label(Arc::clone(&self.label), move || {
+            body();
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        });
+        let posted = match &self.dispatch {
+            Dispatch::Direct(t) => {
+                t.post(region);
+                true
+            }
+            Dispatch::Lookup { runtime, name } => match runtime.lookup(name) {
+                Ok(t) => {
+                    t.post(region);
+                    true
+                }
+                Err(_) => false,
+            },
+        };
+        if !posted {
+            self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        posted
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSink) {
     let mut consecutive_errors: u32 = 0;
     loop {
         let stream = match listener.accept() {
@@ -163,81 +383,150 @@ fn accept_loop(
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        if stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT)).is_err()
-            || stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT)).is_err()
-        {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-            continue;
-        }
-        match &policy {
-            ServingPolicy::JettyPool { .. } => {
-                // Hand the raw connection to a pool thread: read + compute +
-                // respond all happen there (thread-per-request on a pool).
+        let mut conn = match ConnState::new(stream, shared.opts.io_timeout) {
+            Ok(c) => c,
+            Err(_) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        shared.conn.record_accepted();
+        match &sink {
+            AcceptSink::Jetty { pool, label } => {
+                // Hand the connection to a pool thread: it owns the whole
+                // keep-alive session.
                 let shared = Arc::clone(&shared);
-                let pool = pool.as_ref().expect("jetty policy has a pool");
-                use pyjama_runtime::VirtualTarget as _;
-                pool.post(pyjama_runtime::TargetRegion::new("http-conn", move || {
-                    serve_connection(stream, &shared);
+                pool.post(TargetRegion::with_label(Arc::clone(label), move || {
+                    serve_session(conn, &shared);
                 }));
             }
-            ServingPolicy::PyjamaVirtualTarget { runtime, target } => {
-                // The acceptor parses the request itself (cheap), then
-                // offloads only the time-consuming handler with `nowait`.
-                let mut stream = stream;
-                let mut reader = BufReader::new(match stream.try_clone() {
-                    Ok(s) => s,
-                    Err(_) => {
-                        shared.errors.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                });
-                let req = match Request::read_from(&mut reader) {
-                    Ok(r) => r,
-                    Err(_) => {
-                        shared.errors.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                };
-                let shared2 = Arc::clone(&shared);
-                let handle = runtime.try_target(target, Mode::NoWait, move || {
-                    let resp = run_handler(&shared2, &req);
-                    // Count before the final write so a client that has read
-                    // the full response always observes the increment.
-                    shared2.served.fetch_add(1, Ordering::Relaxed);
-                    if resp.write_to(&mut stream).is_err() {
-                        shared2.served.fetch_sub(1, Ordering::Relaxed);
-                        shared2.errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                });
-                if handle.is_err() {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
+            AcceptSink::Pyjama { ctx } => {
+                // The acceptor parses only the *first* request (cheap),
+                // then offloads the handler — and with it the connection's
+                // future — to the virtual target.
+                match conn.read_request() {
+                    Ok(()) => rearm(conn, ctx),
+                    Err(e) => fail_read(conn, e, &shared, true),
                 }
             }
         }
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
-    let mut write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+/// Should the connection close after the response to `req`?
+fn decide_close(served_before: u32, req: &Request, shared: &ServerShared) -> bool {
+    req.wants_close()
+        || !shared.opts.keep_alive
+        || served_before + 1 >= shared.opts.max_requests_per_conn
+        || shared.stop.load(Ordering::SeqCst)
+}
+
+/// Handles one parsed request on `conn`: run the handler, write the
+/// response, bump counters. Returns `false` when the connection must not
+/// serve further requests.
+fn respond(conn: &mut ConnState, shared: &Arc<ServerShared>) -> bool {
+    let resp = run_handler(shared, &conn.req);
+    let close = decide_close(conn.served, &conn.req, shared);
+    if conn.write_response(&resp, close).is_err() {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    // Count only after the write succeeded: `served` is monotone and a
+    // request is never double-counted across a keep-alive session.
+    conn.served += 1;
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    if conn.served > 1 {
+        shared.conn.record_reused();
+    }
+    !close
+}
+
+/// Jetty-style session: the calling pool thread owns `conn` until close.
+fn serve_session(mut conn: ConnState, shared: &Arc<ServerShared>) {
+    let opts = shared.opts;
+    loop {
+        if conn.served > 0 {
+            // Between requests of an established session: wait for the next
+            // request, the idle deadline, or shutdown.
+            let deadline = Instant::now() + opts.idle_timeout;
+            match wait_readable(&mut conn, deadline, opts.io_timeout, &shared.stop) {
+                NextRequest::Ready { pipelined } => {
+                    if pipelined {
+                        shared.conn.record_pipelined();
+                    }
+                }
+                NextRequest::Eof | NextRequest::Stopped => return,
+                NextRequest::IdleTimeout => {
+                    shared.conn.record_timed_out_idle();
+                    return;
+                }
+                NextRequest::Err(_) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        let first = conn.served == 0;
+        match conn.read_request() {
+            Ok(()) => {}
+            Err(e) => return fail_read(conn, e, shared, first),
+        }
+        if !respond(&mut conn, shared) {
             return;
         }
-    };
-    let mut reader = BufReader::new(stream);
-    match Request::read_from(&mut reader) {
-        Ok(req) => {
-            let resp = run_handler(shared, &req);
-            // Count before the final write so a client that has read the
-            // full response always observes the increment.
-            shared.served.fetch_add(1, Ordering::Relaxed);
-            if resp.write_to(&mut write_half).is_err() {
-                shared.served.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Pyjama-style serving of the request already parsed into `conn.req`,
+/// running inside a `nowait` target region. Afterwards the connection
+/// re-arms itself: a pipelined request re-posts immediately; a silent
+/// connection parks on the idle poller — this region returns without ever
+/// blocking on the socket.
+fn serve_one(mut conn: ConnState, ctx: &Arc<PyjamaCtx>) {
+    let shared = &ctx.shared;
+    if !respond(&mut conn, shared) {
+        return;
+    }
+    if shared.stop.load(Ordering::SeqCst) {
+        return;
+    }
+    if conn.has_buffered() {
+        shared.conn.record_pipelined();
+        match conn.read_request() {
+            Ok(()) => rearm(conn, ctx),
+            Err(e) => fail_read(conn, e, shared, false),
+        }
+    } else {
+        let deadline = Instant::now() + shared.opts.idle_timeout;
+        ctx.parker.park(conn, deadline);
+    }
+}
+
+/// Posts the next link of the connection's region chain.
+fn rearm(conn: ConnState, ctx: &Arc<PyjamaCtx>) {
+    let ctx2 = Arc::clone(ctx);
+    let posted = ctx.post(move || serve_one(conn, &ctx2));
+    if !posted {
+        ctx.shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Disposes of a connection whose request could not be read. Malformed
+/// requests are answered with `400` before closing; a clean EOF only counts
+/// as an error when the connection never produced a request (`first`).
+fn fail_read(mut conn: ConnState, err: ReadError, shared: &Arc<ServerShared>, first: bool) {
+    match err {
+        ReadError::Eof => {
+            if first {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
             }
         }
-        Err(_) => {
+        ReadError::BadRequest(msg) => {
+            let resp = Response::error(Status::BadRequest, msg);
+            let _ = conn.write_response(&resp, true);
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        ReadError::Io(_) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -254,9 +543,20 @@ fn run_handler(shared: &Arc<ServerShared>, req: &Request) -> Response {
 mod tests {
     use super::*;
     use crate::client::http_post;
+    use std::io::{BufReader, Write as _};
 
     fn echo_handler(req: &Request) -> Response {
         Response::ok(req.body.clone())
+    }
+
+    /// `served` is bumped after the response write, so a client can observe
+    /// its response a moment before the counter: spin briefly.
+    fn wait_served(server: &HttpServer, n: u64) {
+        let t0 = Instant::now();
+        while server.served() < n && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.served(), n);
     }
 
     #[test]
@@ -266,7 +566,8 @@ mod tests {
         let resp = http_post(server.addr(), "/echo", b"hello".to_vec()).unwrap();
         assert_eq!(resp.status, Status::Ok);
         assert_eq!(resp.body, b"hello");
-        assert_eq!(server.served(), 1);
+        wait_served(&server, 1);
+        assert_eq!(server.conn_stats().accepted, 1);
         server.shutdown();
     }
 
@@ -305,7 +606,62 @@ mod tests {
         for h in hs {
             h.join().unwrap();
         }
-        assert_eq!(server.served(), 16);
+        wait_served(&server, 16);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_session_serves_multiple_requests_on_one_socket() {
+        let mut server =
+            HttpServer::start(ServingPolicy::JettyPool { threads: 2 }, echo_handler).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..3u8 {
+            let mut req = Request::new("POST", "/echo", vec![i; 4]);
+            req.headers.insert("connection", "keep-alive");
+            let mut wire = Vec::new();
+            req.write_into(&mut wire);
+            stream.write_all(&wire).unwrap();
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.body, vec![i; 4]);
+            assert!(!resp.announces_close());
+        }
+        wait_served(&server, 3);
+        let stats = server.conn_stats();
+        assert_eq!(stats.accepted, 1, "one socket for all three requests");
+        assert_eq!(stats.reused, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_disabled_closes_after_each_response() {
+        let opts = ServerOptions {
+            keep_alive: false,
+            ..ServerOptions::default()
+        };
+        let mut server =
+            HttpServer::start_with(ServingPolicy::JettyPool { threads: 2 }, opts, echo_handler)
+                .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut req = Request::new("POST", "/echo", b"x".to_vec());
+        req.headers.insert("connection", "keep-alive");
+        let mut wire = Vec::new();
+        req.write_into(&mut wire);
+        stream.write_all(&wire).unwrap();
+        let mut reader = BufReader::new(stream);
+        let resp = Response::read_from(&mut reader).unwrap();
+        assert!(resp.announces_close(), "keep_alive=false must force close");
+        use std::io::Read as _;
+        let mut rest = Vec::new();
+        assert_eq!(reader.read_to_end(&mut rest).unwrap(), 0, "server closed");
+        assert_eq!(server.conn_stats().reused, 0);
         server.shutdown();
     }
 
@@ -323,6 +679,36 @@ mod tests {
         // Server still works afterwards.
         let ok = http_post(server.addr(), "/fine", vec![]).unwrap();
         assert_eq!(ok.status, Status::Ok);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_post_gets_400_immediately() {
+        let mut server =
+            HttpServer::start(ServingPolicy::JettyPool { threads: 2 }, echo_handler).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // POST with a body but no content-length: previously this stalled
+        // until the I/O timeout; now it must be answered right away.
+        let t0 = Instant::now();
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\n\r\nrogue")
+            .unwrap();
+        let resp = Response::read_from(&mut BufReader::new(stream)).unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(
+            t0.elapsed() < Duration::from_millis(400),
+            "400 must not wait for the I/O timeout (took {:?})",
+            t0.elapsed()
+        );
+        // The error counter lands around the 400 write: spin briefly.
+        let t0 = Instant::now();
+        while server.errors() == 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(server.errors() >= 1);
         server.shutdown();
     }
 
@@ -352,7 +738,7 @@ mod tests {
     fn stalled_client_times_out_and_does_not_block_accepts() {
         // A connection that never sends a request used to pin the single
         // pool thread indefinitely; with per-connection I/O timeouts it
-        // fails within CLIENT_IO_TIMEOUT and later requests are served.
+        // fails within the I/O timeout and later requests are served.
         let mut server =
             HttpServer::start(ServingPolicy::JettyPool { threads: 1 }, echo_handler).unwrap();
         let stalled = TcpStream::connect(server.addr()).unwrap(); // sends nothing
@@ -370,8 +756,9 @@ mod tests {
 
     #[test]
     fn stalled_client_does_not_block_pyjama_acceptor() {
-        // Under the Pyjama policy the *acceptor* reads the request; a silent
-        // connection must release it within the I/O timeout.
+        // Under the Pyjama policy an acceptor reads the first request; a
+        // silent connection must release it within the I/O timeout (and the
+        // other acceptor shard keeps serving meanwhile).
         let rt = Arc::new(Runtime::new());
         rt.virtual_target_create_worker("worker", 2);
         let mut server = HttpServer::start(
@@ -395,6 +782,47 @@ mod tests {
         let mut server =
             HttpServer::start(ServingPolicy::JettyPool { threads: 1 }, echo_handler).unwrap();
         server.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_all_acceptor_shards() {
+        for acceptors in [1usize, 2, 4] {
+            let opts = ServerOptions {
+                acceptors,
+                ..ServerOptions::default()
+            };
+            let mut server = HttpServer::start_with(
+                ServingPolicy::JettyPool { threads: 1 },
+                opts,
+                echo_handler,
+            )
+            .unwrap();
+            assert_eq!(server.options().acceptors, acceptors);
+            // Must return promptly with every shard joined, not hang on
+            // an acceptor that never got woken.
+            let t0 = Instant::now();
+            server.shutdown();
+            assert!(
+                t0.elapsed() < Duration::from_secs(3),
+                "shutdown with {acceptors} acceptors took {:?}",
+                t0.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn options_are_normalised() {
+        let opts = ServerOptions {
+            acceptors: 0,
+            max_requests_per_conn: 0,
+            ..ServerOptions::default()
+        };
+        let mut server =
+            HttpServer::start_with(ServingPolicy::JettyPool { threads: 1 }, opts, echo_handler)
+                .unwrap();
+        assert_eq!(server.options().acceptors, 1);
+        assert_eq!(server.options().max_requests_per_conn, 1);
         server.shutdown();
     }
 }

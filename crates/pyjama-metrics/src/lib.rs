@@ -16,14 +16,16 @@
 //! dispatch thread (EDT) spends busy inside handlers, which is the quantity
 //! the paper's offloading directives are designed to minimise,
 //! [`ParkCounters`] observing the runtime's wake-driven await barrier
-//! (parks, wakeups, spurious wakeups), and [`StealCounters`] observing the
+//! (parks, wakeups, spurious wakeups), [`StealCounters`] observing the
 //! worker pools' work-stealing scheduler (local pops, steals, injector
-//! drains).
+//! drains), and [`ConnCounters`] observing the HTTP server's persistent
+//! connections (accepts, reuse, pipelining, idle evictions).
 //!
 //! Everything here is synchronisation-cheap (atomics or a short
 //! `parking_lot` critical section) so that recording does not perturb the
 //! systems being measured.
 
+pub mod conn;
 pub mod histogram;
 pub mod latency;
 pub mod occupancy;
@@ -33,6 +35,7 @@ pub mod steal;
 pub mod throughput;
 pub mod timeline;
 
+pub use conn::{ConnCounters, ConnStats};
 pub use histogram::Histogram;
 pub use latency::LatencyRecorder;
 pub use occupancy::OccupancyTracker;

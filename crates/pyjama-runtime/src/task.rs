@@ -184,7 +184,16 @@ pub struct TargetRegion {
 impl TargetRegion {
     /// Wraps user code into a region with a diagnostic label.
     pub fn new(label: impl Into<String>, body: impl FnOnce() + Send + 'static) -> Arc<Self> {
-        let label: Arc<str> = Arc::from(label.into());
+        Self::with_label(Arc::from(label.into()), body)
+    }
+
+    /// Wraps user code into a region reusing an already-interned label.
+    ///
+    /// Repeated posts with the same diagnostic label (e.g. a persistent
+    /// connection re-arming itself as a chain of regions) clone the `Arc`
+    /// instead of re-allocating the string on every post — the region
+    /// becomes two allocations (`Arc<Self>` + boxed body), nothing else.
+    pub fn with_label(label: Arc<str>, body: impl FnOnce() + Send + 'static) -> Arc<Self> {
         Arc::new(TargetRegion {
             body: Mutex::new(Some(Box::new(body))),
             handle: TaskHandle::new(label),
@@ -383,6 +392,25 @@ mod tests {
     fn label_is_preserved() {
         let r = TargetRegion::new("my-label", || {});
         assert_eq!(r.handle().label(), "my-label");
+    }
+
+    #[test]
+    fn with_label_shares_the_interned_label() {
+        let label: Arc<str> = Arc::from("conn");
+        let r1 = TargetRegion::new("x", || {});
+        drop(r1);
+        let a = TargetRegion::with_label(Arc::clone(&label), || {});
+        let b = TargetRegion::with_label(Arc::clone(&label), || {});
+        assert_eq!(a.handle().label(), "conn");
+        assert_eq!(b.handle().label(), "conn");
+        // Both handles point at the same interned string.
+        assert!(std::ptr::eq(
+            a.handle().label().as_ptr(),
+            b.handle().label().as_ptr()
+        ));
+        a.execute();
+        b.execute();
+        assert!(a.handle().is_finished() && b.handle().is_finished());
     }
 
     #[test]

@@ -93,6 +93,12 @@ fn server_counts_match_load_report() {
     let gen = LoadGenerator::new(4, 5, "/encrypt", vec![0u8; 16]);
     let report = gen.run(server.addr());
     assert_eq!(report.completed, 20);
+    // `served` is incremented after the response write succeeds, so the
+    // client can observe its response a moment before the counter: spin.
+    let t0 = std::time::Instant::now();
+    while server.served() < 20 && t0.elapsed() < std::time::Duration::from_secs(5) {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
     assert_eq!(server.served(), 20);
     server.shutdown();
 }
