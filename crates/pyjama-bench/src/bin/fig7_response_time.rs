@@ -16,6 +16,7 @@ use pyjama_bench::report::{ms, Table};
 use pyjama_kernels::{KernelKind, Workload};
 
 fn main() {
+    let trace_path = pyjama_bench::trace_arg();
     let quick = pyjama_bench::quick_mode();
     let loads: Vec<f64> = if quick {
         vec![20.0, 100.0]
@@ -93,4 +94,5 @@ fn main() {
          pyjama-await / pyjama-nowait stay near the kernel's service time. The paper\n\
          reports Pyjama equal and often better than the manual approaches."
     );
+    pyjama_bench::finish_trace(trace_path.as_deref());
 }

@@ -23,6 +23,7 @@ use pyjama_bench::report::{ms, Table};
 use pyjama_kernels::{KernelKind, Workload};
 
 fn main() {
+    let trace_path = pyjama_bench::trace_arg();
     let quick = pyjama_bench::quick_mode();
     let approaches = [
         Approach::Sequential,
@@ -87,4 +88,5 @@ fn main() {
          EDT busy (it is the team master); async approaches free the EDT; async-parallel\n\
          combines both benefits — the paper's motivation for the hybrid model."
     );
+    pyjama_bench::finish_trace(trace_path.as_deref());
 }

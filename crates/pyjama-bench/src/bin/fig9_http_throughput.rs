@@ -16,6 +16,13 @@ use pyjama_bench::httpbench::{run_http_benchmark, HttpBenchConfig, ServerFlavor}
 use pyjama_bench::report::{ms, Table};
 
 fn main() {
+    let trace_path = pyjama_bench::trace_arg();
+    if trace_path.is_some() {
+        // A full sweep spins up fresh server threads per cell and every
+        // ring stays registered until the final export; small rings keep
+        // the sweep's footprint bounded.
+        pyjama_trace::set_ring_capacity(8192);
+    }
     let quick = pyjama_bench::quick_mode();
     let thread_sweep: Vec<usize> = if quick {
         vec![1, 4]
@@ -50,6 +57,7 @@ fn main() {
         "p50_ms",
         "p99_ms",
         "mean_response_ms",
+        "queue_delay_p99_ms",
         "reused_conns",
         "failed",
     ]);
@@ -84,6 +92,7 @@ fn main() {
                     ms(r.p50_response),
                     ms(r.p99_response),
                     ms(r.mean_response),
+                    ms(r.queue_delay_p99),
                     r.conns.reused.to_string(),
                     r.failed.to_string(),
                 ]);
@@ -104,4 +113,5 @@ fn main() {
          keepalive=false rows are the connection-per-request baseline; keepalive=true\n\
          amortises TCP setup and the codec's buffers across each user's requests."
     );
+    pyjama_bench::finish_trace(trace_path.as_deref());
 }

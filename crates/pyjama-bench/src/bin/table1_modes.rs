@@ -39,6 +39,7 @@ fn measure(rt: &Runtime, mode: Mode) -> (Duration, Duration, bool) {
 }
 
 fn main() {
+    let trace_path = pyjama_bench::trace_arg();
     let rt = Runtime::new();
     rt.virtual_target_create_worker("worker", 2);
 
@@ -81,4 +82,5 @@ fn main() {
     }
     print!("{}", table.render());
     println!("\nall four modes behaved per Table I ✓");
+    pyjama_bench::finish_trace(trace_path.as_deref());
 }

@@ -51,6 +51,12 @@ pub struct HttpBenchResult {
     /// pipelining, idle evictions) — separates connection overhead from
     /// handler cost in the Fig. 9 comparison.
     pub conns: ConnStats,
+    /// 99th-percentile scheduling delay between a region being posted and
+    /// its handler starting to run, measured from the trace stage
+    /// histogram (`RegionPosted → RegionRunBegin`). Isolates queueing cost
+    /// from handler cost in the Fig. 9 curves. Zero for cells that post no
+    /// regions (pure Jetty with tracing unavailable).
+    pub queue_delay_p99: std::time::Duration,
 }
 
 /// Configuration of one Figure 9 cell.
@@ -128,6 +134,19 @@ fn encryption_handler(
 /// Runs one (flavor × worker-threads × per-event-parallel × keep-alive)
 /// cell.
 pub fn run_http_benchmark(flavor: ServerFlavor, config: &HttpBenchConfig) -> HttpBenchResult {
+    // The queue-delay column comes from the trace subsystem. Enable it for
+    // the duration of this cell if the caller hasn't already (e.g. via
+    // `--trace`), and window the collection to this cell's events so a
+    // multi-cell sweep doesn't blend measurements. Small rings keep the
+    // sweep's memory bounded: each cell spins up fresh server threads and
+    // dead threads' rings stay registered until the final collect.
+    let tracing_was_on = pyjama_trace::enabled();
+    if !tracing_was_on {
+        pyjama_trace::set_ring_capacity(8192);
+        pyjama_trace::enable();
+    }
+    let cell_start_ns = pyjama_trace::now_ns();
+
     let opts = ServerOptions {
         keep_alive: config.keepalive,
         ..ServerOptions::default()
@@ -168,6 +187,12 @@ pub fn run_http_benchmark(flavor: ServerFlavor, config: &HttpBenchConfig) -> Htt
     let conns = server.conn_stats();
     server.shutdown();
 
+    let window = pyjama_trace::collect().after(cell_start_ns);
+    if !tracing_was_on {
+        pyjama_trace::disable();
+    }
+    let queue_delay_p99 = std::time::Duration::from_nanos(window.queue_delay().quantile(0.99));
+
     HttpBenchResult {
         throughput: report.throughput,
         mean_response: report.mean_response,
@@ -175,12 +200,21 @@ pub fn run_http_benchmark(flavor: ServerFlavor, config: &HttpBenchConfig) -> Htt
         p99_response: report.p99_response,
         failed: report.failed,
         conns,
+        queue_delay_p99,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `run_http_benchmark` flips the global trace switch for its window;
+    /// serialize the tests that call it so cells don't blend.
+    static CELL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn cell_lock() -> std::sync::MutexGuard<'static, ()> {
+        CELL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn tiny(worker_threads: usize, omp: Option<usize>) -> HttpBenchConfig {
         HttpBenchConfig {
@@ -197,6 +231,7 @@ mod tests {
 
     #[test]
     fn both_flavors_serve_all_requests() {
+        let _g = cell_lock();
         for flavor in [ServerFlavor::Jetty, ServerFlavor::Pyjama] {
             let r = run_http_benchmark(flavor, &tiny(2, None));
             assert_eq!(r.failed, 0, "{flavor:?}");
@@ -211,6 +246,7 @@ mod tests {
 
     #[test]
     fn keepalive_off_reproduces_conn_per_request_baseline() {
+        let _g = cell_lock();
         let cfg = HttpBenchConfig {
             keepalive: false,
             ..tiny(2, None)
@@ -222,7 +258,22 @@ mod tests {
     }
 
     #[test]
+    fn queue_delay_p99_is_measured_for_pyjama() {
+        let _g = cell_lock();
+        let r = run_http_benchmark(ServerFlavor::Pyjama, &tiny(2, None));
+        assert_eq!(r.failed, 0);
+        assert!(
+            r.queue_delay_p99 > std::time::Duration::ZERO,
+            "pyjama cells must observe a posted→run delay, got {:?}",
+            r.queue_delay_p99
+        );
+        // The cell turned tracing on only for its own window.
+        assert!(!pyjama_trace::enabled());
+    }
+
+    #[test]
     fn per_event_parallel_works() {
+        let _g = cell_lock();
         let r = run_http_benchmark(ServerFlavor::Pyjama, &tiny(2, Some(2)));
         assert_eq!(r.failed, 0);
     }

@@ -25,3 +25,40 @@ pub mod report;
 pub fn quick_mode() -> bool {
     std::env::var("PJ_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
+
+/// Parses `--trace <path>` (or `--trace=<path>`) from the command line and,
+/// when present, turns tracing on for the whole run. Pair with
+/// [`finish_trace`] before exit to write the Chrome trace.
+pub fn trace_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let path = args.next().expect("--trace requires a file path");
+            pyjama_trace::enable();
+            return Some(path);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            pyjama_trace::enable();
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Stops tracing and exports everything recorded to `path` as Chrome
+/// `about://tracing` JSON. No-op when `path` is `None` (tracing was never
+/// requested).
+pub fn finish_trace(path: Option<&str>) {
+    let Some(path) = path else { return };
+    pyjama_trace::disable();
+    let trace = pyjama_trace::collect();
+    match trace.write_chrome(path) {
+        Ok(()) => eprintln!(
+            "trace: wrote {} events from {} threads to {path} ({} dropped)",
+            trace.len(),
+            trace.threads.len(),
+            trace.dropped()
+        ),
+        Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+    }
+}

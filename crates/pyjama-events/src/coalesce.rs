@@ -133,6 +133,56 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_event_keeps_its_queue_position_among_plain_events() {
+        // Replacing a queued handler must not move the event: a same-key
+        // repost updates the payload in place, so the coalesced event still
+        // dispatches *before* plain events posted after the original, and
+        // the plain events around it are unaffected.
+        let el = EventLoop::new("edt");
+        let h = el.handle();
+        let c = Coalescer::new(h.clone());
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        let o = Arc::clone(&order);
+        c.post("progress", move || o.lock().push("stale"));
+        let o = Arc::clone(&order);
+        h.post(move || o.lock().push("plain-1"));
+        // Replaces the queued "stale" payload; position stays first.
+        let o = Arc::clone(&order);
+        c.post("progress", move || o.lock().push("fresh"));
+        let o = Arc::clone(&order);
+        h.post(move || o.lock().push("plain-2"));
+
+        el.run_until_idle();
+        assert_eq!(*order.lock(), vec!["fresh", "plain-1", "plain-2"]);
+    }
+
+    #[test]
+    fn mixed_keys_and_plain_events_all_run_with_latest_payloads() {
+        let el = EventLoop::new("edt");
+        let h = el.handle();
+        let c = Coalescer::new(h.clone());
+        let last_a = Arc::new(AtomicU64::new(0));
+        let last_b = Arc::new(AtomicU64::new(0));
+        let plain = Arc::new(AtomicU64::new(0));
+        for i in 1..=10u64 {
+            let a = Arc::clone(&last_a);
+            c.post("a", move || a.store(i, Ordering::SeqCst));
+            let b = Arc::clone(&last_b);
+            c.post("b", move || b.store(i * 100, Ordering::SeqCst));
+            let p = Arc::clone(&plain);
+            h.post(move || {
+                p.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        el.run_until_idle();
+        assert_eq!(last_a.load(Ordering::SeqCst), 10);
+        assert_eq!(last_b.load(Ordering::SeqCst), 1000);
+        assert_eq!(plain.load(Ordering::SeqCst), 10, "plain events never coalesce");
+        assert_eq!(c.pending_keys(), 0);
+    }
+
+    #[test]
     fn repost_from_inside_handler_works() {
         let el = EventLoop::new("edt");
         let c = Arc::new(Coalescer::new(el.handle()));

@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use pyjama_trace::TraceId;
+
 /// Globally unique identifier of a posted event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub u64);
@@ -37,6 +39,7 @@ pub struct Event {
     priority: Priority,
     label: Option<String>,
     fired_at: Instant,
+    trace: TraceId,
     handler: Box<dyn FnOnce() + Send + 'static>,
 }
 
@@ -48,6 +51,7 @@ impl Event {
             priority: Priority::Normal,
             label: None,
             fired_at: Instant::now(),
+            trace: TraceId::mint(),
             handler: Box::new(handler),
         }
     }
@@ -82,6 +86,11 @@ impl Event {
     /// When the event was created ("fired").
     pub fn fired_at(&self) -> Instant {
         self.fired_at
+    }
+
+    /// The causal trace id minted at creation (NONE while tracing is off).
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
     }
 
     /// Consumes the event and runs its handler.

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pyjama_metrics::{LatencyRecorder, OccupancyTracker};
+use pyjama_trace::{arg as trace_arg, Stage};
 
 use crate::event::{Event, EventId, Priority};
 use crate::queue::{EventQueue, QueueWaker};
@@ -59,7 +60,18 @@ impl Shared {
         if let Some(ref o) = occ {
             o.enter();
         }
+        let trace = event.trace_id();
+        pyjama_trace::emit(trace, Stage::EventDispatchBegin, depth);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| event.dispatch()));
+        pyjama_trace::emit(
+            trace,
+            Stage::EventDispatchEnd,
+            if result.is_err() {
+                trace_arg::END_PANICKED
+            } else {
+                trace_arg::END_OK
+            },
+        );
         if let Some(ref o) = occ {
             o.exit();
         }
@@ -76,6 +88,7 @@ impl Shared {
     /// Dispatch one due-timer or queued event without blocking.
     pub(crate) fn pump_once(self: &Arc<Self>, reentrant: bool) -> bool {
         for e in self.timers.drain_due(Instant::now()) {
+            pyjama_trace::emit(e.trace_id(), Stage::TimerFired, 0);
             self.queue.push(e.with_priority(Priority::High));
         }
         match self.queue.try_pop() {
@@ -168,6 +181,7 @@ impl EventLoop {
             let due = shared.timers.drain_due(Instant::now());
             let had_due = !due.is_empty();
             for e in due {
+                pyjama_trace::emit(e.trace_id(), Stage::TimerFired, 0);
                 shared.dispatch(e, false);
             }
             if had_due {
@@ -230,6 +244,9 @@ impl EventLoopHandle {
     /// Posts a pre-built event.
     pub fn post_event(&self, event: Event) -> Option<EventId> {
         let id = event.id();
+        // Emit before the push so the posted timestamp causally precedes
+        // any dispatch of the same event on the loop thread.
+        pyjama_trace::emit(event.trace_id(), Stage::EventPosted, 0);
         if self.shared.queue.push(event) {
             Some(id)
         } else {

@@ -134,6 +134,59 @@ mod tests {
     }
 
     #[test]
+    fn interval_rearms_after_handler_slower_than_period() {
+        // A handler outlasting its own period must not kill the ticker:
+        // each completion schedules the next tick, so firing continues
+        // (at the handler's pace) instead of stopping after one round.
+        let edt = Edt::spawn("edt");
+        let ih = edt.handle().post_interval(Duration::from_millis(2), || {
+            std::thread::sleep(Duration::from_millis(15));
+        });
+        let t0 = Instant::now();
+        while ih.fired() < 3 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "slow handler stopped the interval after {} fires",
+                ih.fired()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ih.cancel();
+    }
+
+    #[test]
+    fn cancel_during_running_handler_stops_future_ticks() {
+        // Cancel lands while a tick's handler is mid-run: the in-flight
+        // tick finishes (its firing already counted or about to be), but
+        // the re-arm it performs must observe the flag and go dead.
+        let edt = Edt::spawn("edt");
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let (e2, r2) = (Arc::clone(&entered), Arc::clone(&release));
+        let ih = edt.handle().post_interval(Duration::from_millis(2), move || {
+            e2.store(true, Ordering::SeqCst);
+            let t0 = Instant::now();
+            while !r2.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(5) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let t0 = Instant::now();
+        while !entered.load(Ordering::SeqCst) {
+            assert!(t0.elapsed() < Duration::from_secs(10), "first tick never ran");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ih.cancel(); // mid-flight: the handler is blocked inside its run
+        release.store(true, Ordering::SeqCst);
+        // Wait out several would-be periods; the count must settle at the
+        // in-flight firing alone.
+        std::thread::sleep(Duration::from_millis(40));
+        let settled = ih.fired();
+        assert!(settled <= 1, "cancel mid-flight allowed {settled} fires");
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ih.fired(), settled, "timer kept ticking after cancel");
+    }
+
+    #[test]
     fn cancelled_handle_reports_zero_future_fires() {
         let edt = Edt::spawn("edt");
         let ih = edt

@@ -13,6 +13,8 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use pyjama_trace::TraceId;
+
 use crate::message::{ReadError, ReadScratch, Request, Response};
 
 /// One accepted connection and its reusable serving buffers.
@@ -29,6 +31,9 @@ pub(crate) struct ConnState {
     out: Vec<u8>,
     /// Requests fully served (written) on this connection.
     pub(crate) served: u32,
+    /// Causal trace id minted at accept; every region in the connection's
+    /// re-arm chain continues this flow.
+    pub(crate) trace: TraceId,
 }
 
 impl ConnState {
@@ -46,6 +51,7 @@ impl ConnState {
             scratch: ReadScratch::new(),
             out: Vec::new(),
             served: 0,
+            trace: TraceId::NONE,
         })
     }
 

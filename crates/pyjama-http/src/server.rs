@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use pyjama_metrics::{ConnCounters, ConnStats};
 use pyjama_runtime::{Runtime, TargetRegion, VirtualTarget, WorkerTarget};
+use pyjama_trace::{arg as trace_arg, Stage, TraceId};
 
 use crate::conn::{wait_readable, ConnState, NextRequest};
 use crate::idle::{IdleParker, ParkerShared};
@@ -174,8 +175,9 @@ impl HttpServer {
                 let on_ready = {
                     let ctx = Arc::clone(&ctx);
                     move |conn: ConnState| {
+                        pyjama_trace::emit(conn.trace, Stage::ConnReady, trace_arg::READY_READABLE);
                         let ctx2 = Arc::clone(&ctx);
-                        let posted = ctx.post(move || {
+                        let posted = ctx.post(conn.trace, move || {
                             let mut conn = conn;
                             match conn.read_request() {
                                 Ok(()) => serve_one(conn, &ctx2),
@@ -190,6 +192,7 @@ impl HttpServer {
                 let on_timeout = {
                     let shared = Arc::clone(&shared);
                     move |conn: ConnState| {
+                        pyjama_trace::emit(conn.trace, Stage::ConnReady, trace_arg::READY_TIMEOUT);
                         shared.conn.record_timed_out_idle();
                         drop(conn); // closes the socket
                     }
@@ -249,6 +252,12 @@ impl HttpServer {
     /// evictions).
     pub fn conn_stats(&self) -> ConnStats {
         self.shared.conn.snapshot()
+    }
+
+    /// Zeroes the connection-lifecycle counters. Quiesce the server first
+    /// for exact figures; increments racing the reset land on either side.
+    pub fn reset_conn_stats(&self) {
+        self.shared.conn.reset();
     }
 
     /// The options the server is running with (normalised).
@@ -327,15 +336,16 @@ struct PyjamaCtx {
 }
 
 impl PyjamaCtx {
-    /// Posts `body` to the virtual target as a `nowait` region. Returns
-    /// `false` when the target cannot be resolved.
-    fn post(&self, body: impl FnOnce() + Send + 'static) -> bool {
+    /// Posts `body` to the virtual target as a `nowait` region continuing
+    /// the connection's trace flow. Returns `false` when the target cannot
+    /// be resolved.
+    fn post(&self, trace: TraceId, body: impl FnOnce() + Send + 'static) -> bool {
         // Count the region in-flight across its whole run so `shutdown` can
         // quiesce: the decrement runs after `body` — including the counter
         // updates inside it — has finished.
         self.shared.inflight.fetch_add(1, Ordering::SeqCst);
         let shared = Arc::clone(&self.shared);
-        let region = TargetRegion::with_label(Arc::clone(&self.label), move || {
+        let region = TargetRegion::with_label_trace(Arc::clone(&self.label), trace, move || {
             body();
             shared.inflight.fetch_sub(1, Ordering::SeqCst);
         });
@@ -391,14 +401,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSin
             }
         };
         shared.conn.record_accepted();
+        conn.trace = TraceId::mint();
+        pyjama_trace::emit(conn.trace, Stage::ConnAccepted, 0);
         match &sink {
             AcceptSink::Jetty { pool, label } => {
                 // Hand the connection to a pool thread: it owns the whole
                 // keep-alive session.
                 let shared = Arc::clone(&shared);
-                pool.post(TargetRegion::with_label(Arc::clone(label), move || {
-                    serve_session(conn, &shared);
-                }));
+                let trace = conn.trace;
+                pool.post(TargetRegion::with_label_trace(
+                    Arc::clone(label),
+                    trace,
+                    move || {
+                        serve_session(conn, &shared);
+                    },
+                ));
             }
             AcceptSink::Pyjama { ctx } => {
                 // The acceptor parses only the *first* request (cheap),
@@ -435,6 +452,7 @@ fn respond(conn: &mut ConnState, shared: &Arc<ServerShared>) -> bool {
     // request is never double-counted across a keep-alive session.
     conn.served += 1;
     shared.served.fetch_add(1, Ordering::Relaxed);
+    pyjama_trace::emit(conn.trace, Stage::ResponseWritten, conn.served);
     if conn.served > 1 {
         shared.conn.record_reused();
     }
@@ -498,14 +516,17 @@ fn serve_one(mut conn: ConnState, ctx: &Arc<PyjamaCtx>) {
         }
     } else {
         let deadline = Instant::now() + shared.opts.idle_timeout;
+        pyjama_trace::emit(conn.trace, Stage::ConnIdlePark, conn.served);
         ctx.parker.park(conn, deadline);
     }
 }
 
 /// Posts the next link of the connection's region chain.
 fn rearm(conn: ConnState, ctx: &Arc<PyjamaCtx>) {
+    pyjama_trace::emit(conn.trace, Stage::ConnRearm, conn.served);
     let ctx2 = Arc::clone(ctx);
-    let posted = ctx.post(move || serve_one(conn, &ctx2));
+    let trace = conn.trace;
+    let posted = ctx.post(trace, move || serve_one(conn, &ctx2));
     if !posted {
         ctx.shared.errors.fetch_add(1, Ordering::Relaxed);
     }

@@ -63,6 +63,16 @@ impl ConnCounters {
             timed_out_idle: self.timed_out_idle.load(Ordering::Relaxed),
         }
     }
+
+    /// Zeroes every counter. Concurrent increments racing the reset land on
+    /// either side of it; callers that need exact deltas should quiesce the
+    /// server first, or diff two [`snapshot`](Self::snapshot)s instead.
+    pub fn reset(&self) {
+        self.accepted.store(0, Ordering::Relaxed);
+        self.reused.store(0, Ordering::Relaxed);
+        self.pipelined.store(0, Ordering::Relaxed);
+        self.timed_out_idle.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Snapshot of [`ConnCounters`].
@@ -79,6 +89,17 @@ pub struct ConnStats {
 }
 
 impl ConnStats {
+    /// Counter growth between an earlier snapshot and this one (saturating,
+    /// so a reset in between reads as zero rather than wrapping).
+    pub fn since(&self, earlier: &ConnStats) -> ConnStats {
+        ConnStats {
+            accepted: self.accepted.saturating_sub(earlier.accepted),
+            reused: self.reused.saturating_sub(earlier.reused),
+            pipelined: self.pipelined.saturating_sub(earlier.pipelined),
+            timed_out_idle: self.timed_out_idle.saturating_sub(earlier.timed_out_idle),
+        }
+    }
+
     /// Mean requests served per accepted connection, given a total request
     /// count (`reused` only counts the non-first requests).
     pub fn requests_per_connection(&self) -> f64 {
@@ -124,6 +145,22 @@ mod tests {
         };
         assert!((s.requests_per_connection() - 5.0).abs() < 1e-9);
         assert_eq!(ConnStats::default().requests_per_connection(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_and_snapshot_delta_works() {
+        let c = ConnCounters::new();
+        c.record_accepted();
+        c.record_reused();
+        let s1 = c.snapshot();
+        c.record_reused();
+        c.record_timed_out_idle();
+        let delta = c.snapshot().since(&s1);
+        assert_eq!(delta.accepted, 0);
+        assert_eq!(delta.reused, 1);
+        assert_eq!(delta.timed_out_idle, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), ConnStats::default());
     }
 
     #[test]

@@ -61,6 +61,30 @@ impl ParkCounters {
             spurious_wakes: self.spurious_wakes.load(Ordering::Relaxed),
         }
     }
+
+    /// Zeroes every counter. Concurrent increments racing the reset land on
+    /// either side of it; callers that need exact deltas should quiesce the
+    /// measured activity first, or diff two [`snapshot`](Self::snapshot)s
+    /// instead.
+    pub fn reset(&self) {
+        self.parks.store(0, Ordering::Relaxed);
+        self.wakes.store(0, Ordering::Relaxed);
+        self.notifies.store(0, Ordering::Relaxed);
+        self.spurious_wakes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl ParkStats {
+    /// Counter growth between an earlier snapshot and this one (saturating,
+    /// so a reset in between reads as zero rather than wrapping).
+    pub fn since(&self, earlier: &ParkStats) -> ParkStats {
+        ParkStats {
+            parks: self.parks.saturating_sub(earlier.parks),
+            wakes: self.wakes.saturating_sub(earlier.wakes),
+            notifies: self.notifies.saturating_sub(earlier.notifies),
+            spurious_wakes: self.spurious_wakes.saturating_sub(earlier.spurious_wakes),
+        }
+    }
 }
 
 /// Snapshot of [`ParkCounters`].
@@ -99,6 +123,22 @@ mod tests {
         assert_eq!(s.wakes, 1);
         assert_eq!(s.notifies, 1);
         assert_eq!(s.spurious_wakes, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_and_snapshot_delta_works() {
+        let c = ParkCounters::new();
+        c.record_park();
+        c.record_notify();
+        let s1 = c.snapshot();
+        c.record_park();
+        c.record_wake();
+        let delta = c.snapshot().since(&s1);
+        assert_eq!(delta.parks, 1);
+        assert_eq!(delta.wakes, 1);
+        assert_eq!(delta.notifies, 0);
+        c.reset();
+        assert_eq!(c.snapshot(), ParkStats::default());
     }
 
     #[test]

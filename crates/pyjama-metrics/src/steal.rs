@@ -60,6 +60,38 @@ impl StealCounters {
             injector_pops: self.injector_pops.load(Ordering::Relaxed),
         }
     }
+
+    /// Zeroes every counter. Concurrent increments racing the reset land on
+    /// either side of it; callers that need exact deltas should quiesce the
+    /// measured pool first, or diff two [`snapshot`](Self::snapshot)s
+    /// instead.
+    pub fn reset(&self) {
+        self.local_pops.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.steal_attempts.store(0, Ordering::Relaxed);
+        self.injector_pops.store(0, Ordering::Relaxed);
+    }
+}
+
+impl StealStats {
+    /// Counter growth between an earlier snapshot and this one (saturating,
+    /// so a reset in between reads as zero rather than wrapping).
+    pub fn since(&self, earlier: &StealStats) -> StealStats {
+        StealStats {
+            local_pops: self.local_pops.saturating_sub(earlier.local_pops),
+            steals: self.steals.saturating_sub(earlier.steals),
+            steal_attempts: self.steal_attempts.saturating_sub(earlier.steal_attempts),
+            injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+        }
+    }
+
+    /// Total tasks executed by the pool this snapshot describes: every task
+    /// leaves through exactly one of the three sources, so
+    /// `executed == local_pops + steals + injector_pops` is the scheduler's
+    /// conservation law.
+    pub fn executed(&self) -> u64 {
+        self.local_pops + self.steals + self.injector_pops
+    }
 }
 
 /// Snapshot of [`StealCounters`].
@@ -100,6 +132,23 @@ mod tests {
         assert_eq!(s.steals, 1);
         assert_eq!(s.steal_attempts, 3);
         assert_eq!(s.injector_pops, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_and_snapshot_delta_works() {
+        let c = StealCounters::new();
+        c.record_local_pop();
+        c.record_steal();
+        let s1 = c.snapshot();
+        c.record_injector_pop();
+        c.record_steal_attempt();
+        let delta = c.snapshot().since(&s1);
+        assert_eq!(delta.injector_pops, 1);
+        assert_eq!(delta.steal_attempts, 1);
+        assert_eq!(delta.local_pops, 0);
+        assert_eq!(delta.executed(), 1);
+        c.reset();
+        assert_eq!(c.snapshot(), StealStats::default());
     }
 
     #[test]

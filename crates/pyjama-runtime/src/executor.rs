@@ -115,4 +115,41 @@ impl TargetStatsInner {
             injector_pops: steal.injector_pops,
         }
     }
+
+    /// Zeroes every counter, including the embedded steal counters. Quiesce
+    /// the target first for exact figures; increments racing the reset land
+    /// on either side of it.
+    pub fn reset(&self) {
+        self.posted.store(0, Ordering::Relaxed);
+        self.inline.store(0, Ordering::Relaxed);
+        self.executed.store(0, Ordering::Relaxed);
+        self.helped.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.steal.reset();
+    }
+}
+
+impl TargetStats {
+    /// Counter growth between an earlier snapshot and this one (saturating,
+    /// so a reset in between reads as zero rather than wrapping).
+    pub fn since(&self, earlier: &TargetStats) -> TargetStats {
+        TargetStats {
+            posted: self.posted.saturating_sub(earlier.posted),
+            inline: self.inline.saturating_sub(earlier.inline),
+            executed: self.executed.saturating_sub(earlier.executed),
+            helped: self.helped.saturating_sub(earlier.helped),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            local_pops: self.local_pops.saturating_sub(earlier.local_pops),
+            steals: self.steals.saturating_sub(earlier.steals),
+            steal_attempts: self.steal_attempts.saturating_sub(earlier.steal_attempts),
+            injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+        }
+    }
+
+    /// The scheduler's conservation law: every executed block left through
+    /// exactly one of the three queue sources, so for a quiesced worker pool
+    /// `executed == local_pops + steals + injector_pops` must hold.
+    pub fn pops_total(&self) -> u64 {
+        self.local_pops + self.steals + self.injector_pops
+    }
 }

@@ -2,10 +2,21 @@
 
 use std::sync::Arc;
 
+use pyjama_trace::{arg as trace_arg, Stage};
+
 use crate::executor::VirtualTarget;
 use crate::mode::Mode;
 use crate::registry::{Runtime, RuntimeError};
 use crate::task::{TargetFuture, TargetRegion, TaskHandle};
+
+fn mode_arg(mode: &Mode) -> u32 {
+    match mode {
+        Mode::Wait => trace_arg::MODE_WAIT,
+        Mode::NoWait => trace_arg::MODE_NOWAIT,
+        Mode::NameAs(_) => trace_arg::MODE_NAMEAS,
+        Mode::Await => trace_arg::MODE_AWAIT,
+    }
+}
 
 impl Runtime {
     /// The paper's Algorithm 1, verbatim in structure:
@@ -29,6 +40,7 @@ impl Runtime {
         region: Arc<TargetRegion>,
     ) -> TaskHandle {
         let handle = region.handle();
+        pyjama_trace::emit(handle.trace_id(), Stage::RegionInvoked, mode_arg(&mode));
 
         // name_as registration happens before posting so a wait(tag) racing
         // with completion still observes the instance.
@@ -39,6 +51,7 @@ impl Runtime {
         if target.is_member() {
             // Line 6–7: already in the execution environment — the directive
             // is "simply ignored" (§III-B) and the block runs synchronously.
+            pyjama_trace::emit(handle.trace_id(), Stage::RegionInline, 0);
             region.execute();
         } else {
             // Line 8.

@@ -72,7 +72,7 @@ pub use device::{DeviceTarget, SimulatedDevice};
 pub use directive::{Clause, TargetDirective, TargetProperty};
 pub use executor::{TargetKind, TargetStats, VirtualTarget};
 pub use mode::Mode;
-pub use parker::{park_stats, ParkStats, WakeSignal};
+pub use parker::{park_stats, reset_park_stats, ParkStats, WakeSignal};
 pub use registry::{Runtime, RuntimeError};
 pub use sync::TagRegistry;
 pub use target_edt::EdtTarget;

@@ -40,6 +40,7 @@ use parking_lot::{Condvar, Mutex};
 use pyjama_events::{pump, EventLoopHandle, QueueWaker};
 use pyjama_metrics::park::ParkCounters;
 pub use pyjama_metrics::park::ParkStats;
+use pyjama_trace::Stage;
 
 use crate::task::TaskHandle;
 use crate::worker::WorkerTarget;
@@ -52,6 +53,12 @@ static COUNTERS: ParkCounters = ParkCounters::new();
 /// delivered no work.
 pub fn park_stats() -> ParkStats {
     COUNTERS.snapshot()
+}
+
+/// Zeroes the process-wide park/wake counters. Increments racing the reset
+/// land on either side of it; quiesce barriers first for exact figures.
+pub fn reset_park_stats() {
+    COUNTERS.reset();
 }
 
 struct SignalState {
@@ -187,6 +194,14 @@ pub(crate) fn await_until(handle: &TaskHandle, deadline: Option<Instant>) -> boo
     if handle.is_finished() {
         return true;
     }
+    let trace = handle.trace_id();
+    pyjama_trace::emit(trace, Stage::BarrierEnter, 0);
+    let finished = await_until_inner(handle, deadline, trace);
+    pyjama_trace::emit(trace, Stage::BarrierExit, finished as u32);
+    finished
+}
+
+fn await_until_inner(handle: &TaskHandle, deadline: Option<Instant>, trace: pyjama_trace::TraceId) -> bool {
     let signal = Arc::new(WakeSignal::new());
 
     // Register with every wake source *before* the first work check. Any
@@ -229,6 +244,7 @@ pub(crate) fn await_until(handle: &TaskHandle, deadline: Option<Instant>) -> boo
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        pyjama_trace::emit(trace, Stage::BarrierPark, 0);
         woke_with_no_work = match until {
             Some(d) => signal.park_until(d),
             None => {
@@ -236,6 +252,7 @@ pub(crate) fn await_until(handle: &TaskHandle, deadline: Option<Instant>) -> boo
                 true
             }
         };
+        pyjama_trace::emit(trace, Stage::BarrierWake, woke_with_no_work as u32);
     }
 }
 

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use pyjama_trace::{arg as trace_arg, Stage, TraceId};
 
 use crate::parker::WakeSignal;
 
@@ -59,10 +60,11 @@ struct CoreState {
 pub struct TaskHandle {
     core: Arc<Core>,
     label: Arc<str>,
+    trace: TraceId,
 }
 
 impl TaskHandle {
-    fn new(label: Arc<str>) -> Self {
+    fn new(label: Arc<str>, trace: TraceId) -> Self {
         TaskHandle {
             core: Arc::new(Core {
                 state: Mutex::new(CoreState {
@@ -74,7 +76,14 @@ impl TaskHandle {
                 cond: Condvar::new(),
             }),
             label,
+            trace,
         }
+    }
+
+    /// The causal trace id this block carries ([`TraceId::NONE`] when
+    /// tracing was disabled at creation).
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
     }
 
     /// Current lifecycle state.
@@ -194,15 +203,32 @@ impl TargetRegion {
     /// instead of re-allocating the string on every post — the region
     /// becomes two allocations (`Arc<Self>` + boxed body), nothing else.
     pub fn with_label(label: Arc<str>, body: impl FnOnce() + Send + 'static) -> Arc<Self> {
+        Self::with_label_trace(label, TraceId::mint(), body)
+    }
+
+    /// Wraps user code into a region that continues an *existing* causal
+    /// flow instead of minting a new one — e.g. an HTTP connection
+    /// re-arming itself posts each serve step under the connection's id,
+    /// so the whole request chain reconstructs as one trace.
+    pub fn with_label_trace(
+        label: Arc<str>,
+        trace: TraceId,
+        body: impl FnOnce() + Send + 'static,
+    ) -> Arc<Self> {
         Arc::new(TargetRegion {
             body: Mutex::new(Some(Box::new(body))),
-            handle: TaskHandle::new(label),
+            handle: TaskHandle::new(label, trace),
         })
     }
 
     /// The completion handle.
     pub fn handle(&self) -> TaskHandle {
         self.handle.clone()
+    }
+
+    /// The causal trace id this region carries (no handle clone).
+    pub fn trace_id(&self) -> TraceId {
+        self.handle.trace
     }
 
     /// Executes the user code on the calling thread, exactly once.
@@ -213,10 +239,21 @@ impl TargetRegion {
     pub fn execute(&self) {
         let body = self.body.lock().take();
         let Some(body) = body else { return };
+        pyjama_trace::emit(self.handle.trace, Stage::RegionRunBegin, 0);
         self.handle.transition(TaskState::Running, None);
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
-            Ok(()) => self.handle.transition(TaskState::Finished, None),
-            Err(p) => self.handle.transition(TaskState::Panicked, Some(p)),
+            Ok(()) => {
+                self.handle.transition(TaskState::Finished, None);
+                pyjama_trace::emit(self.handle.trace, Stage::RegionRunEnd, trace_arg::END_OK);
+            }
+            Err(p) => {
+                self.handle.transition(TaskState::Panicked, Some(p));
+                pyjama_trace::emit(
+                    self.handle.trace,
+                    Stage::RegionRunEnd,
+                    trace_arg::END_PANICKED,
+                );
+            }
         }
     }
 
@@ -236,6 +273,7 @@ impl TargetRegion {
         }
         drop(body);
         self.handle.transition(TaskState::Cancelled, None);
+        pyjama_trace::emit(self.handle.trace, Stage::RegionCancelled, 0);
         true
     }
 }

@@ -43,6 +43,7 @@ use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+use pyjama_trace::{arg as trace_arg, Stage};
 
 use crate::deque::{ChaseLev, Steal};
 use crate::executor::{TargetKind, TargetStats, TargetStatsInner, VirtualTarget};
@@ -157,9 +158,11 @@ impl Inner {
     fn acquire(&self, me: usize) -> Option<Arc<TargetRegion>> {
         if let Some(region) = self.slots[me].deque.pop() {
             self.stats.steal.record_local_pop();
+            pyjama_trace::emit(region.trace_id(), Stage::RegionDequeued, trace_arg::DEQ_LOCAL);
             return Some(region);
         }
         if let Some(region) = self.try_steal(me) {
+            pyjama_trace::emit(region.trace_id(), Stage::RegionDequeued, trace_arg::DEQ_STEAL);
             // Cascade: the victim still has work (or the injector does), so
             // one more sleeper can be productive.
             if self.has_pending() {
@@ -168,6 +171,11 @@ impl Inner {
             return Some(region);
         }
         if let Some(region) = self.pop_injector() {
+            pyjama_trace::emit(
+                region.trace_id(),
+                Stage::RegionDequeued,
+                trace_arg::DEQ_INJECTOR,
+            );
             if self.has_pending() {
                 self.wake_one();
             }
@@ -264,7 +272,9 @@ impl Inner {
                 slot.parked.store(false, Ordering::SeqCst);
                 continue;
             }
+            pyjama_trace::emit(pyjama_trace::TraceId::NONE, Stage::WorkerPark, me as u32);
             slot.signal.park();
+            pyjama_trace::emit(pyjama_trace::TraceId::NONE, Stage::WorkerWake, me as u32);
             slot.parked.store(false, Ordering::SeqCst);
         }
     }
@@ -302,6 +312,13 @@ pub struct WorkerTarget {
 }
 
 impl WorkerTarget {
+    /// Zeroes this pool's counters (posted/executed/steal sources). Quiesce
+    /// the pool first for exact figures; increments racing the reset land on
+    /// either side of it.
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+    }
+
     /// Creates a worker target named `name` with `m` threads (Table II's
     /// `virtual_target_create_worker`).
     ///
@@ -446,6 +463,7 @@ impl VirtualTarget for WorkerTarget {
 
     fn post(&self, region: Arc<TargetRegion>) {
         let inner = &*self.inner;
+        let trace = region.trace_id();
         if let Some(me) = inner.member_index() {
             if inner.shutdown.load(Ordering::SeqCst) {
                 inner.reject(region);
@@ -454,8 +472,15 @@ impl VirtualTarget for WorkerTarget {
             // Member fast path: owner push, no lock. (If shutdown raced in
             // after the check above, this thread's own run loop still drains
             // the deque before exiting — nothing is stranded.)
+            // The posted event is recorded *before* the push so its
+            // timestamp causally precedes any dequeue on another thread.
+            pyjama_trace::emit(trace, Stage::RegionPosted, trace_arg::POST_MEMBER);
             inner.slots[me].deque.push(region);
         } else {
+            // Recorded before the lock for the same causal-order reason; a
+            // post that then loses the shutdown race simply shows
+            // posted → cancelled in its flow.
+            pyjama_trace::emit(trace, Stage::RegionPosted, trace_arg::POST_INJECTOR);
             let mut g = inner.injector.lock();
             if g.shutdown {
                 drop(g);

@@ -1,0 +1,206 @@
+//! In-process trace analysis: per-stage latency histograms and the
+//! critical path of one flow.
+//!
+//! Histograms reuse [`pyjama_metrics::Histogram`] so stage latencies print
+//! and merge exactly like the rest of the metrics stack.
+
+use pyjama_metrics::Histogram;
+
+use crate::collect::Trace;
+use crate::event::Stage;
+use crate::id::TraceId;
+
+/// One hop of a flow's critical path.
+#[derive(Clone, Copy, Debug)]
+pub struct PathStep {
+    /// Stage reached.
+    pub stage: Stage,
+    /// Stage operand (provenance, outcome, …).
+    pub arg: u32,
+    /// Thread the event was recorded on.
+    pub tid: u32,
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Nanoseconds spent getting here from the previous step (0 for the
+    /// first step).
+    pub delta_ns: u64,
+}
+
+/// The ordered hops of one flow, with per-hop latencies.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalPath {
+    pub id: TraceId,
+    pub steps: Vec<PathStep>,
+}
+
+impl CriticalPath {
+    /// End-to-end nanoseconds from the first to the last event.
+    pub fn total_ns(&self) -> u64 {
+        match (self.steps.first(), self.steps.last()) {
+            (Some(a), Some(b)) => b.ts_ns.saturating_sub(a.ts_ns),
+            _ => 0,
+        }
+    }
+
+    /// The hop that took the longest — the critical segment. Returns the
+    /// step *reached* by that hop.
+    pub fn longest(&self) -> Option<&PathStep> {
+        self.steps.iter().max_by_key(|s| s.delta_ns)
+    }
+
+    /// Human-readable rendering (one hop per line with +delta annotations).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path of trace {} ({} steps, {:.3} ms total):",
+            self.id,
+            self.steps.len(),
+            self.total_ns() as f64 / 1e6
+        );
+        for s in &self.steps {
+            let _ = writeln!(
+                out,
+                "  +{:>10.3} µs  tid {:>3}  {} (arg {})",
+                s.delta_ns as f64 / 1e3,
+                s.tid,
+                s.stage.name(),
+                s.arg
+            );
+        }
+        out
+    }
+}
+
+impl Trace {
+    /// Latency histogram (ns) from each `from` event to the next `to`
+    /// event *of the same flow id*. A flow may cycle through the pair many
+    /// times (an HTTP connection posts one region per request); every
+    /// completed cycle is one sample.
+    pub fn stage_delta(&self, from: Stage, to: Stage) -> Histogram {
+        let mut h = Histogram::new();
+        for id in self.ids() {
+            let mut pending: Option<u64> = None;
+            for (_, ev) in self.events_for(id) {
+                if ev.stage == from {
+                    pending = Some(ev.ts_ns);
+                } else if ev.stage == to {
+                    if let Some(start) = pending.take() {
+                        h.record(ev.ts_ns.saturating_sub(start));
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// Queue delay: region posted → region run start. The headline number
+    /// the scheduler PRs care about.
+    pub fn queue_delay(&self) -> Histogram {
+        self.stage_delta(Stage::RegionPosted, Stage::RegionRunBegin)
+    }
+
+    /// Handler run time: region run begin → end.
+    pub fn run_time(&self) -> Histogram {
+        self.stage_delta(Stage::RegionRunBegin, Stage::RegionRunEnd)
+    }
+
+    /// The ordered hops of flow `id` with inter-hop latencies.
+    pub fn critical_path(&self, id: TraceId) -> CriticalPath {
+        let chain = self.events_for(id);
+        let mut steps = Vec::with_capacity(chain.len());
+        let mut prev_ts: Option<u64> = None;
+        for (tid, ev) in chain {
+            steps.push(PathStep {
+                stage: ev.stage,
+                arg: ev.arg,
+                tid,
+                ts_ns: ev.ts_ns,
+                delta_ns: prev_ts.map_or(0, |p| ev.ts_ns.saturating_sub(p)),
+            });
+            prev_ts = Some(ev.ts_ns);
+        }
+        CriticalPath { id, steps }
+    }
+
+    /// The flow with the largest end-to-end latency (useful for "what was
+    /// the slowest request in this run?").
+    pub fn slowest_flow(&self) -> Option<CriticalPath> {
+        self.ids()
+            .into_iter()
+            .map(|id| self.critical_path(id))
+            .max_by_key(|cp| cp.total_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{ThreadTrace, Trace};
+    use crate::event::{arg as argv, TraceEvent};
+
+    fn ev(ts: u64, id: u64, stage: Stage, arg: u32) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            id: TraceId::from_raw(id),
+            stage,
+            arg,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            threads: vec![ThreadTrace {
+                tid: 1,
+                label: "w".into(),
+                events: vec![
+                    // flow 1: two post→run cycles (10µs then 30µs delay)
+                    ev(0, 1, Stage::RegionPosted, argv::POST_INJECTOR),
+                    ev(10_000, 1, Stage::RegionRunBegin, 0),
+                    ev(15_000, 1, Stage::RegionRunEnd, argv::END_OK),
+                    ev(20_000, 1, Stage::RegionPosted, argv::POST_INJECTOR),
+                    ev(50_000, 1, Stage::RegionRunBegin, 0),
+                    ev(55_000, 1, Stage::RegionRunEnd, argv::END_OK),
+                    // flow 2: single 2µs cycle
+                    ev(60_000, 2, Stage::RegionPosted, argv::POST_MEMBER),
+                    ev(62_000, 2, Stage::RegionRunBegin, 0),
+                ],
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn stage_delta_counts_every_cycle() {
+        let t = sample();
+        let h = t.queue_delay();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 2_000);
+        assert_eq!(h.max(), 30_000);
+    }
+
+    #[test]
+    fn run_time_pairs_begin_end() {
+        let h = sample().run_time();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 5_000);
+    }
+
+    #[test]
+    fn critical_path_orders_and_deltas() {
+        let t = sample();
+        let cp = t.critical_path(TraceId::from_raw(1));
+        assert_eq!(cp.steps.len(), 6);
+        assert_eq!(cp.total_ns(), 55_000);
+        assert_eq!(cp.steps[0].delta_ns, 0);
+        assert_eq!(cp.longest().unwrap().delta_ns, 30_000);
+        assert!(cp.render().contains("region_run"));
+    }
+
+    #[test]
+    fn slowest_flow_picks_the_long_one() {
+        let t = sample();
+        assert_eq!(t.slowest_flow().unwrap().id, TraceId::from_raw(1));
+    }
+}

@@ -1,0 +1,40 @@
+//! CI helper: validates that a file is well-formed Chrome trace JSON.
+//!
+//! Usage: `trace_check <path> [<path>…]`
+//!
+//! Exit code 0 if every file passes the checks in
+//! [`pyjama_trace::validate`]; 1 (with a diagnostic on stderr) otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json> [...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+            }
+            Ok(json) => match pyjama_trace::validate::validate_chrome_trace(&json) {
+                Ok(s) => println!(
+                    "{path}: ok — {} events, {} flows, {} threads",
+                    s.events, s.flows, s.threads
+                ),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    ok = false;
+                }
+            },
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,142 @@
+//! The collector: snapshots every thread ring into an owned [`Trace`].
+
+use crate::event::TraceEvent;
+use crate::id::TraceId;
+use crate::ring;
+
+/// All events currently held by one thread's ring.
+#[derive(Clone, Debug)]
+pub struct ThreadTrace {
+    /// Small dense thread id assigned at first emit (also the Chrome `tid`).
+    pub tid: u32,
+    /// The OS thread's name at registration time.
+    pub label: String,
+    /// Events in recording order (timestamps are monotone within a thread).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow (drop-oldest) or a `clear()`.
+    pub dropped: u64,
+}
+
+/// An owned snapshot of every registered ring. Collection does not consume
+/// the rings; call [`crate::clear`] to start a fresh window.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub threads: Vec<ThreadTrace>,
+}
+
+/// Snapshots all per-thread rings. Safe to call while tracing is still
+/// enabled — events lapped mid-copy are discarded, never torn.
+pub fn collect() -> Trace {
+    let mut threads: Vec<ThreadTrace> = ring::drain_all()
+        .into_iter()
+        .map(|(tid, label, events, dropped)| ThreadTrace {
+            tid,
+            label,
+            events,
+            dropped,
+        })
+        .collect();
+    threads.sort_by_key(|t| t.tid);
+    Trace { threads }
+}
+
+impl Trace {
+    /// Total recorded events across all threads.
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// True when no thread recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events lost to overflow across all threads.
+    pub fn dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Iterates `(tid, &event)` over every thread in registration order.
+    pub fn iter_events(&self) -> impl Iterator<Item = (u32, &TraceEvent)> {
+        self.threads
+            .iter()
+            .flat_map(|t| t.events.iter().map(move |e| (t.tid, e)))
+    }
+
+    /// All events belonging to `id`, across threads, sorted by timestamp
+    /// (ties broken by tid so the order is deterministic).
+    pub fn events_for(&self, id: TraceId) -> Vec<(u32, TraceEvent)> {
+        let mut out: Vec<(u32, TraceEvent)> = self
+            .iter_events()
+            .filter(|(_, e)| e.id == id)
+            .map(|(tid, e)| (tid, *e))
+            .collect();
+        out.sort_by_key(|(tid, e)| (e.ts_ns, *tid));
+        out
+    }
+
+    /// A copy of this trace keeping only events stamped at or after
+    /// `start_ns` (nanoseconds on the trace-epoch clock, cf.
+    /// [`crate::now_ns`]). Windows one benchmark cell out of a longer
+    /// recording without clearing the rings.
+    pub fn after(&self, start_ns: u64) -> Trace {
+        Trace {
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadTrace {
+                    tid: t.tid,
+                    label: t.label.clone(),
+                    events: t
+                        .events
+                        .iter()
+                        .copied()
+                        .filter(|e| e.ts_ns >= start_ns)
+                        .collect(),
+                    dropped: t.dropped,
+                })
+                .collect(),
+        }
+    }
+
+    /// Every distinct non-zero flow id present, ascending.
+    pub fn ids(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = self
+            .iter_events()
+            .filter(|(_, e)| e.id.is_some())
+            .map(|(_, e)| e.id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+    use crate::TraceId;
+
+    #[test]
+    fn events_for_sorts_across_threads() {
+        let _g = crate::test_lock();
+        crate::enable();
+        crate::clear();
+        let id = TraceId::mint();
+        crate::emit(id, Stage::RegionPosted, 0);
+        let id2 = id;
+        std::thread::spawn(move || {
+            crate::emit(id2, Stage::RegionDequeued, 1);
+            crate::emit(id2, Stage::RegionRunBegin, 0);
+        })
+        .join()
+        .unwrap();
+        crate::disable();
+        let t = collect();
+        let chain = t.events_for(id);
+        assert_eq!(chain.len(), 3);
+        assert!(chain.windows(2).all(|w| w[0].1.ts_ns <= w[1].1.ts_ns));
+        assert!(t.ids().contains(&id));
+    }
+}

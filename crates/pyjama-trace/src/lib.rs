@@ -1,0 +1,246 @@
+//! # pyjama-trace — causal, low-overhead lifecycle tracing
+//!
+//! Every unit of work (event, target region, HTTP connection) is minted a
+//! [`TraceId`] at creation; the instrumented crates call [`emit`] at each
+//! lifecycle transition (post, dequeue, run, park, wake, …). Events land
+//! in lock-free per-thread ring buffers ([`ring`]) — fixed capacity,
+//! drop-oldest, no allocation on the hot path. A collector ([`collect`])
+//! snapshots all rings into a [`Trace`], which can be
+//!
+//! * exported as Chrome `about://tracing` JSON with flow arrows along each
+//!   `TraceId` ([`Trace::to_chrome_json`]), or
+//! * analysed in-process: per-stage latency histograms
+//!   ([`Trace::stage_delta`], reusing `pyjama_metrics::Histogram`) and the
+//!   critical path of one flow ([`Trace::critical_path`]).
+//!
+//! ## Cost model
+//!
+//! * Crate feature `trace` off: every [`emit`] is an empty inline function;
+//!   the instrumentation compiles to nothing.
+//! * Feature on, tracing disabled (the default at runtime): one relaxed
+//!   atomic load per hook, and [`TraceId::mint`] returns [`TraceId::NONE`]
+//!   without touching the shared counter.
+//! * Enabled: one timestamp read (calibrated TSC on x86_64, ~tens of ns),
+//!   one TLS access, and four relaxed stores per event. The first emit on
+//!   a thread additionally allocates and first-touch-faults that thread's
+//!   ring (~768 KiB at the default capacity) — a one-time cost that the
+//!   `trace_overhead` bench deliberately keeps out of its steady-state
+//!   measurement.
+
+pub mod analyze;
+pub mod chrome;
+pub mod collect;
+pub mod event;
+pub mod id;
+pub mod ring;
+pub mod validate;
+
+pub use collect::{collect, Trace, ThreadTrace};
+pub use event::{arg, Stage, TraceEvent};
+pub use id::TraceId;
+pub use ring::set_ring_capacity;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The runtime switch. Off by default; flipped by [`enable`]/[`disable`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The trace clock.
+///
+/// `Instant::now()` costs ~35 ns per read (a `clock_gettime` vdso call) —
+/// the entire emit budget several times over. On x86_64 we read the
+/// invariant TSC instead (~6 ns) and convert ticks to nanoseconds with a
+/// fixed-point factor calibrated once, against the OS monotonic clock,
+/// when the epoch is pinned. The calibration window is ~1 ms, so the two
+/// bracketing `clock_gettime` reads contribute < 1e-4 relative scale
+/// error — a uniform stretch on every timestamp, invisible to the
+/// within-trace deltas the analysis computes. TSC skew between cores after
+/// a thread migration can be a few cycles; the per-thread rings clamp
+/// timestamps monotone on push (see [`ring`]), which keeps the exported
+/// trace valid without any fencing on the hot path.
+mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    #[cfg(target_arch = "x86_64")]
+    struct Calibration {
+        tsc0: u64,
+        /// Nanoseconds per TSC tick in 2^32 fixed point.
+        mult: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn rdtsc() -> u64 {
+        // SAFETY: RDTSC is unprivileged and always present on x86_64.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn calibration() -> &'static Calibration {
+        static CALIBRATION: OnceLock<Calibration> = OnceLock::new();
+        CALIBRATION.get_or_init(|| {
+            let t0 = Instant::now();
+            let tsc0 = rdtsc();
+            while t0.elapsed() < std::time::Duration::from_millis(1) {
+                std::hint::spin_loop();
+            }
+            let ticks = (rdtsc() - tsc0).max(1);
+            let ns = t0.elapsed().as_nanos() as u128;
+            Calibration {
+                tsc0,
+                mult: ((ns << 32) / ticks as u128) as u64,
+            }
+        })
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    pub fn now_ns() -> u64 {
+        let c = calibration();
+        // saturating: a core whose TSC trails the calibration core's by a
+        // few cycles must not wrap to a huge timestamp.
+        let ticks = rdtsc().saturating_sub(c.tsc0);
+        ((ticks as u128 * c.mult as u128) >> 32) as u64
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    pub fn pin_epoch() {
+        calibration();
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline]
+    pub fn now_ns() -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    pub fn pin_epoch() {
+        epoch();
+    }
+}
+
+/// Nanoseconds since the trace epoch (fixed at first use, monotone per
+/// thread).
+#[inline]
+pub fn now_ns() -> u64 {
+    clock::now_ns()
+}
+
+/// Turns tracing on. Idempotent; pins the trace epoch (and calibrates the
+/// TSC clock) on first call.
+pub fn enable() {
+    clock::pin_epoch(); // pin the time origin before any event can be recorded
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns tracing off. Events already recorded stay collectable.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// True while the runtime switch is on. This is the *only* cost a disabled
+/// emit site pays.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Discards everything recorded so far (rings stay registered; ids keep
+/// growing). Use between benchmark phases.
+pub fn clear() {
+    ring::clear_all();
+}
+
+/// Records one lifecycle event on the calling thread's ring.
+///
+/// With the `trace` feature off this is an empty `#[inline]` stub. With the
+/// feature on but tracing disabled it is a single relaxed atomic load.
+#[inline]
+pub fn emit(id: TraceId, stage: Stage, arg: u32) {
+    #[cfg(feature = "trace")]
+    {
+        if !enabled() {
+            return;
+        }
+        ring::push_current(TraceEvent {
+            ts_ns: now_ns(),
+            id,
+            stage,
+            arg,
+        });
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (id, stage, arg);
+    }
+}
+
+/// [`emit`] stamped with the moment work *was created* rather than now —
+/// used when the creation site already captured a timestamp.
+#[inline]
+pub fn emit_at(ts_ns: u64, id: TraceId, stage: Stage, arg: u32) {
+    #[cfg(feature = "trace")]
+    {
+        if !enabled() {
+            return;
+        }
+        ring::push_current(TraceEvent { ts_ns, id, stage, arg });
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (ts_ns, id, stage, arg);
+    }
+}
+
+/// Serializes tests that flip the global switch (unit tests run on threads
+/// of one process and would otherwise race on `ENABLED` and the rings).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_respects_the_switch() {
+        let _g = test_lock();
+        disable();
+        clear();
+        emit(TraceId::from_raw(999_001), Stage::RegionPosted, 0);
+        enable();
+        emit(TraceId::from_raw(999_002), Stage::RegionPosted, 0);
+        disable();
+        let t = collect();
+        let all: Vec<_> = t.iter_events().collect();
+        assert!(all.iter().all(|(_, e)| e.id.raw() != 999_001));
+        assert!(all.iter().any(|(_, e)| e.id.raw() == 999_002));
+    }
+
+    #[test]
+    fn timestamps_are_monotone_on_one_thread() {
+        let _g = test_lock();
+        enable();
+        clear();
+        let id = TraceId::mint();
+        for _ in 0..100 {
+            emit(id, Stage::EventPosted, 0);
+        }
+        disable();
+        let t = collect();
+        for th in &t.threads {
+            let mine: Vec<_> = th.events.iter().filter(|e| e.id == id).collect();
+            assert!(mine.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        }
+    }
+}

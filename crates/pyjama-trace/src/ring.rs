@@ -1,0 +1,281 @@
+//! Per-thread lock-free ring buffers and the global ring registry.
+//!
+//! Each tracing thread owns one fixed-capacity ring. The owner is the only
+//! writer, so a push is: three relaxed slot stores, then a release store of
+//! the head cursor. When the ring is full the oldest slot is overwritten —
+//! *drop-oldest* — which keeps the hot path wait-free and bounds memory.
+//!
+//! Readers (the collector) never block writers. A drain loads the head
+//! (acquire), copies the window `[head - capacity, head)`, then re-loads
+//! the head and discards any slot the writer may have lapped in the
+//! meantime (`idx + capacity <= head'` means slot `idx` shares a physical
+//! slot with a write that may have started). Slot words are `AtomicU64`s
+//! read/written relaxed, so a lapped slot yields a stale or mixed value —
+//! never UB — and the lap check throws it away.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::event::{Stage, TraceEvent};
+use crate::id::TraceId;
+
+/// Default events per thread ring (~768 KiB per thread at 3 words/slot).
+pub const DEFAULT_CAPACITY: usize = 1 << 15;
+
+/// Capacity used for rings registered from now on (existing rings keep
+/// theirs). Stored as a power-of-two slot count.
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// Monotone thread id assigned at first emit on each thread.
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Sets the per-thread ring capacity (rounded up to a power of two) for
+/// threads that have not emitted yet. Call before `enable()`.
+pub fn set_ring_capacity(events: usize) {
+    let cap = events.max(16).next_power_of_two();
+    CAPACITY.store(cap, Ordering::Relaxed);
+}
+
+/// One slot = one packed `TraceEvent`. Individual words are atomic so a
+/// racing reader sees stale data, not undefined behaviour.
+struct Slot {
+    ts_ns: AtomicU64,
+    id: AtomicU64,
+    stage_arg: AtomicU64,
+}
+
+impl Slot {
+    const fn empty() -> Slot {
+        Slot {
+            ts_ns: AtomicU64::new(0),
+            id: AtomicU64::new(0),
+            stage_arg: AtomicU64::new(u64::MAX), // invalid stage marker
+        }
+    }
+}
+
+/// A single thread's event ring plus its identity.
+///
+/// Aligned to 128 bytes (two cache lines, covering adjacent-line
+/// prefetchers) so the hot owner-written words (`head`, `last_ts`) of two
+/// different threads' rings can never share a cache line — without this,
+/// adjacent heap allocations turn every push into cross-core ping-pong.
+#[repr(align(128))]
+pub(crate) struct Ring {
+    pub(crate) tid: u32,
+    pub(crate) label: String,
+    /// Total events ever pushed; slot for event `i` is `i % capacity`.
+    head: AtomicU64,
+    /// Events below this index are invisible to drains (set by `clear`).
+    floor: AtomicU64,
+    /// Timestamp of the last push; pushes clamp to it so per-thread
+    /// timestamps stay monotone even if the TSC clock steps back a few
+    /// cycles after a core migration. Owner-only, relaxed.
+    last_ts: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(tid: u32, label: String, capacity: usize) -> Ring {
+        let slots: Vec<Slot> = (0..capacity).map(|_| Slot::empty()).collect();
+        Ring {
+            tid,
+            label,
+            head: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+            last_ts: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Owner-only push. Relaxed slot stores, release head publish.
+    #[inline]
+    pub(crate) fn push(&self, ev: TraceEvent) {
+        let ts = ev.ts_ns.max(self.last_ts.load(Ordering::Relaxed));
+        self.last_ts.store(ts, Ordering::Relaxed);
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h as usize) & (self.slots.len() - 1)];
+        slot.ts_ns.store(ts, Ordering::Relaxed);
+        slot.id.store(ev.id.raw(), Ordering::Relaxed);
+        slot.stage_arg.store(
+            ((ev.stage as u64) << 32) | ev.arg as u64,
+            Ordering::Relaxed,
+        );
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Snapshot of the currently-held window. Returns `(events, dropped)`
+    /// where `dropped` counts events lost to overwrite or the clear floor.
+    pub(crate) fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        let cap = self.slots.len() as u64;
+        let head = self.head.load(Ordering::Acquire);
+        let floor = self.floor.load(Ordering::Acquire);
+        let start = head.saturating_sub(cap).max(floor);
+        let mut raw = Vec::with_capacity((head - start) as usize);
+        for idx in start..head {
+            let slot = &self.slots[(idx as usize) & (self.slots.len() - 1)];
+            raw.push((
+                idx,
+                slot.ts_ns.load(Ordering::Relaxed),
+                slot.id.load(Ordering::Relaxed),
+                slot.stage_arg.load(Ordering::Relaxed),
+            ));
+        }
+        // Lap check: anything the writer may have started rewriting while
+        // we copied is discarded.
+        let head_after = self.head.load(Ordering::Acquire);
+        let mut events = Vec::with_capacity(raw.len());
+        for (idx, ts_ns, id, stage_arg) in raw {
+            if idx + cap <= head_after {
+                continue; // lapped mid-drain
+            }
+            let Some(stage) = Stage::from_u8((stage_arg >> 32) as u8) else {
+                continue; // torn or never-written slot
+            };
+            events.push(TraceEvent {
+                ts_ns,
+                id: TraceId::from_raw(id),
+                stage,
+                arg: stage_arg as u32,
+            });
+        }
+        // dropped = everything pushed since the floor minus what we kept.
+        let dropped = (head - floor).saturating_sub(events.len() as u64);
+        (events, dropped)
+    }
+
+    /// Hides everything recorded so far from future drains.
+    fn clear(&self) {
+        self.floor
+            .store(self.head.load(Ordering::Acquire), Ordering::Release);
+    }
+}
+
+thread_local! {
+    static THREAD_RING: OnceLock<Arc<Ring>> = const { OnceLock::new() };
+}
+
+fn register_current_thread() -> Arc<Ring> {
+    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    let label = std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("thread-{tid}"));
+    let ring = Arc::new(Ring::new(tid, label, CAPACITY.load(Ordering::Relaxed)));
+    registry().lock().unwrap().push(Arc::clone(&ring));
+    ring
+}
+
+/// Pushes an event onto the calling thread's ring, registering the ring on
+/// first use. Steady-state cost: one TLS access + four relaxed stores.
+#[inline]
+pub(crate) fn push_current(ev: TraceEvent) {
+    THREAD_RING.with(|cell| {
+        cell.get_or_init(register_current_thread).push(ev);
+    });
+}
+
+/// Drains every registered ring (including rings of dead threads, kept
+/// alive by the registry).
+pub(crate) fn drain_all() -> Vec<(u32, String, Vec<TraceEvent>, u64)> {
+    let rings: Vec<Arc<Ring>> = registry().lock().unwrap().clone();
+    rings
+        .iter()
+        .map(|r| {
+            let (events, dropped) = r.drain();
+            (r.tid, r.label.clone(), events, dropped)
+        })
+        .collect()
+}
+
+/// Hides all recorded events from future drains (rings stay registered).
+pub(crate) fn clear_all() {
+    for r in registry().lock().unwrap().iter() {
+        r.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+
+    fn ev(ts: u64, id: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            id: TraceId::from_raw(id),
+            stage: Stage::RegionPosted,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn push_then_drain_returns_events_in_order() {
+        let r = Ring::new(0, "t".into(), 16);
+        for i in 0..5 {
+            r.push(ev(i, i + 1));
+        }
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].ts_ns < w[1].ts_ns));
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let r = Ring::new(0, "t".into(), 16);
+        for i in 0..40 {
+            r.push(ev(i, 1));
+        }
+        let (events, dropped) = r.drain();
+        // The slot the writer's *next* push would overwrite cannot be
+        // proven stable, so a full ring yields cap - 1 events.
+        assert_eq!(events.len(), 15);
+        assert_eq!(dropped, 25);
+        assert_eq!(events.first().unwrap().ts_ns, 25, "oldest surviving = 25");
+        assert_eq!(events.last().unwrap().ts_ns, 39);
+    }
+
+    #[test]
+    fn clear_hides_prior_events() {
+        let r = Ring::new(0, "t".into(), 16);
+        r.push(ev(1, 1));
+        r.clear();
+        let (events, _) = r.drain();
+        assert!(events.is_empty());
+        r.push(ev(2, 1));
+        let (events, dropped) = r.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(dropped, 0);
+        assert_eq!(events[0].ts_ns, 2);
+    }
+
+    #[test]
+    fn concurrent_drain_never_yields_garbage() {
+        let r = Arc::new(Ring::new(0, "t".into(), 64));
+        let writer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                for i in 0..200_000u64 {
+                    r.push(ev(i, i + 1));
+                }
+            })
+        };
+        let mut seen = 0usize;
+        while !writer.is_finished() {
+            let (events, _) = r.drain();
+            for e in &events {
+                // invariant baked into the writer: id == ts + 1
+                assert_eq!(e.id.raw(), e.ts_ns + 1, "torn event escaped lap check");
+            }
+            seen += events.len();
+        }
+        writer.join().unwrap();
+        assert!(seen > 0);
+    }
+}

@@ -3,6 +3,10 @@
 //! virtual-user load.
 //!
 //! Run with: `cargo run --release --example http_encryption_service`
+//!
+//! Pass `--trace trace.json` to record the causal event trace and export
+//! it as Chrome `about://tracing` JSON (open chrome://tracing and load the
+//! file; each request's accept → offload → respond chain is one flow).
 
 use std::sync::Arc;
 
@@ -26,7 +30,23 @@ fn encryption_handler() -> impl Fn(&pyjama::http::Request) -> Response + Send + 
     }
 }
 
+fn trace_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            pyjama::trace::enable();
+            return Some(args.next().expect("--trace requires a file path"));
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            pyjama::trace::enable();
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace_path = trace_arg();
     let users = 16;
     let requests_per_user = 20;
     let payload = vec![0x5Au8; 1024];
@@ -69,4 +89,15 @@ fn main() {
     }
     println!("\n→ both policies saturate the same 4 compute threads; the shape matches");
     println!("  Figure 9's finding that Pyjama's virtual targets keep pace with Jetty.");
+
+    if let Some(path) = trace_path {
+        pyjama::trace::disable();
+        let trace = pyjama::trace::collect();
+        trace.write_chrome(&path).expect("write chrome trace");
+        println!(
+            "\nwrote {} trace events from {} threads to {path} — load it in chrome://tracing",
+            trace.len(),
+            trace.threads.len()
+        );
+    }
 }

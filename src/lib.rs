@@ -49,3 +49,4 @@ pub use pyjama_kernels as kernels;
 pub use pyjama_metrics as metrics;
 pub use pyjama_omp as omp;
 pub use pyjama_runtime as runtime;
+pub use pyjama_trace as trace;
