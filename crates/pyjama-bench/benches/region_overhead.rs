@@ -1,0 +1,163 @@
+//! Fork-join region overhead: pooled hot teams vs spawn-per-region.
+//!
+//! `omp::parallel` dispatches onto persistent pooled workers (hot teams);
+//! the baseline here is what the runtime used to do — spawn `nt - 1` OS
+//! threads per region and join them (reimplemented locally with
+//! `std::thread::scope`, the same join guarantee `parallel` gives). Two
+//! body regimes:
+//!
+//! * **empty** — pure fork-join overhead, nothing to amortise against.
+//!   This is where the pool must win outright: the gate asserts the pooled
+//!   path is ≥ 5× faster than spawn-per-region at 4 threads.
+//! * **small kernel** — ~20 µs of compute per member, the smallest handler
+//!   the paper's evaluation would offload. Reported, not gated: overhead
+//!   shrinks toward the noise floor as the body grows, which is the point.
+//!
+//! Not a criterion bench: the assertions are the artifact, run as
+//! `cargo bench -p pyjama-bench --bench region_overhead`. CI compiles it
+//! with `cargo bench --no-run` and smoke-runs one short iteration with
+//! `PJ_BENCH_QUICK=1` (fewer regions/rounds, same gate — the 5× margin is
+//! wide enough to hold on a noisy shared runner; full runs measure > 20×).
+//!
+//! Methodology mirrors `trace_overhead`: interleaved pooled/spawn rounds so
+//! drift hits both arms, best-of-N per arm (min estimates the cost of the
+//! code path; everything above it is scheduler noise).
+
+use std::time::Instant;
+
+use pyjama_omp::{parallel, team_stats};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const GATE_THREADS: usize = 4;
+const MIN_POOLED_SPEEDUP: f64 = 5.0;
+
+fn quick() -> bool {
+    std::env::var_os("PJ_BENCH_QUICK").is_some()
+}
+
+/// ~20 µs of un-elidable compute per member, the "smallest real kernel".
+fn small_kernel() {
+    let mut acc = 0u64;
+    for i in 0..20_000u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc);
+}
+
+/// The pre-pool implementation of a parallel region: spawn every non-master
+/// member, run member 0 inline, join at scope exit.
+fn spawn_region(nt: usize, body: &(dyn Fn(usize) + Sync)) {
+    if nt == 1 {
+        body(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        for tid in 1..nt {
+            s.spawn(move || body(tid));
+        }
+        body(0);
+    });
+}
+
+/// Wall time of `regions` back-to-back pooled regions, ns.
+fn drive_pooled(nt: usize, regions: usize, body: &(dyn Fn(usize) + Sync)) -> u64 {
+    let t0 = Instant::now();
+    for _ in 0..regions {
+        parallel(nt, |ctx| body(ctx.thread_num()));
+    }
+    t0.elapsed().as_nanos() as u64
+}
+
+/// Wall time of `regions` back-to-back spawn-per-region regions, ns.
+fn drive_spawn(nt: usize, regions: usize, body: &(dyn Fn(usize) + Sync)) -> u64 {
+    let t0 = Instant::now();
+    for _ in 0..regions {
+        // black_box: keep the nt == 1 inline path from being elided whole.
+        spawn_region(std::hint::black_box(nt), body);
+    }
+    t0.elapsed().as_nanos() as u64
+}
+
+/// Interleaved best-of-`rounds` comparison. Returns (pooled, spawn) ns.
+fn compare(nt: usize, regions: usize, rounds: usize, body: &(dyn Fn(usize) + Sync)) -> (u64, u64) {
+    let mut best_pooled = u64::MAX;
+    let mut best_spawn = u64::MAX;
+    for _ in 0..rounds {
+        best_pooled = best_pooled.min(drive_pooled(nt, regions, body));
+        best_spawn = best_spawn.min(drive_spawn(nt, regions, body));
+    }
+    (best_pooled, best_spawn)
+}
+
+fn report(label: &str, nt: usize, regions: usize, pooled: u64, spawn: u64) -> f64 {
+    let pooled_per = pooled as f64 / regions as f64;
+    let spawn_per = spawn as f64 / regions as f64;
+    let speedup = spawn_per / pooled_per;
+    println!(
+        "{label:12} nt={nt}  pooled {pooled_per:9.0} ns/region  spawn {spawn_per:9.0} ns/region  \
+         speedup {speedup:6.1}x"
+    );
+    speedup
+}
+
+fn main() {
+    let (regions, rounds) = if quick() { (60, 2) } else { (400, 7) };
+    println!(
+        "region_overhead: {regions} regions/arm, best-of-{rounds}{}",
+        if quick() { " (quick)" } else { "" }
+    );
+
+    // Warm the pool and every hot-team size so the rounds measure
+    // steady-state dispatch, not first-spawn cost.
+    for &nt in &THREAD_COUNTS {
+        drive_pooled(nt, 3, &|_| {});
+    }
+
+    let before = team_stats();
+    let mut gated_speedup = None;
+    for &nt in &THREAD_COUNTS {
+        let (pooled, spawn) = compare(nt, regions, rounds, &|_| {});
+        let speedup = report("empty", nt, regions, pooled, spawn);
+        if nt == GATE_THREADS {
+            gated_speedup = Some(speedup);
+        }
+    }
+    for &nt in &THREAD_COUNTS {
+        let (pooled, spawn) = compare(nt, regions, rounds, &|_| small_kernel());
+        report("small-kernel", nt, regions, pooled, spawn);
+    }
+
+    let d = team_stats().since(&before);
+    println!(
+        "team stats over the measured rounds: {} regions forked ({} hot), {} spawned / {} reused, \
+         barrier spins {} / parks {}",
+        d.regions_forked,
+        d.regions_hot,
+        d.threads_spawned,
+        d.threads_reused,
+        d.barrier_spins,
+        d.barrier_parks
+    );
+    assert!(
+        d.activations_conserved(),
+        "spawned {} + reused {} != activations {}",
+        d.threads_spawned,
+        d.threads_reused,
+        d.member_activations
+    );
+    // Steady state: the spawn arm churns OS threads every region, the
+    // pooled arm must not.
+    assert!(
+        d.threads_spawned <= 16,
+        "pooled arm must not churn threads in steady state (spawned {})",
+        d.threads_spawned
+    );
+
+    let speedup = gated_speedup.expect("gate thread count measured");
+    assert!(
+        speedup >= MIN_POOLED_SPEEDUP,
+        "pooled empty region at {GATE_THREADS} threads must be >= {MIN_POOLED_SPEEDUP}x faster \
+         than spawn-per-region, got {speedup:.1}x"
+    );
+    println!("region overhead within budget ✓ (gate: {speedup:.1}x >= {MIN_POOLED_SPEEDUP}x)");
+}

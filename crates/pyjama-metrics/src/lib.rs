@@ -18,8 +18,10 @@
 //! [`ParkCounters`] observing the runtime's wake-driven await barrier
 //! (parks, wakeups, spurious wakeups), [`StealCounters`] observing the
 //! worker pools' work-stealing scheduler (local pops, steals, injector
-//! drains), and [`ConnCounters`] observing the HTTP server's persistent
-//! connections (accepts, reuse, pipelining, idle evictions).
+//! drains), [`ConnCounters`] observing the HTTP server's persistent
+//! connections (accepts, reuse, pipelining, idle evictions), and
+//! [`TeamCounters`] observing the fork-join `omp parallel` thread pool
+//! (regions forked, threads spawned vs reused, barrier spins vs parks).
 //!
 //! Everything here is synchronisation-cheap (atomics or a short
 //! `parking_lot` critical section) so that recording does not perturb the
@@ -32,6 +34,7 @@ pub mod occupancy;
 pub mod park;
 pub mod stats;
 pub mod steal;
+pub mod team;
 pub mod throughput;
 pub mod timeline;
 
@@ -42,5 +45,6 @@ pub use occupancy::OccupancyTracker;
 pub use park::{ParkCounters, ParkStats};
 pub use stats::{OnlineStats, Summary};
 pub use steal::{StealCounters, StealStats};
+pub use team::{TeamCounters, TeamStats};
 pub use throughput::ThroughputMeter;
 pub use timeline::{Timeline, TimelineEvent, TimelineEventKind};

@@ -1,26 +1,67 @@
-//! A reusable sense-reversing barrier.
+//! A reusable sense-reversing spin-then-park barrier.
 //!
-//! `std::sync::Barrier` would work, but a team barrier is the hottest
-//! synchronisation primitive in a fork-join runtime, and the
-//! condvar-per-generation design below (a "sense-reversing" barrier in the
-//! classic HPC formulation) is both reusable and cheap: one lock round-trip
-//! per arrival, one broadcast per generation.
+//! The team barrier is the hottest synchronisation primitive in a
+//! fork-join runtime: with pooled workers, every region pays the join
+//! barrier even when its body is sub-microsecond, and every `ctx.barrier()`
+//! pays it again. The previous design took a mutex and a condvar
+//! round-trip on *every* arrival; for region bodies shorter than a context
+//! switch that lock traffic dominated the region.
+//!
+//! This barrier keeps the classic sense-reversing shape but moves the fast
+//! path entirely onto atomics:
+//!
+//! * Arrival is one `fetch_sub` on the remaining-count. The last arrival
+//!   resets the count and bumps the atomic *generation word*, which is the
+//!   only thing waiters watch — the sense reversal that makes immediate
+//!   reuse safe (a thread can never lap a barrier it has not exited).
+//! * Waiters spin a bounded budget ([`SPIN_LIMIT`], calibrated so that
+//!   sub-µs region bodies and back-to-back barriers resolve without a
+//!   syscall), then park on a condvar with the same permit discipline as
+//!   `pyjama-runtime`'s parker: the sleeper count is published *before*
+//!   re-checking the generation under the lock, and the opener notifies
+//!   under the same lock, so a wake between "spin failed" and "parked"
+//!   is never lost.
+//! * [`Barrier::quiesce`] lets an owner whose barrier lives on its stack
+//!   wait until every other participant has fully stepped out of
+//!   [`wait`](Barrier::wait) before the memory is reclaimed — each
+//!   waiter's very last touch of the barrier is a `Release` decrement of
+//!   the active count, and `quiesce` acquires on it. (Region *join* does
+//!   not go through this barrier at all: pooled workers signal completion
+//!   into their own `'static` slots — see [`crate::pool`] — so this
+//!   barrier only serves explicit `ctx.barrier()` rendezvous.)
+//!
+//! Spin-vs-park outcomes are counted in the crate's [`TeamStats`]
+//! (`pyjama_omp::team_stats()`) so a traced run can show whether its
+//! barriers resolve in the spin window.
+//!
+//! [`TeamStats`]: pyjama_metrics::TeamStats
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
-struct State {
-    /// Threads still to arrive in the current generation.
-    remaining: usize,
-    /// Flips every time the barrier opens; sleeping threads wait for it to
-    /// change rather than re-checking counts (avoids the lost-wakeup race on
-    /// immediate reuse).
-    generation: u64,
-}
+use crate::COUNTERS;
+
+/// Spin budget before a waiter parks, in `spin_loop` iterations. Sized for
+/// the "small kernel region" regime: a few microseconds of spinning —
+/// enough for every member of an empty or sub-µs region to arrive, far too
+/// short to matter when a member is off running a millisecond kernel.
+/// Collapses to zero on single-CPU machines (see [`crate::spin::budget`]).
+const SPIN_LIMIT: u32 = 4096;
 
 /// A reusable barrier for a fixed-size team.
 pub struct Barrier {
     n: usize,
-    state: Mutex<State>,
+    /// Threads still to arrive in the current generation.
+    remaining: AtomicUsize,
+    /// Bumps every time the barrier opens. Waiters watch this word (not the
+    /// count), which is what makes immediate reuse lap-safe.
+    generation: AtomicUsize,
+    /// Waiters currently parked on the condvar.
+    sleepers: AtomicUsize,
+    /// Participants currently inside `wait` (see [`Barrier::quiesce`]).
+    active: AtomicUsize,
+    lock: Mutex<()>,
     cond: Condvar,
 }
 
@@ -33,10 +74,11 @@ impl Barrier {
         assert!(n > 0, "barrier needs at least one participant");
         Barrier {
             n,
-            state: Mutex::new(State {
-                remaining: n,
-                generation: 0,
-            }),
+            remaining: AtomicUsize::new(n),
+            generation: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            lock: Mutex::new(()),
             cond: Condvar::new(),
         }
     }
@@ -50,21 +92,71 @@ impl Barrier {
     /// generation. Returns `true` on exactly one participant per generation
     /// (the "leader", the last to arrive), `false` on the others.
     pub fn wait(&self) -> bool {
-        let mut g = self.state.lock();
-        g.remaining -= 1;
-        if g.remaining == 0 {
-            // Last arrival: open the barrier and reset for reuse.
-            g.remaining = self.n;
-            g.generation = g.generation.wrapping_add(1);
-            drop(g);
-            self.cond.notify_all();
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let gen = self.generation.load(Ordering::SeqCst);
+        let leader = if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last arrival: reset the count for the next generation *before*
+            // opening this one — a released waiter may re-enter immediately.
+            self.remaining.store(self.n, Ordering::SeqCst);
+            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                // Sleepers publish themselves before re-checking the
+                // generation under this lock; holding it across the notify
+                // closes the publish/park window.
+                let _g = self.lock.lock();
+                self.cond.notify_all();
+            }
             true
         } else {
-            let gen = g.generation;
-            while g.generation == gen {
-                self.cond.wait(&mut g);
-            }
+            self.wait_slow(gen);
             false
+        };
+        // Last touch of barrier memory on every path: `quiesce` acquires on
+        // this count before the owner may free the barrier.
+        self.active.fetch_sub(1, Ordering::Release);
+        leader
+    }
+
+    /// The non-leader path: bounded spin on the generation word, then park.
+    fn wait_slow(&self, gen: usize) {
+        let limit = crate::spin::budget(SPIN_LIMIT);
+        let mut spins = 0u32;
+        while spins < limit {
+            if self.generation.load(Ordering::SeqCst) != gen {
+                COUNTERS.record_barrier_spin();
+                return;
+            }
+            std::hint::spin_loop();
+            spins += 1;
+        }
+        let mut g = self.lock.lock();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        COUNTERS.record_barrier_park();
+        while self.generation.load(Ordering::SeqCst) == gen {
+            self.cond.wait(&mut g);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Spins (then yields) until no participant is inside [`wait`]. After
+    /// `quiesce` returns, the owner may drop the barrier even though other
+    /// participants are pooled threads that outlive it: their final access
+    /// was the `Release` decrement this method acquires on.
+    ///
+    /// Only meaningful after the caller's own `wait` returned — every other
+    /// participant has then arrived and is merely stepping out.
+    ///
+    /// [`wait`]: Barrier::wait
+    pub fn quiesce(&self) {
+        let limit = crate::spin::budget(SPIN_LIMIT);
+        let mut spins = 0u32;
+        while self.active.load(Ordering::Acquire) != 0 {
+            if spins < limit {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            spins = spins.saturating_add(1);
         }
     }
 }
@@ -78,7 +170,6 @@ impl std::fmt::Debug for Barrier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]
@@ -86,6 +177,7 @@ mod tests {
         let b = Barrier::new(1);
         assert!(b.wait());
         assert!(b.wait());
+        b.quiesce();
     }
 
     #[test]
@@ -162,6 +254,46 @@ mod tests {
                 })
             })
             .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn parked_waiter_is_woken() {
+        // Force the slow path: one thread waits far longer than the spin
+        // budget before the opener arrives, so it must park and be notified.
+        let b = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&b);
+        let t = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        b.wait();
+        t.join().unwrap();
+        b.quiesce();
+    }
+
+    #[test]
+    fn quiesce_returns_after_all_exits() {
+        const N: usize = 4;
+        const GENS: usize = 200;
+        let b = Arc::new(Barrier::new(N));
+        let hs: Vec<_> = (1..N)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..GENS {
+                        b.wait();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..GENS {
+            b.wait();
+        }
+        // After our last wait every other participant has arrived; quiesce
+        // must observe all of them leaving.
+        b.quiesce();
+        assert_eq!(b.active.load(Ordering::SeqCst), 0);
         for h in hs {
             h.join().unwrap();
         }

@@ -23,6 +23,20 @@
 //!   [`Ctx::taskwait`]) — "the lifetime of a task is confined inside a
 //!   parallel region" (§VI-B).
 //!
+//! # Persistent hot teams
+//!
+//! Forking a region does **not** spawn threads. A process-wide pool of
+//! parked workers ([`pool`]) is leased per region, and each caller thread
+//! keeps its last team composition cached ("hot team", libgomp-style), so
+//! back-to-back regions of the same size re-dispatch onto the same parked
+//! threads with two atomic handoffs and no lock on the global pool. Fork
+//! dispatch, region join, and explicit [`Ctx::barrier`] (a sense-reversing
+//! [`Barrier`]) all use the same spin-then-park waiting discipline, with
+//! spin budgets that collapse to zero on single-CPU machines.
+//! [`team_stats`] exposes counters (regions forked, threads spawned vs
+//! reused, barrier spins vs parks) that satisfy the conservation law
+//! `threads_spawned + threads_reused == member_activations`.
+//!
 //! # SPMD discipline
 //!
 //! As in OpenMP, every thread of a team must encounter the same worksharing
@@ -43,17 +57,40 @@
 //! ```
 
 pub mod barrier;
+pub mod pool;
 pub mod registry;
 pub mod schedule;
 pub mod sections;
+pub(crate) mod spin;
 pub mod sync;
 pub mod tasks;
 pub mod team;
 
 pub use barrier::Barrier;
+pub use pyjama_metrics::TeamStats;
 pub use schedule::Schedule;
 pub use sections::parallel_sections;
 pub use team::{parallel, parallel_for, parallel_reduce, Ctx, Team};
+
+/// The crate-wide team/barrier counter block (see [`team_stats`]).
+pub(crate) static COUNTERS: pyjama_metrics::TeamCounters = pyjama_metrics::TeamCounters::new();
+
+/// Snapshot of the process-wide fork-join counters.
+///
+/// Counters are cumulative; diff two snapshots with [`TeamStats::since`] to
+/// scope them to a phase. The invariant `threads_spawned + threads_reused
+/// == member_activations` holds whenever no region is mid-fork.
+pub fn team_stats() -> TeamStats {
+    COUNTERS.snapshot()
+}
+
+/// Resets the process-wide fork-join counters to zero.
+///
+/// Prefer diffing [`team_stats`] snapshots in concurrent code — a reset
+/// races with regions forked by other threads.
+pub fn reset_team_stats() {
+    COUNTERS.reset();
+}
 
 /// The default team size: the machine's available parallelism.
 ///

@@ -1,0 +1,40 @@
+//! Adaptive spin budgets.
+//!
+//! Spinning before a park is only profitable when the thread being waited
+//! for can make progress *while we spin* — i.e. when there is more than one
+//! hardware thread. On a single-CPU machine every spin iteration actively
+//! delays the thread that would satisfy the wait (the classic
+//! spin-on-uniprocessor pathology; libgomp likewise throttles its wait
+//! policy when threads are oversubscribed). All spin-then-park sites in
+//! this crate route their budget through [`budget`], which collapses it to
+//! zero there.
+
+use std::sync::OnceLock;
+
+/// Returns `limit` on multi-core machines, `0` on a single hardware thread.
+pub(crate) fn budget(limit: u32) -> u32 {
+    static MULTI: OnceLock<bool> = OnceLock::new();
+    let multi = *MULTI.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(true)
+    });
+    if multi {
+        limit
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_limit_or_zero() {
+        let b = budget(4096);
+        assert!(b == 4096 || b == 0);
+        // Deterministic per process.
+        assert_eq!(b, budget(4096));
+    }
+}

@@ -8,10 +8,19 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 type Task<'s> = Box<dyn FnOnce() + Send + 's>;
+
+/// Spin rounds (exponentially growing) before a waiting drainer parks.
+const DRAIN_SPIN_ROUNDS: u32 = 7;
+
+/// Safety-net bound on one parked sleep. Wakes normally arrive through
+/// [`TaskQueue::push`] / task completion notifies; the timeout only turns a
+/// hypothetical missed wake into a bounded re-check instead of a hang.
+const DRAIN_PARK_TIMEOUT: Duration = Duration::from_millis(5);
 
 /// A region-scoped task queue.
 pub struct TaskQueue<'s> {
@@ -20,6 +29,11 @@ pub struct TaskQueue<'s> {
     outstanding: AtomicUsize,
     /// First panic payload from any task, re-raised at region end.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Drainers parked waiting for a mid-flight task elsewhere (see
+    /// [`TaskQueue::drain`]).
+    waiters: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cond: Condvar,
 }
 
 impl<'s> TaskQueue<'s> {
@@ -29,6 +43,9 @@ impl<'s> TaskQueue<'s> {
             queue: Mutex::new(VecDeque::new()),
             outstanding: AtomicUsize::new(0),
             panic: Mutex::new(None),
+            waiters: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cond: Condvar::new(),
         }
     }
 
@@ -36,6 +53,8 @@ impl<'s> TaskQueue<'s> {
     pub fn push(&self, f: impl FnOnce() + Send + 's) {
         self.outstanding.fetch_add(1, Ordering::SeqCst);
         self.queue.lock().push_back(Box::new(f));
+        // A parked drainer can help run the new task.
+        self.notify_waiters();
     }
 
     /// Pops and runs one task on the calling thread. Returns `false` when
@@ -52,7 +71,10 @@ impl<'s> TaskQueue<'s> {
                         *g = Some(p);
                     }
                 }
-                self.outstanding.fetch_sub(1, Ordering::SeqCst);
+                if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Last task done: release drainers waiting for zero.
+                    self.notify_waiters();
+                }
                 true
             }
             None => false,
@@ -62,15 +84,54 @@ impl<'s> TaskQueue<'s> {
     /// Runs queued tasks until none are queued *and* none are running
     /// anywhere (the `taskwait` scheduling point, simplified to "all tasks"
     /// rather than "child tasks").
+    ///
+    /// When the queue is empty but a task is still mid-flight on another
+    /// member, the wait is a bounded spin with exponential backoff followed
+    /// by a park — a long-running task on one member no longer burns a core
+    /// on every other member sitting at the region-end scheduling point.
     pub fn drain(&self) {
         loop {
             while self.run_one() {}
             if self.outstanding.load(Ordering::SeqCst) == 0 {
                 return;
             }
-            // A task is mid-flight on another thread; yield until it
-            // finishes or enqueues more work for us.
-            std::thread::yield_now();
+            self.wait_for_task_activity();
+        }
+    }
+
+    /// Blocks until the mid-flight picture may have changed: a task
+    /// completed (possibly reaching zero outstanding) or a new task was
+    /// pushed for us to help with.
+    fn wait_for_task_activity(&self) {
+        // Spin phase: 1, 2, 4, … spin-loop iterations between re-checks.
+        // Zero rounds on a single CPU (see `crate::spin::budget`).
+        let rounds = crate::spin::budget(DRAIN_SPIN_ROUNDS);
+        for shift in 0..rounds {
+            for _ in 0..(1u32 << shift) {
+                std::hint::spin_loop();
+            }
+            if self.outstanding.load(Ordering::SeqCst) == 0 || !self.queue.lock().is_empty() {
+                return;
+            }
+        }
+        // Park phase. The waiter count is published before the re-check and
+        // notifiers take `idle_lock` across their notify, so a completion
+        // or push between our re-check and the wait cannot be lost.
+        let mut g = self.idle_lock.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        if self.outstanding.load(Ordering::SeqCst) != 0 && self.queue.lock().is_empty() {
+            let _ = self
+                .idle_cond
+                .wait_until(&mut g, Instant::now() + DRAIN_PARK_TIMEOUT);
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes parked drainers if there are any (cheap atomic check first).
+    fn notify_waiters(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _g = self.idle_lock.lock();
+            self.idle_cond.notify_all();
         }
     }
 

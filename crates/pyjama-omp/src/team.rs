@@ -5,12 +5,15 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
+use pyjama_trace::{arg as trace_arg, Stage, TraceId};
 
 use crate::barrier::Barrier;
+use crate::pool::{self, Job};
 use crate::registry::ConstructRegistry;
 use crate::schedule::{static_block, Schedule};
 use crate::sync;
 use crate::tasks::TaskQueue;
+use crate::COUNTERS;
 
 /// The shared state of one parallel region's thread team.
 pub struct Team<'s> {
@@ -42,8 +45,9 @@ impl<'s> Team<'s> {
             tid,
             construct_counter: Cell::new(0),
         };
-        // A panicking member must still reach the end-of-region barrier or
-        // the rest of the team deadlocks; capture and resurface later.
+        // A panicking member must still run to completion (and, on a pool
+        // worker, signal done) or the leader's join waits forever; capture
+        // and resurface at region end instead.
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx)));
         if let Err(p) = r {
             let mut g = self.member_panic.lock();
@@ -51,10 +55,11 @@ impl<'s> Team<'s> {
                 *g = Some(p);
             }
         }
-        // Implicit end-of-region barrier is a task scheduling point: finish
-        // every explicit task before the region closes.
+        // The end of a region is a task scheduling point: finish every
+        // explicit task before this member reports completion. The join
+        // itself is not a team-wide rendezvous — each pooled worker signals
+        // its own slot and goes idle; the leader collects all signals.
         self.tasks.drain();
-        self.barrier.wait();
     }
 }
 
@@ -192,22 +197,32 @@ impl<'t, 's> Ctx<'t, 's> {
                 }
             }
             Schedule::Guided { min_chunk } => {
-                let next = self.team.registry.get_or_create(key, || Mutex::new(0usize));
-                loop {
-                    let (start, end) = {
-                        let mut g = next.lock();
-                        if *g >= n {
-                            break;
+                // Lock-free cursor, matching the `Dynamic` path: the chunk
+                // size depends on how much is left, so claiming is a CAS on
+                // (cursor -> cursor + chunk) rather than a plain fetch_add.
+                let next = self.team.registry.get_or_create(key, || AtomicUsize::new(0));
+                let mut cur = next.load(Ordering::Relaxed);
+                'grab: loop {
+                    let (start, end) = loop {
+                        if cur >= n {
+                            break 'grab;
                         }
-                        let remaining = n - *g;
+                        let remaining = n - cur;
                         let chunk = (remaining / nt).max(min_chunk).min(remaining);
-                        let start = *g;
-                        *g += chunk;
-                        (start, start + chunk)
+                        match next.compare_exchange_weak(
+                            cur,
+                            cur + chunk,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break (cur, cur + chunk),
+                            Err(seen) => cur = seen,
+                        }
                     };
                     for i in start..end {
                         body(base + i);
                     }
+                    cur = next.load(Ordering::Relaxed);
                 }
             }
         }
@@ -289,25 +304,66 @@ impl<'t, 's> Ctx<'t, 's> {
 /// `omp parallel num_threads(n)`: forks a team of `num_threads` (the caller
 /// becomes thread 0 and participates), runs `f` on every member, and joins.
 ///
+/// Workers are *leased* from a persistent process-wide pool rather than
+/// spawned — the first region of a given size on a caller thread grows the
+/// pool, every later one reuses parked threads, and back-to-back regions of
+/// the same size skip even the lease (the hot-team fast path; see
+/// [`crate::pool`]). Region entry therefore costs a handful of atomic
+/// publishes instead of `num_threads - 1` `clone(2)` calls.
+///
 /// Panics from any member or task are resurfaced on the caller after the
 /// whole team has joined.
+///
+/// # Safety argument (why the scoped `'env` borrow stays sound)
+///
+/// The pool threads are `'static`, but they only ever touch `f` and the
+/// team through a [`Job`] published for this region, and `parallel` does
+/// not return — does not even pop this stack frame — until the leader has
+/// observed every worker's *done* signal. A worker publishes that signal
+/// into its own `'static` slot strictly after its last touch of the job
+/// (`Release`/`Acquire` pairing in [`pool::Worker::wait_done`]), so once
+/// the join completes no pool thread holds any reference into this frame.
+/// That is the same "all users joined before the borrow dies" guarantee
+/// `std::thread::scope` provides, established by slot signals instead of
+/// `join(2)`.
 pub fn parallel<'env, F>(num_threads: usize, f: F)
 where
     F: for<'t> Fn(&Ctx<'t, 'env>) + Sync + 'env,
 {
     assert!(num_threads > 0, "a team needs at least one thread");
+    COUNTERS.record_region_forked();
+    let trace = TraceId::mint();
+    pyjama_trace::emit(trace, Stage::TeamFork, num_threads as u32);
+
     let team = Team::new(num_threads);
-    std::thread::scope(|s| {
-        for tid in 1..num_threads {
-            let team = &team;
-            let f = &f;
-            std::thread::Builder::new()
-                .name(format!("omp-{tid}"))
-                .spawn_scoped(s, move || team.run_member(tid, f))
-                .expect("failed to spawn team thread");
-        }
+    let mut hot = false;
+    if num_threads == 1 {
+        // A one-thread team is just the caller; no pool involvement.
         team.run_member(0, &f);
-    });
+    } else {
+        let member = |tid: usize| team.run_member(tid, &f);
+        // Safety: `member` (and everything it borrows) outlives every run —
+        // see the join-signal argument in the function docs.
+        let job = unsafe { Job::erase(&member) };
+        hot = pool::with_workers(num_threads - 1, |workers, hot| {
+            for (i, w) in workers.iter().enumerate() {
+                w.publish(job, i + 1);
+            }
+            team.run_member(0, &f);
+            // The join: collect every worker's done signal. After this loop
+            // no pool thread references `member` or the team.
+            for w in workers {
+                w.wait_done();
+            }
+            hot
+        });
+    }
+
+    pyjama_trace::emit(
+        trace,
+        Stage::TeamJoin,
+        if hot { trace_arg::JOIN_HOT } else { trace_arg::JOIN_COLD },
+    );
     if let Some(p) = team.tasks.take_panic() {
         std::panic::resume_unwind(p);
     }

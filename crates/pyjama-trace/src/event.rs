@@ -70,6 +70,15 @@ pub enum Stage {
     /// A response was written back to the socket (arg = requests served on
     /// this connection so far).
     ResponseWritten = 21,
+
+    // -- fork-join teams (pyjama-omp) ---------------------------------------
+    /// A parallel region forked its team (arg = team size). Emitted by the
+    /// encountering thread; closes with [`Stage::TeamJoin`], so a traced run
+    /// shows each region's full fork-to-join span as one slice.
+    TeamFork = 22,
+    /// The region joined: every member passed the join barrier and the
+    /// team quiesced (arg = 1 if the hot-team fast path served the fork).
+    TeamJoin = 23,
 }
 
 /// `arg` value vocabularies, per stage.
@@ -106,6 +115,11 @@ pub mod arg {
     pub const READY_READABLE: u32 = 0;
     /// [`super::Stage::ConnReady`]: idle deadline elapsed.
     pub const READY_TIMEOUT: u32 = 1;
+
+    /// [`super::Stage::TeamJoin`]: the fork leased (or spawned) workers.
+    pub const JOIN_COLD: u32 = 0;
+    /// [`super::Stage::TeamJoin`]: the fork reused the caller's hot team.
+    pub const JOIN_HOT: u32 = 1;
 
     /// Human label for a `RegionDequeued` provenance value.
     pub fn provenance_name(arg: u32) -> &'static str {
@@ -146,6 +160,8 @@ impl Stage {
             19 => ConnIdlePark,
             20 => ConnReady,
             21 => ResponseWritten,
+            22 => TeamFork,
+            23 => TeamJoin,
             _ => return None,
         })
     }
@@ -176,6 +192,8 @@ impl Stage {
             ConnIdlePark => "conn_idle_park",
             ConnReady => "conn_ready",
             ResponseWritten => "response_written",
+            TeamFork => "team_fork",
+            TeamJoin => "team_join",
         }
     }
 
@@ -189,6 +207,7 @@ impl Stage {
             RegionRunBegin => Some(RegionRunEnd),
             BarrierPark => Some(BarrierWake),
             WorkerPark => Some(WorkerWake),
+            TeamFork => Some(TeamJoin),
             _ => None,
         }
     }
@@ -199,7 +218,7 @@ impl Stage {
         use Stage::*;
         matches!(
             self,
-            EventDispatchEnd | RegionRunEnd | BarrierWake | WorkerWake
+            EventDispatchEnd | RegionRunEnd | BarrierWake | WorkerWake | TeamJoin
         )
     }
 }
@@ -225,7 +244,7 @@ mod tests {
 
     #[test]
     fn stage_roundtrips_through_u8() {
-        for v in 0..=21u8 {
+        for v in 0..=23u8 {
             let s = Stage::from_u8(v).expect("valid discriminant");
             assert_eq!(s as u8, v);
             assert!(!s.name().is_empty());
@@ -235,7 +254,7 @@ mod tests {
 
     #[test]
     fn pairing_is_consistent() {
-        for v in 0..=21u8 {
+        for v in 0..=23u8 {
             let s = Stage::from_u8(v).unwrap();
             if let Some(close) = s.closes_with() {
                 assert!(close.is_closer(), "{close:?} must be a closer");

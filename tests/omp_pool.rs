@@ -1,0 +1,198 @@
+//! Integration tests for the persistent fork-join pool behind
+//! `omp::parallel`: thread reuse, the hot-team fast path, panic routing
+//! through pooled members, nesting, concurrency, and the `TeamStats`
+//! conservation law.
+//!
+//! The team counters are process-global, so every test here serialises on
+//! one mutex; counter assertions are always on snapshot *deltas*.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pyjama::omp::{parallel, team_stats, Schedule};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn repeated_regions_reuse_pooled_threads() {
+    let _g = serial();
+    const REGIONS: u64 = 24;
+    const TEAM: usize = 4;
+    let before = team_stats();
+    let total = AtomicUsize::new(0);
+    for _ in 0..REGIONS {
+        parallel(TEAM, |ctx| {
+            total.fetch_add(ctx.thread_num() + 1, Ordering::Relaxed);
+        });
+    }
+    let d = team_stats().since(&before);
+    assert_eq!(total.load(Ordering::Relaxed) as u64, REGIONS * 10);
+    assert_eq!(d.regions_forked, REGIONS);
+    // At most the first region may lease (or spawn) workers; every later
+    // same-size region must hit the caller's hot-team cache.
+    assert!(
+        d.regions_hot >= REGIONS - 1,
+        "expected >= {} hot forks, got {}",
+        REGIONS - 1,
+        d.regions_hot
+    );
+    assert!(
+        d.threads_spawned <= (TEAM - 1) as u64,
+        "a region needs at most {} new threads, spawned {}",
+        TEAM - 1,
+        d.threads_spawned
+    );
+    assert!(
+        d.threads_reused >= (REGIONS - 1) * (TEAM - 1) as u64,
+        "hot regions must reuse threads (reused {})",
+        d.threads_reused
+    );
+}
+
+#[test]
+fn team_stats_conserve_activations() {
+    let _g = serial();
+    let before = team_stats();
+    // A mix of sizes, including the no-worker size-1 case.
+    for nt in [1usize, 3, 5, 2, 5, 1, 4] {
+        let hits = AtomicUsize::new(0);
+        parallel(nt, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), nt);
+    }
+    let d = team_stats().since(&before);
+    // Every pooled-member activation either consumed a fresh spawn or
+    // counted as a reuse — no third bucket, nothing double-counted.
+    assert!(
+        d.activations_conserved(),
+        "spawned {} + reused {} != activations {}",
+        d.threads_spawned,
+        d.threads_reused,
+        d.member_activations
+    );
+    // Size-1 regions never touch the pool: 3+5+2+5+4 regions contribute
+    // (nt - 1) members each.
+    assert_eq!(d.member_activations, 2 + 4 + 1 + 4 + 3);
+}
+
+#[test]
+fn member_panic_resurfaces_and_pool_survives() {
+    let _g = serial();
+    let r = std::panic::catch_unwind(|| {
+        parallel(4, |ctx| {
+            if ctx.thread_num() == 2 {
+                panic!("boom from a pooled member");
+            }
+        });
+    });
+    let payload = r.expect_err("member panic must resurface on the caller");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert!(msg.contains("boom"), "panic payload preserved, got {msg:?}");
+    // The pool (and this caller's hot team) must still be usable.
+    let n = AtomicUsize::new(0);
+    parallel(4, |_| {
+        n.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(n.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn team_size_changes_between_regions() {
+    let _g = serial();
+    let before = team_stats();
+    for nt in [4usize, 2, 8, 4, 4] {
+        let sum = AtomicUsize::new(0);
+        parallel(nt, |ctx| {
+            ctx.for_range(0..100, Schedule::Static { chunk: None }, |i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950, "size {nt} region");
+    }
+    let d = team_stats().since(&before);
+    assert_eq!(d.regions_forked, 5);
+    // Only the final 4 -> 4 transition can be hot; every size change must
+    // re-lease. (>= rather than == : an earlier test may have warmed a
+    // size-4 cache on this thread, making the first region hot too.)
+    assert!(d.regions_hot >= 1, "same-size refork must be hot");
+    assert!(d.activations_conserved());
+}
+
+#[test]
+fn nested_parallel_from_pool_worker() {
+    let _g = serial();
+    // The inner region's encountering thread is itself a pooled worker; it
+    // must lease its own (disjoint) members rather than alias the outer
+    // team, and both joins must complete.
+    let inner_hits = AtomicUsize::new(0);
+    let outer_hits = AtomicUsize::new(0);
+    parallel(3, |ctx| {
+        outer_hits.fetch_add(1, Ordering::Relaxed);
+        if ctx.thread_num() == 1 {
+            parallel(2, |inner| {
+                inner_hits.fetch_add(10 + inner.thread_num(), Ordering::Relaxed);
+            });
+        }
+        ctx.barrier();
+    });
+    assert_eq!(outer_hits.load(Ordering::Relaxed), 3);
+    assert_eq!(inner_hits.load(Ordering::Relaxed), 21);
+}
+
+#[test]
+fn concurrent_regions_from_two_caller_threads() {
+    let _g = serial();
+    const PER_CALLER: usize = 40;
+    let before = team_stats();
+    let totals: Vec<usize> = std::thread::scope(|s| {
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(|| {
+                    let mine = AtomicUsize::new(0);
+                    for _ in 0..PER_CALLER {
+                        parallel(3, |ctx| {
+                            mine.fetch_add(ctx.thread_num() + 1, Ordering::Relaxed);
+                        });
+                    }
+                    mine.load(Ordering::Relaxed)
+                })
+            })
+            .collect();
+        hs.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(totals, vec![PER_CALLER * 6, PER_CALLER * 6]);
+    let d = team_stats().since(&before);
+    assert_eq!(d.regions_forked, 2 * PER_CALLER as u64);
+    // Each caller leases once then stays hot; concurrent leases never share
+    // workers, so at most 2 * 2 threads are spawned across both callers.
+    assert!(
+        d.threads_spawned <= 4,
+        "two concurrent callers need at most 4 new threads, spawned {}",
+        d.threads_spawned
+    );
+    assert!(d.activations_conserved());
+}
+
+#[test]
+fn barrier_outcomes_are_counted() {
+    let _g = serial();
+    let before = team_stats();
+    parallel(4, |ctx| {
+        ctx.barrier();
+        ctx.barrier();
+    });
+    let d = team_stats().since(&before);
+    // 3 non-leader waiters per barrier generation (2 explicit + join), each
+    // resolving as either a spin success or a park.
+    assert!(
+        d.barrier_spins + d.barrier_parks >= 9,
+        "expected >= 9 recorded waits, got spins {} + parks {}",
+        d.barrier_spins,
+        d.barrier_parks
+    );
+}

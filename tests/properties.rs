@@ -1,4 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Compiled only with `--features proptest` (see the `[[test]]` block in the
+//! root manifest): proptest is an optional dependency so the tier-1 suite
+//! builds in environments without a registry route.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
