@@ -1,0 +1,120 @@
+//! Model port of `pyjama-runtime/src/deque.rs` — the Chase–Lev
+//! work-stealing deque with the Lê-et-al. (PPoPP 2013) orderings.
+//!
+//! Fixed capacity, no growth: scenarios use a handful of items, and the
+//! grow path is lock-free-publication-only (retired-buffer reclamation),
+//! orthogonal to the push/pop/steal ordering protocol checked here.
+//!
+//! Port map (same operation order, same orderings):
+//! - [`ModelDeque::push`]  ⇔ `deque.rs::ChaseLev::push`
+//! - [`ModelDeque::pop`]   ⇔ `deque.rs::ChaseLev::pop`
+//! - [`ModelDeque::steal`] ⇔ `deque.rs::ChaseLev::steal`
+
+use crate::models::Mutation;
+use crate::shim::atomic::{fence, AtomicIsize, AtomicU64, Ordering};
+
+/// Result of a steal attempt, mirroring `deque.rs::Steal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelSteal {
+    Item(u64),
+    Empty,
+    Retry,
+}
+
+pub struct ModelDeque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    slots: Vec<AtomicU64>,
+    mutation: Mutation,
+}
+
+impl ModelDeque {
+    pub fn new(cap: usize, mutation: Mutation) -> Self {
+        ModelDeque {
+            top: AtomicIsize::named("deque.top", 0),
+            bottom: AtomicIsize::named("deque.bottom", 0),
+            slots: (0..cap)
+                .map(|i| AtomicU64::named(&format!("deque.slot[{i}]"), u64::MAX))
+                .collect(),
+            mutation,
+        }
+    }
+
+    fn slot(&self, i: isize) -> &AtomicU64 {
+        &self.slots[i as usize % self.slots.len()]
+    }
+
+    /// Owner-only. ⇔ `ChaseLev::push`: slot write is Relaxed, the bottom
+    /// publish is Release — the slot write must not sink below it.
+    pub fn push(&self, item: u64) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        if self.mutation == Mutation::DequePushBottomFirst {
+            // BUG: publish bottom before the slot holds the item.
+            self.bottom.store(b + 1, Ordering::Release);
+            self.slot(b).store(item, Ordering::Relaxed);
+            return;
+        }
+        self.slot(b).store(item, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only. ⇔ `ChaseLev::pop`: decrement bottom, SeqCst fence, read
+    /// top; on the last item, race thieves with a SeqCst CAS on top.
+    pub fn pop(&self) -> Option<u64> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        if self.mutation != Mutation::DequePopSkipFence {
+            fence(Ordering::SeqCst);
+        }
+        // BUG (DequePopSkipFence): without the fence the Relaxed bottom
+        // store sits in the owner's store buffer, so a thief still sees the
+        // old bottom while the owner reads top — the store→load hazard.
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let item = self.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last item: win it from the thieves or concede it.
+                if self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    self.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                self.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            Some(item)
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief-side. ⇔ `ChaseLev::steal`: top Acquire, SeqCst fence, bottom
+    /// Acquire; claim via SeqCst CAS on top.
+    pub fn steal(&self) -> ModelSteal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let item = self.slot(t).load(Ordering::Relaxed);
+            if self.mutation == Mutation::DequeStealSkipCas {
+                // BUG: take the item without winning the claiming CAS; two
+                // thieves that both read the same top both return it.
+                self.top.store(t + 1, Ordering::SeqCst);
+                return ModelSteal::Item(item);
+            }
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return ModelSteal::Retry;
+            }
+            ModelSteal::Item(item)
+        } else {
+            ModelSteal::Empty
+        }
+    }
+}

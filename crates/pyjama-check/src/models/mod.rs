@@ -1,0 +1,69 @@
+//! Model ports of pyjama's three core lock-free protocols, written against
+//! the [`crate::shim`] layer so the checker can explore their
+//! interleavings.
+//!
+//! ## Port-sync discipline
+//!
+//! These are **manual, line-faithful ports**, not cfg-swapped production
+//! code: putting the checker inside `pyjama-runtime` would drag it onto the
+//! production dependency graph and force shim types through hot paths. The
+//! cost is drift risk, paid down two ways:
+//!
+//! 1. every model function cites the file/function it ports
+//!    (`deque.rs::pop`, `parker.rs::notify`, `pool.rs::signal_done`) and
+//!    keeps the same operation order and memory orderings, and
+//! 2. the production modules carry a reciprocal comment pointing here, so
+//!    a reviewer touching an ordering knows a model must move with it.
+//!
+//! ## Mutations
+//!
+//! Each model takes a [`Mutation`] that re-introduces one specific bug —
+//! usually a weakened ordering or a dropped protocol step. The scenario
+//! suite asserts the checker *catches* every mutation and *passes* the
+//! faithful port; that asymmetry is the evidence the checker has teeth
+//! (a checker that passes everything is indistinguishable from one that
+//! checks nothing).
+
+pub mod deque;
+pub mod parker;
+pub mod pool_join;
+
+/// A deliberately re-introduced bug for checker-teeth tests. `None` is the
+/// faithful port; every other variant must be caught by the scenario suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Faithful port — must pass every scenario.
+    None,
+    /// `deque.rs::pop`: drop the SeqCst fence between the bottom decrement
+    /// and the top read, and keep the bottom store buffered (Relaxed). The
+    /// classic Chase–Lev store→load hazard: a thief can double-claim the
+    /// last item.
+    DequePopSkipFence,
+    /// `deque.rs::push`: publish the new bottom before writing the item
+    /// slot. A thief can steal an uninitialised slot.
+    DequePushBottomFirst,
+    /// `deque.rs::steal`: take the item without the claiming top CAS. Two
+    /// thieves (or thief and owner) both return the same item.
+    DequeStealSkipCas,
+    /// `parker.rs::notify`: skip setting the permit when the target is not
+    /// currently parked. The notify-between-check-and-park window becomes a
+    /// lost wakeup (deadlock).
+    ParkerNotifySkipPermit,
+    /// `parker.rs::await_until_inner` as it was before PR 6: a timed park
+    /// that returns by timeout clears `woke_with_no_work`, so
+    /// timeout-then-idle cycles never count as spurious. Caught by the
+    /// spurious-accounting assertion scenario.
+    ParkerTimeoutNotSpurious,
+    /// `pool.rs::run_worker`: store `done` *before* the last touch of the
+    /// job's shared state. The joiner can observe done and retire the frame
+    /// while the worker still writes into it.
+    PoolDoneBeforeLastTouch,
+    /// `pool.rs::Slot::publish`: skip the notify when the worker flagged
+    /// itself parked. Lost wakeup: the worker sleeps forever on a full
+    /// slot.
+    PoolPublishSkipNotify,
+    /// `worker.rs::run_loop` shutdown path: return immediately on observing
+    /// shutdown instead of performing the final injector drain. Accepted
+    /// posts are dropped — `executed + rejected != posted`.
+    ShutdownSkipFinalDrain,
+}

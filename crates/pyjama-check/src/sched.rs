@@ -1,0 +1,569 @@
+//! The deterministic scheduler behind every check run.
+//!
+//! A run executes the checked closure on **virtual threads**: real OS
+//! threads that only ever run one at a time, passing a baton at every
+//! instrumented operation (atomic access, lock, condvar, spawn/join,
+//! explicit yield). Holding the baton means holding the run's global lock,
+//! so each shim operation executes atomically and the interleaving of a run
+//! is fully described by the sequence of *choices* the scheduler made at
+//! each baton handoff.
+//!
+//! Choices are recorded as `(picked, out_of)` pairs. Replaying a run is
+//! feeding the recorded `picked` sequence back in as a prefix — same
+//! choices, same interleaving, same outcome (the checked closure must be
+//! deterministic apart from scheduling, which the shims enforce for all
+//! shared state). The DFS explorer walks the choice tree by next-sibling
+//! backtracking over these vectors; the random explorer draws them from a
+//! seeded SplitMix64.
+//!
+//! ## Failure modes detected
+//!
+//! * a panic (assertion) on any virtual thread,
+//! * deadlock: no thread runnable, at least one not finished — this is how
+//!   lost wakeups surface,
+//! * op-budget exhaustion: a schedule exceeding `max_ops` operations is
+//!   reported as a livelock.
+//!
+//! On failure the run aborts: every other virtual thread is unwound with a
+//! private [`Abort`] panic payload (suppressed from stderr by a panic-hook
+//! filter), the OS threads are joined, and the recorded choices + operation
+//! trace become the report.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard, Once};
+
+/// Sentinel for "no thread" in baton / mutex-owner fields.
+pub(crate) const NOBODY: usize = usize::MAX;
+
+/// Panic payload used to unwind virtual threads when a run aborts. Never
+/// escapes the crate: every vthread wrapper catches it silently.
+pub(crate) struct Abort;
+
+/// Storage cell of one shim atomic variable. The value is only ever touched
+/// while holding the execution lock, so `Relaxed` is enough; the inner
+/// atomic exists purely to make the cell `Sync` without `unsafe`.
+pub(crate) struct VarCell {
+    pub(crate) name: String,
+    pub(crate) val: AtomicU64,
+}
+
+impl VarCell {
+    pub(crate) fn new(name: String, init: u64) -> Arc<Self> {
+        Arc::new(VarCell { name, val: AtomicU64::new(init) })
+    }
+    pub(crate) fn get(&self) -> u64 {
+        self.val.load(Ordering::Relaxed)
+    }
+    pub(crate) fn set(&self, v: u64) {
+        self.val.store(v, Ordering::Relaxed)
+    }
+    /// Identity used to key mutex/condvar waiter lists.
+    pub(crate) fn id(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+}
+
+/// Why a virtual thread is not currently runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Blocked {
+    /// Waiting to acquire a shim mutex (keyed by its cell id).
+    Mutex { id: usize },
+    /// Waiting on a shim condvar; `timed` waits can be resumed by a
+    /// scheduler-chosen timeout, untimed ones only by a notify.
+    Condvar { cv: usize, timed: bool, seq: u64 },
+    /// Waiting for another virtual thread to finish.
+    Join { target: usize },
+}
+
+pub(crate) enum RunState {
+    Runnable,
+    Blocked(Blocked),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub(crate) name: String,
+    pub(crate) run: RunState,
+    /// TSO store buffer: FIFO of pending (cell, value) global commits. A
+    /// `Relaxed`/`Release` store parks here and becomes visible to *other*
+    /// threads only at this thread's next flush point (any SeqCst access,
+    /// RMW, fence, lock/condvar op, or thread exit). The owning thread
+    /// always reads its own newest buffered value (store forwarding).
+    pub(crate) buffer: Vec<(Arc<VarCell>, u64)>,
+    /// Set when released from a condvar wait by a notify (vs a timeout).
+    pub(crate) notified: bool,
+}
+
+/// One recorded scheduling decision: `picked` out of `n` candidates.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChoiceRec {
+    pub(crate) picked: usize,
+    pub(crate) n: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Follow the prefix, then always take candidate 0 (DFS leftmost walk).
+    Dfs,
+    /// Follow the prefix, then draw from the seeded RNG.
+    Random,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadState>,
+    /// Which vthread holds the baton ([`NOBODY`] when between runs/aborted).
+    pub(crate) current: usize,
+    pub(crate) choices: Vec<ChoiceRec>,
+    pub(crate) prefix: Vec<usize>,
+    pub(crate) mode: Mode,
+    rng: u64,
+    pub(crate) trace: Vec<(usize, String)>,
+    pub(crate) ops: usize,
+    max_ops: usize,
+    pub(crate) failure: Option<String>,
+    pub(crate) abort: bool,
+    cv_seq: u64,
+}
+
+pub(crate) struct Execution {
+    m: OsMutex<ExecState>,
+    cv: OsCondvar,
+    /// OS handles of every vthread of this run, joined by `run_once`.
+    handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// (execution, my vthread id) — set for the lifetime of a vthread.
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// True when the calling OS thread is a checker virtual thread. Used by the
+/// panic-hook filter to keep expected (captured) panics off stderr.
+pub(crate) fn in_vthread() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Runs `f` with the calling vthread's execution context. Panics with a
+/// clear message when a shim type is used outside a checker run.
+pub(crate) fn with_exec<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    let ctx = CURRENT.with(|c| c.borrow().clone());
+    let (exec, me) = ctx.expect(
+        "pyjama-check shim used outside a Checker run: shim atomics/locks only \
+         work inside Checker::check / check! closures",
+    );
+    f(&exec, me)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Commits thread `me`'s store buffer to global memory, oldest first.
+pub(crate) fn flush_buffer(st: &mut ExecState, me: usize) {
+    let pending = std::mem::take(&mut st.threads[me].buffer);
+    if !pending.is_empty() {
+        let n = pending.len();
+        for (cell, v) in pending {
+            cell.set(v);
+        }
+        st.trace.push((me, format!("commit {n} buffered store(s)")));
+    }
+}
+
+/// Reads `cell` as thread `me` sees it: newest own buffered store wins
+/// (store forwarding), else global memory.
+pub(crate) fn read_var(st: &ExecState, me: usize, cell: &Arc<VarCell>) -> u64 {
+    st.threads[me]
+        .buffer
+        .iter()
+        .rev()
+        .find(|(c, _)| Arc::ptr_eq(c, cell))
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| cell.get())
+}
+
+enum Cand {
+    Run(usize),
+    /// Fire the timeout of a timed condvar waiter.
+    Timeout(usize),
+    /// Commit the oldest buffered store of one thread to global memory.
+    /// TSO store buffers drain asynchronously; making each single-store
+    /// drain a scheduler choice is what lets a thief observe a published
+    /// index before the slot write that program-order preceded it.
+    Drain(usize),
+}
+
+impl Execution {
+    pub(crate) fn new(
+        mode: Mode,
+        prefix: Vec<usize>,
+        seed: u64,
+        max_ops: usize,
+    ) -> Arc<Self> {
+        Arc::new(Execution {
+            m: OsMutex::new(ExecState {
+                threads: Vec::new(),
+                current: NOBODY,
+                choices: Vec::new(),
+                prefix,
+                mode,
+                rng: seed,
+                trace: Vec::new(),
+                ops: 0,
+                max_ops,
+                failure: None,
+                abort: false,
+                cv_seq: 0,
+            }),
+            cv: OsCondvar::new(),
+            handles: OsMutex::new(Vec::new()),
+        })
+    }
+
+    /// Locks the run state, recovering from poison (vthreads unwind while
+    /// holding this lock by design).
+    pub(crate) fn lock(&self) -> OsGuard<'_, ExecState> {
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one scheduling decision with `n` candidates and returns the
+    /// pick. Prefix choices replay verbatim; past the prefix, DFS takes the
+    /// leftmost branch and Random draws from the seeded RNG.
+    pub(crate) fn decide(&self, st: &mut ExecState, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        let k = st.choices.len();
+        let picked = if k < st.prefix.len() {
+            st.prefix[k].min(n - 1)
+        } else {
+            match st.mode {
+                Mode::Dfs => 0,
+                Mode::Random => (splitmix(&mut st.rng) % n as u64) as usize,
+            }
+        };
+        st.choices.push(ChoiceRec { picked, n });
+        picked
+    }
+
+    /// Marks the run failed (first failure wins) and aborts it: every
+    /// vthread waiting for the baton unwinds via [`Abort`].
+    pub(crate) fn fail(&self, st: &mut ExecState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        st.current = NOBODY;
+        self.cv.notify_all();
+    }
+
+    /// Hands the baton to the next thread: collects candidates (runnable
+    /// threads, then timed-waiter timeouts, then single-store buffer
+    /// drains), records the choice, applies it. A drain candidate commits
+    /// one buffered store and re-picks — it is an environment step, not a
+    /// thread step. Declares deadlock when nothing can happen but
+    /// unfinished threads remain.
+    pub(crate) fn pick_next(&self, st: &mut ExecState) {
+        if st.abort {
+            st.current = NOBODY;
+            self.cv.notify_all();
+            return;
+        }
+        loop {
+            let mut cands = Vec::new();
+            for (i, t) in st.threads.iter().enumerate() {
+                if matches!(t.run, RunState::Runnable) {
+                    cands.push(Cand::Run(i));
+                }
+            }
+            for (i, t) in st.threads.iter().enumerate() {
+                if let RunState::Blocked(Blocked::Condvar { timed: true, .. }) = t.run {
+                    cands.push(Cand::Timeout(i));
+                }
+            }
+            for (i, t) in st.threads.iter().enumerate() {
+                if !t.buffer.is_empty() {
+                    cands.push(Cand::Drain(i));
+                }
+            }
+            if cands.is_empty() {
+                if st.threads.iter().all(|t| matches!(t.run, RunState::Finished)) {
+                    st.current = NOBODY;
+                    self.cv.notify_all();
+                    return;
+                }
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .filter(|t| !matches!(t.run, RunState::Finished))
+                    .map(|t| {
+                        // Deliberately avoids cell ids (pointer-derived, so
+                        // unstable across runs): replay asserts compare this
+                        // message verbatim.
+                        let why = match &t.run {
+                            RunState::Blocked(Blocked::Mutex { .. }) => "a mutex".to_string(),
+                            RunState::Blocked(Blocked::Condvar { timed, seq, .. }) => {
+                                format!("a condvar (timed: {timed}, wait #{seq})")
+                            }
+                            RunState::Blocked(Blocked::Join { target }) => {
+                                format!("join of vthread {target}")
+                            }
+                            _ => "?".into(),
+                        };
+                        format!("'{}' on {}", t.name, why)
+                    })
+                    .collect();
+                self.fail(
+                    st,
+                    format!("deadlock (lost wakeup?): blocked {}", blocked.join(", ")),
+                );
+                return;
+            }
+            let k = if cands.len() == 1 { 0 } else { self.decide(st, cands.len()) };
+            match cands[k] {
+                Cand::Run(i) => st.current = i,
+                Cand::Timeout(i) => {
+                    st.trace.push((i, "condvar wait times out".into()));
+                    st.threads[i].run = RunState::Runnable;
+                    st.threads[i].notified = false;
+                    st.current = i;
+                }
+                Cand::Drain(i) => {
+                    let (cell, v) = st.threads[i].buffer.remove(0);
+                    st.trace.push((i, format!("drain buffered store {} = {}", cell.name, v)));
+                    cell.set(v);
+                    continue;
+                }
+            }
+            break;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling vthread until it holds the baton. Unwinds with
+    /// [`Abort`] if the run aborts meanwhile (unless already unwinding, in
+    /// which case it simply returns so Drop impls stay panic-free).
+    pub(crate) fn wait_turn<'a>(
+        &'a self,
+        mut st: OsGuard<'a, ExecState>,
+        me: usize,
+    ) -> OsGuard<'a, ExecState> {
+        loop {
+            if st.abort {
+                if std::thread::panicking() {
+                    return st;
+                }
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.current == me {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The common prologue of every shim operation: charge the op budget and
+    /// append `desc` to the trace. Call with the baton held.
+    pub(crate) fn begin_op(&self, st: &mut ExecState, me: usize, desc: String) {
+        st.ops += 1;
+        if st.ops > st.max_ops {
+            let max = st.max_ops;
+            self.fail(
+                st,
+                format!("op budget exceeded ({max} ops): livelock, or raise Checker::max_ops"),
+            );
+            if !std::thread::panicking() {
+                std::panic::panic_any(Abort);
+            }
+            return;
+        }
+        st.trace.push((me, desc));
+    }
+
+    /// Full scheduling point: begin an op, run its effect atomically, pass
+    /// the baton, wait to be rescheduled. The workhorse of the atomic shims.
+    pub(crate) fn op<R>(
+        self: &Arc<Self>,
+        me: usize,
+        desc: impl FnOnce(&mut ExecState) -> String,
+        effect: impl FnOnce(&mut ExecState) -> R,
+    ) -> R {
+        let mut st = self.lock();
+        if st.abort {
+            if std::thread::panicking() {
+                return effect(&mut st);
+            }
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let d = desc(&mut st);
+        self.begin_op(&mut st, me, d);
+        let r = effect(&mut st);
+        self.pick_next(&mut st);
+        let _st = self.wait_turn(st, me);
+        r
+    }
+
+    /// Registers a new vthread and starts its OS thread; used by the run
+    /// driver for thread 0 and by the thread shim for spawns.
+    pub(crate) fn add_thread(
+        self: &Arc<Self>,
+        st: &mut ExecState,
+        name: String,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> usize {
+        let id = st.threads.len();
+        st.threads.push(ThreadState {
+            name: name.clone(),
+            run: RunState::Runnable,
+            buffer: Vec::new(),
+            notified: false,
+        });
+        let exec = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name(format!("pjcheck-{name}"))
+            .spawn(move || vthread_main(exec, id, f))
+            .expect("failed to spawn checker vthread");
+        self.handles.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+        id
+    }
+
+    pub(crate) fn next_cv_seq(&self, st: &mut ExecState) -> u64 {
+        st.cv_seq += 1;
+        st.cv_seq
+    }
+
+    /// Wakes every OS thread waiting on the run's condvar so it re-checks
+    /// state. Used on paths that must not yield (Drop during unwinding).
+    pub(crate) fn notify_everyone(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// Suppresses panic output from vthreads (their panics are captured and
+/// reported by the checker); panics anywhere else keep the default hook.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !in_vthread() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Body of every vthread OS thread: wait for the baton, run the closure,
+/// then run the finish protocol (flush buffer, wake joiners, hand off).
+fn vthread_main(exec: Arc<Execution>, me: usize, f: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), me)));
+    {
+        let st = exec.lock();
+        let _st = exec.wait_turn(st, me);
+    }
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let mut st = exec.lock();
+    if let Err(p) = result {
+        if p.downcast_ref::<Abort>().is_none() {
+            let name = st.threads[me].name.clone();
+            let msg = panic_message(p.as_ref());
+            st.trace.push((me, format!("panicked: {msg}")));
+            exec.fail(&mut st, format!("thread '{name}' panicked: {msg}"));
+        }
+    }
+    flush_buffer(&mut st, me);
+    st.threads[me].run = RunState::Finished;
+    st.trace.push((me, "finished".into()));
+    // Joiners of this thread become runnable.
+    for t in st.threads.iter_mut() {
+        if matches!(t.run, RunState::Blocked(Blocked::Join { target }) if target == me) {
+            t.run = RunState::Runnable;
+        }
+    }
+    if st.current == me {
+        exec.pick_next(&mut st);
+    } else {
+        // Finished while not holding the baton (abort unwind): just make
+        // sure everyone re-checks, including the run driver.
+        exec.cv.notify_all();
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Outcome of one schedule.
+pub(crate) struct RunOutcome {
+    pub(crate) failure: Option<String>,
+    pub(crate) choices: Vec<ChoiceRec>,
+    pub(crate) trace: Vec<(usize, String)>,
+    pub(crate) thread_names: Vec<String>,
+}
+
+/// Executes `f` once under the given mode/prefix/seed and returns what
+/// happened. Joins every OS thread before returning, so runs never leak.
+pub(crate) fn run_once(
+    f: Arc<dyn Fn() + Send + Sync>,
+    mode: Mode,
+    prefix: Vec<usize>,
+    seed: u64,
+    max_ops: usize,
+) -> RunOutcome {
+    install_quiet_hook();
+    let exec = Execution::new(mode, prefix, seed, max_ops);
+    {
+        let mut st = exec.lock();
+        let g = Arc::clone(&f);
+        let id = exec.add_thread(&mut st, "main".into(), Box::new(move || g()));
+        st.current = id;
+        exec.cv.notify_all();
+    }
+    // Wait for every vthread to finish (normally or via abort unwinding).
+    {
+        let mut st = exec.lock();
+        while !st.threads.iter().all(|t| matches!(t.run, RunState::Finished)) {
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let handles = std::mem::take(&mut *exec.handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = exec.lock();
+    RunOutcome {
+        failure: st.failure.take(),
+        choices: std::mem::take(&mut st.choices),
+        trace: std::mem::take(&mut st.trace),
+        thread_names: st.threads.iter().map(|t| t.name.clone()).collect(),
+
+    }
+}
+
+/// Next DFS prefix after a run made `choices`: rightmost incrementable
+/// decision (below `depth_cap`) bumps by one, everything after it resets.
+/// `None` when the tree is exhausted.
+pub(crate) fn dfs_advance(choices: &[ChoiceRec], depth_cap: usize) -> Option<Vec<usize>> {
+    let limit = choices.len().min(depth_cap);
+    for i in (0..limit).rev() {
+        if choices[i].picked + 1 < choices[i].n {
+            let mut p: Vec<usize> = choices[..i].iter().map(|c| c.picked).collect();
+            p.push(choices[i].picked + 1);
+            return Some(p);
+        }
+    }
+    None
+}

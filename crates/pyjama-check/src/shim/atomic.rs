@@ -1,0 +1,222 @@
+//! Instrumented atomics with TSO store-buffer semantics (see module docs of
+//! [`crate::shim`]).
+//!
+//! The ordering table, applied uniformly:
+//!
+//! | operation                | effect                                        |
+//! |--------------------------|-----------------------------------------------|
+//! | load (Relaxed/Acquire)   | own buffer (forwarding) else global           |
+//! | load (SeqCst)            | flush own buffer, then global                 |
+//! | store (Relaxed/Release)  | append to own FIFO buffer                     |
+//! | store (SeqCst)           | flush own buffer, then global store           |
+//! | any RMW / CAS            | flush own buffer, then atomic global op       |
+//! | fence (SeqCst)           | flush own buffer                              |
+//! | fence (Acquire/Release)  | no-op (TSO)                                   |
+
+use std::sync::Arc;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::sched::{self, flush_buffer, read_var, VarCell};
+
+fn is_seqcst(o: Ordering) -> bool {
+    matches!(o, Ordering::SeqCst)
+}
+
+fn ord_tag(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "rlx",
+        Ordering::Acquire => "acq",
+        Ordering::Release => "rel",
+        Ordering::AcqRel => "acqrel",
+        Ordering::SeqCst => "sc",
+        _ => "?",
+    }
+}
+
+/// The shared raw-u64 implementation behind every shim atomic type.
+#[derive(Clone)]
+pub struct AtomicU64 {
+    cell: Arc<VarCell>,
+}
+
+impl AtomicU64 {
+    pub fn new(v: u64) -> Self {
+        Self::named("atomic", v)
+    }
+
+    /// Names show up in operation traces; give protocol fields their real
+    /// names (`"deque.bottom"`, `"slot.done"`, …).
+    pub fn named(name: &str, v: u64) -> Self {
+        AtomicU64 { cell: VarCell::new(name.to_string(), v) }
+    }
+
+    pub fn load(&self, o: Ordering) -> u64 {
+        sched::with_exec(|exec, me| {
+            exec.op(
+                me,
+                |st| {
+                    let v = read_var(st, me, &self.cell);
+                    format!("load.{} {} -> {}", ord_tag(o), self.cell.name, v)
+                },
+                |st| {
+                    if is_seqcst(o) {
+                        flush_buffer(st, me);
+                    }
+                    read_var(st, me, &self.cell)
+                },
+            )
+        })
+    }
+
+    pub fn store(&self, v: u64, o: Ordering) {
+        sched::with_exec(|exec, me| {
+            exec.op(
+                me,
+                |_| {
+                    let how = if is_seqcst(o) { "" } else { " [buffered]" };
+                    format!("store.{} {} = {}{}", ord_tag(o), self.cell.name, v, how)
+                },
+                |st| {
+                    if is_seqcst(o) {
+                        flush_buffer(st, me);
+                        self.cell.set(v);
+                    } else {
+                        st.threads[me].buffer.push((Arc::clone(&self.cell), v));
+                    }
+                },
+            )
+        })
+    }
+
+    pub fn swap(&self, v: u64, _o: Ordering) -> u64 {
+        self.rmw("swap", move |_| v)
+    }
+
+    pub fn fetch_add(&self, d: u64, _o: Ordering) -> u64 {
+        self.rmw("fetch_add", move |old| old.wrapping_add(d))
+    }
+
+    pub fn fetch_sub(&self, d: u64, _o: Ordering) -> u64 {
+        self.rmw("fetch_sub", move |old| old.wrapping_sub(d))
+    }
+
+    /// All RMWs flush and act on global memory regardless of ordering
+    /// (locked instructions drain the store buffer on every TSO machine).
+    fn rmw(&self, what: &str, f: impl FnOnce(u64) -> u64) -> u64 {
+        sched::with_exec(|exec, me| {
+            exec.op(
+                me,
+                |_| format!("{what} {}", self.cell.name),
+                |st| {
+                    flush_buffer(st, me);
+                    let old = self.cell.get();
+                    self.cell.set(f(old));
+                    old
+                },
+            )
+        })
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expected: u64,
+        new: u64,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u64, u64> {
+        sched::with_exec(|exec, me| {
+            exec.op(
+                me,
+                |_| format!("cas {} {}->{}", self.cell.name, expected, new),
+                |st| {
+                    flush_buffer(st, me);
+                    let old = self.cell.get();
+                    if old == expected {
+                        self.cell.set(new);
+                        st.trace.push((me, format!("  cas {} won", self.cell.name)));
+                        Ok(old)
+                    } else {
+                        st.trace
+                            .push((me, format!("  cas {} lost (saw {})", self.cell.name, old)));
+                        Err(old)
+                    }
+                },
+            )
+        })
+    }
+}
+
+/// A memory fence at a scheduling point. Only `SeqCst` has an effect under
+/// TSO: it commits the calling thread's store buffer.
+pub fn fence(o: Ordering) {
+    sched::with_exec(|exec, me| {
+        exec.op(
+            me,
+            |_| format!("fence.{}", ord_tag(o)),
+            |st| {
+                if is_seqcst(o) {
+                    flush_buffer(st, me);
+                }
+            },
+        )
+    })
+}
+
+macro_rules! wrapper_atomic {
+    ($name:ident, $ty:ty, $to:expr, $from:expr) => {
+        #[derive(Clone)]
+        pub struct $name {
+            raw: AtomicU64,
+        }
+
+        impl $name {
+            pub fn new(v: $ty) -> Self {
+                $name { raw: AtomicU64::new(($to)(v)) }
+            }
+            pub fn named(name: &str, v: $ty) -> Self {
+                $name { raw: AtomicU64::named(name, ($to)(v)) }
+            }
+            pub fn load(&self, o: Ordering) -> $ty {
+                ($from)(self.raw.load(o))
+            }
+            pub fn store(&self, v: $ty, o: Ordering) {
+                self.raw.store(($to)(v), o)
+            }
+            pub fn swap(&self, v: $ty, o: Ordering) -> $ty {
+                ($from)(self.raw.swap(($to)(v), o))
+            }
+            pub fn compare_exchange(
+                &self,
+                expected: $ty,
+                new: $ty,
+                s: Ordering,
+                f: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.raw
+                    .compare_exchange(($to)(expected), ($to)(new), s, f)
+                    .map($from)
+                    .map_err($from)
+            }
+        }
+    };
+}
+
+wrapper_atomic!(AtomicBool, bool, |v: bool| v as u64, |v: u64| v != 0);
+wrapper_atomic!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+wrapper_atomic!(AtomicIsize, isize, |v: isize| v as u64, |v: u64| v as i64 as isize);
+
+impl AtomicUsize {
+    pub fn fetch_add(&self, d: usize, o: Ordering) -> usize {
+        self.raw.fetch_add(d as u64, o) as usize
+    }
+    pub fn fetch_sub(&self, d: usize, o: Ordering) -> usize {
+        self.raw.fetch_sub(d as u64, o) as usize
+    }
+}
+
+impl AtomicIsize {
+    pub fn fetch_add(&self, d: isize, o: Ordering) -> isize {
+        self.raw.fetch_add(d as u64, o) as i64 as isize
+    }
+}

@@ -1,0 +1,50 @@
+//! Instrumented stand-ins for `std::sync::atomic`, `Mutex`/`Condvar` and
+//! `std::thread`, usable only inside a [`Checker`](crate::Checker) run.
+//!
+//! Every operation is a scheduling point: it executes atomically while the
+//! calling virtual thread holds the run's baton, is appended to the
+//! operation trace, and then hands the baton to a scheduler-chosen thread.
+//!
+//! ## Memory model: TSO store buffers
+//!
+//! The shims model **total store order** (x86-class) rather than full C11
+//! weak memory: a `Relaxed` or `Release` store parks in the storing
+//! thread's FIFO buffer and becomes globally visible either at that
+//! thread's next flush point — a SeqCst access, any read-modify-write, a
+//! SeqCst fence, any lock/condvar operation, or thread exit — or when the
+//! scheduler chooses to drain it: single-store FIFO drains are scheduling
+//! candidates, modelling TSO's asynchronous buffer drain. Loads forward
+//! from the thread's own buffer first. This makes the reorderings TSO
+//! permits really happen when an ordering is weakened: store→load (the
+//! Dekker/eventcount hazard, via delayed drain) and delayed-visibility
+//! races between two buffered stores (via partial drain). Load→load
+//! reordering and other non-TSO weak-memory behaviours are *not* modelled
+//! (a documented limitation; see DESIGN.md §5h).
+
+pub mod atomic;
+pub mod sync;
+pub mod thread;
+
+pub use atomic::{fence, AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+pub use sync::{Condvar, Mutex, MutexGuard};
+
+use crate::sched;
+
+/// A scheduler-resolved boolean: the explorer tries both arms. Use it to
+/// model environment nondeterminism that is not a thread interleaving —
+/// e.g. "had the deadline already passed on entry?".
+pub fn nondet(label: &str) -> bool {
+    sched::with_exec(|exec, me| {
+        exec.op(
+            me,
+            |_| format!("nondet({label})"),
+            |st| exec.decide(st, 2) == 1,
+        )
+    })
+}
+
+/// Explicit scheduling point with no memory effect. Spin-wait loops in
+/// ported code call this so other threads can run between probes.
+pub fn yield_now() {
+    sched::with_exec(|exec, me| exec.op(me, |_| "yield".into(), |_| ()))
+}

@@ -1,0 +1,243 @@
+//! Instrumented `Mutex` and `Condvar` with parking_lot-shaped APIs (the
+//! ported protocols use parking_lot): `Condvar::wait(&self, &mut guard)`
+//! mutates the guard in place, and the timed wait reports timeout as a
+//! plain bool.
+//!
+//! Lock acquisition, release, waiting and notification are all scheduling
+//! points. A contended lock blocks the virtual thread; unlock makes every
+//! contender runnable again and they re-race under scheduler control, so
+//! lock handoff order is explored, not fixed. `notify_one` wakes the
+//! longest-waiting thread (FIFO, like parking_lot's fairness direction);
+//! timed waits can additionally be resumed by a scheduler-chosen timeout at
+//! any moment, which is how "wake vs deadline" races are explored.
+//!
+//! Every lock/condvar operation is a TSO flush point for the calling
+//! thread's store buffer.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use crate::sched::{self, flush_buffer, Blocked, RunState, VarCell, NOBODY};
+
+pub struct Mutex<T> {
+    /// Holds the owning vthread id (or [`NOBODY`]); doubles as identity for
+    /// the waiter list.
+    ctl: Arc<VarCell>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: `data` is only touched through a guard, and guards only exist on
+// the vthread that holds both the shim lock and (transitively) the run's
+// baton — all access is serialized by the scheduler.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    m: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(v: T) -> Self {
+        Self::named("mutex", v)
+    }
+
+    pub fn named(name: &str, v: T) -> Self {
+        Mutex {
+            ctl: VarCell::new(name.to_string(), NOBODY as u64),
+            data: UnsafeCell::new(v),
+        }
+    }
+
+    /// Blocks (the virtual thread) until the lock is acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        sched::with_exec(|exec, me| {
+            loop {
+                let mut st = exec.lock();
+                st = exec.wait_turn(st, me);
+                if self.ctl.get() == NOBODY as u64 {
+                    exec.begin_op(&mut st, me, format!("lock {}", self.ctl.name));
+                    self.ctl.set(me as u64);
+                    flush_buffer(&mut st, me);
+                    exec.pick_next(&mut st);
+                    let _st = exec.wait_turn(st, me);
+                    return MutexGuard { m: self };
+                }
+                exec.begin_op(&mut st, me, format!("lock {} (contended)", self.ctl.name));
+                st.threads[me].run = RunState::Blocked(Blocked::Mutex { id: self.ctl.id() });
+                exec.pick_next(&mut st);
+                let _st = exec.wait_turn(st, me);
+                // Woken by an unlock: loop and re-race for the lock.
+            }
+        })
+    }
+
+    /// Releases the lock and wakes every contender (they re-race).
+    fn unlock(&self, during_unwind: bool) {
+        sched::with_exec(|exec, me| {
+            let mut st = exec.lock();
+            if self.ctl.get() != me as u64 {
+                // Only reachable when an aborting run unwound out of a
+                // condvar wait after the wait released the mutex: the
+                // caller's guard drops without owning anything.
+                debug_assert!(
+                    during_unwind || st.abort,
+                    "unlock {} by non-owner",
+                    self.ctl.name
+                );
+                exec.notify_everyone();
+                return;
+            }
+            self.ctl.set(NOBODY as u64);
+            let id = self.ctl.id();
+            for t in st.threads.iter_mut() {
+                if matches!(t.run, RunState::Blocked(Blocked::Mutex { id: i }) if i == id) {
+                    t.run = RunState::Runnable;
+                }
+            }
+            flush_buffer(&mut st, me);
+            if during_unwind || st.abort {
+                // Never yield (or panic) out of a Drop that runs while the
+                // run is unwinding; just hand visibility to everyone.
+                exec.notify_everyone();
+                return;
+            }
+            exec.begin_op(&mut st, me, format!("unlock {}", self.ctl.name));
+            exec.pick_next(&mut st);
+            let _st = exec.wait_turn(st, me);
+        })
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.m.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.m.unlock(std::thread::panicking());
+    }
+}
+
+pub struct Condvar {
+    /// Identity only; the value is unused.
+    ctl: Arc<VarCell>,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self::named("condvar")
+    }
+
+    pub fn named(name: &str) -> Self {
+        Condvar { ctl: VarCell::new(name.to_string(), 0) }
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified,
+    /// then reacquires the mutex. No spontaneous wakeups: an untimed wait
+    /// only ever returns after a notify — a protocol that loses its last
+    /// notify therefore deadlocks, which the checker reports.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_inner(guard, false);
+    }
+
+    /// Like [`wait`](Self::wait) but the scheduler may also resume it as a
+    /// timeout at any point (modelling `wait_until` with an arbitrary
+    /// deadline). Returns `true` when resumed by the timeout.
+    pub fn wait_timed<T>(&self, guard: &mut MutexGuard<'_, T>) -> bool {
+        self.wait_inner(guard, true)
+    }
+
+    fn wait_inner<T>(&self, guard: &mut MutexGuard<'_, T>, timed: bool) -> bool {
+        let mutex = guard.m;
+        sched::with_exec(|exec, me| {
+            let mut st = exec.lock();
+            let tag = if timed { " (timed)" } else { "" };
+            exec.begin_op(&mut st, me, format!("cv wait {}{}", self.ctl.name, tag));
+            // Release the mutex exactly like unlock, but without yielding —
+            // the wait itself is the scheduling point.
+            debug_assert_eq!(mutex.ctl.get(), me as u64, "wait with unowned mutex");
+            mutex.ctl.set(NOBODY as u64);
+            let mid = mutex.ctl.id();
+            for t in st.threads.iter_mut() {
+                if matches!(t.run, RunState::Blocked(Blocked::Mutex { id: i }) if i == mid) {
+                    t.run = RunState::Runnable;
+                }
+            }
+            flush_buffer(&mut st, me);
+            let seq = exec.next_cv_seq(&mut st);
+            st.threads[me].run =
+                RunState::Blocked(Blocked::Condvar { cv: self.ctl.id(), timed, seq });
+            st.threads[me].notified = false;
+            exec.pick_next(&mut st);
+            st = exec.wait_turn(st, me);
+            let notified = st.threads[me].notified;
+            drop(st);
+            // Reacquire before returning, racing other contenders.
+            let reacquired = mutex.lock();
+            std::mem::forget(reacquired); // the caller's guard stays the owner
+            !notified
+        })
+    }
+
+    /// Wakes the longest-waiting thread on this condvar, if any.
+    pub fn notify_one(&self) {
+        self.notify(false)
+    }
+
+    /// Wakes every thread waiting on this condvar.
+    pub fn notify_all(&self) {
+        self.notify(true)
+    }
+
+    fn notify(&self, all: bool) {
+        sched::with_exec(|exec, me| {
+            exec.op(
+                me,
+                |_| {
+                    format!(
+                        "cv notify_{} {}",
+                        if all { "all" } else { "one" },
+                        self.ctl.name
+                    )
+                },
+                |st| {
+                    flush_buffer(st, me);
+                    let id = self.ctl.id();
+                    let mut waiters: Vec<(u64, usize)> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, t)| match t.run {
+                            RunState::Blocked(Blocked::Condvar { cv, seq, .. }) if cv == id => {
+                                Some((seq, i))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    waiters.sort_unstable();
+                    let take = if all { waiters.len() } else { waiters.len().min(1) };
+                    for &(_, i) in waiters.iter().take(take) {
+                        st.threads[i].run = RunState::Runnable;
+                        st.threads[i].notified = true;
+                    }
+                },
+            )
+        })
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}

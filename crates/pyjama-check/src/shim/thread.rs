@@ -1,0 +1,46 @@
+//! Virtual-thread spawn/join. A spawned closure runs on a real OS thread,
+//! but scheduling is entirely baton-driven: it executes only when the
+//! scheduler picks it, one shim operation at a time.
+//!
+//! Every virtual thread must terminate for a schedule to complete — a
+//! spawned thread that can block forever shows up as a deadlock failure,
+//! exactly like loom. `JoinHandle::join` is a blocking scheduling point.
+
+use crate::sched::{self, Blocked, RunState};
+
+pub struct JoinHandle {
+    id: usize,
+}
+
+/// Spawns a named virtual thread. The name appears in operation traces and
+/// failure reports.
+pub fn spawn(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    sched::with_exec(|exec, me| {
+        let mut st = exec.lock();
+        exec.begin_op(&mut st, me, format!("spawn '{name}'"));
+        sched::flush_buffer(&mut st, me);
+        let id = exec.add_thread(&mut st, name.to_string(), Box::new(f));
+        exec.pick_next(&mut st);
+        let _st = exec.wait_turn(st, me);
+        JoinHandle { id }
+    })
+}
+
+impl JoinHandle {
+    /// Blocks until the target virtual thread finishes. A panic on the
+    /// target aborts the whole run (the checker reports it), so join never
+    /// returns an error.
+    pub fn join(self) {
+        sched::with_exec(|exec, me| {
+            let mut st = exec.lock();
+            st = exec.wait_turn(st, me);
+            exec.begin_op(&mut st, me, format!("join vthread {}", self.id));
+            sched::flush_buffer(&mut st, me);
+            if !matches!(st.threads[self.id].run, RunState::Finished) {
+                st.threads[me].run = RunState::Blocked(Blocked::Join { target: self.id });
+            }
+            exec.pick_next(&mut st);
+            let _st = exec.wait_turn(st, me);
+        })
+    }
+}

@@ -61,7 +61,7 @@ pub mod pool;
 pub mod registry;
 pub mod schedule;
 pub mod sections;
-pub(crate) mod spin;
+pub mod spin;
 pub mod sync;
 pub mod tasks;
 pub mod team;

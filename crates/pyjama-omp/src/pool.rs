@@ -32,6 +32,13 @@
 //! are counted in [`TeamStats`] (`threads_spawned` vs `threads_reused`;
 //! see the conservation law there).
 //!
+//! Model-checked twin: `pyjama-check/src/models/pool_join.rs` ports the
+//! [`Slot`] publish/next_job/signal_done/wait_done protocol and the lease
+//! discipline onto instrumented shims; its mutation suite re-introduces
+//! the early-done and skipped-notify bugs and asserts the checker catches
+//! them. Keep the port in sync with protocol changes here — DESIGN.md §5h
+//! also carries the full join soundness argument.
+//!
 //! [`parallel`]: crate::parallel
 //! [`TeamStats`]: pyjama_metrics::TeamStats
 

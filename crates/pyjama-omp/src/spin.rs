@@ -6,20 +6,76 @@
 //! delays the thread that would satisfy the wait (the classic
 //! spin-on-uniprocessor pathology; libgomp likewise throttles its wait
 //! policy when threads are oversubscribed). All spin-then-park sites in
-//! this crate route their budget through [`budget`], which collapses it to
-//! zero there.
+//! this crate route their budget through [`budget`].
+//!
+//! The policy is overridable — `OMP_WAIT_POLICY`-style control without the
+//! full ICV machinery:
+//!
+//! 1. [`set_spin_budget`] pins every site's budget to a fixed value (tests
+//!    use `Some(0)` to force the park paths deterministically; benchmarks
+//!    pin a value to take scheduling noise out of A/B runs), and
+//! 2. the `PJ_SPIN_BUDGET` environment variable does the same from outside
+//!    the process, read once on first use.
+//!
+//! Without either, the old adaptive default applies: the caller's limit on
+//! multi-core machines, zero on a single hardware thread.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
 
-/// Returns `limit` on multi-core machines, `0` on a single hardware thread.
-pub(crate) fn budget(limit: u32) -> u32 {
+/// Sentinel for "no override": budgets are real spin counts well below it.
+const UNSET: u32 = u32::MAX;
+
+/// Process-wide override; [`UNSET`] when the adaptive default applies.
+static OVERRIDE: AtomicU32 = AtomicU32::new(UNSET);
+
+/// Overrides every spin-then-park site's budget: `Some(n)` caps each site
+/// at `n` iterations (0 forces immediate parking), `None` restores the
+/// adaptive default. Takes effect on the next [`budget`] call — unlike the
+/// old `OnceLock` scheme there is no process-global freeze, so tests can
+/// flip policies without reordering hacks.
+pub fn set_spin_budget(limit: Option<u32>) {
+    let v = match limit {
+        Some(n) => n.min(UNSET - 1),
+        None => UNSET,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The environment override, parsed once. `PJ_SPIN_BUDGET=0` is the useful
+/// extreme: force every wait straight to its park path.
+fn env_override() -> Option<u32> {
+    static ENV: OnceLock<Option<u32>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PJ_SPIN_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .map(|v| v.min(UNSET - 1))
+    })
+}
+
+/// True when the machine has more than one hardware thread (cached).
+fn multi_core() -> bool {
     static MULTI: OnceLock<bool> = OnceLock::new();
-    let multi = *MULTI.get_or_init(|| {
+    *MULTI.get_or_init(|| {
         std::thread::available_parallelism()
             .map(|n| n.get() > 1)
             .unwrap_or(true)
-    });
-    if multi {
+    })
+}
+
+/// Resolves the effective spin budget for a site whose default is `limit`:
+/// [`set_spin_budget`] wins, then `PJ_SPIN_BUDGET`, then the adaptive
+/// default (`limit` on multi-core, `0` on a single hardware thread).
+pub fn budget(limit: u32) -> u32 {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o != UNSET {
+        return o;
+    }
+    if let Some(e) = env_override() {
+        return e;
+    }
+    if multi_core() {
         limit
     } else {
         0
@@ -30,11 +86,22 @@ pub(crate) fn budget(limit: u32) -> u32 {
 mod tests {
     use super::*;
 
+    // One test, not several: the override is process-global and the test
+    // harness runs tests concurrently.
     #[test]
-    fn budget_is_limit_or_zero() {
+    fn budget_default_override_and_release() {
+        set_spin_budget(None);
         let b = budget(4096);
         assert!(b == 4096 || b == 0);
-        // Deterministic per process.
+        // Deterministic per process (same adaptive answer every call).
         assert_eq!(b, budget(4096));
+
+        set_spin_budget(Some(7));
+        assert_eq!(budget(4096), 7);
+        set_spin_budget(Some(0));
+        assert_eq!(budget(4096), 0, "zero must force the park path");
+        set_spin_budget(None);
+        let after = budget(4096);
+        assert_eq!(after, b, "None must restore the adaptive default");
     }
 }

@@ -30,6 +30,15 @@
 //! A lost race surfaces to the caller as [`Steal::Retry`] (the PPoPP-2013
 //! ABORT outcome) so thieves rotate to the next victim instead of spinning
 //! on one contended deque.
+//!
+//! ## Model-checked twin
+//!
+//! `pyjama-check/src/models/deque.rs` ports push/pop/steal (same operation
+//! order, same memory orderings) onto instrumented shims and explores their
+//! interleavings under TSO store buffers, including mutation tests that
+//! re-weaken the orderings below. **If you change an ordering or reorder
+//! operations here, update the model port in the same PR** — DESIGN.md §5h
+//! explains the port-sync discipline.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};

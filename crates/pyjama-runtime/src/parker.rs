@@ -32,6 +32,13 @@
 //! Timers are the one wake that has no post-side hook (nothing "arrives"
 //! when a deadline passes), so a parked EDT bounds its sleep by the loop's
 //! next timer deadline — an exact event time, not a poll quantum.
+//!
+//! Model-checked twin: `pyjama-check/src/models/parker.rs` ports
+//! [`WakeSignal`] and the `await_until_inner` accounting loop onto
+//! instrumented shims and explores the notify-vs-park and wake-vs-deadline
+//! races (plus mutations that re-lose the permit and re-introduce the
+//! timeout spurious-undercount). Keep the port in sync with protocol
+//! changes here — DESIGN.md §5h.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -226,6 +233,12 @@ fn await_until_inner(handle: &TaskHandle, deadline: Option<Instant>, trace: pyja
         }
         if let Some(d) = deadline {
             if Instant::now() >= d {
+                // The wake that brought us to this exit (if any) delivered
+                // no work either — record it before leaving, or deadline
+                // exits would silently eat one no-work wakeup.
+                if woke_with_no_work {
+                    COUNTERS.record_spurious();
+                }
                 return handle.is_finished();
             }
         }
@@ -245,14 +258,21 @@ fn await_until_inner(handle: &TaskHandle, deadline: Option<Instant>, trace: pyja
             (a, b) => a.or(b),
         };
         pyjama_trace::emit(trace, Stage::BarrierPark, 0);
-        woke_with_no_work = match until {
+        let notified = match until {
             Some(d) => signal.park_until(d),
             None => {
                 signal.park();
                 true
             }
         };
-        pyjama_trace::emit(trace, Stage::BarrierWake, woke_with_no_work as u32);
+        // A timeout return is still a wakeup: if the next iteration finds
+        // no work, it was a no-work wakeup regardless of who caused it.
+        // (The old `woke_with_no_work = notified` under-counted: every
+        // timeout-then-idle cycle was invisible in the spurious stats.
+        // The model checker's parker-timeout-not-spurious mutation keeps
+        // this exact bug pinned — see pyjama-check.)
+        woke_with_no_work = true;
+        pyjama_trace::emit(trace, Stage::BarrierWake, notified as u32);
     }
 }
 
@@ -348,6 +368,26 @@ mod tests {
         assert!(t0.elapsed() >= Duration::from_millis(30));
         // The barrier's waker guards must have deregistered.
         region.execute(); // no stale waker to notify; nothing panics
+    }
+
+    #[test]
+    fn await_until_timeout_counts_spurious_wake() {
+        // A stuck task with a deadline: the barrier parks, times out, and
+        // exits having found no work. That timeout wake must show up in the
+        // spurious counter — the pre-PR-6 code cleared `woke_with_no_work`
+        // on timeout returns and never recorded timeout-then-idle cycles.
+        let before = park_stats();
+        let region = crate::task::TargetRegion::new("stuck", || {});
+        let handle = region.handle();
+        assert!(!await_until(
+            &handle,
+            Some(Instant::now() + Duration::from_millis(30))
+        ));
+        let after = park_stats();
+        assert!(
+            after.spurious_wakes > before.spurious_wakes,
+            "timeout-then-idle exit must count as a spurious (no-work) wake"
+        );
     }
 
     #[test]

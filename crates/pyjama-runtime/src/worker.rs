@@ -35,6 +35,14 @@
 //! [`WorkerTarget::help_current_thread_pool`], Algorithm 1 line 15) runs the
 //! same local-pop → steal → injector sequence, so a member blocked in an
 //! `await` drains work without contending on a pool-wide lock.
+//!
+//! Model-checked twin: `pyjama-check/src/models/pool_join.rs` ports the
+//! injector's post/shutdown/final-drain protocol and the eventcount park
+//! (`ModelInjector`) onto instrumented shims; the checked invariant is that
+//! an accepted post's `injector_len` increment happens-before the SeqCst
+//! shutdown read that gates the final drain, so accepted regions are never
+//! stranded. Keep the port in sync with protocol changes here — DESIGN.md
+//! §5h.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;

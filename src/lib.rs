@@ -22,6 +22,9 @@
 //! * [`compiler`] — a source-to-source compiler for the PJ mini-language
 //!   with `//#omp` directives, reproducing the Section IV.A restructuring.
 //! * [`metrics`] — response-time / throughput / EDT-occupancy measurement.
+//! * [`check`] — a loom-style deterministic interleaving checker for the
+//!   runtime's lock-free core (Chase–Lev deque, eventcount parker, pool
+//!   join), with replayable failing schedules.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@
 pub use pyjama_runtime::{target_virtual, wait_tag};
 
 pub use pyjama_baselines as baselines;
+pub use pyjama_check as check;
 pub use pyjama_compiler as compiler;
 pub use pyjama_events as events;
 pub use pyjama_gui as gui;
