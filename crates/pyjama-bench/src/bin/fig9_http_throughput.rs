@@ -32,11 +32,13 @@ fn main() {
     let (users, reqs) = if quick { (10, 3) } else { (100, 5) };
     let omp_width = 4;
 
-    let variants: [(&str, ServerFlavor, Option<usize>); 4] = [
+    let variants: [(&str, ServerFlavor, Option<usize>); 6] = [
         ("jetty", ServerFlavor::Jetty, None),
         ("pyjama", ServerFlavor::Pyjama, None),
+        ("reactor", ServerFlavor::Reactor, None),
         ("jetty+parallel", ServerFlavor::Jetty, Some(omp_width)),
         ("pyjama+parallel", ServerFlavor::Pyjama, Some(omp_width)),
+        ("reactor+parallel", ServerFlavor::Reactor, Some(omp_width)),
     ];
 
     println!(
@@ -56,6 +58,7 @@ fn main() {
         "throughput_rps",
         "p50_ms",
         "p99_ms",
+        "p999_ms",
         "mean_response_ms",
         "queue_delay_p99_ms",
         "reused_conns",
@@ -91,6 +94,7 @@ fn main() {
                     format!("{:.2}", r.throughput),
                     ms(r.p50_response),
                     ms(r.p99_response),
+                    ms(r.p999_response),
                     ms(r.mean_response),
                     ms(r.queue_delay_p99),
                     r.conns.reused.to_string(),
@@ -111,7 +115,9 @@ fn main() {
          teams) then level off or degrade as worker_threads × omp_width oversubscribes\n\
          the machine — the paper's thread-scheduling-overhead plateau. The CSV's\n\
          keepalive=false rows are the connection-per-request baseline; keepalive=true\n\
-         amortises TCP setup and the codec's buffers across each user's requests."
+         amortises TCP setup and the codec's buffers across each user's requests.\n\
+         The reactor rows should track pyjama keep-alive at this (100-user) scale —\n\
+         its win is the connection ceiling, measured separately by the c10k bin."
     );
     pyjama_bench::finish_trace(trace_path.as_deref());
 }

@@ -22,6 +22,9 @@ pub enum ServerFlavor {
     Jetty,
     /// Pyjama acceptor + `target virtual(worker) nowait` offload.
     Pyjama,
+    /// Readiness-driven epoll reactor posting serving regions on kernel
+    /// readiness (`ServingPolicy::Reactor`).
+    Reactor,
 }
 
 impl ServerFlavor {
@@ -30,6 +33,7 @@ impl ServerFlavor {
         match self {
             ServerFlavor::Jetty => "jetty",
             ServerFlavor::Pyjama => "pyjama",
+            ServerFlavor::Reactor => "reactor",
         }
     }
 }
@@ -45,6 +49,8 @@ pub struct HttpBenchResult {
     pub p50_response: std::time::Duration,
     /// 99th-percentile response time.
     pub p99_response: std::time::Duration,
+    /// 99.9th-percentile response time (the C10K tail).
+    pub p999_response: std::time::Duration,
     /// Requests that failed.
     pub failed: u64,
     /// Server-side connection-lifecycle counters (accepts, reuse,
@@ -173,6 +179,19 @@ pub fn run_http_benchmark(flavor: ServerFlavor, config: &HttpBenchConfig) -> Htt
             )
             .expect("start pyjama server")
         }
+        ServerFlavor::Reactor => {
+            let rt = Arc::new(Runtime::new());
+            rt.virtual_target_create_worker("worker", config.worker_threads);
+            HttpServer::start_with(
+                ServingPolicy::Reactor {
+                    runtime: rt,
+                    target: "worker".into(),
+                },
+                opts,
+                encryption_handler(config),
+            )
+            .expect("start reactor server")
+        }
     };
 
     let payload = vec![0xA5u8; config.payload];
@@ -198,6 +217,7 @@ pub fn run_http_benchmark(flavor: ServerFlavor, config: &HttpBenchConfig) -> Htt
         mean_response: report.mean_response,
         p50_response: report.p50_response,
         p99_response: report.p99_response,
+        p999_response: report.p999_response,
         failed: report.failed,
         conns,
         queue_delay_p99,
@@ -232,7 +252,11 @@ mod tests {
     #[test]
     fn both_flavors_serve_all_requests() {
         let _g = cell_lock();
-        for flavor in [ServerFlavor::Jetty, ServerFlavor::Pyjama] {
+        for flavor in [
+            ServerFlavor::Jetty,
+            ServerFlavor::Pyjama,
+            ServerFlavor::Reactor,
+        ] {
             let r = run_http_benchmark(flavor, &tiny(2, None));
             assert_eq!(r.failed, 0, "{flavor:?}");
             assert!(r.throughput > 0.0, "{flavor:?}");
@@ -282,5 +306,6 @@ mod tests {
     fn flavor_names() {
         assert_eq!(ServerFlavor::Jetty.name(), "jetty");
         assert_eq!(ServerFlavor::Pyjama.name(), "pyjama");
+        assert_eq!(ServerFlavor::Reactor.name(), "reactor");
     }
 }

@@ -133,6 +133,9 @@ pub struct LoadReport {
     pub p50_response: Duration,
     /// 99th-percentile response time.
     pub p99_response: Duration,
+    /// 99.9th-percentile response time — the tail that matters at C10K
+    /// scale, where one stalled dispatch shows up far past p99.
+    pub p999_response: Duration,
 }
 
 /// A closed-loop load generator: `users` virtual users, each sending
@@ -220,6 +223,7 @@ impl LoadGenerator {
             mean_response: latency.mean(),
             p50_response: latency.quantile(0.5),
             p99_response: latency.quantile(0.99),
+            p999_response: latency.quantile(0.999),
         }
     }
 }

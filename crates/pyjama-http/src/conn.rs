@@ -2,13 +2,15 @@
 //!
 //! [`ConnState`] owns everything one TCP connection needs across its whole
 //! lifetime — the buffered reader, the parsed-request shell, the line
-//! scratch and the outgoing serialisation buffer — so that serving request
-//! *n+1* on a connection allocates nothing the serving of request *n* did
-//! not already allocate. Responses leave in a single `write_all` of the
-//! reused buffer (with `TCP_NODELAY` set, so the kernel does not hold the
-//! tail of a response hostage to Nagle/delayed-ACK interplay).
+//! scratch and the outgoing head buffer — so that serving request *n+1* on
+//! a connection allocates nothing the serving of request *n* did not
+//! already allocate. Responses leave as one `writev` over `[head, body]`
+//! (with `TCP_NODELAY` set, so the kernel does not hold the tail of a
+//! response hostage to Nagle/delayed-ACK interplay): the body is never
+//! copied into the head buffer, and the common case is still a single
+//! syscall.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, IoSlice, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -27,7 +29,8 @@ pub(crate) struct ConnState {
     pub(crate) req: Request,
     /// Line scratch for the parser.
     scratch: ReadScratch,
-    /// Outgoing serialisation buffer, reused across responses.
+    /// Outgoing head serialisation buffer, reused across responses (the
+    /// body is sent as its own `writev` slice, never copied in here).
     out: Vec<u8>,
     /// Requests fully served (written) on this connection.
     pub(crate) served: u32,
@@ -66,13 +69,15 @@ impl ConnState {
         Request::read_into(&mut self.reader, &mut self.req, &mut self.scratch)
     }
 
-    /// Serialises `resp` (with the connection header forced to
-    /// `close`/`keep-alive` per `close`) into the reused buffer and sends it
-    /// as one write.
+    /// Serialises `resp`'s head (with the connection header forced to
+    /// `close`/`keep-alive` per `close`) into the reused buffer and sends
+    /// head + body as one vectored write (a single `writev` syscall when
+    /// the socket buffer has room; short writes continue where they left
+    /// off).
     pub(crate) fn write_response(&mut self, resp: &Response, close: bool) -> std::io::Result<()> {
         let tok = if close { "close" } else { "keep-alive" };
-        resp.write_into(&mut self.out, Some(tok));
-        self.write.write_all(&self.out)?;
+        resp.write_head_into(&mut self.out, Some(tok));
+        write_all_vectored(&mut self.write, &self.out, &resp.body)?;
         self.write.flush()
     }
 
@@ -86,6 +91,46 @@ impl ConnState {
     pub(crate) fn set_read_timeout(&self, t: Duration) -> std::io::Result<()> {
         self.reader.get_ref().set_read_timeout(Some(t))
     }
+}
+
+/// Writes the concatenation of `a` then `b` to `w`, preferring one
+/// `write_vectored` (`writev`) per attempt so the fast path is a single
+/// syscall with no copy joining the slices. Short writes continue from the
+/// exact offset reached; `Interrupted` retries.
+///
+/// (Hand-rolled continuation arithmetic instead of `IoSlice::advance_slices`
+/// to stay on long-stable std APIs.)
+pub(crate) fn write_all_vectored(
+    w: &mut impl Write,
+    a: &[u8],
+    b: &[u8],
+) -> std::io::Result<()> {
+    let (mut a, mut b) = (a, b);
+    while !a.is_empty() || !b.is_empty() {
+        let written = if a.is_empty() {
+            w.write(b)
+        } else if b.is_empty() {
+            w.write(a)
+        } else {
+            w.write_vectored(&[IoSlice::new(a), IoSlice::new(b)])
+        };
+        match written {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole response",
+                ))
+            }
+            Ok(n) => {
+                let from_a = n.min(a.len());
+                a = &a[from_a..];
+                b = &b[n - from_a..];
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 impl std::fmt::Debug for ConnState {
@@ -259,6 +304,71 @@ mod tests {
             &stop,
         );
         assert!(matches!(next, NextRequest::Stopped), "{next:?}");
+    }
+
+    /// A writer that accepts at most `limit` bytes per call — exercises the
+    /// short-write continuation across the head/body slice boundary.
+    struct Trickle {
+        limit: usize,
+        calls: usize,
+        data: Vec<u8>,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            let n = buf.len().min(self.limit);
+            self.data.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            self.calls += 1;
+            let mut left = self.limit;
+            let mut n = 0;
+            for b in bufs {
+                let take = b.len().min(left);
+                self.data.extend_from_slice(&b[..take]);
+                n += take;
+                left -= take;
+                if left == 0 {
+                    break;
+                }
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_continues_across_short_writes() {
+        let head = b"HTTP/1.1 200 OK\r\ncontent-length: 11\r\n\r\n";
+        let body = b"hello world";
+        // Every per-call limit, including ones that split mid-head,
+        // exactly at the boundary, and mid-body.
+        for limit in 1..=head.len() + body.len() {
+            let mut w = Trickle { limit, calls: 0, data: Vec::new() };
+            write_all_vectored(&mut w, head, body).unwrap();
+            let mut want = head.to_vec();
+            want.extend_from_slice(body);
+            assert_eq!(w.data, want, "limit={limit}");
+        }
+        // Unconstrained writer: exactly one (vectored) call.
+        let mut w = Trickle { limit: usize::MAX, calls: 0, data: Vec::new() };
+        write_all_vectored(&mut w, head, body).unwrap();
+        assert_eq!(w.calls, 1, "fast path must be a single syscall");
+    }
+
+    #[test]
+    fn vectored_write_handles_empty_sides() {
+        for (a, b) in [(&b""[..], &b"body"[..]), (&b"head"[..], &b""[..]), (&b""[..], &b""[..])] {
+            let mut w = Trickle { limit: 3, calls: 0, data: Vec::new() };
+            write_all_vectored(&mut w, a, b).unwrap();
+            let mut want = a.to_vec();
+            want.extend_from_slice(b);
+            assert_eq!(w.data, want);
+        }
     }
 
     #[test]

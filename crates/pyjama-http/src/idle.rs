@@ -211,8 +211,13 @@ fn poll_loop(
             .unwrap_or(-1);
         let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as _, timeout_ms) };
         if n < 0 {
-            // EINTR or similar; don't spin hot on a persistent error.
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            // EINTR (a signal landed mid-wait) is routine: retry at once —
+            // the loop top recomputes the timeout from the deadlines, so the
+            // retried wait never over-sleeps. Anything else is a persistent
+            // error; back off so we don't spin hot on it.
+            if std::io::Error::last_os_error().kind() != std::io::ErrorKind::Interrupted {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
             continue;
         }
         if fds[0].revents != 0 {
@@ -251,33 +256,38 @@ fn poll_loop(
     let mut parked: Vec<Parked> = Vec::new();
     let mut probe = [0u8; 1];
     loop {
-        parked.append(&mut shared.incoming.lock());
+        {
+            // Flip each socket to non-blocking once, on arrival, instead of
+            // toggling it around every probe (two fcntl syscalls per parked
+            // connection per 2 ms tick added up fast). It flips back to
+            // blocking only when the connection is handed back.
+            let mut incoming = shared.incoming.lock();
+            for p in incoming.drain(..) {
+                let _ = p.conn.socket().set_nonblocking(true);
+                parked.push(p);
+            }
+        }
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
         for i in (0..parked.len()).rev() {
-            let ready = {
-                let sock = parked[i].conn.socket();
-                if sock.set_nonblocking(true).is_err() {
-                    true // surface the broken socket to the read path
-                } else {
-                    let r = match sock.peek(&mut probe) {
-                        Ok(_) => true, // data, or Ok(0) = EOF
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
-                        Err(_) => true,
-                    };
-                    let _ = sock.set_nonblocking(false);
-                    r
-                }
+            let ready = match parked[i].conn.socket().peek(&mut probe) {
+                Ok(_) => true, // data, or Ok(0) = EOF
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+                Err(_) => true, // surface the broken socket to the read path
             };
             if ready {
-                on_ready(parked.swap_remove(i).conn);
+                let p = parked.swap_remove(i);
+                let _ = p.conn.socket().set_nonblocking(false);
+                on_ready(p.conn);
             }
         }
         let now = Instant::now();
         for i in (0..parked.len()).rev() {
             if parked[i].deadline <= now {
-                on_timeout(parked.swap_remove(i).conn);
+                let p = parked.swap_remove(i);
+                let _ = p.conn.socket().set_nonblocking(false);
+                on_timeout(p.conn);
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(2));

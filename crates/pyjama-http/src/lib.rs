@@ -12,9 +12,12 @@
 //! * [`server`] — a TCP server over loopback with persistent (keep-alive,
 //!   pipelining-capable) connections, a sharded accept path, and pluggable
 //!   [`ServingPolicy`]: [`ServingPolicy::JettyPool`] (thread-pinned
-//!   sessions) or [`ServingPolicy::PyjamaVirtualTarget`] (each connection
+//!   sessions), [`ServingPolicy::PyjamaVirtualTarget`] (each connection
 //!   re-arms itself as a chain of `nowait` target regions; idle sockets
-//!   park on a poller instead of pinning a worker).
+//!   park on a poller instead of pinning a worker) or
+//!   [`ServingPolicy::Reactor`] (an epoll reactor owns every socket
+//!   non-blocking and kernel readiness posts the serving regions — tens of
+//!   thousands of keep-alive connections on a bounded pool).
 //! * [`client`] — a blocking client, the persistent-connection
 //!   [`ClientConn`], and the closed-loop [`LoadGenerator`]: "100 virtual
 //!   users, with each user sending a constant number of requests",
@@ -27,8 +30,12 @@ pub mod client;
 pub(crate) mod conn;
 pub(crate) mod idle;
 pub mod message;
+pub(crate) mod reactor;
 pub mod server;
 
 pub use client::{http_get, http_post, ClientConn, LoadGenerator, LoadReport};
-pub use message::{Headers, ReadError, Request, Response, Status, MAX_BODY_BYTES};
+pub use message::{
+    Headers, ParseStatus, ReadError, Request, Response, Status, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
+pub use reactor::nofile_limit_at_least;
 pub use server::{HttpServer, ServerOptions, ServingPolicy};

@@ -18,6 +18,12 @@ pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 /// Largest accepted header count per message (anti-abuse bound).
 pub const MAX_HEADERS: usize = 128;
 
+/// Largest accepted request head (request line + headers + blank line) for
+/// the incremental parser. A client that dribbles garbage without ever
+/// completing its head is rejected at this bound instead of growing the
+/// connection's buffer forever.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
 /// Response status codes the service uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Status {
@@ -224,6 +230,21 @@ impl ReadError {
     }
 }
 
+/// Outcome of one incremental parse attempt over a byte buffer
+/// ([`Request::parse_into`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseStatus {
+    /// A full request was parsed; the first `consumed` bytes of the buffer
+    /// belong to it (head + body) and must be drained before the next call.
+    Complete {
+        /// Bytes of the buffer consumed by this request.
+        consumed: usize,
+    },
+    /// The buffer ends mid-head or mid-body; read more bytes and call again
+    /// with the grown buffer.
+    NeedMore,
+}
+
 /// A parsed HTTP request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
@@ -353,6 +374,99 @@ impl Request {
         r.read_exact(&mut req.body)?;
         Ok(())
     }
+
+    /// Incremental, resumable parse of one request from the front of `buf`.
+    ///
+    /// The nonblocking reactor path cannot sit in `read_line`: bytes arrive
+    /// whenever the kernel says so, possibly one at a time across many
+    /// readiness events. This parser is *pure* over the bytes accumulated so
+    /// far — it never blocks and never consumes; on
+    /// [`ParseStatus::Complete`] the caller drains `consumed` bytes and
+    /// keeps any pipelined remainder. On [`ParseStatus::NeedMore`] the
+    /// caller reads more and simply calls again with the grown buffer
+    /// (re-parsing the head is cheap next to the socket I/O around it).
+    ///
+    /// Framing rules match [`read_into`](Request::read_into), plus one
+    /// incremental-only bound: a head that exceeds [`MAX_HEAD_BYTES`]
+    /// without completing is rejected, so a slow-loris client cannot grow
+    /// the connection buffer forever.
+    pub fn parse_into(buf: &[u8], req: &mut Request) -> Result<ParseStatus, ReadError> {
+        let Some(head_end) = find_head_end(buf) else {
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(ReadError::BadRequest("request head too large"));
+            }
+            return Ok(ParseStatus::NeedMore);
+        };
+        if head_end > MAX_HEAD_BYTES {
+            return Err(ReadError::BadRequest("request head too large"));
+        }
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| ReadError::BadRequest("request head is not valid utf-8"))?;
+        let mut lines = head.split('\n').map(|l| l.trim_end());
+        {
+            let mut parts = lines.next().unwrap_or("").split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/") => {
+                    req.method.clear();
+                    req.method.push_str(m);
+                    req.path.clear();
+                    req.path.push_str(p);
+                }
+                _ => return Err(ReadError::BadRequest("malformed request line")),
+            }
+        }
+        req.headers.clear();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            if req.headers.len() >= MAX_HEADERS {
+                return Err(ReadError::BadRequest("too many headers"));
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                req.headers.insert(k.trim(), v.trim());
+            }
+        }
+
+        let body_expected = matches!(req.method.as_str(), "POST" | "PUT" | "PATCH");
+        let len = match req.headers.get("content-length") {
+            None if body_expected => {
+                return Err(ReadError::BadRequest("missing content-length"))
+            }
+            None => 0,
+            Some(v) => v
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| ReadError::BadRequest("unparseable content-length"))?,
+        };
+        if len > MAX_BODY_BYTES as u64 {
+            return Err(ReadError::BadRequest("body exceeds size limit"));
+        }
+        let total = head_end + len as usize;
+        if buf.len() < total {
+            return Ok(ParseStatus::NeedMore);
+        }
+        req.body.clear();
+        req.body.extend_from_slice(&buf[head_end..total]);
+        Ok(ParseStatus::Complete { consumed: total })
+    }
+}
+
+/// Index one past the head's terminating blank line (the first line that
+/// trims to empty), or `None` when the head is still incomplete. Line
+/// endings follow the blocking parser's tolerance: `\n`-terminated, with
+/// trailing whitespace (including `\r`) ignored.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0;
+    for (i, &b) in buf.iter().enumerate() {
+        if b == b'\n' {
+            if buf[line_start..i].iter().all(|c| c.is_ascii_whitespace()) {
+                return Some(i + 1);
+            }
+            line_start = i + 1;
+        }
+    }
+    None
 }
 
 /// An HTTP response.
@@ -396,12 +510,15 @@ impl Response {
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 
-    /// Serialises into `buf` (cleared first) as one contiguous message.
+    /// Serialises only the head (status line, headers, blank line) into
+    /// `buf` (cleared first), leaving the body to be sent as its own slice —
+    /// the vectored-write path hands `[head, body]` to one `writev` instead
+    /// of copying the body into the head buffer first.
     ///
     /// With `connection: Some(tok)` any `connection` header carried by the
     /// response is *replaced* by `connection: tok` — the serving loop, not
     /// the handler, decides connection lifetime under keep-alive.
-    pub fn write_into(&self, buf: &mut Vec<u8>, connection: Option<&str>) {
+    pub fn write_head_into(&self, buf: &mut Vec<u8>, connection: Option<&str>) {
         buf.clear();
         let _ = write!(
             ByteWriter(buf),
@@ -419,6 +536,12 @@ impl Response {
             let _ = write!(ByteWriter(buf), "connection: {tok}\r\n");
         }
         buf.extend_from_slice(b"\r\n");
+    }
+
+    /// Serialises into `buf` (cleared first) as one contiguous message:
+    /// [`write_head_into`](Response::write_head_into) plus the body.
+    pub fn write_into(&self, buf: &mut Vec<u8>, connection: Option<&str>) {
+        self.write_head_into(buf, connection);
         buf.extend_from_slice(&self.body);
     }
 
@@ -775,6 +898,124 @@ mod tests {
         let parsed = Response::read_from(&mut BufReader::new(&buf[..])).unwrap();
         assert!(!parsed.announces_close());
         assert_eq!(parsed.body, b"hi");
+    }
+
+    // --- incremental parser ------------------------------------------------
+
+    #[test]
+    fn parse_into_completes_only_with_full_request() {
+        let mut wire = Vec::new();
+        Request::new("POST", "/inc", b"hello-world".to_vec())
+            .write_to(&mut wire)
+            .unwrap();
+        let mut req = Request::empty();
+        // Every strict prefix is NeedMore; the full buffer completes with
+        // consumed == len. This is the slow-loris property: byte-at-a-time
+        // arrival never errors and never consumes early.
+        for cut in 0..wire.len() {
+            let status = Request::parse_into(&wire[..cut], &mut req).unwrap();
+            assert_eq!(status, ParseStatus::NeedMore, "prefix of {cut} bytes");
+        }
+        let status = Request::parse_into(&wire, &mut req).unwrap();
+        assert_eq!(
+            status,
+            ParseStatus::Complete {
+                consumed: wire.len()
+            }
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/inc");
+        assert_eq!(req.body, b"hello-world");
+    }
+
+    #[test]
+    fn parse_into_leaves_pipelined_bytes_unconsumed() {
+        let mut wire = Vec::new();
+        Request::new("POST", "/a", vec![1u8; 8]).write_to(&mut wire).unwrap();
+        let first_len = wire.len();
+        Request::new("POST", "/b", vec![2u8; 4]).write_to(&mut wire).unwrap();
+
+        let mut req = Request::empty();
+        let status = Request::parse_into(&wire, &mut req).unwrap();
+        assert_eq!(status, ParseStatus::Complete { consumed: first_len });
+        assert_eq!(req.path, "/a");
+        let status = Request::parse_into(&wire[first_len..], &mut req).unwrap();
+        assert_eq!(
+            status,
+            ParseStatus::Complete {
+                consumed: wire.len() - first_len
+            }
+        );
+        assert_eq!(req.path, "/b");
+        assert_eq!(req.body, vec![2u8; 4]);
+    }
+
+    #[test]
+    fn parse_into_matches_blocking_parser_rules() {
+        let mut req = Request::empty();
+        // Malformed request line.
+        let err = Request::parse_into(b"NONSENSE\r\n\r\n", &mut req);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+        // POST without content-length.
+        let err = Request::parse_into(b"POST /x HTTP/1.1\r\n\r\n", &mut req);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+        // Unparseable content-length.
+        let err =
+            Request::parse_into(b"POST / HTTP/1.1\r\ncontent-length: nan\r\n\r\n", &mut req);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+        // Oversized content-length is rejected before any body arrives.
+        let err = Request::parse_into(
+            b"POST / HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n",
+            &mut req,
+        );
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+        // GET without content-length is an empty body.
+        let status = Request::parse_into(b"GET /ok HTTP/1.1\r\n\r\n", &mut req).unwrap();
+        assert_eq!(status, ParseStatus::Complete { consumed: 20 });
+        assert_eq!(req.path, "/ok");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parse_into_rejects_unbounded_head() {
+        let mut req = Request::empty();
+        // Garbage with no terminator: tolerated until the cap, then 400.
+        let garbage = vec![b'a'; MAX_HEAD_BYTES + 1];
+        let err = Request::parse_into(&garbage, &mut req);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+        // Under the cap it is just an incomplete head.
+        let status = Request::parse_into(&garbage[..1024], &mut req).unwrap();
+        assert_eq!(status, ParseStatus::NeedMore);
+    }
+
+    #[test]
+    fn parse_into_reuses_request_buffers() {
+        let mut wire = Vec::new();
+        Request::new("POST", "/r", vec![5u8; 64]).write_to(&mut wire).unwrap();
+        let mut req = Request::empty();
+        Request::parse_into(&wire, &mut req).unwrap();
+        let body_ptr = req.body.as_ptr();
+        let cap = req.body.capacity();
+        let mut wire2 = Vec::new();
+        Request::new("POST", "/r2", vec![6u8; 32]).write_to(&mut wire2).unwrap();
+        Request::parse_into(&wire2, &mut req).unwrap();
+        assert_eq!(req.path, "/r2");
+        assert_eq!(req.body, vec![6u8; 32]);
+        assert_eq!(req.body.as_ptr(), body_ptr, "body buffer must be reused");
+        assert_eq!(req.body.capacity(), cap);
+    }
+
+    #[test]
+    fn write_head_into_plus_body_equals_write_into() {
+        let resp = Response::ok(b"payload".to_vec());
+        let mut whole = Vec::new();
+        resp.write_into(&mut whole, Some("keep-alive"));
+        let mut head = Vec::new();
+        resp.write_head_into(&mut head, Some("keep-alive"));
+        let mut joined = head.clone();
+        joined.extend_from_slice(&resp.body);
+        assert_eq!(whole, joined);
+        assert!(head.ends_with(b"\r\n\r\n"));
     }
 
     #[test]

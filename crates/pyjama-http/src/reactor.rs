@@ -1,0 +1,1020 @@
+//! The readiness reactor behind [`ServingPolicy::Reactor`]: one thread
+//! owning every accepted socket, turning kernel readiness into posted
+//! target regions.
+//!
+//! [`ServingPolicy::Reactor`]: crate::server::ServingPolicy::Reactor
+//!
+//! The thread-pinned policies top out at "one blocked thread (Jetty) or one
+//! parked-but-polled socket (Pyjama idle parker) per connection with the
+//! *acceptor* still reading first requests synchronously". This module
+//! removes the last blocking read from the pipeline: every accepted socket
+//! goes non-blocking and is registered with a reactor thread; on Linux that
+//! thread sits in `epoll_wait` over all of them, elsewhere it sweeps with
+//! non-blocking peeks. When the kernel reports readiness, the reactor
+//! *transfers ownership* of the connection to the worker pool (the socket is
+//! deregistered before dispatch, so there is never a moment where a worker
+//! and the reactor both touch one connection) and a bounded pool serves
+//! however many thousand connections are currently readable — C10K on a
+//! handful of threads.
+//!
+//! Registration runs on worker threads; a wake pipe (the same shape as the
+//! idle parker's) interrupts `epoll_wait` so new sockets and the stop flag
+//! are observed promptly. Deadlines are swept coarsely (~25 ms): a
+//! connection idle past its deadline is evicted via `on_timeout`, which
+//! distinguishes *idle* evictions (between requests — normal keep-alive
+//! lifecycle) from *stalled* ones (mid-request or mid-response — an error).
+//!
+//! Every readiness notification is accounted against the
+//! [`ReactorCounters`] conservation law `readiness_events == dispatched +
+//! spurious_ready`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use pyjama_metrics::ReactorCounters;
+use pyjama_trace::TraceId;
+
+use crate::message::{ParseStatus, ReadError, Request, Response};
+
+/// Bytes pulled off the socket per `read` attempt.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Deadline sweep cadence. Evictions are late by at most this much — fine
+/// for timeouts measured in hundreds of milliseconds.
+const SWEEP_MS: u64 = 25;
+
+// ---------------------------------------------------------------------------
+// Per-connection state
+// ---------------------------------------------------------------------------
+
+/// A connection as the reactor sees it: a non-blocking socket plus the
+/// buffers that make request parsing and response writing *resumable* — a
+/// `WouldBlock` at any byte boundary parks the connection back in the
+/// reactor and a later readiness event picks up exactly where it left off.
+pub(crate) struct ReactorConn {
+    sock: TcpStream,
+    /// Accumulated unparsed request bytes (may hold several pipelined
+    /// requests; parsed requests are drained off the front).
+    pub(crate) inbuf: Vec<u8>,
+    /// Parsed-request shell, reused across requests.
+    pub(crate) req: Request,
+    /// Serialised response head, reused across responses.
+    head: Vec<u8>,
+    /// Response body being written (owned copy so the region that produced
+    /// it can retire while the write waits for `EPOLLOUT`).
+    body: Vec<u8>,
+    /// Bytes of `head ++ body` already written.
+    out_pos: usize,
+    /// True while a staged response has unwritten bytes.
+    pending: bool,
+    /// Close the socket once the staged response is fully written.
+    pub(crate) close_after_write: bool,
+    /// Requests fully served (response written) on this connection.
+    pub(crate) served: u32,
+    /// Causal trace id minted at accept.
+    pub(crate) trace: TraceId,
+}
+
+impl ReactorConn {
+    /// Wraps an accepted stream: `TCP_NODELAY` and non-blocking for life.
+    pub(crate) fn new(stream: TcpStream) -> std::io::Result<ReactorConn> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(ReactorConn {
+            sock: stream,
+            inbuf: Vec::new(),
+            req: Request::empty(),
+            head: Vec::new(),
+            body: Vec::new(),
+            out_pos: 0,
+            pending: false,
+            close_after_write: false,
+            served: 0,
+            trace: TraceId::NONE,
+        })
+    }
+
+    /// The underlying socket.
+    pub(crate) fn socket(&self) -> &TcpStream {
+        &self.sock
+    }
+
+    /// One non-blocking read into the accumulation buffer. `Ok(0)` is EOF;
+    /// `WouldBlock` propagates (the caller re-arms read interest).
+    pub(crate) fn read_step(&mut self) -> std::io::Result<usize> {
+        let old = self.inbuf.len();
+        self.inbuf.resize(old + READ_CHUNK, 0);
+        match (&self.sock).read(&mut self.inbuf[old..]) {
+            Ok(n) => {
+                self.inbuf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.inbuf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// Tries to parse the next request off the front of `inbuf`; a complete
+    /// request is drained from the buffer (pipelined successors stay).
+    pub(crate) fn parse_step(&mut self) -> Result<ParseStatus, ReadError> {
+        let status = Request::parse_into(&self.inbuf, &mut self.req)?;
+        if let ParseStatus::Complete { consumed } = status {
+            let len = self.inbuf.len();
+            self.inbuf.copy_within(consumed..len, 0);
+            self.inbuf.truncate(len - consumed);
+        }
+        Ok(status)
+    }
+
+    /// Stages `resp` for writing (head serialised into the reused buffer,
+    /// body copied so the response can outlive the handler's region).
+    pub(crate) fn stage_response(&mut self, resp: &Response, close: bool) {
+        let tok = if close { "close" } else { "keep-alive" };
+        resp.write_head_into(&mut self.head, Some(tok));
+        self.body.clear();
+        self.body.extend_from_slice(&resp.body);
+        self.out_pos = 0;
+        self.pending = true;
+        self.close_after_write = close;
+    }
+
+    /// True while staged response bytes remain unwritten.
+    pub(crate) fn has_pending_output(&self) -> bool {
+        self.pending
+    }
+
+    /// Releases buffer capacity an idle connection no longer needs. With
+    /// tens of thousands of parked keep-alive connections, per-connection
+    /// buffers (a 16 KiB read chunk, a possibly-large last response body)
+    /// dominate the server's memory footprint; an idle connection keeps
+    /// only its small reusable head buffer.
+    pub(crate) fn release_idle_buffers(&mut self) {
+        debug_assert!(self.inbuf.is_empty() && !self.pending);
+        self.inbuf = Vec::new();
+        if self.body.capacity() > 4096 {
+            self.body = Vec::new();
+        }
+    }
+
+    /// Pushes staged response bytes at the socket until done or the socket
+    /// buffer fills. `Ok(())` means fully written; `WouldBlock` propagates
+    /// (the caller re-arms write interest and a later `EPOLLOUT` resumes
+    /// from `out_pos`).
+    pub(crate) fn write_step(&mut self) -> std::io::Result<()> {
+        use std::io::IoSlice;
+        let total = self.head.len() + self.body.len();
+        while self.out_pos < total {
+            let written = if self.out_pos < self.head.len() {
+                let head_rest = &self.head[self.out_pos..];
+                if self.body.is_empty() {
+                    (&self.sock).write(head_rest)
+                } else {
+                    (&self.sock)
+                        .write_vectored(&[IoSlice::new(head_rest), IoSlice::new(&self.body)])
+                }
+            } else {
+                (&self.sock).write(&self.body[self.out_pos - self.head.len()..])
+            };
+            match written {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "failed to write whole response",
+                    ))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.pending = false;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ReactorConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorConn")
+            .field("peer", &self.sock.peer_addr().ok())
+            .field("served", &self.served)
+            .field("buffered", &self.inbuf.len())
+            .field("pending_out", &self.pending)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registration protocol
+// ---------------------------------------------------------------------------
+
+/// What the registration waits for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Interest {
+    /// Request bytes (or EOF / error).
+    Read,
+    /// Socket buffer space for a stalled response write.
+    Write,
+}
+
+/// Why the connection is (re-)entering the reactor — drives the counter
+/// taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RegKind {
+    /// Fresh from `accept`.
+    Initial,
+    /// Re-armed for its next request (or the rest of a partial one).
+    RearmRead,
+    /// Re-armed after a short response write.
+    RearmWrite,
+}
+
+/// The readiness that dispatched a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Readiness {
+    /// Readable (data, EOF or error — the read path disambiguates).
+    Readable,
+    /// Writable (an `EPOLLOUT` re-arm fired).
+    Writable,
+}
+
+/// One registration handed to the reactor.
+pub(crate) struct Reg {
+    pub(crate) conn: ReactorConn,
+    pub(crate) interest: Interest,
+    /// Evict if no readiness arrives by this instant.
+    pub(crate) deadline: Instant,
+    /// True when the connection is *between* requests — eviction is then
+    /// normal keep-alive lifecycle, not an error.
+    pub(crate) idle: bool,
+    pub(crate) kind: RegKind,
+}
+
+/// State shared between registering worker threads and the reactor thread.
+pub(crate) struct ReactorShared {
+    pending: Mutex<Vec<Reg>>,
+    stop: AtomicBool,
+    pub(crate) counters: ReactorCounters,
+    wake_tx: std::os::unix::net::UnixStream,
+    wake_rx: Mutex<Option<std::os::unix::net::UnixStream>>,
+}
+
+// The wake pipe is a `UnixStream` pair, so this module is unix-only in
+// practice; the repo's supported targets all are. (The poll(2) fallback in
+// `idle.rs` has the same shape.)
+
+impl ReactorShared {
+    /// Fresh reactor state (allocates the wake pipe).
+    pub(crate) fn new() -> std::io::Result<Arc<Self>> {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Arc::new(ReactorShared {
+            pending: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            counters: ReactorCounters::new(),
+            wake_tx: tx,
+            wake_rx: Mutex::new(Some(rx)),
+        }))
+    }
+
+    /// Hands a connection to the reactor. After stop the connection is
+    /// dropped (socket closed) — the client observes EOF, never a stranded
+    /// half-open connection.
+    pub(crate) fn register(&self, reg: Reg) {
+        if self.stop.load(Ordering::SeqCst) {
+            return; // drop closes the socket
+        }
+        match reg.kind {
+            RegKind::Initial => self.counters.record_registered(),
+            RegKind::RearmRead => self.counters.record_rearm_read(),
+            RegKind::RearmWrite => self.counters.record_rearm_write(),
+        }
+        self.pending.lock().push(reg);
+        self.wake();
+    }
+
+    /// Raises the stop flag and wakes the reactor.
+    pub(crate) fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        // A full pipe means a wake is already pending; any error here is
+        // therefore ignorable.
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
+/// The reactor thread plus its shared state. Dropping (or
+/// [`shutdown`](Reactor::shutdown)) stops the thread and closes every
+/// still-registered connection.
+pub(crate) struct Reactor {
+    shared: Arc<ReactorShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Spawns the reactor over `shared`. `on_ready` receives dispatched
+    /// connections (ownership transferred — the reactor has already
+    /// deregistered them); `on_timeout` receives deadline-evicted ones with
+    /// their `idle` flag. Both run on the reactor thread, so they must be
+    /// cheap — the serving policy just posts a target region / bumps a
+    /// counter.
+    pub(crate) fn spawn(
+        shared: Arc<ReactorShared>,
+        on_ready: impl Fn(ReactorConn, Readiness) + Send + 'static,
+        on_timeout: impl Fn(ReactorConn, bool) + Send + 'static,
+    ) -> std::io::Result<Reactor> {
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("http-reactor".into())
+                .spawn(move || reactor_loop(shared, on_ready, on_timeout))?
+        };
+        Ok(Reactor {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// Snapshot of the reactor's counters.
+    pub(crate) fn stats(&self) -> pyjama_metrics::ReactorStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Stops and joins the reactor; registered connections are closed.
+    /// Idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        self.shared.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-descriptor budget
+// ---------------------------------------------------------------------------
+
+/// Ensures `RLIMIT_NOFILE` allows at least `want` open descriptors and
+/// returns the resulting soft limit. Raising the *hard* limit needs
+/// privilege; without it the soft limit is raised as far as the hard limit
+/// allows. C10K needs ~2 fds per loopback connection when client and server
+/// share a process, so benchmarks and tests size their connection counts
+/// off the returned value.
+pub fn nofile_limit_at_least(want: u64) -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let mut lim = sys::RLimit { cur: 0, max: 0 };
+        if unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) } != 0 {
+            return want;
+        }
+        if lim.cur >= want {
+            return lim.cur;
+        }
+        // Privileged path first: raise both limits to `want`.
+        let raised = sys::RLimit {
+            cur: want,
+            max: lim.max.max(want),
+        };
+        if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &raised) } == 0 {
+            return raised.cur;
+        }
+        // Unprivileged: soft up to the existing hard limit.
+        let raised = sys::RLimit {
+            cur: want.min(lim.max),
+            max: lim.max,
+        };
+        if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &raised) } == 0 {
+            return raised.cur;
+        }
+        lim.cur
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        want
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linux: epoll
+// ---------------------------------------------------------------------------
+
+/// Raw epoll + rlimit FFI, declared here to keep the crate std-only (no
+/// libc dependency), mirroring `idle.rs`'s `poll(2)` declaration.
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::c_int;
+
+    pub(super) const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub(super) const EPOLL_CTL_ADD: c_int = 1;
+    pub(super) const EPOLL_CTL_DEL: c_int = 2;
+
+    pub(super) const EPOLLIN: u32 = 0x001;
+    pub(super) const EPOLLOUT: u32 = 0x004;
+    pub(super) const EPOLLERR: u32 = 0x008;
+    pub(super) const EPOLLHUP: u32 = 0x010;
+    pub(super) const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event`. glibc packs it on x86-64 only (the kernel ABI
+    /// there has no padding between `events` and `data`); other arches use
+    /// natural alignment. Fields must be copied out by value — never
+    /// borrowed — because of the packed variant.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub(super) const RLIMIT_NOFILE: c_int = 7;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub(super) struct RLimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+
+    extern "C" {
+        pub(super) fn epoll_create1(flags: c_int) -> c_int;
+        pub(super) fn epoll_ctl(
+            epfd: c_int,
+            op: c_int,
+            fd: c_int,
+            event: *mut EpollEvent,
+        ) -> c_int;
+        pub(super) fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub(super) fn close(fd: c_int) -> c_int;
+        pub(super) fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        pub(super) fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+}
+
+/// The epoll event loop. Registered connections live in a slab indexed by
+/// `token - 1` (token 0 is the wake pipe); readiness *moves* the entry out
+/// of the slab and deregisters the fd before `on_ready` runs, so ownership
+/// transfer to the worker pool is unambiguous. Level-triggered with
+/// deregister-on-dispatch needs no `EPOLLONESHOT` and can never lose a
+/// wakeup: a re-registration re-ADDs the fd, and level triggering re-reports
+/// any readiness that arrived in between.
+#[cfg(target_os = "linux")]
+fn reactor_loop(
+    shared: Arc<ReactorShared>,
+    on_ready: impl Fn(ReactorConn, Readiness),
+    on_timeout: impl Fn(ReactorConn, bool),
+) {
+    use std::os::unix::io::AsRawFd as _;
+    use std::time::Duration;
+    use sys::*;
+
+    let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if epfd < 0 {
+        // Can't multiplex at all: close everything that arrives until stop.
+        while !shared.stop.load(Ordering::SeqCst) {
+            shared.pending.lock().clear();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        shared.pending.lock().clear();
+        return;
+    }
+
+    let wake_rx = shared
+        .wake_rx
+        .lock()
+        .take()
+        .expect("reactor spawned twice over one ReactorShared");
+    let mut wake_ev = EpollEvent {
+        events: EPOLLIN,
+        data: 0,
+    };
+    let wake_ok =
+        unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, wake_rx.as_raw_fd(), &mut wake_ev) } == 0;
+
+    let mut slab: Vec<Option<Reg>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live: usize = 0;
+    let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+    let mut next_sweep = Instant::now() + Duration::from_millis(SWEEP_MS);
+
+    loop {
+        // Take in new registrations.
+        {
+            let mut incoming = shared.pending.lock();
+            for reg in incoming.drain(..) {
+                let fd = reg.conn.socket().as_raw_fd();
+                let idx = match free.pop() {
+                    Some(i) => {
+                        slab[i] = Some(reg);
+                        i
+                    }
+                    None => {
+                        slab.push(Some(reg));
+                        slab.len() - 1
+                    }
+                };
+                let mask = match slab[idx].as_ref().map(|r| r.interest) {
+                    Some(Interest::Write) => EPOLLOUT | EPOLLERR | EPOLLHUP,
+                    _ => EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP,
+                };
+                let mut ev = EpollEvent {
+                    events: mask,
+                    data: (idx as u64) + 1,
+                };
+                if unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) } == 0 {
+                    live += 1;
+                } else {
+                    // ADD can only fail on a dead fd; drop closes it.
+                    slab[idx] = None;
+                    free.push(idx);
+                }
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+
+        let now = Instant::now();
+        let timeout_ms: i32 = if live == 0 {
+            // Nothing registered: sleep until the wake pipe says otherwise
+            // (bounded if the pipe failed to register, so stop still works).
+            if wake_ok {
+                -1
+            } else {
+                10
+            }
+        } else {
+            (next_sweep
+                .saturating_duration_since(now)
+                .as_millis()
+                .min(SWEEP_MS as u128) as i32)
+                .max(1)
+        };
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+        if n < 0 {
+            if std::io::Error::last_os_error().kind() != std::io::ErrorKind::Interrupted {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            continue;
+        }
+
+        for ev in &events[..n.max(0) as usize] {
+            // Copy by value: `EpollEvent` is packed on x86-64.
+            let data = ev.data;
+            let bits = ev.events;
+            if data == 0 {
+                shared.counters.record_wakeup();
+                let mut buf = [0u8; 64];
+                while matches!((&wake_rx).read(&mut buf), Ok(k) if k > 0) {}
+                continue;
+            }
+            shared.counters.record_readiness_event();
+            let idx = (data - 1) as usize;
+            match slab.get_mut(idx).and_then(|slot| slot.take()) {
+                Some(reg) => {
+                    let fd = reg.conn.socket().as_raw_fd();
+                    let mut dummy = EpollEvent { events: 0, data: 0 };
+                    unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut dummy) };
+                    free.push(idx);
+                    live -= 1;
+                    shared.counters.record_dispatched();
+                    let readiness = match reg.interest {
+                        Interest::Write if bits & EPOLLOUT != 0 => Readiness::Writable,
+                        // Error/hangup on a write registration also goes
+                        // down the write path: the next write surfaces it.
+                        Interest::Write => Readiness::Writable,
+                        Interest::Read => Readiness::Readable,
+                    };
+                    on_ready(reg.conn, readiness);
+                }
+                None => shared.counters.record_spurious_ready(),
+            }
+        }
+
+        // Coarse deadline sweep.
+        let now = Instant::now();
+        if now >= next_sweep {
+            next_sweep = now + Duration::from_millis(SWEEP_MS);
+            for idx in 0..slab.len() {
+                let expired = matches!(&slab[idx], Some(reg) if reg.deadline <= now);
+                if expired {
+                    let reg = slab[idx].take().expect("checked above");
+                    let fd = reg.conn.socket().as_raw_fd();
+                    let mut dummy = EpollEvent { events: 0, data: 0 };
+                    unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut dummy) };
+                    free.push(idx);
+                    live -= 1;
+                    if reg.idle {
+                        shared.counters.record_evicted_idle();
+                    }
+                    on_timeout(reg.conn, reg.idle);
+                }
+            }
+        }
+    }
+
+    // Dropping registered connections closes their sockets: clients see EOF.
+    slab.clear();
+    shared.pending.lock().clear();
+    drop(wake_rx);
+    unsafe { sys::close(epfd) };
+}
+
+// ---------------------------------------------------------------------------
+// Portable fallback: non-blocking sweep
+// ---------------------------------------------------------------------------
+
+/// Portable reactor: a non-blocking `peek` sweep every couple of
+/// milliseconds. Read-interest sockets dispatch when a peek reports bytes,
+/// EOF or error; write-interest sockets dispatch every tick (the write path
+/// simply hits `WouldBlock` again if the buffer is still full). O(registered)
+/// per tick — correct anywhere std's `TcpStream` works, if not C10K-fast.
+#[cfg(not(target_os = "linux"))]
+fn reactor_loop(
+    shared: Arc<ReactorShared>,
+    on_ready: impl Fn(ReactorConn, Readiness),
+    on_timeout: impl Fn(ReactorConn, bool),
+) {
+    use std::time::Duration;
+
+    let wake_rx = shared
+        .wake_rx
+        .lock()
+        .take()
+        .expect("reactor spawned twice over one ReactorShared");
+    let mut regs: Vec<Reg> = Vec::new();
+    let mut probe = [0u8; 1];
+    loop {
+        regs.append(&mut shared.pending.lock());
+        {
+            // Drain wake bytes so the pipe never fills.
+            let mut buf = [0u8; 64];
+            if matches!((&wake_rx).read(&mut buf), Ok(k) if k > 0) {
+                shared.counters.record_wakeup();
+                while matches!((&wake_rx).read(&mut buf), Ok(k) if k > 0) {}
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        for i in (0..regs.len()).rev() {
+            let (ready, readiness) = match regs[i].interest {
+                Interest::Write => (true, Readiness::Writable),
+                Interest::Read => {
+                    let r = match regs[i].conn.socket().peek(&mut probe) {
+                        Ok(_) => true, // data, or Ok(0) = EOF
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+                        Err(_) => true, // surface the broken socket
+                    };
+                    (r, Readiness::Readable)
+                }
+            };
+            if ready {
+                shared.counters.record_readiness_event();
+                shared.counters.record_dispatched();
+                on_ready(regs.swap_remove(i).conn, readiness);
+            }
+        }
+        let now = Instant::now();
+        for i in (0..regs.len()).rev() {
+            if regs[i].deadline <= now {
+                let reg = regs.swap_remove(i);
+                if reg.idle {
+                    shared.counters.record_evicted_idle();
+                }
+                on_timeout(reg.conn, reg.idle);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    regs.clear();
+    shared.pending.lock().clear();
+    drop(wake_rx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        (a, b)
+    }
+
+    fn reg(conn: ReactorConn, interest: Interest, deadline: Instant, idle: bool) -> Reg {
+        Reg {
+            conn,
+            interest,
+            deadline,
+            idle,
+            kind: RegKind::Initial,
+        }
+    }
+
+    #[test]
+    fn readable_socket_is_dispatched_with_ownership() {
+        let shared = ReactorShared::new().unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut reactor = Reactor::spawn(
+            Arc::clone(&shared),
+            move |c, r| ready_tx.send((c, r)).unwrap(),
+            |_, _| panic!("no timeout expected"),
+        )
+        .unwrap();
+
+        let (mut client, server) = pair();
+        shared.register(reg(
+            ReactorConn::new(server).unwrap(),
+            Interest::Read,
+            Instant::now() + Duration::from_secs(30),
+            true,
+        ));
+        std::thread::sleep(Duration::from_millis(20));
+        client.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+
+        let (mut c, r) = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(r, Readiness::Readable);
+        assert!(c.read_step().unwrap() > 0);
+        assert!(matches!(
+            c.parse_step().unwrap(),
+            ParseStatus::Complete { .. }
+        ));
+        assert_eq!(c.req.path, "/");
+        reactor.shutdown();
+        let s = shared.counters.snapshot();
+        assert_eq!(s.registered, 1);
+        assert_eq!(s.dispatched, 1);
+        assert!(s.readiness_balanced(), "{s:?}");
+    }
+
+    #[test]
+    fn idle_deadline_evicts_with_idle_flag() {
+        let shared = ReactorShared::new().unwrap();
+        let (to_tx, to_rx) = mpsc::channel();
+        let mut reactor = Reactor::spawn(
+            Arc::clone(&shared),
+            |_, _| panic!("no readiness expected"),
+            move |c, idle| to_tx.send((c, idle)).unwrap(),
+        )
+        .unwrap();
+        let (client, server) = pair();
+        shared.register(reg(
+            ReactorConn::new(server).unwrap(),
+            Interest::Read,
+            Instant::now() + Duration::from_millis(60),
+            true,
+        ));
+        let (evicted, idle) = to_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(idle);
+        drop(evicted);
+        // The client observes the close as EOF.
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 8];
+        use std::io::Read as _;
+        assert_eq!((&client).read(&mut buf).unwrap(), 0);
+        reactor.shutdown();
+        assert_eq!(shared.counters.snapshot().evicted_idle, 1);
+    }
+
+    #[test]
+    fn write_interest_fires_on_writable_socket() {
+        let shared = ReactorShared::new().unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut reactor = Reactor::spawn(
+            Arc::clone(&shared),
+            move |c, r| ready_tx.send((c, r)).unwrap(),
+            |_, _| panic!("no timeout expected"),
+        )
+        .unwrap();
+        let (_client, server) = pair();
+        let mut conn = ReactorConn::new(server).unwrap();
+        conn.stage_response(&Response::ok(b"hi".to_vec()), false);
+        shared.register(Reg {
+            conn,
+            interest: Interest::Write,
+            deadline: Instant::now() + Duration::from_secs(30),
+            idle: false,
+            kind: RegKind::RearmWrite,
+        });
+        let (mut c, r) = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(r, Readiness::Writable);
+        c.write_step().unwrap();
+        assert!(!c.has_pending_output());
+        reactor.shutdown();
+        let s = shared.counters.snapshot();
+        assert_eq!(s.rearms_write, 1);
+        assert!(s.readiness_balanced(), "{s:?}");
+    }
+
+    #[test]
+    fn peer_close_counts_as_readiness_not_leak() {
+        let shared = ReactorShared::new().unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut reactor = Reactor::spawn(
+            Arc::clone(&shared),
+            move |c, r| ready_tx.send((c, r)).unwrap(),
+            |_, _| {},
+        )
+        .unwrap();
+        let (client, server) = pair();
+        shared.register(reg(
+            ReactorConn::new(server).unwrap(),
+            Interest::Read,
+            Instant::now() + Duration::from_secs(30),
+            true,
+        ));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(client); // EOF must surface as readiness
+        let (mut c, _) = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(c.read_step().unwrap(), 0, "EOF");
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_registered_conns_and_is_idempotent() {
+        let shared = ReactorShared::new().unwrap();
+        let mut reactor =
+            Reactor::spawn(Arc::clone(&shared), |_, _| {}, |_, _| {}).unwrap();
+        let (client, server) = pair();
+        shared.register(reg(
+            ReactorConn::new(server).unwrap(),
+            Interest::Read,
+            Instant::now() + Duration::from_secs(30),
+            true,
+        ));
+        std::thread::sleep(Duration::from_millis(20));
+        reactor.shutdown();
+        reactor.shutdown();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        use std::io::Read as _;
+        let mut buf = [0u8; 8];
+        assert_eq!((&client).read(&mut buf).unwrap(), 0, "socket must be closed");
+        // Registering after stop silently closes the connection too.
+        let (client2, server2) = pair();
+        shared.register(reg(
+            ReactorConn::new(server2).unwrap(),
+            Interest::Read,
+            Instant::now() + Duration::from_secs(30),
+            true,
+        ));
+        client2
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!((&client2).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn many_registered_conns_dispatch_individually() {
+        let shared = ReactorShared::new().unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut reactor = Reactor::spawn(
+            Arc::clone(&shared),
+            move |c, _| ready_tx.send(c).unwrap(),
+            |_, _| {},
+        )
+        .unwrap();
+        let mut clients = Vec::new();
+        for _ in 0..64 {
+            let (client, server) = pair();
+            shared.register(reg(
+                ReactorConn::new(server).unwrap(),
+                Interest::Read,
+                Instant::now() + Duration::from_secs(30),
+                true,
+            ));
+            clients.push(client);
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        for (i, client) in clients.iter_mut().enumerate() {
+            client
+                .write_all(format!("GET /c{i} HTTP/1.1\r\n\r\n").as_bytes())
+                .unwrap();
+        }
+        let mut paths: Vec<String> = (0..64)
+            .map(|_| {
+                let mut c = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+                while !matches!(c.parse_step().unwrap(), ParseStatus::Complete { .. }) {
+                    assert!(c.read_step().unwrap() > 0);
+                }
+                c.req.path.clone()
+            })
+            .collect();
+        paths.sort();
+        let mut expect: Vec<String> = (0..64).map(|i| format!("/c{i}")).collect();
+        expect.sort();
+        assert_eq!(paths, expect);
+        reactor.shutdown();
+        let s = shared.counters.snapshot();
+        assert_eq!(s.registered, 64);
+        assert_eq!(s.dispatched, 64);
+        assert!(s.readiness_balanced(), "{s:?}");
+    }
+
+    #[test]
+    fn slab_slots_are_reused_across_generations() {
+        let shared = ReactorShared::new().unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut reactor = Reactor::spawn(
+            Arc::clone(&shared),
+            move |c, _| ready_tx.send(c).unwrap(),
+            |_, _| {},
+        )
+        .unwrap();
+        // Several rounds of register → ready → drop over the same couple of
+        // slots: stale-token bugs show up as misdelivered connections.
+        for round in 0..8 {
+            let (mut client, server) = pair();
+            shared.register(reg(
+                ReactorConn::new(server).unwrap(),
+                Interest::Read,
+                Instant::now() + Duration::from_secs(30),
+                true,
+            ));
+            client
+                .write_all(format!("GET /r{round} HTTP/1.1\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut c = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            while !matches!(c.parse_step().unwrap(), ParseStatus::Complete { .. }) {
+                assert!(c.read_step().unwrap() > 0);
+            }
+            assert_eq!(c.req.path, format!("/r{round}"));
+        }
+        reactor.shutdown();
+        let s = shared.counters.snapshot();
+        assert_eq!(s.registered, 8);
+        assert!(s.readiness_balanced(), "{s:?}");
+    }
+
+    #[test]
+    fn nofile_limit_reports_a_usable_budget() {
+        let n = nofile_limit_at_least(1024);
+        assert!(n >= 64, "absurdly low fd budget: {n}");
+    }
+
+    #[test]
+    fn conn_write_step_resumes_after_would_block() {
+        let (client, server) = pair();
+        let mut conn = ReactorConn::new(server).unwrap();
+        // A body far larger than any socket buffer forces WouldBlock.
+        let body = vec![0xA5u8; 16 * 1024 * 1024];
+        conn.stage_response(&Response::ok(body.clone()), true);
+        let mut stalled = false;
+        let reader = std::thread::spawn(move || {
+            use std::io::Read as _;
+            // Give the writer time to fill the socket buffer first.
+            std::thread::sleep(Duration::from_millis(50));
+            let mut all = Vec::new();
+            (&client).read_to_end(&mut all).unwrap();
+            all
+        });
+        loop {
+            match conn.write_step() {
+                Ok(()) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    stalled = true;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(stalled, "16 MiB must not fit a loopback socket buffer");
+        drop(conn); // close so the reader sees EOF
+        let all = reader.join().unwrap();
+        let body_start = all
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head terminator")
+            + 4;
+        assert_eq!(&all[body_start..], &body[..], "body must arrive intact");
+    }
+}

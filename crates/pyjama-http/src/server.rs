@@ -17,6 +17,14 @@
 //!   chain of `nowait` target regions — the paper's event-handler offload
 //!   pattern applied to connection lifetime — and a worker thread only ever
 //!   touches a socket with request bytes waiting.
+//! * **Reactor** — the fully readiness-driven pipeline. Acceptors only
+//!   accept: every socket goes non-blocking into the epoll reactor
+//!   ([`crate::reactor`]), and a kernel readiness event posts a serving
+//!   region to the virtual target. Request parsing is *resumable* (a
+//!   half-received request re-arms read interest and a later region resumes
+//!   at the exact byte), response writes re-arm on `EPOLLOUT` when the
+//!   socket buffer fills, and no thread anywhere blocks on connection I/O —
+//!   tens of thousands of keep-alive connections on a bounded pool.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,13 +32,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pyjama_metrics::{ConnCounters, ConnStats};
+use pyjama_metrics::{ConnCounters, ConnStats, ReactorStats};
 use pyjama_runtime::{Runtime, TargetRegion, VirtualTarget, WorkerTarget};
 use pyjama_trace::{arg as trace_arg, Stage, TraceId};
 
 use crate::conn::{wait_readable, ConnState, NextRequest};
 use crate::idle::{IdleParker, ParkerShared};
-use crate::message::{ReadError, Request, Response, Status};
+use crate::message::{ParseStatus, ReadError, Request, Response, Status};
+use crate::reactor::{
+    Interest, Reactor, ReactorConn, ReactorShared, Readiness, Reg, RegKind,
+};
 
 /// The request handler: pure application logic, shared across policies so
 /// the benchmark isolates the *serving strategy*.
@@ -49,6 +60,16 @@ pub enum ServingPolicy {
     /// with `nowait` — `//#omp target virtual(worker) nowait` around the
     /// handler body — and connections re-arm themselves between requests.
     PyjamaVirtualTarget {
+        /// The runtime owning the target.
+        runtime: Arc<Runtime>,
+        /// Virtual-target name (a worker pool).
+        target: String,
+    },
+    /// Readiness-driven: an epoll reactor thread owns every accepted socket
+    /// and posts a serving region to the named virtual target whenever the
+    /// kernel reports readiness. No blocking connection I/O anywhere; the
+    /// connection ceiling is the fd limit, not the thread count.
+    Reactor {
         /// The runtime owning the target.
         runtime: Arc<Runtime>,
         /// Virtual-target name (a worker pool).
@@ -108,6 +129,7 @@ pub struct HttpServer {
     acceptors: Vec<JoinHandle<()>>,
     pool: Option<Arc<WorkerTarget>>,
     parker: Option<IdleParker>,
+    reactor: Option<Reactor>,
 }
 
 impl HttpServer {
@@ -140,7 +162,7 @@ impl HttpServer {
             opts,
         });
 
-        let (pool, parker, sink) = match &policy {
+        let (pool, parker, reactor, sink) = match &policy {
             ServingPolicy::JettyPool { threads } => {
                 // The Jetty policy needs its own pool; reuse WorkerTarget
                 // (it is a plain fixed pool when used without the runtime's
@@ -150,7 +172,7 @@ impl HttpServer {
                     pool: Arc::clone(&pool),
                     label: Arc::from("http-conn"),
                 };
-                (Some(pool), None, sink)
+                (Some(pool), None, None, sink)
             }
             ServingPolicy::PyjamaVirtualTarget { runtime, target } => {
                 let parker_shared = ParkerShared::new()?;
@@ -165,9 +187,11 @@ impl HttpServer {
                     },
                 };
                 let ctx = Arc::new(PyjamaCtx {
-                    shared: Arc::clone(&shared),
-                    dispatch,
-                    label: Arc::from(format!("target virtual({target})").as_str()),
+                    post: TargetPost {
+                        shared: Arc::clone(&shared),
+                        dispatch,
+                        label: Arc::from(format!("target virtual({target})").as_str()),
+                    },
                     parker: Arc::clone(&parker_shared),
                 });
                 // A parked connection turning readable re-enters the target
@@ -177,15 +201,15 @@ impl HttpServer {
                     move |conn: ConnState| {
                         pyjama_trace::emit(conn.trace, Stage::ConnReady, trace_arg::READY_READABLE);
                         let ctx2 = Arc::clone(&ctx);
-                        let posted = ctx.post(conn.trace, move || {
+                        let posted = ctx.post.post(conn.trace, move || {
                             let mut conn = conn;
                             match conn.read_request() {
                                 Ok(()) => serve_one(conn, &ctx2),
-                                Err(e) => fail_read(conn, e, &ctx2.shared, false),
+                                Err(e) => fail_read(conn, e, &ctx2.post.shared, false),
                             }
                         });
                         if !posted {
-                            ctx.shared.errors.fetch_add(1, Ordering::Relaxed);
+                            ctx.post.shared.errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 };
@@ -198,7 +222,61 @@ impl HttpServer {
                     }
                 };
                 let parker = IdleParker::spawn(parker_shared, on_ready, on_timeout)?;
-                (None, Some(parker), AcceptSink::Pyjama { ctx })
+                (None, Some(parker), None, AcceptSink::Pyjama { ctx })
+            }
+            ServingPolicy::Reactor { runtime, target } => {
+                let reactor_shared = ReactorShared::new()?;
+                let dispatch = match runtime.lookup(target) {
+                    Ok(t) => Dispatch::Direct(t),
+                    Err(_) => Dispatch::Lookup {
+                        runtime: Arc::clone(runtime),
+                        name: target.clone(),
+                    },
+                };
+                let ctx = Arc::new(ReactorCtx {
+                    post: TargetPost {
+                        shared: Arc::clone(&shared),
+                        dispatch,
+                        label: Arc::from(format!("target virtual({target}) reactor").as_str()),
+                    },
+                    reactor: Arc::clone(&reactor_shared),
+                });
+                // Kernel readiness → one serving region. Both hooks run on
+                // the reactor thread, so they only post and count.
+                let on_ready = {
+                    let ctx = Arc::clone(&ctx);
+                    move |conn: ReactorConn, readiness: Readiness| {
+                        let arg = match readiness {
+                            Readiness::Readable => trace_arg::READY_READABLE,
+                            Readiness::Writable => trace_arg::READY_WRITABLE,
+                        };
+                        pyjama_trace::emit(conn.trace, Stage::ReactorReady, arg);
+                        let ctx2 = Arc::clone(&ctx);
+                        let trace = conn.trace;
+                        let posted =
+                            ctx.post.post(trace, move || drive_reactor_conn(conn, &ctx2));
+                        if !posted {
+                            ctx.post.shared.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                };
+                let on_timeout = {
+                    let shared = Arc::clone(&shared);
+                    move |conn: ReactorConn, idle: bool| {
+                        pyjama_trace::emit(conn.trace, Stage::ReactorReady, trace_arg::READY_TIMEOUT);
+                        if idle {
+                            // Normal keep-alive lifecycle: the client went
+                            // quiet between requests.
+                            shared.conn.record_timed_out_idle();
+                        } else {
+                            // Stalled mid-request or mid-response.
+                            shared.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        drop(conn); // closes the socket
+                    }
+                };
+                let reactor = Reactor::spawn(Arc::clone(&reactor_shared), on_ready, on_timeout)?;
+                (None, None, Some(reactor), AcceptSink::Reactor { ctx })
             }
         };
 
@@ -221,6 +299,7 @@ impl HttpServer {
             acceptors,
             pool,
             parker,
+            reactor,
         })
     }
 
@@ -265,6 +344,13 @@ impl HttpServer {
         self.shared.opts
     }
 
+    /// Reactor counters (registrations, readiness events, dispatches,
+    /// re-arms and their conservation law) — `Some` only under
+    /// [`ServingPolicy::Reactor`].
+    pub fn reactor_stats(&self) -> Option<ReactorStats> {
+        self.reactor.as_ref().map(|r| r.stats())
+    }
+
     /// Stops accepting, unblocks and joins every acceptor, stops the idle
     /// poller (closing parked connections) and shuts the Jetty pool down.
     /// Idempotent.
@@ -280,6 +366,14 @@ impl HttpServer {
         }
         if let Some(mut parker) = self.parker.take() {
             parker.shutdown();
+        }
+        // Stop the reactor before quiescing: registered connections close
+        // (clients see EOF) and an in-flight region that tries to re-arm
+        // afterwards has its connection dropped by `register`'s stop check.
+        // (Kept in place, not taken: `reactor_stats` stays readable on the
+        // quiesced server, where the conservation law is exact.)
+        if let Some(reactor) = self.reactor.as_mut() {
+            reactor.shutdown();
         }
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
@@ -314,6 +408,9 @@ enum AcceptSink {
     Pyjama {
         ctx: Arc<PyjamaCtx>,
     },
+    Reactor {
+        ctx: Arc<ReactorCtx>,
+    },
 }
 
 /// How the Pyjama policy reaches its virtual target.
@@ -325,17 +422,30 @@ enum Dispatch {
     Lookup { runtime: Arc<Runtime>, name: String },
 }
 
-/// Everything a Pyjama-policy serving region needs to re-arm a connection.
-struct PyjamaCtx {
+/// An inflight-counted post of a `nowait` region to the virtual target —
+/// the dispatch half shared by the Pyjama and Reactor policies.
+struct TargetPost {
     shared: Arc<ServerShared>,
     dispatch: Dispatch,
     /// Interned region label: re-posting clones the `Arc` instead of
     /// formatting a fresh string per request.
     label: Arc<str>,
+}
+
+/// Everything a Pyjama-policy serving region needs to re-arm a connection.
+struct PyjamaCtx {
+    post: TargetPost,
     parker: Arc<ParkerShared>,
 }
 
-impl PyjamaCtx {
+/// Everything a Reactor-policy serving region needs: the target post plus
+/// the reactor the connection re-arms through.
+struct ReactorCtx {
+    post: TargetPost,
+    reactor: Arc<ReactorShared>,
+}
+
+impl TargetPost {
     /// Posts `body` to the virtual target as a `nowait` region continuing
     /// the connection's trace flow. Returns `false` when the target cannot
     /// be resolved.
@@ -393,6 +503,30 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSin
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
+        if let AcceptSink::Reactor { ctx } = &sink {
+            // The reactor policy never blocks on a socket: accept, go
+            // non-blocking, hand straight to the reactor with read interest.
+            // The first readiness event does what the Pyjama acceptor's
+            // blocking first-request read used to.
+            let mut conn = match ReactorConn::new(stream) {
+                Ok(c) => c,
+                Err(_) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            shared.conn.record_accepted();
+            conn.trace = TraceId::mint();
+            pyjama_trace::emit(conn.trace, Stage::ConnAccepted, 0);
+            ctx.reactor.register(Reg {
+                conn,
+                interest: Interest::Read,
+                deadline: Instant::now() + shared.opts.idle_timeout,
+                idle: true,
+                kind: RegKind::Initial,
+            });
+            continue;
+        }
         let mut conn = match ConnState::new(stream, shared.opts.io_timeout) {
             Ok(c) => c,
             Err(_) => {
@@ -426,6 +560,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSin
                     Err(e) => fail_read(conn, e, &shared, true),
                 }
             }
+            AcceptSink::Reactor { .. } => unreachable!("handled before ConnState setup"),
         }
     }
 }
@@ -501,7 +636,7 @@ fn serve_session(mut conn: ConnState, shared: &Arc<ServerShared>) {
 /// connection parks on the idle poller — this region returns without ever
 /// blocking on the socket.
 fn serve_one(mut conn: ConnState, ctx: &Arc<PyjamaCtx>) {
-    let shared = &ctx.shared;
+    let shared = &ctx.post.shared;
     if !respond(&mut conn, shared) {
         return;
     }
@@ -526,9 +661,129 @@ fn rearm(conn: ConnState, ctx: &Arc<PyjamaCtx>) {
     pyjama_trace::emit(conn.trace, Stage::ConnRearm, conn.served);
     let ctx2 = Arc::clone(ctx);
     let trace = conn.trace;
-    let posted = ctx.post(trace, move || serve_one(conn, &ctx2));
+    let posted = ctx.post.post(trace, move || serve_one(conn, &ctx2));
     if !posted {
-        ctx.shared.errors.fetch_add(1, Ordering::Relaxed);
+        ctx.post.shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// How many requests one Reactor-policy serving region may answer before
+/// it re-posts itself — keeps one fast pipelining client from monopolising
+/// a pool worker.
+const REACTOR_REQUEST_BUDGET: u32 = 32;
+
+/// The Reactor-policy serving region: resumes the connection's state
+/// machine exactly where the last region (or the accept) left it and runs
+/// until it would block. Every `WouldBlock` hands the connection back to
+/// the reactor — read interest for a half-received request, write interest
+/// for a response the socket buffer would not take — so no worker thread
+/// ever blocks on connection I/O.
+fn drive_reactor_conn(mut conn: ReactorConn, ctx: &Arc<ReactorCtx>) {
+    let shared = &ctx.post.shared;
+    let opts = shared.opts;
+    let mut budget = REACTOR_REQUEST_BUDGET;
+    loop {
+        // Phase 1: push staged response bytes.
+        if conn.has_pending_output() {
+            match conn.write_step() {
+                Ok(()) => {
+                    conn.served += 1;
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    pyjama_trace::emit(conn.trace, Stage::ResponseWritten, conn.served);
+                    if conn.served > 1 {
+                        shared.conn.record_reused();
+                    }
+                    if !conn.inbuf.is_empty() {
+                        shared.conn.record_pipelined();
+                    }
+                    if conn.close_after_write || shared.stop.load(Ordering::SeqCst) {
+                        return; // drop closes the socket
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Socket buffer full: wait for EPOLLOUT.
+                    pyjama_trace::emit(conn.trace, Stage::ReactorRearm, trace_arg::REARM_WRITE);
+                    ctx.reactor.register(Reg {
+                        conn,
+                        interest: Interest::Write,
+                        deadline: Instant::now() + opts.io_timeout,
+                        idle: false,
+                        kind: RegKind::RearmWrite,
+                    });
+                    return;
+                }
+                Err(_) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        // Phase 2: parse the next request out of the accumulated bytes.
+        if budget == 0 {
+            // Yield the worker and continue in a fresh region. Buffered
+            // bytes never re-trigger kernel readiness, so this must re-post
+            // directly rather than re-arm through the reactor.
+            pyjama_trace::emit(conn.trace, Stage::ConnRearm, conn.served);
+            let ctx2 = Arc::clone(ctx);
+            let trace = conn.trace;
+            if !ctx.post.post(trace, move || drive_reactor_conn(conn, &ctx2)) {
+                ctx.post.shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        match conn.parse_step() {
+            Ok(ParseStatus::Complete { .. }) => {
+                let resp = run_handler(shared, &conn.req);
+                let close = decide_close(conn.served, &conn.req, shared);
+                conn.stage_response(&resp, close);
+                budget -= 1;
+            }
+            Ok(ParseStatus::NeedMore) => match conn.read_step() {
+                Ok(0) => {
+                    // EOF. Truncated request bytes — or a connection that
+                    // never produced a request — count as errors (mirroring
+                    // `fail_read`); a clean close between requests doesn't.
+                    if !conn.inbuf.is_empty() || conn.served == 0 {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let idle = conn.inbuf.is_empty();
+                    let deadline =
+                        Instant::now() + if idle { opts.idle_timeout } else { opts.io_timeout };
+                    if idle {
+                        conn.release_idle_buffers();
+                    }
+                    pyjama_trace::emit(conn.trace, Stage::ReactorRearm, trace_arg::REARM_READ);
+                    ctx.reactor.register(Reg {
+                        conn,
+                        interest: Interest::Read,
+                        deadline,
+                        idle,
+                        kind: RegKind::RearmRead,
+                    });
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            },
+            Err(ReadError::BadRequest(msg)) => {
+                // Answer 400 and close; the staged write goes through the
+                // same resumable write path above.
+                let resp = Response::error(Status::BadRequest, msg);
+                conn.stage_response(&resp, true);
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
     }
 }
 
@@ -607,6 +862,137 @@ mod tests {
         let resp = http_post(server.addr(), "/echo", b"pyjama".to_vec()).unwrap();
         assert_eq!(resp.status, Status::Ok);
         assert_eq!(resp.body, b"pyjama");
+        server.shutdown();
+    }
+
+    #[test]
+    fn reactor_policy_serves_requests() {
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("worker", 4);
+        let mut server = HttpServer::start(
+            ServingPolicy::Reactor {
+                runtime: Arc::clone(&rt),
+                target: "worker".into(),
+            },
+            echo_handler,
+        )
+        .unwrap();
+        let resp = http_post(server.addr(), "/echo", b"reactor".to_vec()).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, b"reactor");
+        wait_served(&server, 1);
+        let stats = server.reactor_stats().expect("reactor policy");
+        assert_eq!(stats.registered, 1);
+        assert!(stats.dispatched >= 1);
+        assert!(stats.readiness_balanced(), "{stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn reactor_keep_alive_session_reuses_one_socket() {
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("worker", 2);
+        let mut server = HttpServer::start(
+            ServingPolicy::Reactor {
+                runtime: rt,
+                target: "worker".into(),
+            },
+            echo_handler,
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..3u8 {
+            let mut req = Request::new("POST", "/echo", vec![i; 4]);
+            req.headers.insert("connection", "keep-alive");
+            let mut wire = Vec::new();
+            req.write_into(&mut wire);
+            stream.write_all(&wire).unwrap();
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.body, vec![i; 4]);
+            assert!(!resp.announces_close());
+            // Pace the session so the serving region drains the socket and
+            // re-arms between requests. (Unpaced, the next request can land
+            // before the region hits `WouldBlock`, and one region serves
+            // the whole session — the fast path, but not what this test is
+            // exercising.)
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        wait_served(&server, 3);
+        let stats = server.conn_stats();
+        assert_eq!(stats.accepted, 1, "one socket for all three requests");
+        assert_eq!(stats.reused, 2);
+        let rs = server.reactor_stats().unwrap();
+        assert!(rs.rearms() >= 2, "between-request re-arms expected: {rs:?}");
+        assert!(rs.dispatched >= 3, "each paced request needs its own dispatch: {rs:?}");
+        assert!(rs.readiness_balanced(), "{rs:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn reactor_malformed_post_gets_400() {
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("worker", 2);
+        let mut server = HttpServer::start(
+            ServingPolicy::Reactor {
+                runtime: rt,
+                target: "worker".into(),
+            },
+            echo_handler,
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"POST /x HTTP/1.1\r\n\r\nrogue").unwrap();
+        let resp = Response::read_from(&mut BufReader::new(stream)).unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        let t0 = Instant::now();
+        while server.errors() == 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(server.errors() >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reactor_idle_connection_evicted_not_errored() {
+        let rt = Arc::new(Runtime::new());
+        rt.virtual_target_create_worker("worker", 2);
+        let opts = ServerOptions {
+            idle_timeout: Duration::from_millis(100),
+            ..ServerOptions::default()
+        };
+        let mut server = HttpServer::start_with(
+            ServingPolicy::Reactor {
+                runtime: rt,
+                target: "worker".into(),
+            },
+            opts,
+            echo_handler,
+        )
+        .unwrap();
+        // A connection that never sends a request goes idle past the
+        // deadline: evicted as keep-alive lifecycle, not an error.
+        let silent = TcpStream::connect(server.addr()).unwrap();
+        silent
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        use std::io::Read as _;
+        let mut buf = [0u8; 8];
+        assert_eq!((&silent).read(&mut buf).unwrap(), 0, "server closed it");
+        let t0 = Instant::now();
+        while server.conn_stats().timed_out_idle == 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.conn_stats().timed_out_idle, 1);
+        assert_eq!(server.errors(), 0);
+        assert_eq!(server.reactor_stats().unwrap().evicted_idle, 1);
         server.shutdown();
     }
 

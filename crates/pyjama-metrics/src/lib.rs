@@ -19,9 +19,11 @@
 //! (parks, wakeups, spurious wakeups), [`StealCounters`] observing the
 //! worker pools' work-stealing scheduler (local pops, steals, injector
 //! drains), [`ConnCounters`] observing the HTTP server's persistent
-//! connections (accepts, reuse, pipelining, idle evictions), and
-//! [`TeamCounters`] observing the fork-join `omp parallel` thread pool
-//! (regions forked, threads spawned vs reused, barrier spins vs parks).
+//! connections (accepts, reuse, pipelining, idle evictions),
+//! [`ReactorCounters`] observing the epoll readiness reactor (registrations,
+//! re-arms, readiness events dispatched vs spurious — with a conservation
+//! law), and [`TeamCounters`] observing the fork-join `omp parallel` thread
+//! pool (regions forked, threads spawned vs reused, barrier spins vs parks).
 //!
 //! Everything here is synchronisation-cheap (atomics or a short
 //! `parking_lot` critical section) so that recording does not perturb the
@@ -32,6 +34,7 @@ pub mod histogram;
 pub mod latency;
 pub mod occupancy;
 pub mod park;
+pub mod reactor;
 pub mod stats;
 pub mod steal;
 pub mod team;
@@ -43,6 +46,7 @@ pub use histogram::Histogram;
 pub use latency::LatencyRecorder;
 pub use occupancy::OccupancyTracker;
 pub use park::{ParkCounters, ParkStats};
+pub use reactor::{ReactorCounters, ReactorStats};
 pub use stats::{OnlineStats, Summary};
 pub use steal::{StealCounters, StealStats};
 pub use team::{TeamCounters, TeamStats};

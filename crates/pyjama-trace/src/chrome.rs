@@ -69,6 +69,23 @@ fn slice_name(ev: &TraceEvent) -> String {
         Stage::ConnReady if ev.arg == argv::READY_TIMEOUT => {
             "conn_ready(timeout)".to_string()
         }
+        Stage::ReactorReady => {
+            let why = match ev.arg {
+                argv::READY_READABLE => "readable",
+                argv::READY_TIMEOUT => "timeout",
+                argv::READY_WRITABLE => "writable",
+                _ => "?",
+            };
+            format!("reactor_ready({why})")
+        }
+        Stage::ReactorRearm => {
+            let interest = match ev.arg {
+                argv::REARM_READ => "read",
+                argv::REARM_WRITE => "write",
+                _ => "?",
+            };
+            format!("reactor_rearm({interest})")
+        }
         s => s.name().to_string(),
     }
 }

@@ -79,6 +79,14 @@ pub enum Stage {
     /// The region joined: every member passed the join barrier and the
     /// team quiesced (arg = 1 if the hot-team fast path served the fork).
     TeamJoin = 23,
+
+    // -- readiness reactor (pyjama-http, ServingPolicy::Reactor) -----------
+    /// The reactor dispatched a connection on kernel readiness (arg:
+    /// readable/writable/timeout, see [`arg::READY_READABLE`]).
+    ReactorReady = 24,
+    /// A serving region re-registered its connection with the reactor
+    /// (arg 0 = read interest, 1 = write interest after a short write).
+    ReactorRearm = 25,
 }
 
 /// `arg` value vocabularies, per stage.
@@ -111,10 +119,17 @@ pub mod arg {
     /// [`super::Stage::RegionRunEnd`] / [`super::Stage::EventDispatchEnd`]: the body panicked.
     pub const END_PANICKED: u32 = 1;
 
-    /// [`super::Stage::ConnReady`]: socket readable.
+    /// [`super::Stage::ConnReady`] / [`super::Stage::ReactorReady`]: socket readable.
     pub const READY_READABLE: u32 = 0;
-    /// [`super::Stage::ConnReady`]: idle deadline elapsed.
+    /// [`super::Stage::ConnReady`] / [`super::Stage::ReactorReady`]: idle deadline elapsed.
     pub const READY_TIMEOUT: u32 = 1;
+    /// [`super::Stage::ReactorReady`]: socket writable (EPOLLOUT re-arm fired).
+    pub const READY_WRITABLE: u32 = 2;
+
+    /// [`super::Stage::ReactorRearm`]: registered for read readiness.
+    pub const REARM_READ: u32 = 0;
+    /// [`super::Stage::ReactorRearm`]: registered for write readiness.
+    pub const REARM_WRITE: u32 = 1;
 
     /// [`super::Stage::TeamJoin`]: the fork leased (or spawned) workers.
     pub const JOIN_COLD: u32 = 0;
@@ -162,6 +177,8 @@ impl Stage {
             21 => ResponseWritten,
             22 => TeamFork,
             23 => TeamJoin,
+            24 => ReactorReady,
+            25 => ReactorRearm,
             _ => return None,
         })
     }
@@ -194,6 +211,8 @@ impl Stage {
             ResponseWritten => "response_written",
             TeamFork => "team_fork",
             TeamJoin => "team_join",
+            ReactorReady => "reactor_ready",
+            ReactorRearm => "reactor_rearm",
         }
     }
 
@@ -244,7 +263,7 @@ mod tests {
 
     #[test]
     fn stage_roundtrips_through_u8() {
-        for v in 0..=23u8 {
+        for v in 0..=25u8 {
             let s = Stage::from_u8(v).expect("valid discriminant");
             assert_eq!(s as u8, v);
             assert!(!s.name().is_empty());
@@ -254,7 +273,7 @@ mod tests {
 
     #[test]
     fn pairing_is_consistent() {
-        for v in 0..=23u8 {
+        for v in 0..=25u8 {
             let s = Stage::from_u8(v).unwrap();
             if let Some(close) = s.closes_with() {
                 assert!(close.is_closer(), "{close:?} must be a closer");

@@ -1,0 +1,537 @@
+//! Integration: the readiness-driven reactor policy — C10K idle keep-alive
+//! connections on a bounded pool, a slow-loris client crossing many
+//! readiness events, EPOLLOUT re-arm on a partial large-body write,
+//! shutdown racing in-flight keep-alive sessions, and one request
+//! reconstructed end to end (accept → ready → post → dequeue → run →
+//! response) from the exported Chrome trace.
+//!
+//! Tracing is process-global and the C10K test is resource-heavy, so every
+//! test serializes on one lock; each test is still independent.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use pyjama::http::{
+    http_post, nofile_limit_at_least, ClientConn, HttpServer, Request, Response, ServerOptions,
+    ServingPolicy, Status,
+};
+use pyjama::metrics::ReactorStats;
+use pyjama::runtime::Runtime;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn echo(req: &Request) -> Response {
+    Response::ok(req.body.clone())
+}
+
+fn reactor_server(
+    workers: usize,
+    opts: ServerOptions,
+    handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+) -> (HttpServer, Arc<Runtime>) {
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("worker", workers);
+    let server = HttpServer::start_with(
+        ServingPolicy::Reactor {
+            runtime: Arc::clone(&rt),
+            target: "worker".into(),
+        },
+        opts,
+        handler,
+    )
+    .unwrap();
+    (server, rt)
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "timed out waiting: {what}"
+        );
+        std::thread::sleep(Duration::from_millis(3));
+    }
+}
+
+fn wire_of(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    req.write_into(&mut buf);
+    buf
+}
+
+/// Law + quiescence asserts shared by every test: run on a shut-down
+/// server, where no notification can still be between its readiness count
+/// and its dispatch/spurious count.
+fn assert_law(stats: &ReactorStats) {
+    assert!(
+        stats.readiness_balanced(),
+        "conservation law violated: readiness_events ({}) != dispatched ({}) + spurious_ready ({}): {stats:?}",
+        stats.readiness_events,
+        stats.dispatched,
+        stats.spurious_ready
+    );
+}
+
+fn connect_retry(addr: SocketAddr) -> TcpStream {
+    let mut last = None;
+    for _ in 0..200 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    panic!("connect kept failing: {last:?}");
+}
+
+// ---------------------------------------------------------------------------
+// C10K: the acceptance-criterion test. Tens of thousands of keep-alive
+// connections on a 4-worker pool: every connection serves a request, all of
+// them then sit idle (holding no worker), a probe request is still served
+// promptly, and a second full wave goes through. The conservation law and
+// per-connection accounting are checked on the quiesced server.
+// ---------------------------------------------------------------------------
+
+const CLIENT_THREADS: usize = 8;
+
+fn send_wave(socks: &mut [TcpStream], wire: &[u8]) {
+    let chunk = socks.len().div_ceil(CLIENT_THREADS).max(1);
+    std::thread::scope(|s| {
+        for part in socks.chunks_mut(chunk) {
+            s.spawn(move || {
+                for sock in part.iter_mut() {
+                    sock.write_all(wire).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn read_wave(socks: &[TcpStream], expect: &[u8]) {
+    let chunk = socks.len().div_ceil(CLIENT_THREADS).max(1);
+    std::thread::scope(|s| {
+        for part in socks.chunks(chunk) {
+            s.spawn(move || {
+                for sock in part.iter() {
+                    let mut r = BufReader::with_capacity(512, sock);
+                    let resp = Response::read_from(&mut r).unwrap();
+                    assert_eq!(resp.status, Status::Ok);
+                    assert_eq!(resp.body, expect);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn c10k_idle_keepalive_connections_on_a_bounded_pool() {
+    let _g = lock();
+
+    // Both endpoints of every loopback connection live in this process:
+    // budget 2 fds per connection plus headroom for the listener, the wake
+    // pipe, stdio and the probe. `PJ_REACTOR_CONNS` scales the run down for
+    // constrained environments (CI smoke uses the bench binary instead).
+    const MARGIN: u64 = 256;
+    let want: usize = std::env::var("PJ_REACTOR_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let limit = nofile_limit_at_least(want as u64 * 2 + MARGIN);
+    let conns = want.min((limit.saturating_sub(MARGIN) / 2) as usize);
+    assert!(
+        conns >= 1_000,
+        "fd limit {limit} too low for a meaningful C10K run"
+    );
+
+    let opts = ServerOptions {
+        idle_timeout: Duration::from_secs(600),
+        io_timeout: Duration::from_secs(10),
+        ..ServerOptions::default()
+    };
+    let (mut server, _rt) = reactor_server(4, opts, echo);
+    let addr = server.addr();
+
+    let mut req = Request::new("POST", "/c10k", b"ping".to_vec());
+    req.headers.insert("connection", "keep-alive");
+    let wire = wire_of(&req);
+
+    // Wave 1: connect and send the first request immediately, so the
+    // connect phase and the serve phase overlap like a real ramp-up.
+    let per = conns.div_ceil(CLIENT_THREADS);
+    let mut socks: Vec<TcpStream> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                let wire = &wire;
+                let count = per.min(conns.saturating_sub(t * per));
+                s.spawn(move || {
+                    let mut v = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let mut sock = connect_retry(addr);
+                        sock.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                        sock.write_all(wire).unwrap();
+                        v.push(sock);
+                    }
+                    v
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(socks.len(), conns);
+    read_wave(&socks, b"ping");
+    wait_for(|| server.served() >= conns as u64, "wave-1 responses counted");
+
+    // Every connection is now idle on the reactor; none of them may hold a
+    // worker: a fresh request must be served promptly by the 4-thread pool.
+    let t0 = Instant::now();
+    let resp = http_post(addr, "/probe", vec![7; 32]).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "probe stalled {:?} behind {conns} idle connections",
+        t0.elapsed()
+    );
+
+    // Wave 2: the same sockets all wake at once.
+    send_wave(&mut socks, &wire);
+    read_wave(&socks, b"ping");
+    wait_for(
+        || server.served() >= conns as u64 * 2 + 1,
+        "wave-2 responses counted",
+    );
+
+    assert_eq!(server.errors(), 0, "no connection may fail");
+    let conn_stats = server.conn_stats();
+    assert_eq!(conn_stats.accepted, conns as u64 + 1);
+    assert_eq!(
+        conn_stats.reused, conns as u64,
+        "every keep-alive socket served its second request on the same connection"
+    );
+    assert_eq!(conn_stats.timed_out_idle, 0);
+
+    server.shutdown();
+    let stats = server.reactor_stats().expect("reactor policy has stats");
+    assert_law(&stats);
+    assert_eq!(stats.registered, conns as u64 + 1);
+    assert!(
+        stats.dispatched >= conns as u64,
+        "each connection dispatched at least once: {stats:?}"
+    );
+    assert!(
+        stats.rearms_read >= conns as u64,
+        "each connection re-armed for its second request: {stats:?}"
+    );
+    assert_eq!(stats.evicted_idle, 0, "nothing may time out: {stats:?}");
+    drop(socks);
+}
+
+// ---------------------------------------------------------------------------
+// Slow loris: one client dribbles a request byte-at-a-time. Under the old
+// policies this pins a pool thread for the whole dribble; under the reactor
+// each byte is one readiness event and the (single!) worker stays free to
+// serve other clients between bytes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slow_loris_dribble_crosses_readiness_events_without_blocking_the_pool() {
+    let _g = lock();
+    let (mut server, _rt) = reactor_server(1, ServerOptions::default(), echo);
+    let addr = server.addr();
+
+    let mut loris_req = Request::new("POST", "/loris", b"hello".to_vec());
+    loris_req.headers.insert("connection", "close");
+    let wire = wire_of(&loris_req);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let loris = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut sock = connect_retry(addr);
+            sock.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            for byte in &wire {
+                sock.write_all(std::slice::from_ref(byte)).unwrap();
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            let mut r = BufReader::with_capacity(512, &sock);
+            let resp = Response::read_from(&mut r).unwrap();
+            done.store(true, Ordering::Release);
+            resp
+        })
+    };
+
+    // While the dribble is in flight, whole requests flow through the
+    // single worker unimpeded.
+    let mut probes = 0u32;
+    while !done.load(Ordering::Acquire) {
+        let t0 = Instant::now();
+        let resp = http_post(addr, "/probe", vec![probes as u8; 16]).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "probe blocked behind the loris"
+        );
+        probes += 1;
+    }
+    let resp = loris.join().unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.body, b"hello");
+    assert!(
+        probes >= 3,
+        "the pool should have served many probes during the dribble, got {probes}"
+    );
+    assert_eq!(server.errors(), 0);
+
+    server.shutdown();
+    let stats = server.reactor_stats().unwrap();
+    assert_law(&stats);
+    assert!(
+        stats.rearms_read >= 5,
+        "a byte-wise dribble must cross many read re-arms: {stats:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Partial write: a response far larger than the socket buffer forces the
+// serving region into WouldBlock mid-write; it must re-arm for write
+// readiness (EPOLLOUT) and resume from the exact offset until the body is
+// delivered intact.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn partial_write_rearms_write_interest_and_delivers_large_body() {
+    let _g = lock();
+    const BODY: usize = 16 << 20;
+    fn big_body() -> Vec<u8> {
+        (0..BODY).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect()
+    }
+
+    let opts = ServerOptions {
+        // The write-stall deadline must cover the client's deliberate pause.
+        io_timeout: Duration::from_secs(5),
+        ..ServerOptions::default()
+    };
+    let (mut server, _rt) = reactor_server(2, opts, |_req| Response::ok(big_body()));
+    let addr = server.addr();
+
+    let mut req = Request::new("GET", "/big", Vec::new());
+    req.headers.insert("connection", "close");
+    let mut sock = connect_retry(addr);
+    sock.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    sock.write_all(&wire_of(&req)).unwrap();
+
+    // Let the writer fill the socket buffer and hit WouldBlock before the
+    // client drains anything.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut raw = Vec::with_capacity(BODY + 1024);
+    sock.read_to_end(&mut raw).unwrap();
+
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator")
+        + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).unwrap();
+    assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+    assert_eq!(raw.len() - head_end, BODY, "full body delivered");
+    assert_eq!(raw[head_end..], big_body(), "body intact across re-arms");
+
+    wait_for(|| server.served() == 1, "response counted");
+    assert_eq!(server.errors(), 0);
+    server.shutdown();
+    let stats = server.reactor_stats().unwrap();
+    assert_law(&stats);
+    assert!(
+        stats.rearms_write >= 1,
+        "a {BODY}-byte body cannot fit the socket buffer in one write: {stats:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown racing in-flight keep-alive sessions: repeated rounds of
+// clients hammering the server while it shuts down mid-stream. Shutdown
+// must drain (no hang, no panic) and the counters must balance afterwards.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shutdown_with_inflight_keepalive_connections_quiesces_cleanly() {
+    let _g = lock();
+    for round in 0..3 {
+        let (mut server, _rt) = reactor_server(4, ServerOptions::default(), echo);
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let completed = Arc::new(AtomicU64::new(0));
+
+        let clients: Vec<_> = (0..6)
+            .map(|c| {
+                let stop = Arc::clone(&stop);
+                let completed = Arc::clone(&completed);
+                std::thread::spawn(move || {
+                    let mut conn =
+                        ClientConn::new(addr).with_read_timeout(Duration::from_secs(2));
+                    let mut req = Request::new("POST", "/race", vec![c as u8; 64]);
+                    req.headers.insert("connection", "keep-alive");
+                    while !stop.load(Ordering::Acquire) {
+                        match conn.send(&req) {
+                            Ok(resp) => {
+                                assert_eq!(resp.status, Status::Ok);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                // Shutdown closed the socket under us; retry
+                                // (and fail fast) until the stop flag lands.
+                                conn.disconnect();
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        wait_for(
+            || completed.load(Ordering::Relaxed) >= 50,
+            "clients warmed up",
+        );
+        server.shutdown();
+        stop.store(true, Ordering::Release);
+        for c in clients {
+            c.join().unwrap();
+        }
+
+        let stats = server.reactor_stats().unwrap();
+        assert_law(&stats);
+        assert!(
+            server.served() >= 50,
+            "round {round}: server lost work: served {} < completed {}",
+            server.served(),
+            completed.load(Ordering::Relaxed)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace flow: one request under the reactor policy exports as a single
+// connected flow — accept → ready → post → dequeue → run → response — and
+// the readiness hop is visible in the Chrome trace.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn one_reactor_request_is_one_connected_flow_in_the_export() {
+    let _g = lock();
+    pyjama::trace::set_ring_capacity(1 << 14);
+    pyjama::trace::enable();
+    pyjama::trace::clear();
+
+    let (mut server, _rt) = reactor_server(2, ServerOptions::default(), echo);
+    server.reset_conn_stats();
+
+    let resp = http_post(server.addr(), "/traced", vec![0xA5; 256]).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    wait_for(|| server.served() == 1, "response counted");
+    let conn_stats = server.conn_stats();
+    server.shutdown();
+
+    pyjama::trace::disable();
+    let trace = pyjama::trace::collect();
+
+    use pyjama::trace::{arg, Stage, TraceId};
+    assert_eq!(conn_stats.accepted, 1, "one http_post = one connection");
+    let accepted: Vec<TraceId> = trace
+        .iter_events()
+        .filter(|(_, e)| e.stage == Stage::ConnAccepted)
+        .map(|(_, e)| e.id)
+        .collect();
+    assert_eq!(accepted.len(), 1, "exactly one ConnAccepted event");
+    let id = accepted[0];
+    assert_ne!(id, TraceId::NONE);
+
+    let chain = trace.events_for(id);
+    let ts_of = |stage: Stage| {
+        chain
+            .iter()
+            .find(|(_, e)| e.stage == stage)
+            .unwrap_or_else(|| panic!("flow is missing {stage:?}: {chain:#?}"))
+            .1
+            .ts_ns
+    };
+    let t_accept = ts_of(Stage::ConnAccepted);
+    let t_ready = ts_of(Stage::ReactorReady);
+    let t_post = ts_of(Stage::RegionPosted);
+    let t_deq = ts_of(Stage::RegionDequeued);
+    let t_run = ts_of(Stage::RegionRunBegin);
+    let t_resp = ts_of(Stage::ResponseWritten);
+    assert!(
+        t_accept <= t_ready
+            && t_ready <= t_post
+            && t_post <= t_deq
+            && t_deq <= t_run
+            && t_run <= t_resp,
+        "stages out of causal order: accept={t_accept} ready={t_ready} \
+         post={t_post} dequeue={t_deq} run={t_run} respond={t_resp}"
+    );
+    let ready = chain
+        .iter()
+        .find(|(_, e)| e.stage == Stage::ReactorReady)
+        .unwrap();
+    assert_eq!(
+        ready.1.arg,
+        arg::READY_READABLE,
+        "the request's readiness event is a read"
+    );
+
+    use pyjama::trace::validate::{parse_trace_events, validate_chrome_trace};
+    let path = std::env::temp_dir().join("pyjama_reactor_trace_test.json");
+    trace.write_chrome(&path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    let summary = validate_chrome_trace(&json).expect("exported trace must validate");
+    assert!(summary.flows >= 1, "the request must export as a flow");
+    assert!(
+        summary.threads >= 2,
+        "reactor and worker are different threads"
+    );
+
+    let parsed = parse_trace_events(&json).unwrap();
+    let slices: Vec<&str> = parsed
+        .iter()
+        .filter(|e| e.ph == "X" && e.trace_id == Some(id.raw()))
+        .map(|e| e.name.as_str())
+        .collect();
+    for want in [
+        "conn_accepted",
+        "reactor_ready(", // decorated with the readiness kind
+        "region_posted(",
+        "region_dequeued(",
+        "region_run",
+        "response_written",
+    ] {
+        assert!(
+            slices.iter().any(|n| n.starts_with(want)),
+            "exported flow {} lacks a {want} slice; has {slices:?}",
+            id.raw()
+        );
+    }
+    let starts = parsed
+        .iter()
+        .filter(|e| e.ph == "s" && e.id == Some(id.raw()))
+        .count();
+    let finishes = parsed
+        .iter()
+        .filter(|e| e.ph == "f" && e.id == Some(id.raw()))
+        .count();
+    assert_eq!((starts, finishes), (1, 1), "one connected flow per request");
+
+    std::fs::remove_file(&path).ok();
+}
