@@ -1,0 +1,232 @@
+//! PJ engine ablation: register bytecode VM vs tree-walking interpreter.
+//!
+//! Two regimes, mirroring how the compiler is actually used:
+//!
+//! * **compute kernels** (fib, mandel, loop-sum) — directive-free PJ where
+//!   execution cost is pure engine overhead: dispatch, variable access,
+//!   call frames. This is where lowering to registers must pay: the gate
+//!   asserts the VM is ≥ 10× faster than the interpreter on every kernel.
+//! * **directive-heavy** — a program that is mostly `target`/`parallel for`
+//!   dispatch. Both engines drive the same runtime substrates, so the VM
+//!   can't be much faster here and doesn't need to be; the gate is parity
+//!   of *output* plus a sanity bound that the VM is not slower than 1.5×.
+//!
+//! Not a criterion bench: the assertions are the artifact, run as
+//! `cargo bench -p pyjama-bench --bench pj_vm`. CI compiles it and
+//! smoke-runs one short iteration with `PJ_BENCH_QUICK=1` (smaller kernels,
+//! same 10× gate — full runs measure well above it).
+//!
+//! Methodology mirrors `region_overhead`: interleaved engine rounds so
+//! drift hits both arms, best-of-N per arm (min estimates the cost of the
+//! code path). Results land in `bench_results/pj_vm.{txt,csv}`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pyjama_bench::report::Table;
+use pyjama_compiler::{parse, vm_stats, Engine, ExecConfig, Interpreter, RunOutput};
+
+const MIN_VM_SPEEDUP: f64 = 10.0;
+const MAX_VM_DIRECTIVE_SLOWDOWN: f64 = 1.5;
+
+fn quick() -> bool {
+    std::env::var_os("PJ_BENCH_QUICK").is_some()
+}
+
+/// Slim config: one pool worker, no EDT — runtime setup is part of `run()`
+/// and identical for both arms; keep it small so the kernels dominate.
+fn config(engine: Engine) -> ExecConfig {
+    ExecConfig {
+        engine,
+        worker_threads: 1,
+        with_edt: false,
+        ..Default::default()
+    }
+}
+
+fn kernels(quick: bool) -> Vec<(&'static str, String)> {
+    // Sizes chosen so the interpreter arm stays in the tens-of-ms range
+    // (quick: low ms) — enough signal that pool setup is noise.
+    // fib stays large even in quick mode: pool setup is a fixed cost on
+    // both arms and drags the measured ratio toward 1x on tiny kernels.
+    let (fib_n, mandel_h, loop_n) = if quick { (18, 8, 60_000) } else { (20, 24, 600_000) };
+    vec![
+        (
+            "fib",
+            format!(
+                r#"fn fib(n) {{ if n < 2 {{ return n; }} return fib(n - 1) + fib(n - 2); }}
+                fn main() {{ return fib({fib_n}); }}"#
+            ),
+        ),
+        (
+            "mandel",
+            format!(
+                r#"fn escape(cr, ci) {{
+                    let zr = 0.0; let zi = 0.0; let it = 0;
+                    while it < 64 {{
+                        let zr2 = zr * zr; let zi2 = zi * zi;
+                        if zr2 + zi2 > 4.0 {{ return it; }}
+                        zi = 2.0 * zr * zi + ci;
+                        zr = zr2 - zi2 + cr;
+                        it += 1;
+                    }}
+                    return 64;
+                }}
+                fn main() {{
+                    let total = 0;
+                    for y in 0..{mandel_h} {{
+                        for x in 0..32 {{
+                            total += escape(float(x) / 12.0 - 2.0, float(y) / 8.0 - 1.0);
+                        }}
+                    }}
+                    return total;
+                }}"#
+            ),
+        ),
+        (
+            "loop-sum",
+            format!(
+                r#"fn main() {{
+                    let acc = 0;
+                    let i = 0;
+                    while i < {loop_n} {{
+                        acc += i * 3 % 7;
+                        i += 1;
+                    }}
+                    return acc;
+                }}"#
+            ),
+        ),
+    ]
+}
+
+fn directive_heavy(quick: bool) -> String {
+    let (posts, iters) = if quick { (20, 32) } else { (100, 128) };
+    format!(
+        r#"fn main() {{
+            let sums = zeros({iters});
+            for k in 0..{posts} {{
+                //#omp target virtual(worker)
+                {{ sums[k % {iters}] = sums[k % {iters}] + 1; }}
+            }}
+            //#omp parallel for num_threads(2)
+            for i in 0..{iters} {{
+                //#omp critical
+                {{ sums[i] = sums[i] + i; }}
+            }}
+            let total = 0;
+            for i in 0..{iters} {{ total += sums[i]; }}
+            print(total);
+            return total;
+        }}"#
+    )
+}
+
+/// Wall time of one `run()` on `engine`, ns, plus the output.
+fn time_run(interp: &Interpreter, engine: Engine) -> (u64, RunOutput) {
+    let t0 = Instant::now();
+    let out = interp.run(&config(engine)).expect("run");
+    (t0.elapsed().as_nanos() as u64, out)
+}
+
+/// Interleaved best-of-`rounds` comparison. Returns (vm_ns, interp_ns).
+fn compare(src: &str, rounds: usize) -> (u64, u64, RunOutput, RunOutput) {
+    let program = Arc::new(parse(src).expect("parse"));
+    let interp = Interpreter::new(program);
+    // One warm-up per arm: first-touch effects (lazy statics, allocator).
+    let (_, vm_out) = time_run(&interp, Engine::Vm);
+    let (_, in_out) = time_run(&interp, Engine::Interp);
+    let mut best_vm = u64::MAX;
+    let mut best_in = u64::MAX;
+    for _ in 0..rounds {
+        best_vm = best_vm.min(time_run(&interp, Engine::Vm).0);
+        best_in = best_in.min(time_run(&interp, Engine::Interp).0);
+    }
+    (best_vm, best_in, vm_out, in_out)
+}
+
+fn main() {
+    let quick = quick();
+    let rounds = if quick { 2 } else { 5 };
+    println!(
+        "pj_vm: register VM vs tree-walking interpreter, best-of-{rounds}{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let mut txt = String::new();
+    let mut table = Table::new(&["kernel", "vm_ms", "interp_ms", "speedup", "gate"]);
+    let stats0 = vm_stats();
+    let mut failed = Vec::new();
+
+    for (name, src) in kernels(quick) {
+        let (vm, interp, vm_out, in_out) = compare(&src, rounds);
+        assert_eq!(vm_out.result, in_out.result, "{name}: engines disagree");
+        let speedup = interp as f64 / vm as f64;
+        let line = format!(
+            "{name:12} vm {:9.3} ms  interp {:9.3} ms  speedup {speedup:6.1}x (gate >= {MIN_VM_SPEEDUP}x)",
+            vm as f64 / 1e6,
+            interp as f64 / 1e6,
+        );
+        println!("{line}");
+        txt.push_str(&line);
+        txt.push('\n');
+        table.row(vec![
+            name.to_string(),
+            format!("{:.3}", vm as f64 / 1e6),
+            format!("{:.3}", interp as f64 / 1e6),
+            format!("{speedup:.2}"),
+            format!(">={MIN_VM_SPEEDUP}"),
+        ]);
+        if speedup < MIN_VM_SPEEDUP {
+            failed.push((name, speedup));
+        }
+    }
+
+    let src = directive_heavy(quick);
+    let (vm, interp, vm_out, in_out) = compare(&src, rounds);
+    assert_eq!(vm_out.output, in_out.output, "directive-heavy output parity");
+    assert_eq!(vm_out.result, in_out.result);
+    let ratio = vm as f64 / interp as f64;
+    let line = format!(
+        "{:12} vm {:9.3} ms  interp {:9.3} ms  vm/interp {ratio:5.2} (parity; gate <= {MAX_VM_DIRECTIVE_SLOWDOWN})",
+        "directives",
+        vm as f64 / 1e6,
+        interp as f64 / 1e6,
+    );
+    println!("{line}");
+    txt.push_str(&line);
+    txt.push('\n');
+    table.row(vec![
+        "directives".to_string(),
+        format!("{:.3}", vm as f64 / 1e6),
+        format!("{:.3}", interp as f64 / 1e6),
+        format!("{:.2}", 1.0 / ratio),
+        format!("<={MAX_VM_DIRECTIVE_SLOWDOWN}x-slowdown"),
+    ]);
+
+    let d = vm_stats().since(&stats0);
+    let line = format!(
+        "vm counters over the run: {} ops, {} frames, {} target dispatches, {} team regions",
+        d.ops_executed, d.frames_pushed, d.target_dispatches, d.team_regions
+    );
+    println!("{line}");
+    txt.push_str(&line);
+    txt.push('\n');
+    assert!(d.ops_executed > 0 && d.frames_pushed > 0);
+    assert!(d.target_dispatches > 0 && d.team_regions > 0);
+
+    std::fs::create_dir_all("bench_results").ok();
+    std::fs::write("bench_results/pj_vm.txt", &txt).expect("write txt");
+    table.write_csv("bench_results/pj_vm.csv").expect("write csv");
+    println!("wrote bench_results/pj_vm.txt, bench_results/pj_vm.csv");
+
+    assert!(
+        failed.is_empty(),
+        "VM below the {MIN_VM_SPEEDUP}x gate on: {failed:?}"
+    );
+    assert!(
+        ratio <= MAX_VM_DIRECTIVE_SLOWDOWN,
+        "VM must not lag the interpreter on directive-heavy code: vm/interp = {ratio:.2}"
+    );
+    println!("pj_vm gates hold ✓");
+}

@@ -1,0 +1,372 @@
+//! The PJ builtin functions, shared by both engines.
+//!
+//! The tree-walking interpreter resolves builtins by name on every call; the
+//! bytecode compiler resolves them once, at lowering time, into a [`Builtin`]
+//! discriminant baked into a `CallBuiltin` op. Both paths funnel through
+//! [`call`], so semantics — including every error message — are identical by
+//! construction, which is what the differential suite leans on.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pyjama_omp::Ctx;
+
+use crate::ast::BinOp;
+use crate::interp::{binary, rt_err, Value};
+use crate::CompileError;
+
+/// A builtin resolved at compile (or lookup) time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Builtin {
+    /// `print(…)` — joins arguments with spaces, captures a line.
+    Print,
+    /// `str(v)`.
+    Str,
+    /// `int(v)`.
+    Int,
+    /// `float(v)`.
+    Float,
+    /// `arr(…)` — new array from the arguments.
+    Arr,
+    /// `zeros(n)`.
+    Zeros,
+    /// `push(a, v)`.
+    Push,
+    /// `len(a | s)`.
+    Len,
+    /// `substr(s, a, b)`.
+    Substr,
+    /// `contains(hay, needle)`.
+    Contains,
+    /// `replace(s, from, to)`.
+    Replace,
+    /// `pow(a, b)`.
+    Pow,
+    /// `floor(v)`.
+    Floor,
+    /// `sleep_ms(n)`.
+    SleepMs,
+    /// `busy_ms(n)` — spin for n milliseconds.
+    BusyMs,
+    /// `now_ms()` — milliseconds since the run started.
+    NowMs,
+    /// `hash(v)` — FNV-1a of the display form.
+    Hash,
+    /// `sqrt(v)`.
+    Sqrt,
+    /// `abs(v)`.
+    Abs,
+    /// `min(a, b)`.
+    Min,
+    /// `max(a, b)`.
+    Max,
+    /// `omp_get_thread_num()`.
+    OmpGetThreadNum,
+    /// `omp_get_num_threads()`.
+    OmpGetNumThreads,
+    /// `is_edt()`.
+    IsEdt,
+    /// `thread_name()`.
+    ThreadName,
+}
+
+impl Builtin {
+    /// Resolves a name (user functions shadow builtins; callers check first).
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "print" => Builtin::Print,
+            "str" => Builtin::Str,
+            "int" => Builtin::Int,
+            "float" => Builtin::Float,
+            "arr" => Builtin::Arr,
+            "zeros" => Builtin::Zeros,
+            "push" => Builtin::Push,
+            "len" => Builtin::Len,
+            "substr" => Builtin::Substr,
+            "contains" => Builtin::Contains,
+            "replace" => Builtin::Replace,
+            "pow" => Builtin::Pow,
+            "floor" => Builtin::Floor,
+            "sleep_ms" => Builtin::SleepMs,
+            "busy_ms" => Builtin::BusyMs,
+            "now_ms" => Builtin::NowMs,
+            "hash" => Builtin::Hash,
+            "sqrt" => Builtin::Sqrt,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "omp_get_thread_num" => Builtin::OmpGetThreadNum,
+            "omp_get_num_threads" => Builtin::OmpGetNumThreads,
+            "is_edt" => Builtin::IsEdt,
+            "thread_name" => Builtin::ThreadName,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name (error messages, disassembly).
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Print => "print",
+            Builtin::Str => "str",
+            Builtin::Int => "int",
+            Builtin::Float => "float",
+            Builtin::Arr => "arr",
+            Builtin::Zeros => "zeros",
+            Builtin::Push => "push",
+            Builtin::Len => "len",
+            Builtin::Substr => "substr",
+            Builtin::Contains => "contains",
+            Builtin::Replace => "replace",
+            Builtin::Pow => "pow",
+            Builtin::Floor => "floor",
+            Builtin::SleepMs => "sleep_ms",
+            Builtin::BusyMs => "busy_ms",
+            Builtin::NowMs => "now_ms",
+            Builtin::Hash => "hash",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Abs => "abs",
+            Builtin::Min => "min",
+            Builtin::Max => "max",
+            Builtin::OmpGetThreadNum => "omp_get_thread_num",
+            Builtin::OmpGetNumThreads => "omp_get_num_threads",
+            Builtin::IsEdt => "is_edt",
+            Builtin::ThreadName => "thread_name",
+        }
+    }
+}
+
+/// What a builtin needs from the executing engine.
+pub(crate) struct Host<'a> {
+    /// Captured `print` lines.
+    pub output: &'a Mutex<Vec<String>>,
+    /// The run's start instant (`now_ms`).
+    pub epoch: Instant,
+}
+
+/// Executes a builtin. Semantics (and error strings) are shared verbatim
+/// between the interpreter and the VM.
+pub(crate) fn call(
+    b: Builtin,
+    host: &Host<'_>,
+    args: Vec<Value>,
+    omp: Option<&Ctx>,
+) -> Result<Value, CompileError> {
+    let name = b.name();
+    let arity = |n: usize| -> Result<(), CompileError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(rt_err(format!(
+                "builtin `{name}` expects {n} arguments, got {}",
+                args.len()
+            )))
+        }
+    };
+    match b {
+        Builtin::Print => {
+            let line = args
+                .iter()
+                .map(Value::display)
+                .collect::<Vec<_>>()
+                .join(" ");
+            host.output.lock().push(line);
+            Ok(Value::Unit)
+        }
+        Builtin::Str => {
+            arity(1)?;
+            Ok(Value::Str(args[0].display()))
+        }
+        Builtin::Int => {
+            arity(1)?;
+            match &args[0] {
+                Value::Int(v) => Ok(Value::Int(*v)),
+                Value::Float(v) => Ok(Value::Int(*v as i64)),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| rt_err(format!("cannot parse `{s}` as int"))),
+                Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
+                other => Err(rt_err(format!("cannot convert {} to int", other.type_name()))),
+            }
+        }
+        Builtin::Float => {
+            arity(1)?;
+            match &args[0] {
+                Value::Int(v) => Ok(Value::Float(*v as f64)),
+                Value::Float(v) => Ok(Value::Float(*v)),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| rt_err(format!("cannot parse `{s}` as float"))),
+                other => Err(rt_err(format!(
+                    "cannot convert {} to float",
+                    other.type_name()
+                ))),
+            }
+        }
+        Builtin::Arr => Ok(Value::Arr(Arc::new(Mutex::new(args)))),
+        Builtin::Zeros => {
+            arity(1)?;
+            let n = args[0].as_int()?;
+            let n = usize::try_from(n).map_err(|_| rt_err("zeros: negative length"))?;
+            Ok(Value::Arr(Arc::new(Mutex::new(vec![Value::Int(0); n]))))
+        }
+        Builtin::Push => {
+            arity(2)?;
+            match &args[0] {
+                Value::Arr(a) => {
+                    a.lock().push(args[1].clone());
+                    Ok(Value::Unit)
+                }
+                other => Err(rt_err(format!("push: expected array, got {}", other.type_name()))),
+            }
+        }
+        Builtin::Len => {
+            arity(1)?;
+            match &args[0] {
+                Value::Arr(a) => Ok(Value::Int(a.lock().len() as i64)),
+                Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+                other => Err(rt_err(format!("len: expected array or string, got {}", other.type_name()))),
+            }
+        }
+        Builtin::Substr => {
+            arity(3)?;
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Str(st), Value::Int(a), Value::Int(b)) => {
+                    let a = (*a).max(0) as usize;
+                    let b = (*b).max(0) as usize;
+                    let chars: Vec<char> = st.chars().collect();
+                    let a = a.min(chars.len());
+                    let b = b.clamp(a, chars.len());
+                    Ok(Value::Str(chars[a..b].iter().collect()))
+                }
+                _ => Err(rt_err("substr(string, start, end)")),
+            }
+        }
+        Builtin::Contains => {
+            arity(2)?;
+            match (&args[0], &args[1]) {
+                (Value::Str(hay), Value::Str(needle)) => {
+                    Ok(Value::Bool(hay.contains(needle.as_str())))
+                }
+                _ => Err(rt_err("contains(string, string)")),
+            }
+        }
+        Builtin::Replace => {
+            arity(3)?;
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Str(st), Value::Str(from), Value::Str(to)) => {
+                    Ok(Value::Str(st.replace(from.as_str(), to.as_str())))
+                }
+                _ => Err(rt_err("replace(string, from, to)")),
+            }
+        }
+        Builtin::Pow => {
+            arity(2)?;
+            match (&args[0], &args[1]) {
+                (Value::Int(a), Value::Int(b)) if *b >= 0 => {
+                    Ok(Value::Int(a.wrapping_pow((*b).min(u32::MAX as i64) as u32)))
+                }
+                (Value::Float(a), Value::Float(b)) => Ok(Value::Float(a.powf(*b))),
+                (Value::Float(a), Value::Int(b)) => Ok(Value::Float(a.powi(*b as i32))),
+                (Value::Int(a), Value::Float(b)) => Ok(Value::Float((*a as f64).powf(*b))),
+                _ => Err(rt_err("pow(number, number)")),
+            }
+        }
+        Builtin::Floor => {
+            arity(1)?;
+            match &args[0] {
+                Value::Float(v) => Ok(Value::Int(v.floor() as i64)),
+                Value::Int(v) => Ok(Value::Int(*v)),
+                other => Err(rt_err(format!("floor: expected number, got {}", other.type_name()))),
+            }
+        }
+        Builtin::SleepMs => {
+            arity(1)?;
+            let ms = args[0].as_int()?;
+            std::thread::sleep(Duration::from_millis(ms.max(0) as u64));
+            Ok(Value::Unit)
+        }
+        Builtin::BusyMs => {
+            arity(1)?;
+            let ms = args[0].as_int()?.max(0) as u64;
+            let end = Instant::now() + Duration::from_millis(ms);
+            let mut x = 0u64;
+            while Instant::now() < end {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                std::hint::black_box(x);
+            }
+            Ok(Value::Unit)
+        }
+        Builtin::NowMs => {
+            arity(0)?;
+            Ok(Value::Int(host.epoch.elapsed().as_millis() as i64))
+        }
+        Builtin::Hash => {
+            arity(1)?;
+            let s = args[0].display();
+            let mut h = 0xcbf29ce484222325u64;
+            for b in s.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Ok(Value::Int((h & 0x7FFF_FFFF) as i64))
+        }
+        Builtin::Sqrt => {
+            arity(1)?;
+            match &args[0] {
+                Value::Int(v) => Ok(Value::Float((*v as f64).sqrt())),
+                Value::Float(v) => Ok(Value::Float(v.sqrt())),
+                other => Err(rt_err(format!("sqrt: expected number, got {}", other.type_name()))),
+            }
+        }
+        Builtin::Abs => {
+            arity(1)?;
+            match &args[0] {
+                Value::Int(v) => Ok(Value::Int(v.abs())),
+                Value::Float(v) => Ok(Value::Float(v.abs())),
+                other => Err(rt_err(format!("abs: expected number, got {}", other.type_name()))),
+            }
+        }
+        Builtin::Min | Builtin::Max => {
+            arity(2)?;
+            let take_first = match binary(BinOp::Le, &args[0], &args[1])? {
+                Value::Bool(le) => {
+                    if matches!(b, Builtin::Min) {
+                        le
+                    } else {
+                        !le
+                    }
+                }
+                _ => unreachable!(),
+            };
+            let mut args = args;
+            Ok(if take_first {
+                args.swap_remove(0)
+            } else {
+                args.swap_remove(1)
+            })
+        }
+        Builtin::OmpGetThreadNum => {
+            arity(0)?;
+            Ok(Value::Int(omp.map_or(0, |c| c.thread_num() as i64)))
+        }
+        Builtin::OmpGetNumThreads => {
+            arity(0)?;
+            Ok(Value::Int(omp.map_or(1, |c| c.num_threads() as i64)))
+        }
+        Builtin::IsEdt => {
+            arity(0)?;
+            Ok(Value::Bool(pyjama_events::pump::is_event_loop_thread()))
+        }
+        Builtin::ThreadName => {
+            arity(0)?;
+            Ok(Value::Str(
+                std::thread::current().name().unwrap_or("<unnamed>").to_string(),
+            ))
+        }
+    }
+}

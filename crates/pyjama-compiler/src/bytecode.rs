@@ -1,0 +1,596 @@
+//! The PJ register bytecode: ISA, chunks, modules, and a disassembler.
+//!
+//! Design, in one paragraph: a program lowers to a [`Module`] of flat
+//! [`Chunk`]s — one per function, plus one per directive-body closure. A
+//! chunk is a `Vec<Op>` over a frame of typed register slots; locals live in
+//! registers instead of the interpreter's `HashMap` scope chains. The
+//! paper's §III-B *data-context sharing* survives the register file because
+//! the compiler's capture analysis boxes exactly those locals that some
+//! directive body references: a boxed local's register holds a shared cell
+//! (`Arc<Mutex<Value>>`), read/written through [`Op::CellGet`] /
+//! [`Op::CellSet`], and dispatching a directive hands the *cells* (never
+//! copies) to the closure chunk via its [`ClosureRef`] capture recipe.
+//! Everything else — straight-line arithmetic, calls, loops — touches plain
+//! value registers with no allocation and no locking.
+//!
+//! Control flow is absolute: [`Op::Jump`]-family targets index into the
+//! chunk's op vector. Calls are register-windowed: the caller materialises
+//! arguments in a contiguous block of top-of-frame temporaries and the
+//! callee's frame *starts at that block*, so parameters are passed without
+//! copying. Directives compile to a [`Op::Dispatch`] op plus an inline copy
+//! of the body (see [`crate::compile`] for the layout and why both copies
+//! exist).
+
+use pyjama_runtime::directive::TargetProperty;
+use pyjama_runtime::Mode;
+
+use crate::ast::{BinOp, LoopSchedule};
+use crate::builtins::Builtin;
+
+/// A register index into the current frame.
+pub type Reg = u16;
+
+/// A constant-pool entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Const {
+    /// An integer too wide for [`Op::LoadInt`]'s inline immediate.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal (also: interned names and runtime-error messages).
+    Str(String),
+}
+
+/// How a dispatching frame supplies one captured cell to a closure chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapSrc {
+    /// A boxed local of the dispatching frame: the register holds a cell.
+    Reg(Reg),
+    /// Forwarded from the dispatching frame's own capture vector.
+    Cap(u16),
+}
+
+/// A closure chunk plus the capture recipe its dispatch site evaluates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClosureRef {
+    /// Index of the closure's chunk in the module.
+    pub chunk: u16,
+    /// One entry per capture slot of that chunk, in slot order.
+    pub caps: Vec<CapSrc>,
+}
+
+/// The directive payload of a [`Op::Dispatch`] op.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DirectiveSpec {
+    /// `//#omp target …`: dispatch the closure through the runtime.
+    Target {
+        /// Where the block runs (virtual / device / default).
+        target: TargetProperty,
+        /// Scheduling mode (wait / nowait / name_as / await).
+        mode: Mode,
+        /// Register holding the evaluated `if(…)` condition, if any.
+        cond: Option<Reg>,
+        /// The target-block closure.
+        body: ClosureRef,
+    },
+    /// `//#omp parallel`: fork a team; every member runs the closure.
+    Parallel {
+        /// Team size (default: machine parallelism).
+        num_threads: Option<usize>,
+        /// The member closure.
+        body: ClosureRef,
+    },
+    /// `//#omp parallel for`: fork a team over an integer range.
+    ParallelFor {
+        /// Team size.
+        num_threads: Option<usize>,
+        /// Loop schedule.
+        schedule: LoopSchedule,
+        /// Register holding the evaluated (asserted-int) range start.
+        start: Reg,
+        /// Register holding the evaluated (asserted-int) range end.
+        end: Reg,
+        /// The loop-body closure; its single parameter is the loop variable.
+        body: ClosureRef,
+    },
+    /// `//#omp critical [(name)]`: run the inline range under the named lock.
+    Critical {
+        /// Lock name (empty = the anonymous lock).
+        name: String,
+    },
+    /// `//#omp master`: fall through inline on the master (or orphaned).
+    Master,
+    /// `//#omp single`: exactly one team member runs the closure.
+    Single {
+        /// The single-block closure.
+        body: ClosureRef,
+    },
+    /// `//#omp task`: asynchronous within the team; inline when orphaned.
+    Task {
+        /// The task closure.
+        body: ClosureRef,
+    },
+    /// `//#omp sections`: each closure is one section.
+    Sections {
+        /// One closure per top-level statement of the body.
+        sections: Vec<ClosureRef>,
+    },
+}
+
+/// One bytecode instruction. `dst`/`src`/operand fields index the current
+/// frame's registers; jump targets are absolute op indices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// `dst = consts[idx]`.
+    LoadConst {
+        /// Destination register.
+        dst: Reg,
+        /// Constant-pool index.
+        idx: u16,
+    },
+    /// `dst = v` (small-int fast path, no pool access).
+    LoadInt {
+        /// Destination register.
+        dst: Reg,
+        /// The immediate.
+        v: i32,
+    },
+    /// `dst = v`.
+    LoadBool {
+        /// Destination register.
+        dst: Reg,
+        /// The immediate.
+        v: bool,
+    },
+    /// `dst = unit`.
+    LoadUnit {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst = src` (value copy).
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Boxes `reg`'s value into a fresh shared cell, in place. Emitted at
+    /// every declaration of a directive-captured local — fresh cell per
+    /// execution, matching the interpreter's `declare`.
+    NewCell {
+        /// The register to box.
+        reg: Reg,
+    },
+    /// `dst = *src` where `src` holds a cell.
+    CellGet {
+        /// Destination register (plain value).
+        dst: Reg,
+        /// Register holding the cell.
+        src: Reg,
+    },
+    /// `*dst = src` where `dst` holds a cell.
+    CellSet {
+        /// Register holding the cell.
+        dst: Reg,
+        /// Register holding the new value.
+        src: Reg,
+    },
+    /// `dst = *captures[idx]`.
+    CapGet {
+        /// Destination register.
+        dst: Reg,
+        /// Capture-slot index.
+        idx: u16,
+    },
+    /// `*captures[idx] = src`.
+    CapSet {
+        /// Capture-slot index.
+        idx: u16,
+        /// Register holding the new value.
+        src: Reg,
+    },
+    /// `dst = a <op> b`. Int/float pairs take an inline fast path; every
+    /// other combination falls back to the interpreter's shared `binary`.
+    Bin {
+        /// The operator (never `And`/`Or`; those lower to jumps).
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// `dst = a + imm` (int-only; loop-counter increments).
+    AddImm {
+        /// Destination register.
+        dst: Reg,
+        /// Operand register (must hold an int).
+        a: Reg,
+        /// The immediate.
+        imm: i32,
+    },
+    /// `dst = a <op> imm` — fused form of `LoadInt` + `Bin` for an
+    /// int-literal right operand; non-int left operands fall back to the
+    /// interpreter's `binary`, so semantics (floats, errors) are identical.
+    BinImm {
+        /// The operator (never `And`/`Or`; those lower to jumps).
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// The immediate right operand.
+        imm: i32,
+    },
+    /// `dst = -src`.
+    Neg {
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        src: Reg,
+    },
+    /// `dst = !src`.
+    Not {
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        src: Reg,
+    },
+    /// `pc = to`.
+    Jump {
+        /// Target op index.
+        to: u32,
+    },
+    /// `if !cond { pc = to }`; errors unless `cond` holds a bool.
+    JumpIfFalse {
+        /// Condition register.
+        cond: Reg,
+        /// Target op index.
+        to: u32,
+    },
+    /// `if cond { pc = to }`; errors unless `cond` holds a bool.
+    JumpIfTrue {
+        /// Condition register.
+        cond: Reg,
+        /// Target op index.
+        to: u32,
+    },
+    /// Errors unless `reg` holds an int (loop bounds, indices).
+    AssertInt {
+        /// The register to check.
+        reg: Reg,
+    },
+    /// `dst = arr[idx]`.
+    Index {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the array.
+        arr: Reg,
+        /// Register holding the index.
+        idx: Reg,
+    },
+    /// `arr[idx] = val`.
+    IndexSet {
+        /// Register holding the array.
+        arr: Reg,
+        /// Register holding the index.
+        idx: Reg,
+        /// Register holding the new value.
+        val: Reg,
+    },
+    /// Calls a user function chunk. Arguments occupy the contiguous block
+    /// `[base, base+argc)`; the callee's frame starts at `base`, so the
+    /// arguments *are* its first registers (zero-copy).
+    Call {
+        /// Callee chunk index.
+        chunk: u16,
+        /// Destination register for the return value.
+        dst: Reg,
+        /// First argument register (and callee frame base).
+        base: Reg,
+        /// Argument count.
+        argc: u8,
+    },
+    /// Calls a builtin with arguments in `[base, base+argc)`.
+    CallBuiltin {
+        /// The builtin.
+        b: Builtin,
+        /// Destination register for the result.
+        dst: Reg,
+        /// First argument register.
+        base: Reg,
+        /// Argument count.
+        argc: u8,
+    },
+    /// Returns `src` from the current chunk.
+    Ret {
+        /// The register holding the return value.
+        src: Reg,
+    },
+    /// Returns unit from the current chunk.
+    RetUnit,
+    /// Raises the runtime error whose message is `consts[msg]`. Lowering
+    /// emits this for conditions the interpreter only reports when reached
+    /// (undefined variables, bad arities, unknown functions, orphaned
+    /// `break`), so dead code stays as silent as it is under the oracle.
+    Fail {
+        /// Constant-pool index of the message string.
+        msg: u16,
+    },
+    /// Executes `specs[spec]`. On dispatch, control resumes at `skip`; when
+    /// the directive runs in place (disabled `if`, orphaned `single`/`task`/
+    /// `sections`, `master` on the master thread) control falls through into
+    /// the inline body copy at `pc + 1`. `Critical` runs the inline range
+    /// `[pc+1, skip)` under its lock.
+    Dispatch {
+        /// Index into the chunk's spec table.
+        spec: u16,
+        /// Op index just past the inline body copy.
+        skip: u32,
+    },
+    /// `if ignore_directives { pc = to }` — jumps straight to the inline
+    /// body copy, skipping wait-tags, `if(…)` evaluation, and the dispatch.
+    JumpIfIgnoring {
+        /// Target op index (the inline copy).
+        to: u32,
+    },
+    /// `wait(tag)` against the runtime (no-op when ignoring directives).
+    WaitTag {
+        /// Constant-pool index of the tag string.
+        tag: u16,
+    },
+    /// Team barrier; errors when orphaned (no-op when ignoring directives).
+    Barrier,
+    /// Waits for the team's outstanding tasks (no-op when orphaned).
+    TaskWait,
+}
+
+/// Why a chunk exists — decides top-level flow semantics: `break` outside a
+/// loop is a runtime error in a function but silently ends a closure (the
+/// interpreter discards a closure's residual `Flow`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChunkKind {
+    /// A PJ function (`fn name(…) { … }`).
+    #[default]
+    Function,
+    /// A directive body (target block, team member, task, section, …).
+    Closure,
+}
+
+/// One compiled code unit: flat ops over a register frame.
+#[derive(Clone, Debug, Default)]
+pub struct Chunk {
+    /// Diagnostic name (`main`, `fib`, `main::target@7`, …).
+    pub name: String,
+    /// Parameter count; parameters are registers `0..params`.
+    pub params: usize,
+    /// Frame size in registers (allocation high-water mark).
+    pub regs: usize,
+    /// Capture-slot count (closure chunks; zero for functions).
+    pub captures: usize,
+    /// The instructions.
+    pub ops: Vec<Op>,
+    /// The constant pool.
+    pub consts: Vec<Const>,
+    /// Directive specs referenced by `Dispatch` ops.
+    pub specs: Vec<DirectiveSpec>,
+    /// Function or closure.
+    pub kind: ChunkKind,
+}
+
+/// A compiled program: all chunks, functions first (in declaration order),
+/// closure chunks appended as lowering discovers them.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Every chunk; `ClosureRef`/`Call` indices point in here.
+    pub chunks: Vec<Chunk>,
+    /// Chunk index of `main`, if the program has one.
+    pub main: Option<usize>,
+}
+
+impl Module {
+    /// Disassembles the whole module (the `--dump-bytecode` view).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.chunks.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            c.dump_into(i, &mut out);
+        }
+        out
+    }
+}
+
+impl Chunk {
+    fn dump_into(&self, index: usize, out: &mut String) {
+        use std::fmt::Write;
+        let kind = match self.kind {
+            ChunkKind::Function => "fn",
+            ChunkKind::Closure => "closure",
+        };
+        let _ = writeln!(
+            out,
+            ";; chunk {index}: {kind} {} (params={}, regs={}, caps={})",
+            self.name, self.params, self.regs, self.captures
+        );
+        for (pc, op) in self.ops.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:03}  {}", self.fmt_op(op));
+        }
+    }
+
+    fn fmt_const(&self, idx: u16) -> String {
+        match self.consts.get(idx as usize) {
+            Some(Const::Int(v)) => format!("{v}"),
+            Some(Const::Float(v)) => format!("{v}"),
+            Some(Const::Str(s)) => format!("{s:?}"),
+            None => format!("c{idx}?"),
+        }
+    }
+
+    fn fmt_caps(caps: &[CapSrc]) -> String {
+        let items: Vec<String> = caps
+            .iter()
+            .map(|c| match c {
+                CapSrc::Reg(r) => format!("r{r}"),
+                CapSrc::Cap(i) => format!("cap{i}"),
+            })
+            .collect();
+        format!("[{}]", items.join(", "))
+    }
+
+    fn fmt_closure(body: &ClosureRef) -> String {
+        format!("chunk {} caps={}", body.chunk, Self::fmt_caps(&body.caps))
+    }
+
+    fn fmt_spec(&self, idx: u16) -> String {
+        match self.specs.get(idx as usize) {
+            Some(DirectiveSpec::Target {
+                target,
+                mode,
+                cond,
+                body,
+            }) => {
+                let tgt = match target {
+                    TargetProperty::Virtual(n) => format!("virtual({n})"),
+                    TargetProperty::Device(n) => format!("device({n})"),
+                    TargetProperty::Default => "default".to_string(),
+                };
+                let cond = match cond {
+                    Some(r) => format!(" if=r{r}"),
+                    None => String::new(),
+                };
+                format!("target {tgt} {mode:?}{cond} -> {}", Self::fmt_closure(body))
+            }
+            Some(DirectiveSpec::Parallel { num_threads, body }) => format!(
+                "parallel n={num_threads:?} -> {}",
+                Self::fmt_closure(body)
+            ),
+            Some(DirectiveSpec::ParallelFor {
+                num_threads,
+                schedule,
+                start,
+                end,
+                body,
+            }) => format!(
+                "parallel-for n={num_threads:?} {schedule:?} r{start}..r{end} -> {}",
+                Self::fmt_closure(body)
+            ),
+            Some(DirectiveSpec::Critical { name }) => format!("critical({name})"),
+            Some(DirectiveSpec::Master) => "master".to_string(),
+            Some(DirectiveSpec::Single { body }) => {
+                format!("single -> {}", Self::fmt_closure(body))
+            }
+            Some(DirectiveSpec::Task { body }) => format!("task -> {}", Self::fmt_closure(body)),
+            Some(DirectiveSpec::Sections { sections }) => {
+                let items: Vec<String> =
+                    sections.iter().map(Self::fmt_closure).collect();
+                format!("sections -> [{}]", items.join("; "))
+            }
+            None => format!("spec#{idx}?"),
+        }
+    }
+
+    fn fmt_op(&self, op: &Op) -> String {
+        match *op {
+            Op::LoadConst { dst, idx } => {
+                format!("LoadConst   r{dst}, {}", self.fmt_const(idx))
+            }
+            Op::LoadInt { dst, v } => format!("LoadInt     r{dst}, {v}"),
+            Op::LoadBool { dst, v } => format!("LoadBool    r{dst}, {v}"),
+            Op::LoadUnit { dst } => format!("LoadUnit    r{dst}"),
+            Op::Move { dst, src } => format!("Move        r{dst}, r{src}"),
+            Op::NewCell { reg } => format!("NewCell     r{reg}"),
+            Op::CellGet { dst, src } => format!("CellGet     r{dst}, [r{src}]"),
+            Op::CellSet { dst, src } => format!("CellSet     [r{dst}], r{src}"),
+            Op::CapGet { dst, idx } => format!("CapGet      r{dst}, cap{idx}"),
+            Op::CapSet { idx, src } => format!("CapSet      cap{idx}, r{src}"),
+            Op::Bin { op, dst, a, b } => format!("Bin.{op:<7?} r{dst}, r{a}, r{b}"),
+            Op::AddImm { dst, a, imm } => format!("AddImm      r{dst}, r{a}, {imm}"),
+            Op::BinImm { op, dst, a, imm } => format!("BinImm.{op:<4?} r{dst}, r{a}, {imm}"),
+            Op::Neg { dst, src } => format!("Neg         r{dst}, r{src}"),
+            Op::Not { dst, src } => format!("Not         r{dst}, r{src}"),
+            Op::Jump { to } => format!("Jump        {to:03}"),
+            Op::JumpIfFalse { cond, to } => format!("JumpIfFalse r{cond}, {to:03}"),
+            Op::JumpIfTrue { cond, to } => format!("JumpIfTrue  r{cond}, {to:03}"),
+            Op::AssertInt { reg } => format!("AssertInt   r{reg}"),
+            Op::Index { dst, arr, idx } => format!("Index       r{dst}, r{arr}[r{idx}]"),
+            Op::IndexSet { arr, idx, val } => format!("IndexSet    r{arr}[r{idx}], r{val}"),
+            Op::Call {
+                chunk,
+                dst,
+                base,
+                argc,
+            } => format!("Call        r{dst} = chunk {chunk}(r{base}..+{argc})"),
+            Op::CallBuiltin {
+                b,
+                dst,
+                base,
+                argc,
+            } => format!("CallBuiltin r{dst} = {}(r{base}..+{argc})", b.name()),
+            Op::Ret { src } => format!("Ret         r{src}"),
+            Op::RetUnit => "RetUnit".to_string(),
+            Op::Fail { msg } => format!("Fail        {}", self.fmt_const(msg)),
+            Op::Dispatch { spec, skip } => {
+                format!("Dispatch    skip->{skip:03}  ; {}", self.fmt_spec(spec))
+            }
+            Op::JumpIfIgnoring { to } => format!("JumpIfIgnor {to:03}"),
+            Op::WaitTag { tag } => format!("WaitTag     {}", self.fmt_const(tag)),
+            Op::Barrier => "Barrier".to_string(),
+            Op::TaskWait => "TaskWait".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_small_and_copy() {
+        // The dispatch loop copies one `Op` out of the chunk per step; keep
+        // the ISA compact so that copy stays register-sized.
+        assert!(std::mem::size_of::<Op>() <= 16, "{}", std::mem::size_of::<Op>());
+        let op = Op::LoadInt { dst: 0, v: 7 };
+        let copy = op; // Copy, not move
+        assert_eq!(op, copy);
+    }
+
+    #[test]
+    fn dump_renders_every_op_shape() {
+        let chunk = Chunk {
+            name: "demo".into(),
+            params: 1,
+            regs: 4,
+            captures: 1,
+            ops: vec![
+                Op::LoadConst { dst: 0, idx: 0 },
+                Op::LoadInt { dst: 1, v: -3 },
+                Op::NewCell { reg: 1 },
+                Op::CellGet { dst: 2, src: 1 },
+                Op::Bin {
+                    op: BinOp::Add,
+                    dst: 2,
+                    a: 2,
+                    b: 0,
+                },
+                Op::Dispatch { spec: 0, skip: 7 },
+                Op::CapSet { idx: 0, src: 2 },
+                Op::RetUnit,
+            ],
+            consts: vec![Const::Str("hi".into())],
+            specs: vec![DirectiveSpec::Critical { name: "c".into() }],
+            kind: ChunkKind::Closure,
+        };
+        let m = Module {
+            chunks: vec![chunk],
+            main: None,
+        };
+        let d = m.dump();
+        assert!(d.contains("closure demo"), "{d}");
+        assert!(d.contains("LoadConst"), "{d}");
+        assert!(d.contains("critical(c)"), "{d}");
+        assert!(d.contains("skip->007"), "{d}");
+    }
+}

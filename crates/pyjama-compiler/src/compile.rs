@@ -1,0 +1,1070 @@
+//! AST → bytecode lowering for the PJ register VM.
+//!
+//! The two load-bearing decisions:
+//!
+//! * **Capture analysis boxes exactly the shared locals.** Before compiling
+//!   a chunk, the compiler collects every name referenced under a directive
+//!   body inside it. Locals (and parameters) whose names are in that set get
+//!   a [`Op::NewCell`] at their declaration — the register holds an
+//!   `Arc<Mutex<Value>>` cell, and directive dispatch hands clones of those
+//!   cells to closure chunks. Everything else stays an unboxed register:
+//!   reads and writes are plain slot accesses, which is where the VM's
+//!   speedup over the cell-per-variable interpreter comes from.
+//!
+//! * **Every directive body is compiled twice**: once as a standalone
+//!   closure chunk (the dispatch path) and once inline in the enclosing
+//!   frame (the `ignore_directives` / disabled-`if` / orphaned path). The
+//!   inline copy is what preserves the interpreter's *flow* semantics —
+//!   `return` or `break` inside an inline `critical` body propagates into
+//!   the enclosing function exactly as the tree-walker's `Flow` enum does,
+//!   while the closure copy ends with `RetUnit` (the tree-walker discards a
+//!   dispatched body's residual flow). The duplication is exponential only
+//!   in directive-*nesting* depth, which is ≤3 in every program the paper
+//!   shows.
+//!
+//! Lowering is infallible: semantic errors the interpreter only reports
+//! when reached (undefined variables, bad arities, unknown functions,
+//! orphaned `break`) become deferred [`Op::Fail`] ops carrying the
+//! interpreter's exact message, so dead code stays as silent as it is under
+//! the oracle.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::builtins::Builtin;
+use crate::bytecode::*;
+
+/// Lowers a parsed program to a bytecode module.
+pub fn compile_program(program: &Program) -> Module {
+    let mut c = Compiler {
+        chunks: Vec::new(),
+        funcs: HashMap::new(),
+        frames: Vec::new(),
+    };
+    // Reserve a chunk slot per function up front so calls — including
+    // forward and recursive ones — resolve to stable indices.
+    for (i, f) in program.functions.iter().enumerate() {
+        c.chunks.push(None);
+        // First declaration wins, mirroring `Program::function`.
+        c.funcs
+            .entry(f.name.clone())
+            .or_insert((i as u16, f.params.len()));
+    }
+    let mut main = None;
+    for (i, f) in program.functions.iter().enumerate() {
+        if c.funcs.get(&f.name) == Some(&(i as u16, f.params.len())) {
+            c.function(i, f);
+            if f.name == "main" {
+                main = Some(i);
+            }
+        } else {
+            // A shadowed duplicate: compile it anyway (indices must line
+            // up) but nothing references it.
+            c.function(i, f);
+        }
+    }
+    Module {
+        chunks: c.chunks.into_iter().map(|c| c.expect("filled")).collect(),
+        main,
+    }
+}
+
+/// A local's storage: its register, and whether that register holds a
+/// shared cell (because some directive body references the name).
+#[derive(Clone, Copy)]
+struct Local {
+    reg: Reg,
+    boxed: bool,
+}
+
+enum VarRef {
+    Local(Local),
+    Cap(u16),
+}
+
+#[derive(Default)]
+struct LoopCtx {
+    break_patches: Vec<usize>,
+    cont_patches: Vec<usize>,
+}
+
+struct FrameCtx {
+    name: String,
+    kind: ChunkKind,
+    params: usize,
+    scopes: Vec<Vec<(String, Local)>>,
+    next_reg: u16,
+    high: u16,
+    ops: Vec<Op>,
+    consts: Vec<Const>,
+    specs: Vec<DirectiveSpec>,
+    captures: Vec<(String, CapSrc)>,
+    /// Names referenced under a directive body within this chunk — the
+    /// locals that must be boxed at declaration.
+    captured_names: HashSet<String>,
+    loops: Vec<LoopCtx>,
+}
+
+impl FrameCtx {
+    fn new(name: String, kind: ChunkKind, captured_names: HashSet<String>) -> Self {
+        FrameCtx {
+            name,
+            kind,
+            params: 0,
+            scopes: vec![Vec::new()],
+            next_reg: 0,
+            high: 0,
+            ops: Vec::new(),
+            consts: Vec::new(),
+            specs: Vec::new(),
+            captures: Vec::new(),
+            captured_names,
+            loops: Vec::new(),
+        }
+    }
+}
+
+struct Compiler {
+    chunks: Vec<Option<Chunk>>,
+    funcs: HashMap<String, (u16, usize)>,
+    frames: Vec<FrameCtx>,
+}
+
+impl Compiler {
+    fn f(&mut self) -> &mut FrameCtx {
+        self.frames.last_mut().expect("active frame")
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        let f = self.f();
+        f.ops.push(op);
+        f.ops.len() - 1
+    }
+
+    fn here(&mut self) -> u32 {
+        self.f().ops.len() as u32
+    }
+
+    fn alloc(&mut self) -> Reg {
+        let f = self.f();
+        let r = f.next_reg;
+        f.next_reg += 1;
+        f.high = f.high.max(f.next_reg);
+        r
+    }
+
+    fn const_idx(&mut self, c: Const) -> u16 {
+        let f = self.f();
+        if let Some(i) = f.consts.iter().position(|x| *x == c) {
+            return i as u16;
+        }
+        f.consts.push(c);
+        (f.consts.len() - 1) as u16
+    }
+
+    fn str_idx(&mut self, s: impl Into<String>) -> u16 {
+        self.const_idx(Const::Str(s.into()))
+    }
+
+    /// Patches the jump-target field of the op at `at` to `to`.
+    fn patch(&mut self, at: usize, to: u32) {
+        match &mut self.f().ops[at] {
+            Op::Jump { to: t }
+            | Op::JumpIfFalse { to: t, .. }
+            | Op::JumpIfTrue { to: t, .. }
+            | Op::JumpIfIgnoring { to: t }
+            | Op::Dispatch { skip: t, .. } => *t = to,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn fail(&mut self, msg: impl Into<String>) -> usize {
+        let idx = self.str_idx(msg.into());
+        self.emit(Op::Fail { msg: idx })
+    }
+
+    // ---- name resolution ------------------------------------------------
+
+    /// Resolves `name` in frame `fi`, adding transitive captures to every
+    /// intervening closure frame. Functions never capture, so the climb
+    /// stops at a `Function` frame.
+    fn resolve_in(&mut self, fi: usize, name: &str) -> Option<VarRef> {
+        for scope in self.frames[fi].scopes.iter().rev() {
+            for (n, l) in scope.iter().rev() {
+                if n == name {
+                    return Some(VarRef::Local(*l));
+                }
+            }
+        }
+        if let Some(i) = self.frames[fi]
+            .captures
+            .iter()
+            .position(|(n, _)| n == name)
+        {
+            return Some(VarRef::Cap(i as u16));
+        }
+        if self.frames[fi].kind == ChunkKind::Function || fi == 0 {
+            return None;
+        }
+        let src = match self.resolve_in(fi - 1, name)? {
+            // Capture analysis boxed every parent local a directive body
+            // references, so the register holds a cell.
+            VarRef::Local(l) => CapSrc::Reg(l.reg),
+            VarRef::Cap(i) => CapSrc::Cap(i),
+        };
+        let f = &mut self.frames[fi];
+        f.captures.push((name.to_string(), src));
+        Some(VarRef::Cap((f.captures.len() - 1) as u16))
+    }
+
+    fn resolve(&mut self, name: &str) -> Option<VarRef> {
+        self.resolve_in(self.frames.len() - 1, name)
+    }
+
+    fn declare(&mut self, name: &str, reg: Reg) -> bool {
+        let boxed = self.f().captured_names.contains(name);
+        self.f()
+            .scopes
+            .last_mut()
+            .expect("scope")
+            .push((name.to_string(), Local { reg, boxed }));
+        if boxed {
+            self.emit(Op::NewCell { reg });
+        }
+        boxed
+    }
+
+    // ---- chunks ---------------------------------------------------------
+
+    fn function(&mut self, idx: usize, f: &Function) {
+        let captured = collect_captured(&f.body);
+        self.frames
+            .push(FrameCtx::new(f.name.clone(), ChunkKind::Function, captured));
+        self.f().params = f.params.len();
+        for p in f.params.clone() {
+            let r = self.alloc();
+            self.declare(&p, r);
+        }
+        self.block(&f.body);
+        self.emit(Op::RetUnit);
+        self.seal(idx);
+    }
+
+    /// Compiles `body` as a standalone closure chunk and returns the
+    /// dispatch recipe (chunk index + capture sources in the *current*
+    /// frame's terms).
+    fn closure(&mut self, label: String, params: &[String], body: &Block) -> ClosureRef {
+        let idx = self.chunks.len();
+        self.chunks.push(None);
+        let captured = collect_captured(body);
+        self.frames
+            .push(FrameCtx::new(label, ChunkKind::Closure, captured));
+        self.f().params = params.len();
+        for p in params {
+            let r = self.alloc();
+            self.declare(p, r);
+        }
+        self.block(body);
+        self.emit(Op::RetUnit);
+        let caps: Vec<CapSrc> = self
+            .frames
+            .last()
+            .expect("frame")
+            .captures
+            .iter()
+            .map(|(_, s)| *s)
+            .collect();
+        self.seal(idx);
+        ClosureRef {
+            chunk: idx as u16,
+            caps,
+        }
+    }
+
+    fn seal(&mut self, idx: usize) {
+        let f = self.frames.pop().expect("frame");
+        self.chunks[idx] = Some(Chunk {
+            name: f.name,
+            params: f.params,
+            regs: f.high as usize,
+            captures: f.captures.len(),
+            ops: f.ops,
+            consts: f.consts,
+            specs: f.specs,
+            kind: f.kind,
+        });
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn block(&mut self, block: &Block) {
+        let save = self.f().next_reg;
+        self.f().scopes.push(Vec::new());
+        for stmt in &block.stmts {
+            let mark = self.f().next_reg;
+            self.stmt(stmt);
+            // Statement-level watermark: release every temporary, keeping
+            // only a `let`'s local (always the first register it allocated).
+            let keep = u16::from(matches!(stmt, Stmt::Let { .. }));
+            self.f().next_reg = mark + keep;
+        }
+        self.f().scopes.pop();
+        self.f().next_reg = save;
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { name, value, .. } => {
+                let dst = self.alloc();
+                self.expr(value, Some(dst));
+                self.declare(name, dst);
+            }
+            Stmt::Assign { name, value, .. } => {
+                // An unboxed local can be the value's destination directly:
+                // every expr form writes its `dst` only after reading its
+                // operands (`x = y && x` reads the old `x` before the final
+                // LoadBool lands), so no temporary is needed.
+                match self.resolve(name) {
+                    Some(VarRef::Local(l)) if !l.boxed => {
+                        self.expr(value, Some(l.reg));
+                    }
+                    Some(VarRef::Local(l)) => {
+                        let t = self.expr(value, None);
+                        self.emit(Op::CellSet { dst: l.reg, src: t });
+                    }
+                    Some(VarRef::Cap(i)) => {
+                        let t = self.expr(value, None);
+                        self.emit(Op::CapSet { idx: i, src: t });
+                    }
+                    None => {
+                        self.expr(value, None);
+                        self.fail(format!("assignment to undefined variable `{name}`"));
+                    }
+                }
+            }
+            Stmt::IndexAssign {
+                name, index, value, ..
+            } => {
+                // Interpreter order: index (as int), value, then the array.
+                let i = self.expr(index, None);
+                self.emit(Op::AssertInt { reg: i });
+                let v = self.expr(value, None);
+                let a = self.expr(&Expr::Var(name.clone()), None);
+                self.emit(Op::IndexSet { arr: a, idx: i, val: v });
+            }
+            Stmt::Expr(e) => {
+                self.expr(e, None);
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let c = self.expr(cond, None);
+                let jf = self.emit(Op::JumpIfFalse { cond: c, to: 0 });
+                self.block(then_block);
+                match else_block {
+                    Some(eb) => {
+                        let je = self.emit(Op::Jump { to: 0 });
+                        let here = self.here();
+                        self.patch(jf, here);
+                        self.block(eb);
+                        let here = self.here();
+                        self.patch(je, here);
+                    }
+                    None => {
+                        let here = self.here();
+                        self.patch(jf, here);
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                let top = self.here();
+                let mark = self.f().next_reg;
+                let c = self.expr(cond, None);
+                let jf = self.emit(Op::JumpIfFalse { cond: c, to: 0 });
+                self.f().next_reg = mark;
+                self.f().loops.push(LoopCtx::default());
+                self.block(body);
+                let ctx = self.f().loops.pop().expect("loop");
+                for p in ctx.cont_patches {
+                    self.patch(p, top);
+                }
+                self.emit(Op::Jump { to: top });
+                let end = self.here();
+                self.patch(jf, end);
+                for p in ctx.break_patches {
+                    self.patch(p, end);
+                }
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => self.for_loop(var, start, end, body),
+            Stmt::Break => match self.f().loops.last_mut() {
+                Some(_) => {
+                    let j = self.emit(Op::Jump { to: 0 });
+                    self.f()
+                        .loops
+                        .last_mut()
+                        .expect("loop")
+                        .break_patches
+                        .push(j);
+                }
+                None => self.orphan_flow(),
+            },
+            Stmt::Continue => match self.f().loops.last_mut() {
+                Some(_) => {
+                    let j = self.emit(Op::Jump { to: 0 });
+                    self.f()
+                        .loops
+                        .last_mut()
+                        .expect("loop")
+                        .cont_patches
+                        .push(j);
+                }
+                None => self.orphan_flow(),
+            },
+            Stmt::Return(e) => match e {
+                Some(e) => {
+                    let r = self.expr(e, None);
+                    self.emit(Op::Ret { src: r });
+                }
+                None => {
+                    self.emit(Op::RetUnit);
+                }
+            },
+            Stmt::Block(b) => self.block(b),
+            Stmt::Directive {
+                directive, body, line,
+            } => self.directive(directive, body, *line),
+        }
+    }
+
+    /// `break`/`continue` with no enclosing loop: a runtime error in a
+    /// function, a silent early end in a closure (the interpreter discards
+    /// a dispatched body's residual `Flow`).
+    fn orphan_flow(&mut self) {
+        match self.f().kind {
+            ChunkKind::Function => {
+                let name = self.f().name.clone();
+                self.fail(format!(
+                    "break/continue outside a loop in function `{name}`"
+                ));
+            }
+            ChunkKind::Closure => {
+                self.emit(Op::RetUnit);
+            }
+        }
+    }
+
+    fn for_loop(&mut self, var: &str, start: &Expr, end: &Expr, body: &Block) {
+        // Interpreter order: start (as int), then end (as int), once.
+        let rs = self.alloc();
+        self.expr(start, Some(rs));
+        self.emit(Op::AssertInt { reg: rs });
+        let re = self.alloc();
+        self.expr(end, Some(re));
+        self.emit(Op::AssertInt { reg: re });
+        let rv = self.alloc();
+        let rc = self.alloc();
+        let top = self.here();
+        self.emit(Op::Bin {
+            op: BinOp::Lt,
+            dst: rc,
+            a: rs,
+            b: re,
+        });
+        let jf = self.emit(Op::JumpIfFalse { cond: rc, to: 0 });
+        self.emit(Op::Move { dst: rv, src: rs });
+        self.f().scopes.push(Vec::new());
+        // A fresh cell per iteration when captured, matching the
+        // interpreter's per-iteration `declare`.
+        self.declare(var, rv);
+        self.f().loops.push(LoopCtx::default());
+        self.block(body);
+        let ctx = self.f().loops.pop().expect("loop");
+        self.f().scopes.pop();
+        let cont = self.here();
+        for p in ctx.cont_patches {
+            self.patch(p, cont);
+        }
+        self.emit(Op::AddImm { dst: rs, a: rs, imm: 1 });
+        self.emit(Op::Jump { to: top });
+        let end_pc = self.here();
+        self.patch(jf, end_pc);
+        for p in ctx.break_patches {
+            self.patch(p, end_pc);
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// Compiles `e`, returning the register holding the result. With
+    /// `want`, the result is forced into that register (every op writes its
+    /// destination only after reading its operands, so a caller-provided
+    /// destination cannot be clobbered mid-expression). Without it, a plain
+    /// unboxed variable read returns the local's own register — zero-copy,
+    /// but read-only for the caller.
+    fn expr(&mut self, e: &Expr, want: Option<Reg>) -> Reg {
+        let dst = |c: &mut Compiler, want: Option<Reg>| want.unwrap_or_else(|| c.alloc());
+        match e {
+            Expr::Int(v) => {
+                let d = dst(self, want);
+                if let Ok(v32) = i32::try_from(*v) {
+                    self.emit(Op::LoadInt { dst: d, v: v32 });
+                } else {
+                    let idx = self.const_idx(Const::Int(*v));
+                    self.emit(Op::LoadConst { dst: d, idx });
+                }
+                d
+            }
+            Expr::Float(v) => {
+                let idx = self.const_idx(Const::Float(*v));
+                let d = dst(self, want);
+                self.emit(Op::LoadConst { dst: d, idx });
+                d
+            }
+            Expr::Bool(b) => {
+                let d = dst(self, want);
+                self.emit(Op::LoadBool { dst: d, v: *b });
+                d
+            }
+            Expr::Str(s) => {
+                let idx = self.str_idx(s.clone());
+                let d = dst(self, want);
+                self.emit(Op::LoadConst { dst: d, idx });
+                d
+            }
+            Expr::Var(name) => match self.resolve(name) {
+                Some(VarRef::Local(l)) if l.boxed => {
+                    let d = dst(self, want);
+                    self.emit(Op::CellGet { dst: d, src: l.reg });
+                    d
+                }
+                Some(VarRef::Local(l)) => match want {
+                    Some(w) => {
+                        if w != l.reg {
+                            self.emit(Op::Move { dst: w, src: l.reg });
+                        }
+                        w
+                    }
+                    None => l.reg,
+                },
+                Some(VarRef::Cap(i)) => {
+                    let d = dst(self, want);
+                    self.emit(Op::CapGet { dst: d, idx: i });
+                    d
+                }
+                None => {
+                    self.fail(format!("undefined variable `{name}`"));
+                    dst(self, want)
+                }
+            },
+            Expr::Index { array, index } => {
+                // Interpreter order: array first, then index (as int).
+                let a = self.expr(array, None);
+                let i = self.expr(index, None);
+                self.emit(Op::AssertInt { reg: i });
+                let d = dst(self, want);
+                self.emit(Op::Index { dst: d, arr: a, idx: i });
+                d
+            }
+            Expr::Unary { op, expr } => {
+                let s = self.expr(expr, None);
+                let d = dst(self, want);
+                match op {
+                    UnOp::Neg => self.emit(Op::Neg { dst: d, src: s }),
+                    UnOp::Not => self.emit(Op::Not { dst: d, src: s }),
+                };
+                d
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And | BinOp::Or => {
+                    let d = dst(self, want);
+                    let short = matches!(op, BinOp::Or);
+                    let mut patches = Vec::new();
+                    for side in [lhs, rhs] {
+                        let mark = self.f().next_reg;
+                        let r = self.expr(side, None);
+                        let at = if short {
+                            self.emit(Op::JumpIfTrue { cond: r, to: 0 })
+                        } else {
+                            self.emit(Op::JumpIfFalse { cond: r, to: 0 })
+                        };
+                        patches.push(at);
+                        self.f().next_reg = mark;
+                    }
+                    self.emit(Op::LoadBool { dst: d, v: !short });
+                    let jend = self.emit(Op::Jump { to: 0 });
+                    let here = self.here();
+                    for p in patches {
+                        self.patch(p, here);
+                    }
+                    self.emit(Op::LoadBool { dst: d, v: short });
+                    let here = self.here();
+                    self.patch(jend, here);
+                    d
+                }
+                _ => {
+                    let a = self.expr(lhs, None);
+                    // Int-literal right operand: fuse the LoadInt away. The
+                    // literal has no effects, so skipping its evaluation is
+                    // unobservable.
+                    if let Expr::Int(v) = rhs.as_ref() {
+                        if let Ok(imm) = i32::try_from(*v) {
+                            let d = dst(self, want);
+                            self.emit(Op::BinImm {
+                                op: *op,
+                                dst: d,
+                                a,
+                                imm,
+                            });
+                            return d;
+                        }
+                    }
+                    let b = self.expr(rhs, None);
+                    let d = dst(self, want);
+                    self.emit(Op::Bin {
+                        op: *op,
+                        dst: d,
+                        a,
+                        b,
+                    });
+                    d
+                }
+            },
+            Expr::Call { name, args, .. } => {
+                let d = dst(self, want);
+                // Argument block: contiguous at the top of the frame; the
+                // callee's frame overlaps it, so arguments pass by position
+                // without copying.
+                let base = self.f().next_reg;
+                for _ in args {
+                    self.alloc();
+                }
+                for (k, a) in args.iter().enumerate() {
+                    let slot = base + k as u16;
+                    self.expr(a, Some(slot));
+                    // Release sub-expression temps, keep the block.
+                    self.f().next_reg = base + args.len() as u16;
+                }
+                let argc = args.len() as u8;
+                match self.funcs.get(name).copied() {
+                    Some((chunk, params)) if params == args.len() => {
+                        self.emit(Op::Call {
+                            chunk,
+                            dst: d,
+                            base,
+                            argc,
+                        });
+                    }
+                    Some((_, params)) => {
+                        // Arity errors surface after argument evaluation,
+                        // like the interpreter's.
+                        self.fail(format!(
+                            "function `{name}` expects {params} arguments, got {}",
+                            args.len()
+                        ));
+                    }
+                    None => match Builtin::from_name(name) {
+                        Some(b) => {
+                            self.emit(Op::CallBuiltin {
+                                b,
+                                dst: d,
+                                base,
+                                argc,
+                            });
+                        }
+                        None => {
+                            self.fail(format!("unknown function `{name}`"));
+                        }
+                    },
+                }
+                d
+            }
+        }
+    }
+
+    // ---- directives -----------------------------------------------------
+
+    fn add_spec(&mut self, spec: DirectiveSpec) -> u16 {
+        let f = self.f();
+        f.specs.push(spec);
+        (f.specs.len() - 1) as u16
+    }
+
+    fn directive(&mut self, directive: &Directive, body: &Block, line: usize) {
+        let owner = self.f().name.clone();
+        let label = |kind: &str| format!("{owner}::{kind}@{line}");
+        match directive {
+            // Standalone directives: the parser guarantees an empty body.
+            Directive::WaitTag(tag) => {
+                let idx = self.str_idx(tag.clone());
+                self.emit(Op::WaitTag { tag: idx });
+            }
+            Directive::Barrier => {
+                self.emit(Op::Barrier);
+            }
+            Directive::TaskWait => {
+                self.emit(Op::TaskWait);
+            }
+            Directive::Target {
+                directive: d,
+                if_cond,
+            } => {
+                let ji = self.emit(Op::JumpIfIgnoring { to: 0 });
+                for tag in &d.wait_tags {
+                    let idx = self.str_idx(tag.clone());
+                    self.emit(Op::WaitTag { tag: idx });
+                }
+                let cond = if_cond.as_ref().map(|e| self.expr(e, None));
+                let body_ref = self.closure(label("target"), &[], body);
+                let spec = self.add_spec(DirectiveSpec::Target {
+                    target: d.target.clone(),
+                    mode: d.mode.clone(),
+                    cond,
+                    body: body_ref,
+                });
+                let dp = self.emit(Op::Dispatch { spec, skip: 0 });
+                self.patch(ji, dp as u32 + 1);
+                self.block(body);
+                let end = self.here();
+                self.patch(dp, end);
+            }
+            Directive::Parallel { num_threads } => {
+                let ji = self.emit(Op::JumpIfIgnoring { to: 0 });
+                let body_ref = self.closure(label("parallel"), &[], body);
+                let spec = self.add_spec(DirectiveSpec::Parallel {
+                    num_threads: *num_threads,
+                    body: body_ref,
+                });
+                let dp = self.emit(Op::Dispatch { spec, skip: 0 });
+                self.patch(ji, dp as u32 + 1);
+                self.block(body);
+                let end = self.here();
+                self.patch(dp, end);
+            }
+            Directive::ParallelFor {
+                num_threads,
+                schedule,
+            } => {
+                let ji = self.emit(Op::JumpIfIgnoring { to: 0 });
+                let dp = match body.stmts.first() {
+                    Some(Stmt::For {
+                        var,
+                        start,
+                        end,
+                        body: loop_body,
+                    }) => {
+                        let rs = self.expr(start, None);
+                        self.emit(Op::AssertInt { reg: rs });
+                        let re = self.expr(end, None);
+                        self.emit(Op::AssertInt { reg: re });
+                        let body_ref = self.closure(
+                            label("parallel_for"),
+                            std::slice::from_ref(var),
+                            loop_body,
+                        );
+                        let spec = self.add_spec(DirectiveSpec::ParallelFor {
+                            num_threads: *num_threads,
+                            schedule: *schedule,
+                            start: rs,
+                            end: re,
+                            body: body_ref,
+                        });
+                        Some(self.emit(Op::Dispatch { spec, skip: 0 }))
+                    }
+                    _ => {
+                        self.fail("parallel for must annotate a for loop");
+                        None
+                    }
+                };
+                let inline = self.here();
+                self.patch(ji, inline);
+                self.block(body);
+                let end = self.here();
+                if let Some(dp) = dp {
+                    self.patch(dp, end);
+                }
+            }
+            Directive::Critical(name) => {
+                let ji = self.emit(Op::JumpIfIgnoring { to: 0 });
+                let spec = self.add_spec(DirectiveSpec::Critical { name: name.clone() });
+                let dp = self.emit(Op::Dispatch { spec, skip: 0 });
+                self.patch(ji, dp as u32 + 1);
+                self.block(body);
+                let end = self.here();
+                self.patch(dp, end);
+            }
+            Directive::Master => {
+                let ji = self.emit(Op::JumpIfIgnoring { to: 0 });
+                let spec = self.add_spec(DirectiveSpec::Master);
+                let dp = self.emit(Op::Dispatch { spec, skip: 0 });
+                self.patch(ji, dp as u32 + 1);
+                self.block(body);
+                let end = self.here();
+                self.patch(dp, end);
+            }
+            Directive::Single => {
+                let ji = self.emit(Op::JumpIfIgnoring { to: 0 });
+                let body_ref = self.closure(label("single"), &[], body);
+                let spec = self.add_spec(DirectiveSpec::Single { body: body_ref });
+                let dp = self.emit(Op::Dispatch { spec, skip: 0 });
+                self.patch(ji, dp as u32 + 1);
+                self.block(body);
+                let end = self.here();
+                self.patch(dp, end);
+            }
+            Directive::Task => {
+                let ji = self.emit(Op::JumpIfIgnoring { to: 0 });
+                let body_ref = self.closure(label("task"), &[], body);
+                let spec = self.add_spec(DirectiveSpec::Task { body: body_ref });
+                let dp = self.emit(Op::Dispatch { spec, skip: 0 });
+                self.patch(ji, dp as u32 + 1);
+                self.block(body);
+                let end = self.here();
+                self.patch(dp, end);
+            }
+            Directive::Sections => {
+                let ji = self.emit(Op::JumpIfIgnoring { to: 0 });
+                let sections: Vec<ClosureRef> = body
+                    .stmts
+                    .iter()
+                    .enumerate()
+                    .map(|(k, stmt)| {
+                        let b = Block {
+                            stmts: vec![stmt.clone()],
+                        };
+                        self.closure(format!("{owner}::section{k}@{line}"), &[], &b)
+                    })
+                    .collect();
+                let spec = self.add_spec(DirectiveSpec::Sections { sections });
+                let dp = self.emit(Op::Dispatch { spec, skip: 0 });
+                self.patch(ji, dp as u32 + 1);
+                self.block(body);
+                let end = self.here();
+                self.patch(dp, end);
+            }
+        }
+    }
+}
+
+// ---- capture analysis ---------------------------------------------------
+
+/// Collects every name referenced under a directive body within `block` —
+/// the set of locals that must live in shared cells. Conservative: names
+/// declared inside directive bodies are included too (they box a shadowing
+/// inline-copy local at worst, never change semantics).
+fn collect_captured(block: &Block) -> HashSet<String> {
+    let mut set = HashSet::new();
+    collect_block(block, false, &mut set);
+    set
+}
+
+fn collect_block(block: &Block, inside: bool, set: &mut HashSet<String>) {
+    for stmt in &block.stmts {
+        collect_stmt(stmt, inside, set);
+    }
+}
+
+fn collect_stmt(stmt: &Stmt, inside: bool, set: &mut HashSet<String>) {
+    let mut name = |n: &str| {
+        if inside {
+            set.insert(n.to_string());
+        }
+    };
+    match stmt {
+        Stmt::Let { name: n, value, .. } => {
+            name(n);
+            collect_expr(value, inside, set);
+        }
+        Stmt::Assign { name: n, value, .. } => {
+            name(n);
+            collect_expr(value, inside, set);
+        }
+        Stmt::IndexAssign {
+            name: n,
+            index,
+            value,
+            ..
+        } => {
+            name(n);
+            collect_expr(index, inside, set);
+            collect_expr(value, inside, set);
+        }
+        Stmt::Expr(e) => collect_expr(e, inside, set),
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            collect_expr(cond, inside, set);
+            collect_block(then_block, inside, set);
+            if let Some(eb) = else_block {
+                collect_block(eb, inside, set);
+            }
+        }
+        Stmt::While { cond, body } => {
+            collect_expr(cond, inside, set);
+            collect_block(body, inside, set);
+        }
+        Stmt::For {
+            var,
+            start,
+            end,
+            body,
+        } => {
+            name(var);
+            collect_expr(start, inside, set);
+            collect_expr(end, inside, set);
+            collect_block(body, inside, set);
+        }
+        Stmt::Return(Some(e)) => collect_expr(e, inside, set),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        Stmt::Block(b) => collect_block(b, inside, set),
+        Stmt::Directive {
+            directive, body, ..
+        } => {
+            // The `if(…)` condition is evaluated pre-dispatch in the
+            // enclosing frame, so it inherits the current flag; the body
+            // itself is captured.
+            if let Directive::Target { if_cond: Some(c), .. } = directive {
+                collect_expr(c, inside, set);
+            }
+            collect_block(body, true, set);
+        }
+    }
+}
+
+fn collect_expr(e: &Expr, inside: bool, set: &mut HashSet<String>) {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Str(_) => {}
+        Expr::Var(n) => {
+            if inside {
+                set.insert(n.clone());
+            }
+        }
+        Expr::Index { array, index } => {
+            collect_expr(array, inside, set);
+            collect_expr(index, inside, set);
+        }
+        Expr::Unary { expr, .. } => collect_expr(expr, inside, set),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, inside, set);
+            collect_expr(rhs, inside, set);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_expr(a, inside, set);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Module {
+        compile_program(&parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn straight_line_code_uses_no_cells() {
+        let m = compile("fn main() { let x = 1; let y = x + 2; print(y); }");
+        let main = &m.chunks[m.main.unwrap()];
+        assert!(
+            !main.ops.iter().any(|o| matches!(o, Op::NewCell { .. })),
+            "no directive references these locals:\n{}",
+            m.dump()
+        );
+    }
+
+    #[test]
+    fn directive_captured_local_is_boxed() {
+        let m = compile(
+            "fn main() { let x = 0; let y = 1; //#omp target virtual(worker)\n { x = 5; } print(y); }",
+        );
+        let main = &m.chunks[m.main.unwrap()];
+        let cells = main
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::NewCell { .. }))
+            .count();
+        assert_eq!(cells, 1, "only `x` is captured:\n{}", m.dump());
+    }
+
+    #[test]
+    fn closure_chunk_carries_capture_recipe() {
+        let m = compile(
+            "fn main() { let x = 0; //#omp target virtual(worker)\n { x = 5; } }",
+        );
+        let main = &m.chunks[m.main.unwrap()];
+        let spec = main
+            .specs
+            .iter()
+            .find_map(|s| match s {
+                DirectiveSpec::Target { body, .. } => Some(body),
+                _ => None,
+            })
+            .expect("target spec");
+        assert_eq!(spec.caps.len(), 1);
+        assert_eq!(m.chunks[spec.chunk as usize].captures, 1);
+        assert_eq!(m.chunks[spec.chunk as usize].kind, ChunkKind::Closure);
+    }
+
+    #[test]
+    fn directive_body_is_compiled_twice() {
+        // Dispatch path (closure chunk) + inline path (ignore/disabled).
+        let m = compile(
+            "fn main() { let x = 0; //#omp target virtual(worker)\n { x = 5; } }",
+        );
+        assert_eq!(m.chunks.len(), 2, "{}", m.dump());
+        let main = &m.chunks[m.main.unwrap()];
+        assert!(main
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::JumpIfIgnoring { .. })));
+        assert!(main.ops.iter().any(|o| matches!(o, Op::Dispatch { .. })));
+    }
+
+    #[test]
+    fn forward_and_recursive_calls_resolve() {
+        let m = compile(
+            "fn main() { print(a(3)); } fn a(n) { if n < 1 { return 0; } return b(n); } fn b(n) { return a(n - 1) + 1; }",
+        );
+        assert_eq!(m.chunks.len(), 3);
+        for c in &m.chunks {
+            assert!(c.ops.iter().all(|o| match o {
+                Op::Call { chunk, .. } => (*chunk as usize) < m.chunks.len(),
+                _ => true,
+            }));
+        }
+    }
+
+    #[test]
+    fn undefined_variable_becomes_deferred_fail() {
+        let m = compile("fn main() { if false { print(nope); } }");
+        let main = &m.chunks[m.main.unwrap()];
+        assert!(
+            main.ops.iter().any(|o| matches!(o, Op::Fail { .. })),
+            "{}",
+            m.dump()
+        );
+    }
+
+    #[test]
+    fn small_ints_use_inline_immediates() {
+        let m = compile("fn main() { let x = 41 + 1; print(x); }");
+        let main = &m.chunks[m.main.unwrap()];
+        assert!(main.ops.iter().any(|o| matches!(o, Op::LoadInt { .. })));
+        assert!(
+            !main.consts.iter().any(|c| matches!(c, Const::Int(_))),
+            "small ints should not hit the pool"
+        );
+    }
+}

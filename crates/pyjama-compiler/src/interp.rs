@@ -43,7 +43,7 @@ pub enum Value {
 }
 
 impl Value {
-    fn type_name(&self) -> &'static str {
+    pub(crate) fn type_name(&self) -> &'static str {
         match self {
             Value::Unit => "unit",
             Value::Int(_) => "int",
@@ -54,7 +54,7 @@ impl Value {
         }
     }
 
-    fn truthy(&self) -> Result<bool, CompileError> {
+    pub(crate) fn truthy(&self) -> Result<bool, CompileError> {
         match self {
             Value::Bool(b) => Ok(*b),
             other => Err(rt_err(format!(
@@ -64,7 +64,7 @@ impl Value {
         }
     }
 
-    fn as_int(&self) -> Result<i64, CompileError> {
+    pub(crate) fn as_int(&self) -> Result<i64, CompileError> {
         match self {
             Value::Int(v) => Ok(*v),
             other => Err(rt_err(format!("expected int, found {}", other.type_name()))),
@@ -104,7 +104,7 @@ impl PartialEq for Value {
     }
 }
 
-fn rt_err(msg: impl Into<String>) -> CompileError {
+pub(crate) fn rt_err(msg: impl Into<String>) -> CompileError {
     CompileError::Runtime(msg.into())
 }
 
@@ -116,7 +116,7 @@ enum Flow {
     Continue,
 }
 
-type Cell = Arc<Mutex<Value>>;
+pub(crate) type Cell = Arc<Mutex<Value>>;
 
 /// A lexical environment: a stack of shared scopes. Cloning shares every
 /// cell — the capture semantics target blocks rely on.
@@ -170,11 +170,42 @@ impl Env {
             None => Err(rt_err(format!("assignment to undefined variable `{name}`"))),
         }
     }
+
+    /// Applies `f` to the variable's value **without cloning it** — the
+    /// hot-path read used by conditions and integer contexts. The cell lock
+    /// is held only for the duration of `f`, which must not evaluate
+    /// further PJ expressions (`x + x` would self-deadlock otherwise).
+    fn with<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Value) -> Result<R, CompileError>,
+    ) -> Result<R, CompileError> {
+        match self.cell(name) {
+            Some(c) => f(&c.lock()),
+            None => Err(rt_err(format!("undefined variable `{name}`"))),
+        }
+    }
+}
+
+/// Which execution engine runs the program.
+///
+/// The register bytecode VM is the default; the tree-walking interpreter is
+/// retained as the differential-testing oracle (`tests/pj_differential.rs`
+/// runs every program through both and asserts identical output).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The original tree-walking interpreter (oracle).
+    Interp,
+    /// The register bytecode VM ([`crate::compile`] + [`crate::vm`]).
+    #[default]
+    Vm,
 }
 
 /// Configuration for one program run.
 #[derive(Clone, Debug)]
 pub struct ExecConfig {
+    /// Which engine executes the program.
+    pub engine: Engine,
     /// Treat directives as comments (sequential-equivalence mode).
     pub ignore_directives: bool,
     /// Threads in the default `worker` virtual target.
@@ -194,6 +225,7 @@ pub struct ExecConfig {
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
+            engine: Engine::default(),
             ignore_directives: false,
             worker_threads: 4,
             with_edt: true,
@@ -211,6 +243,10 @@ pub struct RunOutput {
     pub output: Vec<String>,
     /// The value returned by `main` (unit if none).
     pub result: String,
+    /// Target-block dispatches observed by the run's `Runtime` (posted +
+    /// inline short-circuits, summed over every virtual target). The
+    /// VM-counter conservation law checks against this.
+    pub target_posts: u64,
 }
 
 struct Core {
@@ -236,28 +272,14 @@ impl Interpreter {
 
     /// Runs `main` under `config`, returning captured output.
     pub fn run(&self, config: &ExecConfig) -> Result<RunOutput, CompileError> {
-        let rt = Arc::new(Runtime::new());
-        rt.virtual_target_create_worker("worker", config.worker_threads.max(1));
-        for (name, m) in &config.extra_workers {
-            rt.virtual_target_create_worker(name.clone(), (*m).max(1));
+        match config.engine {
+            Engine::Vm => crate::vm::run_program(&self.program, config),
+            Engine::Interp => self.run_interp(config),
         }
-        for &n in &config.devices {
-            let device = pyjama_runtime::SimulatedDevice::new(n, Duration::ZERO);
-            let target = pyjama_runtime::DeviceTarget::new(device);
-            rt.register(
-                format!("device:{n}"),
-                target as Arc<dyn pyjama_runtime::VirtualTarget>,
-            )
-            .map_err(|e| rt_err(e.to_string()))?;
-        }
-        let edt = if config.with_edt {
-            let edt = Edt::spawn("pj-edt");
-            rt.virtual_target_register_edt("edt", edt.handle())
-                .map_err(|e| rt_err(e.to_string()))?;
-            Some(edt)
-        } else {
-            None
-        };
+    }
+
+    fn run_interp(&self, config: &ExecConfig) -> Result<RunOutput, CompileError> {
+        let (rt, edt) = setup_runtime(config)?;
 
         let core = Arc::new(Core {
             program: Arc::clone(&self.program),
@@ -275,18 +297,7 @@ impl Interpreter {
             .ok_or_else(|| rt_err("no `main` function"))?;
         let result = call_function(&core, main, Vec::new(), None)?;
 
-        // Quiesce: nowait blocks may still be in flight.
-        let deadline = Instant::now() + config.quiesce_timeout;
-        while core.outstanding.load(Ordering::SeqCst) > 0 {
-            if Instant::now() >= deadline {
-                return Err(rt_err("timed out waiting for outstanding target blocks"));
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        if let Some(mut edt) = edt {
-            edt.shutdown();
-        }
-        rt.clear();
+        let target_posts = finish_run(&rt, edt, &core.outstanding, config.quiesce_timeout)?;
 
         let errors = core.errors.lock().clone();
         if !errors.is_empty() {
@@ -296,8 +307,72 @@ impl Interpreter {
         Ok(RunOutput {
             output,
             result: result.display(),
+            target_posts,
         })
     }
+}
+
+/// Builds the virtual-target substrate both engines run on: the default
+/// `worker` pool, extra named pools, simulated devices, and the EDT.
+pub(crate) fn setup_runtime(
+    config: &ExecConfig,
+) -> Result<(Arc<Runtime>, Option<Edt>), CompileError> {
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("worker", config.worker_threads.max(1));
+    for (name, m) in &config.extra_workers {
+        rt.virtual_target_create_worker(name.clone(), (*m).max(1));
+    }
+    for &n in &config.devices {
+        let device = pyjama_runtime::SimulatedDevice::new(n, Duration::ZERO);
+        let target = pyjama_runtime::DeviceTarget::new(device);
+        rt.register(
+            format!("device:{n}"),
+            target as Arc<dyn pyjama_runtime::VirtualTarget>,
+        )
+        .map_err(|e| rt_err(e.to_string()))?;
+    }
+    let edt = if config.with_edt {
+        let edt = Edt::spawn("pj-edt");
+        rt.virtual_target_register_edt("edt", edt.handle())
+            .map_err(|e| rt_err(e.to_string()))?;
+        Some(edt)
+    } else {
+        None
+    };
+    Ok((rt, edt))
+}
+
+/// Quiesces `nowait` blocks, shuts the EDT down, and tears the runtime
+/// down. Returns the total target dispatches (posted + inline) the run's
+/// `Runtime` observed — collected *before* `clear()` drops the targets.
+pub(crate) fn finish_run(
+    rt: &Arc<Runtime>,
+    edt: Option<Edt>,
+    outstanding: &AtomicUsize,
+    quiesce_timeout: Duration,
+) -> Result<u64, CompileError> {
+    // Quiesce: nowait blocks may still be in flight.
+    let deadline = Instant::now() + quiesce_timeout;
+    while outstanding.load(Ordering::SeqCst) > 0 {
+        if Instant::now() >= deadline {
+            return Err(rt_err("timed out waiting for outstanding target blocks"));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if let Some(mut edt) = edt {
+        edt.shutdown();
+    }
+    let target_posts = rt
+        .target_names()
+        .iter()
+        .filter_map(|n| rt.lookup(n).ok())
+        .map(|t| {
+            let s = t.stats();
+            s.posted + s.inline
+        })
+        .sum();
+    rt.clear();
+    Ok(target_posts)
 }
 
 fn call_function(
@@ -367,7 +442,7 @@ fn exec_stmt(
             value,
             ..
         } => {
-            let idx = eval(core, index, env, omp)?.as_int()?;
+            let idx = eval_int(core, index, env, omp)?;
             let v = eval(core, value, env, omp)?;
             match env.get(name)? {
                 Value::Arr(a) => {
@@ -394,7 +469,7 @@ fn exec_stmt(
             then_block,
             else_block,
         } => {
-            if eval(core, cond, env, omp)?.truthy()? {
+            if eval_truthy(core, cond, env, omp)? {
                 exec_block(core, then_block, env, omp)
             } else if let Some(eb) = else_block {
                 exec_block(core, eb, env, omp)
@@ -403,7 +478,7 @@ fn exec_stmt(
             }
         }
         Stmt::While { cond, body } => {
-            while eval(core, cond, env, omp)?.truthy()? {
+            while eval_truthy(core, cond, env, omp)? {
                 match exec_block(core, body, env, omp)? {
                     Flow::Normal | Flow::Continue => {}
                     Flow::Break => break,
@@ -418,8 +493,8 @@ fn exec_stmt(
             end,
             body,
         } => {
-            let s = eval(core, start, env, omp)?.as_int()?;
-            let e = eval(core, end, env, omp)?.as_int()?;
+            let s = eval_int(core, start, env, omp)?;
+            let e = eval_int(core, end, env, omp)?;
             for i in s..e {
                 let iter_env = env.push();
                 iter_env.declare(var, Value::Int(i));
@@ -468,7 +543,7 @@ fn exec_directive(
                 core.rt.wait_tag(tag);
             }
             let enabled = match if_cond {
-                Some(cond) => eval(core, cond, env, omp)?.truthy()?,
+                Some(cond) => eval_truthy(core, cond, env, omp)?,
                 None => true,
             };
             let target_name = match &d.target {
@@ -562,8 +637,8 @@ fn exec_directive(
             else {
                 return Err(rt_err("parallel for must annotate a for loop"));
             };
-            let s = eval(core, start, env, omp)?.as_int()?;
-            let e = eval(core, end, env, omp)?.as_int()?;
+            let s = eval_int(core, start, env, omp)?;
+            let e = eval_int(core, end, env, omp)?;
             if e <= s {
                 return Ok(Flow::Normal);
             }
@@ -685,6 +760,34 @@ fn exec_directive(
     }
 }
 
+/// Evaluates an expression in boolean context. Plain variable reads borrow
+/// the cell's value in place instead of cloning it.
+fn eval_truthy(
+    core: &Arc<Core>,
+    expr: &Expr,
+    env: &Env,
+    omp: Option<&Ctx>,
+) -> Result<bool, CompileError> {
+    match expr {
+        Expr::Var(name) => env.with(name, Value::truthy),
+        _ => eval(core, expr, env, omp)?.truthy(),
+    }
+}
+
+/// Evaluates an expression in integer context (loop bounds, indices)
+/// without cloning plain variable reads.
+fn eval_int(
+    core: &Arc<Core>,
+    expr: &Expr,
+    env: &Env,
+    omp: Option<&Ctx>,
+) -> Result<i64, CompileError> {
+    match expr {
+        Expr::Var(name) => env.with(name, Value::as_int),
+        _ => eval(core, expr, env, omp)?.as_int(),
+    }
+}
+
 fn eval(
     core: &Arc<Core>,
     expr: &Expr,
@@ -699,7 +802,7 @@ fn eval(
         Expr::Var(name) => env.get(name),
         Expr::Index { array, index } => {
             let a = eval(core, array, env, omp)?;
-            let i = eval(core, index, env, omp)?.as_int()?;
+            let i = eval_int(core, index, env, omp)?;
             match a {
                 Value::Arr(a) => {
                     let g = a.lock();
@@ -724,34 +827,38 @@ fn eval(
             // Short-circuit logical operators.
             if matches!(op, BinOp::And) {
                 return Ok(Value::Bool(
-                    eval(core, lhs, env, omp)?.truthy()? && eval(core, rhs, env, omp)?.truthy()?,
+                    eval_truthy(core, lhs, env, omp)? && eval_truthy(core, rhs, env, omp)?,
                 ));
             }
             if matches!(op, BinOp::Or) {
                 return Ok(Value::Bool(
-                    eval(core, lhs, env, omp)?.truthy()? || eval(core, rhs, env, omp)?.truthy()?,
+                    eval_truthy(core, lhs, env, omp)? || eval_truthy(core, rhs, env, omp)?,
                 ));
             }
             let l = eval(core, lhs, env, omp)?;
             let r = eval(core, rhs, env, omp)?;
-            binary(*op, l, r)
+            binary(*op, &l, &r)
         }
         Expr::Call { name, args, .. } => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
                 vals.push(eval(core, a, env, omp)?);
             }
-            // User functions shadow builtins.
+            // User functions shadow builtins. Borrowing the function out of
+            // the shared program (instead of cloning its AST per call) is
+            // the single biggest interpreter hot-path win.
             if let Some(f) = core.program.function(name) {
-                let f = f.clone();
-                return call_function(core, &f, vals, omp);
+                return call_function(core, f, vals, omp);
             }
             builtin(core, name, vals, omp)
         }
     }
 }
 
-fn binary(op: BinOp, l: Value, r: Value) -> Result<Value, CompileError> {
+/// Applies a binary operator. Shared by the interpreter, the VM's generic
+/// `Bin` op fallback, and the `min`/`max` builtins — one source of truth
+/// for PJ's numeric/string semantics.
+pub(crate) fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, CompileError> {
     use BinOp::*;
     use Value::*;
     // String concatenation with +.
@@ -829,221 +936,15 @@ fn builtin(
     args: Vec<Value>,
     omp: Option<&Ctx>,
 ) -> Result<Value, CompileError> {
-    let arity = |n: usize| -> Result<(), CompileError> {
-        if args.len() == n {
-            Ok(())
-        } else {
-            Err(rt_err(format!(
-                "builtin `{name}` expects {n} arguments, got {}",
-                args.len()
-            )))
-        }
-    };
-    match name {
-        "print" => {
-            let line = args
-                .iter()
-                .map(Value::display)
-                .collect::<Vec<_>>()
-                .join(" ");
-            core.output.lock().push(line);
-            Ok(Value::Unit)
-        }
-        "str" => {
-            arity(1)?;
-            Ok(Value::Str(args[0].display()))
-        }
-        "int" => {
-            arity(1)?;
-            match &args[0] {
-                Value::Int(v) => Ok(Value::Int(*v)),
-                Value::Float(v) => Ok(Value::Int(*v as i64)),
-                Value::Str(s) => s
-                    .trim()
-                    .parse::<i64>()
-                    .map(Value::Int)
-                    .map_err(|_| rt_err(format!("cannot parse `{s}` as int"))),
-                Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
-                other => Err(rt_err(format!("cannot convert {} to int", other.type_name()))),
-            }
-        }
-        "float" => {
-            arity(1)?;
-            match &args[0] {
-                Value::Int(v) => Ok(Value::Float(*v as f64)),
-                Value::Float(v) => Ok(Value::Float(*v)),
-                Value::Str(s) => s
-                    .trim()
-                    .parse::<f64>()
-                    .map(Value::Float)
-                    .map_err(|_| rt_err(format!("cannot parse `{s}` as float"))),
-                other => Err(rt_err(format!(
-                    "cannot convert {} to float",
-                    other.type_name()
-                ))),
-            }
-        }
-        "arr" => Ok(Value::Arr(Arc::new(Mutex::new(args)))),
-        "zeros" => {
-            arity(1)?;
-            let n = args[0].as_int()?;
-            let n = usize::try_from(n).map_err(|_| rt_err("zeros: negative length"))?;
-            Ok(Value::Arr(Arc::new(Mutex::new(vec![Value::Int(0); n]))))
-        }
-        "push" => {
-            arity(2)?;
-            match &args[0] {
-                Value::Arr(a) => {
-                    a.lock().push(args[1].clone());
-                    Ok(Value::Unit)
-                }
-                other => Err(rt_err(format!("push: expected array, got {}", other.type_name()))),
-            }
-        }
-        "len" => {
-            arity(1)?;
-            match &args[0] {
-                Value::Arr(a) => Ok(Value::Int(a.lock().len() as i64)),
-                Value::Str(s) => Ok(Value::Int(s.len() as i64)),
-                other => Err(rt_err(format!("len: expected array or string, got {}", other.type_name()))),
-            }
-        }
-        "substr" => {
-            arity(3)?;
-            match (&args[0], &args[1], &args[2]) {
-                (Value::Str(st), Value::Int(a), Value::Int(b)) => {
-                    let a = (*a).max(0) as usize;
-                    let b = (*b).max(0) as usize;
-                    let chars: Vec<char> = st.chars().collect();
-                    let a = a.min(chars.len());
-                    let b = b.clamp(a, chars.len());
-                    Ok(Value::Str(chars[a..b].iter().collect()))
-                }
-                _ => Err(rt_err("substr(string, start, end)")),
-            }
-        }
-        "contains" => {
-            arity(2)?;
-            match (&args[0], &args[1]) {
-                (Value::Str(hay), Value::Str(needle)) => {
-                    Ok(Value::Bool(hay.contains(needle.as_str())))
-                }
-                _ => Err(rt_err("contains(string, string)")),
-            }
-        }
-        "replace" => {
-            arity(3)?;
-            match (&args[0], &args[1], &args[2]) {
-                (Value::Str(st), Value::Str(from), Value::Str(to)) => {
-                    Ok(Value::Str(st.replace(from.as_str(), to.as_str())))
-                }
-                _ => Err(rt_err("replace(string, from, to)")),
-            }
-        }
-        "pow" => {
-            arity(2)?;
-            match (&args[0], &args[1]) {
-                (Value::Int(a), Value::Int(b)) if *b >= 0 => {
-                    Ok(Value::Int(a.wrapping_pow((*b).min(u32::MAX as i64) as u32)))
-                }
-                (Value::Float(a), Value::Float(b)) => Ok(Value::Float(a.powf(*b))),
-                (Value::Float(a), Value::Int(b)) => Ok(Value::Float(a.powi(*b as i32))),
-                (Value::Int(a), Value::Float(b)) => Ok(Value::Float((*a as f64).powf(*b))),
-                _ => Err(rt_err("pow(number, number)")),
-            }
-        }
-        "floor" => {
-            arity(1)?;
-            match &args[0] {
-                Value::Float(v) => Ok(Value::Int(v.floor() as i64)),
-                Value::Int(v) => Ok(Value::Int(*v)),
-                other => Err(rt_err(format!("floor: expected number, got {}", other.type_name()))),
-            }
-        }
-        "sleep_ms" => {
-            arity(1)?;
-            let ms = args[0].as_int()?;
-            std::thread::sleep(Duration::from_millis(ms.max(0) as u64));
-            Ok(Value::Unit)
-        }
-        "busy_ms" => {
-            arity(1)?;
-            let ms = args[0].as_int()?.max(0) as u64;
-            let end = Instant::now() + Duration::from_millis(ms);
-            let mut x = 0u64;
-            while Instant::now() < end {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                std::hint::black_box(x);
-            }
-            Ok(Value::Unit)
-        }
-        "now_ms" => {
-            arity(0)?;
-            Ok(Value::Int(core.epoch.elapsed().as_millis() as i64))
-        }
-        "hash" => {
-            arity(1)?;
-            let s = args[0].display();
-            let mut h = 0xcbf29ce484222325u64;
-            for b in s.bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-            Ok(Value::Int((h & 0x7FFF_FFFF) as i64))
-        }
-        "sqrt" => {
-            arity(1)?;
-            match &args[0] {
-                Value::Int(v) => Ok(Value::Float((*v as f64).sqrt())),
-                Value::Float(v) => Ok(Value::Float(v.sqrt())),
-                other => Err(rt_err(format!("sqrt: expected number, got {}", other.type_name()))),
-            }
-        }
-        "abs" => {
-            arity(1)?;
-            match &args[0] {
-                Value::Int(v) => Ok(Value::Int(v.abs())),
-                Value::Float(v) => Ok(Value::Float(v.abs())),
-                other => Err(rt_err(format!("abs: expected number, got {}", other.type_name()))),
-            }
-        }
-        "min" | "max" => {
-            arity(2)?;
-            let take_first = match binary(BinOp::Le, args[0].clone(), args[1].clone())? {
-                Value::Bool(le) => {
-                    if name == "min" {
-                        le
-                    } else {
-                        !le
-                    }
-                }
-                _ => unreachable!(),
+    match crate::builtins::Builtin::from_name(name) {
+        Some(b) => {
+            let host = crate::builtins::Host {
+                output: &core.output,
+                epoch: core.epoch,
             };
-            Ok(if take_first {
-                args[0].clone()
-            } else {
-                args[1].clone()
-            })
+            crate::builtins::call(b, &host, args, omp)
         }
-        "omp_get_thread_num" => {
-            arity(0)?;
-            Ok(Value::Int(omp.map_or(0, |c| c.thread_num() as i64)))
-        }
-        "omp_get_num_threads" => {
-            arity(0)?;
-            Ok(Value::Int(omp.map_or(1, |c| c.num_threads() as i64)))
-        }
-        "is_edt" => {
-            arity(0)?;
-            Ok(Value::Bool(pyjama_events::pump::is_event_loop_thread()))
-        }
-        "thread_name" => {
-            arity(0)?;
-            Ok(Value::Str(
-                std::thread::current().name().unwrap_or("<unnamed>").to_string(),
-            ))
-        }
-        other => Err(rt_err(format!("unknown function `{other}`"))),
+        None => Err(rt_err(format!("unknown function `{name}`"))),
     }
 }
 

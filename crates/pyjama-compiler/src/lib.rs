@@ -31,27 +31,44 @@
 //!    call, reproducing the §IV-A compilation example; the transformed
 //!    program can be pretty-printed as Java-like source and compared to the
 //!    paper's output shape.
-//! 3. [`interp`] — execute programs on the real substrates: target blocks
-//!    dispatch through [`pyjama_runtime::Runtime`], parallel regions run on
-//!    [`pyjama_omp`] teams. Because every PJ variable is a shared cell, the
-//!    *data-context sharing* of §III-B holds: a target block sees exactly
-//!    the variables of its enclosing scope, no copying.
+//! 3. Execution, on either of two engines selected by
+//!    [`ExecConfig::engine`]:
+//!    * [`interp`] — the tree-walking interpreter, kept as the semantic
+//!      oracle for differential testing ([`Engine::Interp`]);
+//!    * [`compile`] + [`vm`] — lowering to a register [`bytecode`] module
+//!      executed by a flat dispatch-loop VM ([`Engine::Vm`], the default).
+//!
+//!    Both engines drive the same substrates: target blocks dispatch
+//!    through [`pyjama_runtime::Runtime`], parallel regions run on
+//!    [`pyjama_omp`] teams. Directive-captured variables are shared cells,
+//!    so the *data-context sharing* of §III-B holds on both engines: a
+//!    target block sees exactly the variables of its enclosing scope, no
+//!    copying. (The VM keeps everything *else* in unboxed registers, which
+//!    is where its speedup comes from.)
 //!
 //! Disabling directives ([`CompileOptions::ignore_directives`]) must never
 //! change a program's output — tests assert this sequential-equivalence on
-//! every example.
+//! every example, on both engines.
 
 pub mod ast;
+pub mod builtins;
+pub mod bytecode;
+pub mod compile;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod transform;
+pub mod vm;
 
 pub use ast::Program;
-pub use interp::{ExecConfig, Interpreter, RunOutput, Value};
+pub use builtins::Builtin;
+pub use bytecode::Module;
+pub use compile::compile_program;
+pub use interp::{Engine, ExecConfig, Interpreter, RunOutput, Value};
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::parse;
 pub use transform::{transform, TransformedProgram};
+pub use vm::{reset_vm_stats, vm_stats};
 
 /// Options controlling compilation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

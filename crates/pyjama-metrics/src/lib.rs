@@ -22,8 +22,11 @@
 //! connections (accepts, reuse, pipelining, idle evictions),
 //! [`ReactorCounters`] observing the epoll readiness reactor (registrations,
 //! re-arms, readiness events dispatched vs spurious — with a conservation
-//! law), and [`TeamCounters`] observing the fork-join `omp parallel` thread
-//! pool (regions forked, threads spawned vs reused, barrier spins vs parks).
+//! law), [`TeamCounters`] observing the fork-join `omp parallel` thread
+//! pool (regions forked, threads spawned vs reused, barrier spins vs parks),
+//! and [`VmCounters`] observing the PJ bytecode VM (ops executed, frames
+//! pushed, target/team dispatches — with a conservation law against the
+//! runtime's posted+inline accounting).
 //!
 //! Everything here is synchronisation-cheap (atomics or a short
 //! `parking_lot` critical section) so that recording does not perturb the
@@ -40,6 +43,7 @@ pub mod steal;
 pub mod team;
 pub mod throughput;
 pub mod timeline;
+pub mod vm;
 
 pub use conn::{ConnCounters, ConnStats};
 pub use histogram::Histogram;
@@ -52,3 +56,4 @@ pub use steal::{StealCounters, StealStats};
 pub use team::{TeamCounters, TeamStats};
 pub use throughput::ThroughputMeter;
 pub use timeline::{Timeline, TimelineEvent, TimelineEventKind};
+pub use vm::{VmCounters, VmStats};

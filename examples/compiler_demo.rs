@@ -1,13 +1,14 @@
 //! The source-to-source compiler on the paper's §IV-A example: shows the
-//! TargetRegion restructuring, then runs the program on the real runtime —
-//! once with directives enabled and once with them ignored — and checks
-//! both produce the same output (the sequential-equivalence guarantee).
+//! TargetRegion restructuring and the register bytecode the VM actually
+//! executes, then runs the program on the real runtime — once with
+//! directives enabled and once with them ignored — and checks both produce
+//! the same output (the sequential-equivalence guarantee).
 //!
 //! Run with: `cargo run --release --example compiler_demo`
 
 use std::sync::Arc;
 
-use pyjama::compiler::{parse, transform, ExecConfig, Interpreter};
+use pyjama::compiler::{compile_program, parse, transform, ExecConfig, Interpreter};
 
 const SOURCE: &str = r#"
 fn compute_half1(log) {
@@ -49,6 +50,14 @@ fn main() {
     println!(
         "({} target regions extracted)",
         transformed.regions.len()
+    );
+
+    println!("── lowered register bytecode (what the VM runs) ───────────");
+    let module = compile_program(&program);
+    print!("{}", module.dump());
+    println!(
+        "({} chunks: each function, plus one closure per directive body)\n",
+        module.chunks.len()
     );
 
     println!("── executing with directives ENABLED ──────────────────────");

@@ -1,29 +1,40 @@
 //! The Pyjama compiler as a command-line tool: compile and run `.pj`
-//! files, optionally printing the §IV-A restructured source.
+//! files, optionally printing the §IV-A restructured source or the
+//! register bytecode the VM executes.
 //!
 //! ```text
 //! cargo run --release --example pj_run -- examples/pj/figure6.pj
 //! cargo run --release --example pj_run -- --emit examples/pj/figure6.pj
 //! cargo run --release --example pj_run -- --sequential examples/pj/pi.pj
+//! cargo run --release --example pj_run -- --engine=interp examples/pj/fib.pj
+//! cargo run --release --example pj_run -- --dump-bytecode examples/pj/fib.pj
 //! ```
 //!
 //! `--emit` prints the TargetRegion-restructured Java-like source instead
 //! of (well, before) running; `--sequential` runs with directives ignored
 //! — a quick check of the sequential-equivalence guarantee on any program.
+//! `--engine=vm|interp` picks the execution engine (default: the register
+//! bytecode VM; `interp` is the tree-walking oracle), and `--dump-bytecode`
+//! disassembles the lowered module before running it.
 
 use std::sync::Arc;
 
-use pyjama::compiler::{parse, transform, ExecConfig, Interpreter};
+use pyjama::compiler::{compile_program, parse, transform, Engine, ExecConfig, Interpreter};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut emit = false;
     let mut sequential = false;
+    let mut dump = false;
+    let mut engine = Engine::default();
     let mut path = None;
     for a in &args {
         match a.as_str() {
             "--emit" => emit = true,
             "--sequential" => sequential = true,
+            "--dump-bytecode" => dump = true,
+            "--engine=vm" => engine = Engine::Vm,
+            "--engine=interp" => engine = Engine::Interp,
             other if !other.starts_with('-') => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown flag {other}");
@@ -32,7 +43,10 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: pj_run [--emit] [--sequential] <file.pj>");
+        eprintln!(
+            "usage: pj_run [--emit] [--sequential] [--dump-bytecode] \
+             [--engine=vm|interp] <file.pj>"
+        );
         std::process::exit(2);
     };
     let source = match std::fs::read_to_string(&path) {
@@ -60,7 +74,13 @@ fn main() {
         println!("// ---- execution ----");
     }
 
+    if dump {
+        print!("{}", compile_program(&program).dump());
+        println!("// ---- execution ----");
+    }
+
     let config = ExecConfig {
+        engine,
         ignore_directives: sequential,
         ..Default::default()
     };

@@ -1,0 +1,374 @@
+//! PR-8 acceptance: the register bytecode VM and the tree-walking
+//! interpreter are observationally identical. Every `.pj` example ships
+//! through both engines (directives enabled *and* ignored) and must
+//! produce the same captured output and result; a battery of embedded
+//! snippets then covers each directive form and the error paths, where
+//! the two engines must agree on the exact message.
+//!
+//! The interpreter is the semantic oracle here — it predates the VM and
+//! its behaviour is pinned by its own unit suite — so any divergence is a
+//! lowering or dispatch-loop bug by definition.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use pyjama::compiler::{parse, Engine, ExecConfig, Interpreter, RunOutput};
+
+fn run(src: &str, engine: Engine, ignore: bool) -> Result<RunOutput, String> {
+    let program = parse(src).map_err(|e| e.to_string())?;
+    Interpreter::new(Arc::new(program))
+        .run(&ExecConfig {
+            engine,
+            ignore_directives: ignore,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())
+}
+
+/// Both engines, same config: identical output lines and result value.
+fn assert_engines_agree(label: &str, src: &str, ignore: bool) {
+    let vm = run(src, Engine::Vm, ignore);
+    let interp = run(src, Engine::Interp, ignore);
+    match (vm, interp) {
+        (Ok(v), Ok(i)) => {
+            assert_eq!(v.output, i.output, "{label}: output diverged (ignore={ignore})");
+            assert_eq!(v.result, i.result, "{label}: result diverged (ignore={ignore})");
+        }
+        (Err(v), Err(i)) => {
+            assert_eq!(v, i, "{label}: error message diverged (ignore={ignore})");
+        }
+        (vm, interp) => panic!(
+            "{label}: engines disagree on success (ignore={ignore}):\n vm={vm:?}\n interp={interp:?}"
+        ),
+    }
+}
+
+fn examples_dir() -> std::path::PathBuf {
+    // file!() is absolute under the staged-rlib harness and repo-relative
+    // under cargo; both resolve to <repo>/examples/pj.
+    Path::new(file!())
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or_else(|| Path::new("."))
+        .join("examples/pj")
+}
+
+#[test]
+fn every_example_program_agrees_across_engines() {
+    let dir = examples_dir();
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pj"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let label = path.file_name().unwrap().to_string_lossy().to_string();
+        assert_engines_agree(&label, &src, false);
+        assert_engines_agree(&label, &src, true);
+        seen += 1;
+    }
+    assert!(seen >= 4, "expected the shipped examples, found {seen}");
+}
+
+#[test]
+fn parallel_and_worksharing_directives_agree() {
+    // Deterministic by construction: per-thread slots, critical-guarded
+    // accumulation, post-join printing.
+    assert_engines_agree(
+        "parallel",
+        r#"fn main() {
+            let slots = zeros(3);
+            //#omp parallel num_threads(3)
+            { slots[omp_get_thread_num()] = omp_get_thread_num() * 10 + omp_get_num_threads(); }
+            print(slots[0], slots[1], slots[2]);
+        }"#,
+        false,
+    );
+    for sched in ["", "schedule(static)", "schedule(dynamic, 2)", "schedule(guided)"] {
+        let src = format!(
+            r#"fn main() {{
+                let hits = zeros(16);
+                let total = 0;
+                //#omp parallel for num_threads(4) {sched}
+                for i in 0..16 {{
+                    hits[i] = hits[i] + i;
+                    //#omp critical
+                    {{ total += i * i; }}
+                }}
+                let sum = 0;
+                for i in 0..16 {{ sum += hits[i]; }}
+                print(sum, total);
+            }}"#
+        );
+        assert_engines_agree(&format!("parallel for {sched:?}"), &src, false);
+        assert_engines_agree(&format!("parallel for {sched:?}"), &src, true);
+    }
+    // Empty iteration space: the team must not fork.
+    assert_engines_agree(
+        "empty parallel for",
+        r#"fn main() {
+            let n = 0;
+            //#omp parallel for
+            for i in 5..5 { n += 1; }
+            print(n);
+        }"#,
+        false,
+    );
+}
+
+#[test]
+fn team_coordination_directives_agree() {
+    assert_engines_agree(
+        "single+master+barrier",
+        r#"fn main() {
+            let singles = 0;
+            let masters = 0;
+            //#omp parallel num_threads(4)
+            {
+                //#omp single
+                {
+                    //#omp critical
+                    { singles += 1; }
+                }
+                //#omp barrier
+                //#omp master
+                { masters += 1; }
+            }
+            print(singles, masters);
+        }"#,
+        false,
+    );
+    assert_engines_agree(
+        "task+taskwait",
+        r#"fn main() {
+            let done = zeros(4);
+            //#omp parallel num_threads(2)
+            {
+                //#omp single
+                {
+                    for k in 0..4 {
+                        //#omp task
+                        { done[k] = k + 1; }
+                    }
+                    //#omp taskwait
+                }
+            }
+            print(done[0], done[1], done[2], done[3]);
+        }"#,
+        false,
+    );
+    assert_engines_agree(
+        "sections",
+        r#"fn main() {
+            let got = zeros(3);
+            //#omp parallel num_threads(2)
+            {
+                //#omp sections
+                {
+                    got[0] = 1;
+                    got[1] = 2;
+                    got[2] = 3;
+                }
+            }
+            print(got[0] + got[1] + got[2]);
+        }"#,
+        false,
+    );
+    // Orphaned forms fall back to sequential execution on both engines.
+    assert_engines_agree(
+        "orphaned single/task/sections/master",
+        r#"fn main() {
+            let n = 0;
+            //#omp single
+            { n += 1; }
+            //#omp task
+            { n += 10; }
+            //#omp master
+            { n += 100; }
+            //#omp sections
+            { n += 1000; }
+            //#omp taskwait
+            print(n);
+        }"#,
+        false,
+    );
+}
+
+#[test]
+fn target_directives_agree() {
+    assert_engines_agree(
+        "target wait + nowait + named wait",
+        r#"fn main() {
+            let log = arr();
+            //#omp target virtual(worker)
+            { push(log, "sync"); }
+            //#omp target virtual(worker) name_as(bg)
+            { push(log, "named"); }
+            //#omp wait(bg)
+            //#omp target virtual(worker) nowait
+            { sleep_ms(1); }
+            print(log[0], log[1], len(log));
+        }"#,
+        false,
+    );
+    assert_engines_agree(
+        "target if(false) runs inline",
+        r#"fn main() {
+            let x = 0;
+            //#omp target virtual(worker) if(1 > 2)
+            { x = 42; }
+            print(x);
+        }"#,
+        false,
+    );
+    assert_engines_agree(
+        "target await",
+        r#"fn main() {
+            let log = arr();
+            //#omp target virtual(worker) await
+            {
+                push(log, "outer");
+                //#omp target virtual(edt) name_as(inner)
+                { push(log, "inner-edt"); }
+            }
+            //#omp wait(inner)
+            print(log[0], log[1], len(log));
+        }"#,
+        false,
+    );
+    assert_engines_agree(
+        "nested data-context sharing",
+        r#"fn bump(cell) { cell[0] = cell[0] + 1; }
+        fn main() {
+            let cell = zeros(1);
+            let x = 5;
+            //#omp target virtual(worker)
+            {
+                x = x * 2;
+                bump(cell);
+                //#omp target virtual(worker)
+                { x = x + 1; }
+            }
+            print(x, cell[0]);
+        }"#,
+        false,
+    );
+}
+
+#[test]
+fn language_core_and_builtins_agree() {
+    assert_engines_agree(
+        "arithmetic, strings, arrays, control flow",
+        r#"fn classify(n) {
+            if n % 15 == 0 { return "fizzbuzz"; }
+            if n % 3 == 0 { return "fizz"; }
+            if n % 5 == 0 { return "buzz"; }
+            return str(n);
+        }
+        fn main() {
+            let words = arr();
+            let i = 1;
+            while i <= 15 {
+                push(words, classify(i));
+                i += 1;
+            }
+            let joined = "";
+            for k in 0..len(words) {
+                joined = joined + words[k] + " ";
+            }
+            print(replace(joined, "fizzbuzz", "FB"));
+            print(substr(joined, 0, 4), contains(joined, "buzz"));
+            print(min(3, -2), max(1.5, 2.5), abs(0 - 7), pow(2, 10), floor(3.9));
+            print(-5 / 2, -5 % 2, 7.0 / 2.0, "a" < "b", !(1 == 2) && true);
+            return len(words);
+        }"#,
+        false,
+    );
+    assert_engines_agree(
+        "short-circuit evaluation order",
+        r#"fn tick(log, tag, v) { push(log, tag); return v; }
+        fn main() {
+            let log = arr();
+            let a = tick(log, "l1", false) && tick(log, "r1", true);
+            let b = tick(log, "l2", true) || tick(log, "r2", false);
+            let c = tick(log, "l3", true) && tick(log, "r3", false);
+            print(a, b, c, len(log));
+            for i in 0..len(log) { print(log[i]); }
+        }"#,
+        false,
+    );
+    assert_engines_agree(
+        "break/continue and nested loops",
+        r#"fn main() {
+            let n = 0;
+            for i in 0..10 {
+                if i % 2 == 0 { continue; }
+                let j = 0;
+                while true {
+                    j += 1;
+                    if j == 3 { break; }
+                }
+                n += i * j;
+                if i > 6 { break; }
+            }
+            print(n);
+        }"#,
+        false,
+    );
+}
+
+#[test]
+fn runtime_errors_agree_verbatim() {
+    for (label, src) in [
+        ("undefined variable", "fn main() { print(nope); }"),
+        (
+            "assignment to undefined",
+            "fn main() { ghost = 3; }",
+        ),
+        ("division by zero", "fn main() { let z = 0; print(1 / z); }"),
+        ("remainder by zero", "fn main() { let z = 0; print(1 % z); }"),
+        (
+            "index out of bounds",
+            "fn main() { let a = zeros(2); print(a[5]); }",
+        ),
+        (
+            "index-assign out of bounds",
+            "fn main() { let a = zeros(2); a[7] = 1; }",
+        ),
+        ("cannot index", "fn main() { let s = 3; print(s[0]); }"),
+        (
+            "bad arity",
+            "fn f(a, b) { return a; } fn main() { f(1); }",
+        ),
+        ("unknown function", "fn main() { warble(); }"),
+        (
+            "type error in binop",
+            r#"fn main() { print(true + 1); }"#,
+        ),
+        (
+            "non-bool condition",
+            "fn main() { if 3 { print(1); } }",
+        ),
+        (
+            "non-int range bound",
+            r#"fn main() { for i in 0.."x" { print(i); } }"#,
+        ),
+        (
+            "neg of string",
+            r#"fn main() { print(-"s"); }"#,
+        ),
+        (
+            "orphaned barrier",
+            "fn main() { \n//#omp barrier\n print(1); }",
+        ),
+        (
+            "errors only when reached",
+            "fn main() { if false { ghost = 1; } print(9); }",
+        ),
+    ] {
+        assert_engines_agree(label, src, false);
+    }
+}

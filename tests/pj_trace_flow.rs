@@ -1,0 +1,109 @@
+//! PR-8 acceptance: a PJ `//#omp target` block compiled by the bytecode VM
+//! is reconstructible from the exported Chrome trace as a connected flow —
+//! region post, worker dequeue (with provenance), run — exactly like a
+//! hand-written `try_target` call. The VM is not a separate substrate; its
+//! `Dispatch` ops feed the same traced runtime paths.
+//!
+//! Single `#[test]`: tracing is process-global state, and the harness runs
+//! tests in one binary concurrently.
+
+use std::sync::Arc;
+
+use pyjama::compiler::{parse, Engine, ExecConfig, Interpreter};
+use pyjama::trace::validate::{parse_trace_events, validate_chrome_trace};
+use pyjama::trace::{arg, Stage, TraceId};
+
+fn ts_of(chain: &[(u32, pyjama::trace::TraceEvent)], stage: Stage) -> u64 {
+    chain
+        .iter()
+        .find(|(_, e)| e.stage == stage)
+        .unwrap_or_else(|| panic!("flow is missing {stage:?}: {chain:#?}"))
+        .1
+        .ts_ns
+}
+
+#[test]
+fn pj_target_block_is_one_flow_in_the_export() {
+    pyjama::trace::set_ring_capacity(1 << 14);
+    pyjama::trace::enable();
+    pyjama::trace::clear();
+
+    // One worker-target block with real compute, so the run slice has a
+    // duration. No EDT: keep the trace down to exactly this one region.
+    let src = r#"
+        fn fib(n) { if n < 2 { return n; } return fib(n - 1) + fib(n - 2); }
+        fn main() {
+            let out = zeros(1);
+            //#omp target virtual(worker) name_as(job)
+            { out[0] = fib(17); }
+            //#omp wait(job)
+            print(out[0]);
+        }"#;
+    let program = parse(src).expect("parse");
+    let out = Interpreter::new(Arc::new(program))
+        .run(&ExecConfig {
+            engine: Engine::Vm,
+            with_edt: false,
+            ..Default::default()
+        })
+        .expect("run");
+    assert_eq!(out.output, vec!["1597"]);
+    assert_eq!(out.target_posts, 1);
+
+    pyjama::trace::disable();
+    let trace = pyjama::trace::collect();
+
+    // The dispatched region minted one flow id at post time.
+    let posted: Vec<TraceId> = trace
+        .iter_events()
+        .filter(|(_, e)| e.stage == Stage::RegionPosted)
+        .map(|(_, e)| e.id)
+        .collect();
+    assert_eq!(posted.len(), 1, "exactly one RegionPosted event");
+    let id = posted[0];
+    assert_ne!(id, TraceId::NONE);
+
+    let chain = trace.events_for(id);
+    let t_post = ts_of(&chain, Stage::RegionPosted);
+    let t_deq = ts_of(&chain, Stage::RegionDequeued);
+    let t_run = ts_of(&chain, Stage::RegionRunBegin);
+    assert!(
+        t_post <= t_deq && t_deq <= t_run,
+        "stages out of causal order: post={t_post} dequeue={t_deq} run={t_run}"
+    );
+    let deq = chain
+        .iter()
+        .find(|(_, e)| e.stage == Stage::RegionDequeued)
+        .unwrap();
+    assert!(
+        matches!(
+            deq.1.arg,
+            arg::DEQ_LOCAL | arg::DEQ_STEAL | arg::DEQ_INJECTOR | arg::DEQ_HELP
+        ),
+        "dequeue provenance must be a known source, got {}",
+        deq.1.arg
+    );
+
+    // Export, validate, and re-find the same chain in the JSON.
+    let path = std::env::temp_dir().join("pyjama_pj_trace_flow_test.json");
+    trace.write_chrome(&path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    let summary = validate_chrome_trace(&json).expect("exported trace must validate");
+    assert!(summary.flows >= 1, "the target block must export as a flow");
+
+    let parsed = parse_trace_events(&json).unwrap();
+    let slices: Vec<&str> = parsed
+        .iter()
+        .filter(|e| e.ph == "X" && e.trace_id == Some(id.raw()))
+        .map(|e| e.name.as_str())
+        .collect();
+    for want in ["region_posted(", "region_dequeued(", "region_run"] {
+        assert!(
+            slices.iter().any(|n| n.starts_with(want)),
+            "exported flow {} lacks a {want} slice; has {slices:?}",
+            id.raw()
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,106 @@
+//! PR-8 acceptance: the VM conservation law. Every `target` directive the
+//! bytecode VM dispatches goes through exactly one `Runtime::try_target`
+//! call, so over a quiesced run
+//!
+//! > `VmStats::target_dispatches == RunOutput::target_posts`
+//!
+//! where `target_posts` is the runtime's own `Σ (posted + inline)`
+//! accounting. A violation means a directive was lowered without being
+//! dispatched, or dispatched twice — bugs output-equality tests can miss.
+//!
+//! Single `#[test]`: the VM counters are process-global, and any other PJ
+//! program running concurrently in this binary would pollute the deltas
+//! (which is also why this law is only *lower-bounded* in the compiler's
+//! own unit suite).
+
+use std::sync::Arc;
+
+use pyjama::compiler::{parse, vm_stats, Engine, ExecConfig, Interpreter, RunOutput};
+
+fn run_vm(src: &str, ignore: bool) -> RunOutput {
+    let program = parse(src).expect("parse");
+    Interpreter::new(Arc::new(program))
+        .run(&ExecConfig {
+            engine: Engine::Vm,
+            ignore_directives: ignore,
+            ..Default::default()
+        })
+        .expect("run")
+}
+
+#[test]
+fn target_dispatches_balance_runtime_posts() {
+    // Every mode in one program: wait, nowait, name_as + wait(tag), a
+    // disabled `if(false)` (no dispatch, no post), and a loop of posts.
+    let src = r#"fn main() {
+        let log = arr();
+        //#omp target virtual(worker)
+        { push(log, "wait"); }
+        //#omp target virtual(worker) name_as(bg)
+        { push(log, "named"); }
+        //#omp wait(bg)
+        //#omp target virtual(worker) if(false)
+        { push(log, "inline-disabled"); }
+        for i in 0..5 {
+            //#omp target virtual(worker) nowait
+            { push(log, "fanned"); }
+        }
+        //#omp target virtual(edt)
+        { push(log, "edt"); }
+        print(len(log) >= 3);
+    }"#;
+
+    let before = vm_stats();
+    let out = run_vm(src, false);
+    let delta = vm_stats().since(&before);
+
+    // 1 wait + 1 name_as + 5 nowait + 1 edt = 8 dispatches; the disabled
+    // `if(false)` block ran inline in the VM frame and must not count.
+    assert_eq!(delta.target_dispatches, 8, "{delta:?}");
+    assert_eq!(
+        out.target_posts, 8,
+        "runtime saw a different number of regions than the VM dispatched"
+    );
+    assert!(
+        delta.dispatches_balanced(out.target_posts),
+        "conservation law violated: vm={} runtime={}",
+        delta.target_dispatches,
+        out.target_posts
+    );
+    assert!(delta.ops_executed > 0);
+    // main + 8 dispatched closures, at minimum.
+    assert!(delta.frames_pushed >= 9, "{delta:?}");
+    assert_eq!(delta.team_regions, 0, "no parallel regions in this program");
+
+    // Team regions tick for `parallel` and non-empty `parallel for`, and
+    // target accounting stays untouched by them.
+    let before = vm_stats();
+    let out = run_vm(
+        r#"fn main() {
+            let acc = zeros(4);
+            //#omp parallel num_threads(2)
+            { acc[omp_get_thread_num()] = 1; }
+            //#omp parallel for num_threads(2)
+            for i in 0..4 { acc[i] = acc[i] + 1; }
+            //#omp parallel for
+            for i in 3..3 { acc[0] = 99; }
+            print(acc[0], acc[1], acc[2], acc[3]);
+        }"#,
+        false,
+    );
+    let delta = vm_stats().since(&before);
+    assert_eq!(delta.team_regions, 2, "empty parallel for must not fork");
+    assert_eq!(delta.target_dispatches, 0);
+    assert!(delta.dispatches_balanced(out.target_posts));
+    assert_eq!(out.target_posts, 0);
+
+    // Ignore mode: directives are comments; nothing may reach the runtime.
+    let before = vm_stats();
+    let out = run_vm(src, true);
+    let delta = vm_stats().since(&before);
+    assert_eq!(delta.target_dispatches, 0, "ignored directives dispatched");
+    assert_eq!(delta.team_regions, 0);
+    assert_eq!(out.target_posts, 0);
+    assert!(delta.dispatches_balanced(out.target_posts));
+    assert!(delta.ops_executed > 0, "the program itself still ran");
+}
