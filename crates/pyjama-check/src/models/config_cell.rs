@@ -1,0 +1,340 @@
+//! Model ports of the control plane's two PR-9 protocols: the leaky-epoch
+//! [`ConfigCell`] publish/read pair (`pyjama-control/src/cell.rs`) and the
+//! live-shrink worker-retire drain handshake
+//! (`pyjama-runtime/src/worker.rs::retire_park` / `run_loop` / `resize`).
+//!
+//! Port map:
+//! - [`ModelConfigCell::read`]    ⇔ `cell.rs::ConfigCell::read`
+//! - [`ModelConfigCell::publish`] ⇔ `cell.rs::ConfigCell::publish`
+//!   (the `AtomicPtr` is modelled as an `AtomicUsize` index into a
+//!   never-reused slab — the shim has no pointer atomics, and "slab slots
+//!   are retired, never freed" is exactly the leaky-epoch reclamation rule,
+//!   so the reduction *is* the protocol)
+//! - [`ModelRetirePool::run_loop`]    ⇔ `worker.rs::run_loop` (injector +
+//!   own deque only: sibling stealing is dropped because a steal can only
+//!   *mask* a missing retire drain, never substitute for it — the injector
+//!   is the designated rescue path the drain feeds)
+//! - [`ModelRetirePool::retire_park`] ⇔ `worker.rs::retire_park`
+//! - [`ModelRetirePool::resize`]      ⇔ `worker.rs::WorkerTarget::resize`
+//!   (thread spawning elided: model threads stay alive retired-parked,
+//!   which is the production steady state after one grow/shrink cycle)
+//! - [`ModelRetirePool::shutdown`]    ⇔ `worker.rs::WorkerTarget::shutdown`
+//!
+//! The config-cell invariant is the one `cell.rs` promises in its module
+//! docs: a reader never observes a generation without the exact contents
+//! published with it (here: `payload == generation + 1`), and generations
+//! are monotone per reader. The retire invariant is the resize contract:
+//! every region accepted before a shrink is executed *without* waiting for
+//! a later grow or shutdown to rescue it.
+
+use crate::models::parker::ModelWakeSignal;
+use crate::models::Mutation;
+use crate::shim::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::shim::sync::Mutex;
+
+// ------------------------------------------------------------ config cell
+
+/// Payload sentinel for a slab slot nothing was published into yet. Chosen
+/// so it can never satisfy the `payload == generation + 1` invariant.
+const UNWRITTEN: u64 = 0;
+
+struct CellSlot {
+    /// ⇔ `Snapshot::generation`.
+    generation: AtomicU64,
+    /// ⇔ `Snapshot::config`, collapsed to one word whose published value is
+    /// always `generation + 1` (mirrors the production torn-pair test that
+    /// encodes the generation into `Config::workers`).
+    payload: AtomicU64,
+}
+
+/// ⇔ `cell.rs::ConfigCell`: one-`Acquire`-load reader, mutex-serialized
+/// publisher, retired snapshots kept alive for the cell's lifetime.
+pub struct ModelConfigCell {
+    /// The snapshot slab. Slot 0 is the pre-publish default (⇔ the static
+    /// `INITIAL` snapshot); publish hands out fresh slots and old ones are
+    /// never reused — the leaky-epoch rule that makes `read` sound.
+    slots: Vec<CellSlot>,
+    /// ⇔ `ConfigCell::current` (`AtomicPtr<Snapshot>` as a slab index).
+    current: AtomicUsize,
+    /// ⇔ the retire-list mutex: serializes publishers, making generations
+    /// strictly increasing without a counter CAS. Holds the next free slot.
+    publish_lock: Mutex<usize>,
+    mutation: Mutation,
+}
+
+impl ModelConfigCell {
+    pub fn new(capacity: usize, mutation: Mutation) -> Self {
+        let slots = (0..capacity)
+            .map(|i| CellSlot {
+                generation: AtomicU64::named(&format!("cell.slot{i}.gen"), 0),
+                // Slot 0 must itself satisfy the invariant (generation 0,
+                // payload 1); unpublished slots hold the sentinel.
+                payload: AtomicU64::named(
+                    &format!("cell.slot{i}.payload"),
+                    if i == 0 { 1 } else { UNWRITTEN },
+                ),
+            })
+            .collect();
+        ModelConfigCell {
+            slots,
+            current: AtomicUsize::named("cell.current", 0),
+            publish_lock: Mutex::named("cell.publish_lock", 1),
+            mutation,
+        }
+    }
+
+    /// ⇔ `ConfigCell::read`: one `Acquire` load of the pointer, then plain
+    /// reads through it. Returns `(generation, payload)`.
+    pub fn read(&self) -> (u64, u64) {
+        let idx = self.current.load(Ordering::Acquire);
+        let slot = &self.slots[idx];
+        (slot.generation.load(Ordering::Relaxed), slot.payload.load(Ordering::Relaxed))
+    }
+
+    /// ⇔ `ConfigCell::publish`: build the snapshot's contents, then `swap`
+    /// the pointer (an RMW — on TSO it commits the content stores before
+    /// the new pointer becomes visible). Returns the published generation.
+    pub fn publish(&self) -> u64 {
+        let mut next = self.publish_lock.lock();
+        let generation = self.read().0 + 1;
+        let idx = *next;
+        *next += 1;
+        assert!(idx < self.slots.len(), "scenario under-sized the slab");
+        let slot = &self.slots[idx];
+        if self.mutation == Mutation::CellPublishPtrFirst {
+            // BUG: publish the pointer before the snapshot's contents. The
+            // content stores sit in the publisher's buffer until the next
+            // flush point (the unlock), so a reader scheduled in between
+            // observes the new index over an unwritten slot — the torn
+            // (generation, contents) pair the Release swap exists to forbid.
+            self.current.swap(idx, Ordering::Release);
+            slot.generation.store(generation, Ordering::Relaxed);
+            slot.payload.store(generation + 1, Ordering::Relaxed);
+        } else {
+            slot.generation.store(generation, Ordering::Relaxed);
+            slot.payload.store(generation + 1, Ordering::Relaxed);
+            self.current.swap(idx, Ordering::Release);
+        }
+        generation
+    }
+}
+
+// --------------------------------------------------- worker retire drain
+
+struct RetireSlot {
+    /// ⇔ `Slot::deque` (owner-only pops; jobs are opaque ids). The mutex
+    /// stands in for the Chase–Lev deque, whose own protocol is checked
+    /// separately in [`crate::models::deque`].
+    deque: Mutex<Vec<u64>>,
+    /// ⇔ `Slot::parked` — eventcount wake candidacy. Stays `false` through
+    /// a retire so `wake_one` never picks a retired worker.
+    parked: AtomicBool,
+    /// ⇔ `Slot::retired`.
+    retired: AtomicBool,
+    signal: ModelWakeSignal,
+}
+
+/// ⇔ `worker.rs::Inner` reduced to the retire handshake: a FIFO injector
+/// with its shutdown protocol, per-slot deques, the live-resize target and
+/// the eventcount park. `executed` lets scenarios assert the conservation
+/// law; `done` releases a scenario thread the moment the expected number of
+/// regions has run, so a stranded region surfaces as a checker deadlock
+/// instead of a silent count mismatch at shutdown (shutdown's final drain
+/// would rescue it and hide the bug).
+pub struct ModelRetirePool {
+    injector: Mutex<InjectorState>,
+    injector_len: AtomicUsize,
+    shutdown_flag: AtomicBool,
+    /// ⇔ `Inner::target_threads`.
+    target: AtomicUsize,
+    slots: Vec<RetireSlot>,
+    pub executed: AtomicUsize,
+    remaining: AtomicUsize,
+    done: ModelWakeSignal,
+    mutation: Mutation,
+}
+
+struct InjectorState {
+    jobs: Vec<u64>,
+    shutdown: bool,
+}
+
+impl ModelRetirePool {
+    /// `expect` is the number of regions the scenario will post; executing
+    /// the last one notifies [`Self::wait_done`].
+    pub fn new(workers: usize, expect: usize, mutation: Mutation) -> Self {
+        ModelRetirePool {
+            injector: Mutex::named(
+                "pool.injector",
+                InjectorState { jobs: Vec::new(), shutdown: false },
+            ),
+            injector_len: AtomicUsize::named("pool.inj_len", 0),
+            shutdown_flag: AtomicBool::named("pool.shutdown", false),
+            target: AtomicUsize::named("pool.target", workers),
+            slots: (0..workers)
+                .map(|i| RetireSlot {
+                    deque: Mutex::named(&format!("slot{i}.deque"), Vec::new()),
+                    parked: AtomicBool::named(&format!("slot{i}.parked"), false),
+                    retired: AtomicBool::named(&format!("slot{i}.retired"), false),
+                    signal: ModelWakeSignal::new(Mutation::None),
+                })
+                .collect(),
+            executed: AtomicUsize::named("pool.executed", 0),
+            remaining: AtomicUsize::named("pool.remaining", expect),
+            done: ModelWakeSignal::new(Mutation::None),
+            mutation,
+        }
+    }
+
+    /// Member-thread push onto its own deque (⇔ a `nowait` region posted
+    /// from worker context). Owner-called before entering `run_loop`, so no
+    /// wake is needed — the owner's own acquire pass finds it.
+    pub fn push_local(&self, me: usize, job: u64) {
+        self.slots[me].deque.lock().push(job);
+    }
+
+    /// ⇔ `Inner::has_pending`, restricted to the injector. Production also
+    /// scans the member deques because stealing makes them reachable from
+    /// any worker; with stealing elided (module docs) a deque is private to
+    /// its owner, so pool-visible pending work is the injector alone.
+    fn has_pending(&self) -> bool {
+        self.injector_len.load(Ordering::SeqCst) > 0
+    }
+
+    /// ⇔ `Inner::wake_one`: first parked (non-retired) slot.
+    fn wake_one(&self) {
+        for slot in self.slots.iter() {
+            if slot.parked.load(Ordering::SeqCst) {
+                slot.signal.notify();
+                return;
+            }
+        }
+    }
+
+    /// ⇔ `Inner::acquire` minus sibling stealing (see module docs): own
+    /// deque first, then the injector.
+    fn acquire(&self, me: usize) -> Option<u64> {
+        if let Some(job) = self.slots[me].deque.lock().pop() {
+            return Some(job);
+        }
+        let job = {
+            let mut g = self.injector.lock();
+            let job = g.jobs.pop();
+            if job.is_some() {
+                self.injector_len.fetch_sub(1, Ordering::SeqCst);
+            }
+            job
+        };
+        if job.is_some() && self.has_pending() {
+            // Cascade ⇔ `acquire`'s injector branch.
+            self.wake_one();
+        }
+        job
+    }
+
+    /// ⇔ `Inner::run`: count the execution and release a finished waiter.
+    fn run(&self, _job: u64) {
+        self.executed.fetch_add(1, Ordering::SeqCst);
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.done.notify();
+        }
+    }
+
+    /// Blocks the calling scenario thread until `expect` regions have run.
+    /// Deliberately *not* gated on shutdown: a shrink that strands a region
+    /// leaves this parked forever, which the checker reports as deadlock.
+    pub fn wait_done(&self) {
+        while self.remaining.load(Ordering::SeqCst) > 0 {
+            self.done.park();
+        }
+    }
+
+    /// ⇔ `worker.rs::run_loop`: retire check, acquire/execute, shutdown
+    /// final drain, eventcount park.
+    pub fn run_loop(&self, me: usize) {
+        loop {
+            if me >= self.target.load(Ordering::SeqCst)
+                && !self.shutdown_flag.load(Ordering::SeqCst)
+            {
+                self.retire_park(me);
+                continue;
+            }
+            if let Some(job) = self.acquire(me) {
+                self.run(job);
+                continue;
+            }
+            if self.shutdown_flag.load(Ordering::SeqCst) {
+                while let Some(job) = self.acquire(me) {
+                    self.run(job);
+                }
+                return;
+            }
+            let slot = &self.slots[me];
+            slot.parked.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if self.has_pending() || self.shutdown_flag.load(Ordering::SeqCst) {
+                slot.parked.store(false, Ordering::SeqCst);
+                continue;
+            }
+            slot.signal.park();
+            slot.parked.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// ⇔ `Inner::retire_park`: drain own deque into the injector under the
+    /// injector lock, flag retired, cascade a wake to a survivor, park
+    /// until grow or shutdown.
+    fn retire_park(&self, me: usize) {
+        let slot = &self.slots[me];
+        if self.mutation != Mutation::RetireSkipDrain {
+            let mut g = self.injector.lock();
+            let mut deque = slot.deque.lock();
+            while let Some(job) = deque.pop() {
+                g.jobs.push(job);
+                self.injector_len.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        // BUG (RetireSkipDrain): park with regions still on our deque. No
+        // survivor can reach them (the owner is the only popper), so they
+        // sit stranded until an unrelated grow or shutdown — their waiters
+        // deadlock.
+        slot.retired.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if self.has_pending() {
+            self.wake_one();
+        }
+        while me >= self.target.load(Ordering::SeqCst)
+            && !self.shutdown_flag.load(Ordering::SeqCst)
+        {
+            slot.signal.park();
+        }
+        slot.retired.store(false, Ordering::SeqCst);
+    }
+
+    /// ⇔ `WorkerTarget::resize` (shrink wakes the shrunk-away workers so
+    /// they observe the lowered target; grow wakes retired slots — thread
+    /// spawning elided, see module docs).
+    pub fn resize(&self, n: usize) {
+        let old = self.target.swap(n, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if n > old {
+            for i in old..n {
+                self.slots[i].signal.notify();
+            }
+        } else {
+            for i in n..old {
+                self.slots[i].signal.notify();
+            }
+        }
+    }
+
+    /// ⇔ `WorkerTarget::shutdown` minus the joins (scenarios join the shim
+    /// threads themselves).
+    pub fn shutdown(&self) {
+        self.injector.lock().shutdown = true;
+        self.shutdown_flag.store(true, Ordering::SeqCst);
+        for slot in self.slots.iter() {
+            slot.signal.notify();
+        }
+    }
+}

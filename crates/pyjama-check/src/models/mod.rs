@@ -1,6 +1,7 @@
-//! Model ports of pyjama's three core lock-free protocols, written against
-//! the [`crate::shim`] layer so the checker can explore their
-//! interleavings.
+//! Model ports of pyjama's core lock-free protocols — the Chase–Lev deque,
+//! the eventcount parker, the fork-join slot, the injector shutdown, the
+//! config-snapshot cell and the worker-retire drain — written against the
+//! [`crate::shim`] layer so the checker can explore their interleavings.
 //!
 //! ## Port-sync discipline
 //!
@@ -24,6 +25,7 @@
 //! (a checker that passes everything is indistinguishable from one that
 //! checks nothing).
 
+pub mod config_cell;
 pub mod deque;
 pub mod parker;
 pub mod pool_join;
@@ -34,6 +36,11 @@ pub mod pool_join;
 pub enum Mutation {
     /// Faithful port — must pass every scenario.
     None,
+    /// `cell.rs::publish`: swap the snapshot pointer *before* writing the
+    /// snapshot's contents. A reader landing in between observes a torn
+    /// (generation, contents) pair — exactly what the contents-then-Release
+    /// swap order forbids.
+    CellPublishPtrFirst,
     /// `deque.rs::pop`: drop the SeqCst fence between the bottom decrement
     /// and the top read, and keep the bottom store buffered (Relaxed). The
     /// classic Chase–Lev store→load hazard: a thief can double-claim the
@@ -62,6 +69,10 @@ pub enum Mutation {
     /// itself parked. Lost wakeup: the worker sleeps forever on a full
     /// slot.
     PoolPublishSkipNotify,
+    /// `worker.rs::retire_park`: park on a shrink without draining the own
+    /// deque into the injector. The stranded regions are unreachable until
+    /// an unrelated grow or shutdown — their waiters deadlock.
+    RetireSkipDrain,
     /// `worker.rs::run_loop` shutdown path: return immediately on observing
     /// shutdown instead of performing the final injector drain. Accepted
     /// posts are dropped — `executed + rejected != posted`.

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering as StdOrd};
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
 
+use crate::models::config_cell::{ModelConfigCell, ModelRetirePool};
 use crate::models::deque::{ModelDeque, ModelSteal};
 use crate::models::parker::{model_await, ModelWakeSignal};
 use crate::models::pool_join::{ModelInjector, ModelPool, ModelSlot, NO_JOB};
@@ -496,6 +497,142 @@ fn shutdown_scenario(mutation: Mutation) -> impl Fn() + Send + Sync {
 #[test]
 fn shutdown_vs_post_final_drain_ok() {
     wide().check("shutdown-drain", shutdown_scenario(Mutation::None));
+}
+
+// ------------------------------------------------------------ config cell
+
+/// Scenario: a reader races two publishers through the snapshot cell. In
+/// every interleaving a read must return a consistent (generation,
+/// contents) pair — `payload == generation + 1` is the encoded contract —
+/// and generations must be monotone per reader.
+fn cell_torn_pair_scenario(mutation: Mutation) -> impl Fn() + Send + Sync {
+    move || {
+        let cell = Arc::new(ModelConfigCell::new(4, mutation));
+        let reader = {
+            let cell = Arc::clone(&cell);
+            shim::thread::spawn("reader", move || {
+                let mut last_gen = 0;
+                for _ in 0..3 {
+                    let (generation, payload) = cell.read();
+                    assert_eq!(
+                        payload,
+                        generation + 1,
+                        "torn snapshot: generation {generation} with payload {payload}"
+                    );
+                    assert!(generation >= last_gen, "generation went backwards");
+                    last_gen = generation;
+                }
+            })
+        };
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            shim::thread::spawn("publisher-2", move || {
+                cell.publish();
+            })
+        };
+        cell.publish();
+        reader.join();
+        publisher.join();
+        // Publishers serialize on the retire lock: exactly two generations.
+        let (generation, payload) = cell.read();
+        assert_eq!(generation, 2, "publisher serialization lost a generation");
+        assert_eq!(payload, 3);
+    }
+}
+
+#[test]
+fn cell_publish_read_never_torn_ok() {
+    wide().check("cell-torn-pair", cell_torn_pair_scenario(Mutation::None));
+}
+
+#[test]
+fn mutation_cell_publish_ptr_first_caught() {
+    let fail = wide().find_failure(
+        "cell-ptr-first",
+        cell_torn_pair_scenario(Mutation::CellPublishPtrFirst),
+    );
+    let fail = assert_caught("cell-ptr-first", fail);
+    assert_replays(&fail, cell_torn_pair_scenario(Mutation::CellPublishPtrFirst));
+}
+
+// ---------------------------------------------------- worker retire drain
+
+/// Scenario: a live shrink races a member that just posted regions onto
+/// its own deque. The retiring worker must hand its deque to the injector
+/// and cascade a wake, so both regions execute *before* any grow or
+/// shutdown — a skipped drain strands them and every thread ends up
+/// parked (deadlock).
+fn retire_drain_scenario(mutation: Mutation) -> impl Fn() + Send + Sync {
+    move || {
+        let pool = Arc::new(ModelRetirePool::new(2, 2, mutation));
+        let w0 = {
+            let pool = Arc::clone(&pool);
+            shim::thread::spawn("worker-0", move || pool.run_loop(0))
+        };
+        let w1 = {
+            let pool = Arc::clone(&pool);
+            shim::thread::spawn("worker-1", move || {
+                pool.push_local(1, 10);
+                pool.push_local(1, 20);
+                pool.run_loop(1)
+            })
+        };
+        pool.resize(1);
+        // Both regions must complete on the surviving worker (or on the
+        // retiree itself, if it won the race to run them before retiring).
+        pool.wait_done();
+        pool.shutdown();
+        w0.join();
+        w1.join();
+        assert_eq!(pool.executed.load(SeqCst), 2, "region lost across live shrink");
+    }
+}
+
+/// Shrink-then-grow: the retired slot must revive on resize-grow and the
+/// pool must still drain an injector post afterwards.
+fn retire_regrow_scenario(mutation: Mutation) -> impl Fn() + Send + Sync {
+    move || {
+        let pool = Arc::new(ModelRetirePool::new(2, 1, mutation));
+        let w0 = {
+            let pool = Arc::clone(&pool);
+            shim::thread::spawn("worker-0", move || pool.run_loop(0))
+        };
+        let w1 = {
+            let pool = Arc::clone(&pool);
+            shim::thread::spawn("worker-1", move || {
+                pool.push_local(1, 30);
+                pool.run_loop(1)
+            })
+        };
+        pool.resize(1);
+        pool.resize(2);
+        pool.wait_done();
+        pool.shutdown();
+        w0.join();
+        w1.join();
+        assert_eq!(pool.executed.load(SeqCst), 1);
+    }
+}
+
+#[test]
+fn retire_drain_no_lost_regions_ok() {
+    wide().check("retire-drain", retire_drain_scenario(Mutation::None));
+}
+
+#[test]
+fn retire_shrink_grow_revives_ok() {
+    wide().check("retire-regrow", retire_regrow_scenario(Mutation::None));
+}
+
+#[test]
+fn mutation_retire_skip_drain_caught() {
+    let fail = wide().find_failure(
+        "retire-skip-drain",
+        retire_drain_scenario(Mutation::RetireSkipDrain),
+    );
+    let fail = assert_caught("retire-skip-drain", fail);
+    assert!(fail.message.contains("deadlock"), "expected stranded regions, got: {}", fail.message);
+    assert_replays(&fail, retire_drain_scenario(Mutation::RetireSkipDrain));
 }
 
 #[test]

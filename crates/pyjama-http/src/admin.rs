@@ -1,0 +1,395 @@
+//! The `/admin` control surface: a tiny HTTP endpoint on its own listener
+//! through which a live [`ControlPlane`] is inspected and reconfigured.
+//!
+//! Routes:
+//!
+//! * `GET /config` — the current config snapshot plus its generation, as
+//!   JSON.
+//! * `GET /stats`  — reconfiguration counters (applied/rejected/generation)
+//!   and, when a probe is wired, the data-plane admission counters.
+//! * `POST /config` — a flat JSON object of config overrides. The patch is
+//!   applied on top of the *current* config and handed to
+//!   [`ControlPlane::apply`]: it is validated as a whole, so a bad patch
+//!   changes nothing and the old generation keeps serving (the response is
+//!   `400` with the validation error).
+//!
+//! The admin listener is deliberately separate from the data plane: an
+//! overloaded server that is shedding requests still answers its operator.
+//! Serialization is hand-rolled (the config is a small flat struct); the
+//! accepted JSON subset is likewise flat — numbers, `null`, and quoted
+//! keys — which covers every tunable knob.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pyjama_control::{Config, ControlPlane};
+use pyjama_metrics::AdmissionStats;
+
+use crate::conn::ConnState;
+use crate::message::{Request, Response, Status};
+
+/// A callback handing the admin server the data plane's admission counters
+/// (see [`HttpServer::admission_probe`](crate::HttpServer::admission_probe)).
+pub type AdmissionProbe = Box<dyn Fn() -> AdmissionStats + Send + Sync>;
+
+/// A running admin endpoint bound to an ephemeral loopback port.
+pub struct AdminServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Starts an admin endpoint over `plane` (no admission stats wired).
+    pub fn start(plane: ControlPlane) -> std::io::Result<AdminServer> {
+        Self::start_with_stats(plane, None)
+    }
+
+    /// Starts an admin endpoint over `plane`; `admission` (when given)
+    /// supplies the data plane's shed counters for `GET /stats`.
+    pub fn start_with_stats(
+        plane: ControlPlane,
+        admission: Option<AdmissionProbe>,
+    ) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("http-admin".into())
+                .spawn(move || admin_loop(listener, plane, admission, stop))?
+        };
+        Ok(AdminServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (`127.0.0.1:<ephemeral>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a blocked `accept` (same trick as the data-plane server).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One thread serves all admin traffic: connections are handled to
+/// completion in accept order. Admin requests are rare (an operator or a
+/// script); a bounded per-I/O timeout keeps one stalled client from
+/// wedging the endpoint for more than half a second.
+fn admin_loop(
+    listener: TcpListener,
+    plane: ControlPlane,
+    admission: Option<AdmissionProbe>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut conn = match ConnState::new(stream, Duration::from_millis(500)) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        // Keep-alive within the session; any read error (including the
+        // client simply going quiet past the I/O timeout) ends it.
+        while conn.read_request().is_ok() {
+            let resp = route(&plane, &admission, &conn.req);
+            let close = conn.req.wants_close() || stop.load(Ordering::SeqCst);
+            if conn.write_response(&resp, close).is_err() || close {
+                break;
+            }
+        }
+    }
+}
+
+fn route(plane: &ControlPlane, admission: &Option<AdmissionProbe>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/config") => {
+            let handle = plane.handle();
+            let snap = handle.read();
+            json_ok(config_json(&snap.config, snap.generation))
+        }
+        ("GET", "/stats") => {
+            let r = plane.stats();
+            let a = admission.as_ref().map(|p| p()).unwrap_or_default();
+            json_ok(format!(
+                "{{\"reconfig\":{{\"applied\":{},\"rejected\":{},\
+                 \"subscribers_notified\":{},\"generation\":{}}},\
+                 \"admission\":{{\"offered\":{},\"admitted\":{},\"shed\":{}}}}}",
+                r.applied,
+                r.rejected,
+                r.subscribers_notified,
+                r.generation,
+                a.offered,
+                a.admitted,
+                a.shed,
+            ))
+        }
+        ("POST", "/config") => {
+            let body = match std::str::from_utf8(&req.body) {
+                Ok(s) => s,
+                Err(_) => return json_error(Status::BadRequest, "body is not UTF-8"),
+            };
+            let patched = match parse_config_patch(body, plane.config()) {
+                Ok(cfg) => cfg,
+                Err(msg) => return json_error(Status::BadRequest, &msg),
+            };
+            match plane.apply(patched) {
+                Ok(generation) => json_ok(format!("{{\"generation\":{generation}}}")),
+                Err(e) => json_error(Status::BadRequest, &e.to_string()),
+            }
+        }
+        _ => json_error(Status::NotFound, "unknown admin route"),
+    }
+}
+
+fn json_ok(body: String) -> Response {
+    let mut resp = Response::ok(body.into_bytes());
+    resp.headers.insert("content-type", "application/json");
+    resp
+}
+
+fn json_error(status: Status, msg: &str) -> Response {
+    let mut resp = Response::new(
+        status,
+        format!("{{\"error\":{}}}", quote_json(msg)).into_bytes(),
+    );
+    resp.headers.insert("content-type", "application/json");
+    resp
+}
+
+/// Serialises a config snapshot (plus generation) as JSON.
+fn config_json(cfg: &Config, generation: u64) -> String {
+    format!(
+        "{{\"generation\":{generation},\"config\":{{\
+         \"workers\":{},\"virtual_targets\":{},\"max_requests_per_conn\":{},\
+         \"idle_timeout_ms\":{},\"io_timeout_ms\":{},\"sweep_interval_ms\":{},\
+         \"max_body_bytes\":{},\"spin_budget\":{},\
+         \"admission_threshold\":{},\"retry_after_secs\":{}}}}}",
+        cfg.workers,
+        cfg.virtual_targets,
+        cfg.max_requests_per_conn,
+        cfg.idle_timeout_ms,
+        cfg.io_timeout_ms,
+        cfg.sweep_interval_ms,
+        cfg.max_body_bytes,
+        cfg.spin_budget
+            .map_or_else(|| "null".to_string(), |v| v.to_string()),
+        cfg.admission_threshold,
+        cfg.retry_after_secs,
+    )
+}
+
+/// Minimal JSON string escaping for error payloads.
+fn quote_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Applies a flat JSON object of overrides on top of `cfg`. Accepted values
+/// are unsigned integers and (for `spin_budget`) `null`; unknown keys are
+/// rejected so a typo'd knob cannot silently no-op.
+fn parse_config_patch(body: &str, mut cfg: Config) -> Result<Config, String> {
+    let s = body.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| "body must be a JSON object".to_string())?;
+    for pair in inner.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed pair {pair:?}"))?;
+        let key = k.trim().trim_matches('"');
+        let val = v.trim();
+        match key {
+            "workers" => cfg.workers = parse_num(key, val)?,
+            "virtual_targets" => cfg.virtual_targets = parse_num(key, val)?,
+            "max_requests_per_conn" => cfg.max_requests_per_conn = parse_num(key, val)?,
+            "idle_timeout_ms" => cfg.idle_timeout_ms = parse_num(key, val)?,
+            "io_timeout_ms" => cfg.io_timeout_ms = parse_num(key, val)?,
+            "sweep_interval_ms" => cfg.sweep_interval_ms = parse_num(key, val)?,
+            "max_body_bytes" => cfg.max_body_bytes = parse_num(key, val)?,
+            "spin_budget" => {
+                cfg.spin_budget = if val == "null" {
+                    None
+                } else {
+                    Some(parse_num(key, val)?)
+                }
+            }
+            "admission_threshold" => cfg.admission_threshold = parse_num(key, val)?,
+            "retry_after_secs" => cfg.retry_after_secs = parse_num(key, val)?,
+            other => return Err(format!("unknown config key {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, val: &str) -> Result<T, String> {
+    val.parse()
+        .map_err(|_| format!("{key}: expected an unsigned number, got {val:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{http_get, http_post};
+
+    fn body_str(resp: &Response) -> &str {
+        std::str::from_utf8(&resp.body).unwrap()
+    }
+
+    #[test]
+    fn get_config_reports_snapshot_and_generation() {
+        let plane = ControlPlane::new();
+        let mut admin = AdminServer::start(plane.clone()).unwrap();
+        let resp = http_get(admin.addr(), "/config").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let body = body_str(&resp).to_string();
+        assert!(body.contains("\"generation\":0"), "{body}");
+        assert!(body.contains("\"workers\":4"), "{body}");
+        assert!(body.contains("\"spin_budget\":null"), "{body}");
+
+        let mut cfg = plane.config();
+        cfg.workers = 2;
+        plane.apply(cfg).unwrap();
+        let resp = http_get(admin.addr(), "/config").unwrap();
+        let body = body_str(&resp).to_string();
+        assert!(body.contains("\"generation\":1"), "{body}");
+        assert!(body.contains("\"workers\":2"), "{body}");
+        admin.shutdown();
+    }
+
+    #[test]
+    fn post_config_applies_a_patch_atomically() {
+        let plane = ControlPlane::new();
+        let mut admin = AdminServer::start(plane.clone()).unwrap();
+        let resp = http_post(
+            admin.addr(),
+            "/config",
+            br#"{"workers": 3, "admission_threshold": 64}"#.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(resp.status, Status::Ok, "{}", body_str(&resp));
+        assert!(body_str(&resp).contains("\"generation\":1"));
+        assert_eq!(plane.config().workers, 3);
+        assert_eq!(plane.config().admission_threshold, 64);
+        // Untouched knobs keep their values.
+        assert_eq!(plane.config().retry_after_secs, 1);
+        admin.shutdown();
+    }
+
+    #[test]
+    fn invalid_post_is_rejected_and_old_generation_serves() {
+        let plane = ControlPlane::new();
+        let mut admin = AdminServer::start(plane.clone()).unwrap();
+        for bad in [
+            &br#"{"workers": 0}"#[..],
+            &br#"{"sweep_interval_ms": 0}"#[..],
+            &br#"{"no_such_knob": 1}"#[..],
+            &br#"not json at all"#[..],
+        ] {
+            let resp = http_post(admin.addr(), "/config", bad.to_vec()).unwrap();
+            assert_eq!(resp.status, Status::BadRequest, "{}", body_str(&resp));
+            assert!(body_str(&resp).contains("\"error\""));
+        }
+        assert_eq!(plane.generation(), 0, "nothing may have been published");
+        assert_eq!(plane.config(), Config::DEFAULT);
+        admin.shutdown();
+    }
+
+    #[test]
+    fn stats_report_reconfig_counters() {
+        let plane = ControlPlane::new();
+        let mut admin = AdminServer::start_with_stats(
+            plane.clone(),
+            Some(Box::new(|| AdmissionStats {
+                offered: 10,
+                admitted: 7,
+                shed: 3,
+            })),
+        )
+        .unwrap();
+        let mut cfg = plane.config();
+        cfg.workers = 2;
+        plane.apply(cfg).unwrap();
+        let resp = http_get(admin.addr(), "/stats").unwrap();
+        let body = body_str(&resp).to_string();
+        assert!(body.contains("\"applied\":1"), "{body}");
+        assert!(body.contains("\"shed\":3"), "{body}");
+        admin.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let mut admin = AdminServer::start(ControlPlane::new()).unwrap();
+        let resp = http_get(admin.addr(), "/nope").unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+        admin.shutdown();
+    }
+
+    #[test]
+    fn patch_parser_accepts_null_spin_budget_and_rejects_garbage() {
+        let base = Config::DEFAULT;
+        let cfg = parse_config_patch(r#"{"spin_budget": 77}"#, base).unwrap();
+        assert_eq!(cfg.spin_budget, Some(77));
+        let cfg = parse_config_patch(r#"{"spin_budget": null}"#, cfg).unwrap();
+        assert_eq!(cfg.spin_budget, None);
+        assert!(parse_config_patch(r#"{"workers": "four"}"#, base).is_err());
+        assert!(parse_config_patch(r#"{"workers" 4}"#, base).is_err());
+        assert!(parse_config_patch("", base).is_err());
+        // Empty object is a valid no-op patch.
+        assert_eq!(parse_config_patch("{}", base).unwrap(), base);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut admin = AdminServer::start(ControlPlane::new()).unwrap();
+        admin.shutdown();
+        admin.shutdown();
+    }
+}

@@ -121,8 +121,13 @@ impl ClientConn {
 pub struct LoadReport {
     /// Requests that completed successfully.
     pub completed: u64,
-    /// Requests that failed (I/O error or non-200).
+    /// Requests that failed (I/O error or a non-200, non-429 status).
     pub failed: u64,
+    /// Requests the server shed with `429 Too Many Requests` (admission
+    /// control working as designed — counted separately from `failed`, and
+    /// excluded from the latency percentiles so they describe *admitted*
+    /// requests only).
+    pub shed: u64,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
     /// Throughput in responses per second.
@@ -144,6 +149,7 @@ pub struct LoadReport {
 /// user holds one keep-alive connection for all its requests, as a real
 /// load generator would; with [`keepalive`](Self::keepalive) off every
 /// request announces `connection: close` and pays a fresh TCP setup.
+#[derive(Clone)]
 pub struct LoadGenerator {
     /// Number of concurrent virtual users.
     pub users: usize,
@@ -155,6 +161,11 @@ pub struct LoadGenerator {
     pub path: String,
     /// Reuse each user's connection across its requests.
     pub keepalive: bool,
+    /// When `Some(cap)`, a user that is shed (429) honors the response's
+    /// `Retry-After` before its next request, sleeping at most `cap`
+    /// (admin-advertised retry delays are in whole seconds — far too long
+    /// for closed-loop benchmark iterations). `None` retries immediately.
+    pub shed_backoff: Option<Duration>,
 }
 
 impl LoadGenerator {
@@ -166,6 +177,7 @@ impl LoadGenerator {
             body,
             path: path.into(),
             keepalive: true,
+            shed_backoff: None,
         }
     }
 
@@ -175,12 +187,19 @@ impl LoadGenerator {
         self
     }
 
+    /// Honors `Retry-After` on shed responses, sleeping at most `cap`.
+    pub fn with_shed_backoff(mut self, cap: Duration) -> Self {
+        self.shed_backoff = Some(cap);
+        self
+    }
+
     /// Runs the load against `addr`, blocking until every user finishes.
     pub fn run(&self, addr: SocketAddr) -> LoadReport {
         let latency = Arc::new(LatencyRecorder::new());
         let meter = Arc::new(ThroughputMeter::new());
         meter.start();
         let failed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let shed = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let t0 = Instant::now();
 
         std::thread::scope(|s| {
@@ -188,6 +207,7 @@ impl LoadGenerator {
                 let latency = Arc::clone(&latency);
                 let meter = Arc::clone(&meter);
                 let failed = Arc::clone(&failed);
+                let shed = Arc::clone(&shed);
                 std::thread::Builder::new()
                     .name(format!("vuser-{u}"))
                     .spawn_scoped(s, move || {
@@ -204,6 +224,17 @@ impl LoadGenerator {
                                     latency.record_since(start);
                                     meter.record();
                                 }
+                                Ok(resp) if resp.status.code() == 429 => {
+                                    // Admission-controlled shed: not a
+                                    // failure, not a latency sample.
+                                    shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    if let Some(cap) = self.shed_backoff {
+                                        let advertised = resp
+                                            .retry_after()
+                                            .map_or(cap, Duration::from_secs);
+                                        std::thread::sleep(advertised.min(cap));
+                                    }
+                                }
                                 _ => {
                                     failed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                                 }
@@ -218,6 +249,7 @@ impl LoadGenerator {
         LoadReport {
             completed: meter.completed(),
             failed: failed.load(std::sync::atomic::Ordering::Relaxed),
+            shed: shed.load(std::sync::atomic::Ordering::Relaxed),
             wall,
             throughput: meter.completed() as f64 / wall.as_secs_f64().max(1e-9),
             mean_response: latency.mean(),
@@ -302,6 +334,24 @@ mod tests {
         let report = gen.run(addr);
         assert_eq!(report.completed, 0);
         assert_eq!(report.failed, 4);
+    }
+
+    #[test]
+    fn shed_429_counts_separately_from_failures() {
+        // The handler sheds everything: the report must classify those as
+        // `shed`, not `failed`, and record no latency samples.
+        let mut server = HttpServer::start(ServingPolicy::JettyPool { threads: 2 }, |_| {
+            Response::too_many_requests(1)
+        })
+        .unwrap();
+        let gen = LoadGenerator::new(2, 3, "/", vec![])
+            .with_shed_backoff(Duration::from_millis(5));
+        let report = gen.run(server.addr());
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.shed, 6);
+        assert_eq!(report.p99_response, Duration::ZERO, "no admitted samples");
+        server.shutdown();
     }
 
     #[test]

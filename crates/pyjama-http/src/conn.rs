@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use pyjama_trace::TraceId;
 
 use crate::message::{ReadError, ReadScratch, Request, Response};
+use crate::server::ServerOptions;
 
 /// One accepted connection and its reusable serving buffers.
 pub(crate) struct ConnState {
@@ -37,6 +38,10 @@ pub(crate) struct ConnState {
     /// Causal trace id minted at accept; every region in the connection's
     /// re-arm chain continues this flow.
     pub(crate) trace: TraceId,
+    /// Effective per-session options captured at accept. A live
+    /// reconfiguration changes *new* sessions; this one keeps the limits it
+    /// was admitted under.
+    pub(crate) opts: ServerOptions,
 }
 
 impl ConnState {
@@ -55,6 +60,7 @@ impl ConnState {
             out: Vec::new(),
             served: 0,
             trace: TraceId::NONE,
+            opts: ServerOptions::default(),
         })
     }
 
@@ -67,6 +73,11 @@ impl ConnState {
     /// Parses the next request into the reused shell.
     pub(crate) fn read_request(&mut self) -> Result<(), ReadError> {
         Request::read_into(&mut self.reader, &mut self.req, &mut self.scratch)
+    }
+
+    /// Parses the next request with a config-sourced body cap.
+    pub(crate) fn read_request_capped(&mut self, max_body: usize) -> Result<(), ReadError> {
+        Request::read_into_capped(&mut self.reader, &mut self.req, &mut self.scratch, max_body)
     }
 
     /// Serialises `resp`'s head (with the connection header forced to

@@ -22,10 +22,16 @@
 //!   [`ClientConn`], and the closed-loop [`LoadGenerator`]: "100 virtual
 //!   users, with each user sending a constant number of requests",
 //!   measuring throughput (responses/sec) and latency percentiles.
+//! * [`admin`] — the `/admin` control surface on its own listener: inspect
+//!   and atomically reconfigure a live server started with
+//!   [`HttpServer::start_controlled`], whose connection limits, body cap
+//!   and admission threshold (shed with `429 Retry-After` under overload)
+//!   follow the control plane's current config snapshot.
 //!
 //! Everything runs over real loopback sockets; no external web server or
 //! load-testing tool is required.
 
+pub mod admin;
 pub mod client;
 pub(crate) mod conn;
 pub(crate) mod idle;
@@ -33,6 +39,7 @@ pub mod message;
 pub(crate) mod reactor;
 pub mod server;
 
+pub use admin::{AdminServer, AdmissionProbe};
 pub use client::{http_get, http_post, ClientConn, LoadGenerator, LoadReport};
 pub use message::{
     Headers, ParseStatus, ReadError, Request, Response, Status, MAX_BODY_BYTES, MAX_HEAD_BYTES,

@@ -33,6 +33,8 @@ pub enum Status {
     BadRequest,
     /// 404.
     NotFound,
+    /// 429 — shed by admission control; retry after the advertised delay.
+    TooManyRequests,
     /// 500.
     InternalServerError,
 }
@@ -44,6 +46,7 @@ impl Status {
             Status::Ok => 200,
             Status::BadRequest => 400,
             Status::NotFound => 404,
+            Status::TooManyRequests => 429,
             Status::InternalServerError => 500,
         }
     }
@@ -54,6 +57,7 @@ impl Status {
             Status::Ok => "OK",
             Status::BadRequest => "Bad Request",
             Status::NotFound => "Not Found",
+            Status::TooManyRequests => "Too Many Requests",
             Status::InternalServerError => "Internal Server Error",
         }
     }
@@ -337,6 +341,18 @@ impl Request {
         req: &mut Request,
         scratch: &mut ReadScratch,
     ) -> Result<(), ReadError> {
+        Self::read_into_capped(r, req, scratch, MAX_BODY_BYTES)
+    }
+
+    /// [`read_into`](Request::read_into) with an explicit body cap — the
+    /// control plane sources `max_body` from the live config snapshot;
+    /// [`MAX_BODY_BYTES`] remains the unconfigured default.
+    pub fn read_into_capped(
+        r: &mut BufReader<impl Read>,
+        req: &mut Request,
+        scratch: &mut ReadScratch,
+        max_body: usize,
+    ) -> Result<(), ReadError> {
         scratch.line.clear();
         if r.read_line(&mut scratch.line)? == 0 {
             return Err(ReadError::Eof);
@@ -366,7 +382,7 @@ impl Request {
                 .parse::<u64>()
                 .map_err(|_| ReadError::BadRequest("unparseable content-length"))?,
         };
-        if len > MAX_BODY_BYTES as u64 {
+        if len > max_body as u64 {
             return Err(ReadError::BadRequest("body exceeds size limit"));
         }
         req.body.clear();
@@ -391,6 +407,17 @@ impl Request {
     /// without completing is rejected, so a slow-loris client cannot grow
     /// the connection buffer forever.
     pub fn parse_into(buf: &[u8], req: &mut Request) -> Result<ParseStatus, ReadError> {
+        Self::parse_into_capped(buf, req, MAX_BODY_BYTES)
+    }
+
+    /// [`parse_into`](Request::parse_into) with an explicit body cap — the
+    /// reactor path reads it from the live config snapshot once per
+    /// connection step; [`MAX_BODY_BYTES`] remains the default.
+    pub fn parse_into_capped(
+        buf: &[u8],
+        req: &mut Request,
+        max_body: usize,
+    ) -> Result<ParseStatus, ReadError> {
         let Some(head_end) = find_head_end(buf) else {
             if buf.len() > MAX_HEAD_BYTES {
                 return Err(ReadError::BadRequest("request head too large"));
@@ -439,7 +466,7 @@ impl Request {
                 .parse::<u64>()
                 .map_err(|_| ReadError::BadRequest("unparseable content-length"))?,
         };
-        if len > MAX_BODY_BYTES as u64 {
+        if len > max_body as u64 {
             return Err(ReadError::BadRequest("body exceeds size limit"));
         }
         let total = head_end + len as usize;
@@ -501,6 +528,26 @@ impl Response {
     /// An error response with a text body.
     pub fn error(status: Status, msg: &str) -> Self {
         Self::new(status, msg.as_bytes().to_vec())
+    }
+
+    /// A `429 Too Many Requests` shed response advertising when the client
+    /// should retry. Deliberately does **not** announce close: shedding
+    /// protects the handler queue, and tearing down the keep-alive
+    /// connection would punish the client twice (and cost an accept on
+    /// retry).
+    pub fn too_many_requests(retry_after_secs: u32) -> Self {
+        let mut resp = Self::new(Status::TooManyRequests, b"shed: retry later".to_vec());
+        resp.headers.insert("retry-after", retry_after_secs);
+        resp.headers.insert("connection", "keep-alive");
+        resp
+    }
+
+    /// The `Retry-After` delay in seconds, when present and numeric (the
+    /// HTTP-date form is not used by this server).
+    pub fn retry_after(&self) -> Option<u64> {
+        self.headers
+            .get("retry-after")
+            .and_then(|v| v.trim().parse().ok())
     }
 
     /// True when this response announces the connection will close.
@@ -585,6 +632,7 @@ impl Response {
             200 => Status::Ok,
             400 => Status::BadRequest,
             404 => Status::NotFound,
+            429 => Status::TooManyRequests,
             _ => Status::InternalServerError,
         };
         read_header_block(r, &mut resp.headers, &mut scratch.line)?;
@@ -829,7 +877,43 @@ mod tests {
         assert_eq!(Status::Ok.code(), 200);
         assert_eq!(Status::BadRequest.code(), 400);
         assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::TooManyRequests.code(), 429);
         assert_eq!(Status::InternalServerError.code(), 500);
+    }
+
+    #[test]
+    fn too_many_requests_round_trips_with_retry_after() {
+        let resp = Response::too_many_requests(7);
+        assert!(!resp.announces_close(), "shed must keep the connection");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let parsed = Response::read_from(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.status, Status::TooManyRequests);
+        assert_eq!(parsed.retry_after(), Some(7));
+        assert_eq!(Response::ok(Vec::new()).retry_after(), None);
+    }
+
+    #[test]
+    fn capped_parsers_honor_a_tighter_limit() {
+        let mut wire = Vec::new();
+        Request::new("POST", "/big", vec![0u8; 4096]).write_to(&mut wire).unwrap();
+        let mut req = Request::empty();
+        // Default cap: fine.
+        assert!(matches!(
+            Request::parse_into(&wire, &mut req),
+            Ok(ParseStatus::Complete { .. })
+        ));
+        // Tight cap: rejected before any body copy.
+        let err = Request::parse_into_capped(&wire, &mut req, 1024);
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
+        let mut scratch = ReadScratch::new();
+        let err = Request::read_into_capped(
+            &mut BufReader::new(&wire[..]),
+            &mut req,
+            &mut scratch,
+            1024,
+        );
+        assert!(matches!(err, Err(ReadError::BadRequest(_))), "{err:?}");
     }
 
     #[test]

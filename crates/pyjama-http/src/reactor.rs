@@ -36,16 +36,20 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+use pyjama_control::ConfigHandle;
 use pyjama_metrics::ReactorCounters;
 use pyjama_trace::TraceId;
 
 use crate::message::{ParseStatus, ReadError, Request, Response};
+use crate::server::ServerOptions;
 
 /// Bytes pulled off the socket per `read` attempt.
 const READ_CHUNK: usize = 16 * 1024;
 
-/// Deadline sweep cadence. Evictions are late by at most this much — fine
-/// for timeouts measured in hundreds of milliseconds.
+/// Default deadline sweep cadence. Evictions are late by at most this much
+/// — fine for timeouts measured in hundreds of milliseconds. A control
+/// plane overrides it live through `Config::sweep_interval_ms`; this
+/// constant is the uncontrolled default and matches `Config::DEFAULT`.
 const SWEEP_MS: u64 = 25;
 
 // ---------------------------------------------------------------------------
@@ -78,6 +82,9 @@ pub(crate) struct ReactorConn {
     pub(crate) served: u32,
     /// Causal trace id minted at accept.
     pub(crate) trace: TraceId,
+    /// Effective per-session options captured at accept (a live
+    /// reconfiguration applies to *new* sessions).
+    pub(crate) opts: ServerOptions,
 }
 
 impl ReactorConn {
@@ -96,6 +103,7 @@ impl ReactorConn {
             close_after_write: false,
             served: 0,
             trace: TraceId::NONE,
+            opts: ServerOptions::default(),
         })
     }
 
@@ -123,8 +131,9 @@ impl ReactorConn {
 
     /// Tries to parse the next request off the front of `inbuf`; a complete
     /// request is drained from the buffer (pipelined successors stay).
-    pub(crate) fn parse_step(&mut self) -> Result<ParseStatus, ReadError> {
-        let status = Request::parse_into(&self.inbuf, &mut self.req)?;
+    /// `max_body` is the (possibly config-sourced) body cap.
+    pub(crate) fn parse_step(&mut self, max_body: usize) -> Result<ParseStatus, ReadError> {
+        let status = Request::parse_into_capped(&self.inbuf, &mut self.req, max_body)?;
         if let ParseStatus::Complete { consumed } = status {
             let len = self.inbuf.len();
             self.inbuf.copy_within(consumed..len, 0);
@@ -263,6 +272,8 @@ pub(crate) struct ReactorShared {
     pub(crate) counters: ReactorCounters,
     wake_tx: std::os::unix::net::UnixStream,
     wake_rx: Mutex<Option<std::os::unix::net::UnixStream>>,
+    /// Live config for the sweep cadence; `None` pins the built-in default.
+    control: Option<ConfigHandle>,
 }
 
 // The wake pipe is a `UnixStream` pair, so this module is unix-only in
@@ -270,8 +281,15 @@ pub(crate) struct ReactorShared {
 // `idle.rs` has the same shape.)
 
 impl ReactorShared {
-    /// Fresh reactor state (allocates the wake pipe).
+    /// Fresh reactor state (allocates the wake pipe), uncontrolled.
+    #[cfg(test)]
     pub(crate) fn new() -> std::io::Result<Arc<Self>> {
+        Self::new_controlled(None)
+    }
+
+    /// Reactor state whose sweep cadence follows a live config handle
+    /// (one `Acquire` load per event-loop iteration).
+    pub(crate) fn new_controlled(control: Option<ConfigHandle>) -> std::io::Result<Arc<Self>> {
         let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
         tx.set_nonblocking(true)?;
         rx.set_nonblocking(true)?;
@@ -281,7 +299,16 @@ impl ReactorShared {
             counters: ReactorCounters::new(),
             wake_tx: tx,
             wake_rx: Mutex::new(Some(rx)),
+            control,
         }))
+    }
+
+    /// The deadline-sweep interval for this iteration: one `Acquire` load
+    /// when controlled, the built-in default otherwise.
+    fn sweep_interval_ms(&self) -> u64 {
+        self.control
+            .as_ref()
+            .map_or(SWEEP_MS, |h| h.config().sweep_interval_ms)
     }
 
     /// Hands a connection to the reactor. After stop the connection is
@@ -515,9 +542,12 @@ fn reactor_loop(
     let mut free: Vec<usize> = Vec::new();
     let mut live: usize = 0;
     let mut events = [EpollEvent { events: 0, data: 0 }; 256];
-    let mut next_sweep = Instant::now() + Duration::from_millis(SWEEP_MS);
+    let mut next_sweep = Instant::now() + Duration::from_millis(shared.sweep_interval_ms());
 
     loop {
+        // One Acquire load per iteration: a reconfigured sweep interval
+        // takes effect on the next tick without restarting the reactor.
+        let sweep_ms = shared.sweep_interval_ms();
         // Take in new registrations.
         {
             let mut incoming = shared.pending.lock();
@@ -567,7 +597,7 @@ fn reactor_loop(
             (next_sweep
                 .saturating_duration_since(now)
                 .as_millis()
-                .min(SWEEP_MS as u128) as i32)
+                .min(sweep_ms as u128) as i32)
                 .max(1)
         };
         let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
@@ -614,7 +644,7 @@ fn reactor_loop(
         // Coarse deadline sweep.
         let now = Instant::now();
         if now >= next_sweep {
-            next_sweep = now + Duration::from_millis(SWEEP_MS);
+            next_sweep = now + Duration::from_millis(sweep_ms);
             for idx in 0..slab.len() {
                 let expired = matches!(&slab[idx], Some(reg) if reg.deadline <= now);
                 if expired {
@@ -762,7 +792,7 @@ mod tests {
         assert_eq!(r, Readiness::Readable);
         assert!(c.read_step().unwrap() > 0);
         assert!(matches!(
-            c.parse_step().unwrap(),
+            c.parse_step(crate::message::MAX_BODY_BYTES).unwrap(),
             ParseStatus::Complete { .. }
         ));
         assert_eq!(c.req.path, "/");
@@ -923,7 +953,7 @@ mod tests {
         let mut paths: Vec<String> = (0..64)
             .map(|_| {
                 let mut c = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
-                while !matches!(c.parse_step().unwrap(), ParseStatus::Complete { .. }) {
+                while !matches!(c.parse_step(crate::message::MAX_BODY_BYTES).unwrap(), ParseStatus::Complete { .. }) {
                     assert!(c.read_step().unwrap() > 0);
                 }
                 c.req.path.clone()
@@ -964,7 +994,7 @@ mod tests {
                 .write_all(format!("GET /r{round} HTTP/1.1\r\n\r\n").as_bytes())
                 .unwrap();
             let mut c = ready_rx.recv_timeout(Duration::from_secs(2)).unwrap();
-            while !matches!(c.parse_step().unwrap(), ParseStatus::Complete { .. }) {
+            while !matches!(c.parse_step(crate::message::MAX_BODY_BYTES).unwrap(), ParseStatus::Complete { .. }) {
                 assert!(c.read_step().unwrap() > 0);
             }
             assert_eq!(c.req.path, format!("/r{round}"));

@@ -28,11 +28,12 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pyjama_metrics::{ConnCounters, ConnStats, ReactorStats};
+use pyjama_control::{ConfigHandle, ControlPlane};
+use pyjama_metrics::{AdmissionCounters, AdmissionStats, ConnCounters, ConnStats, ReactorStats};
 use pyjama_runtime::{Runtime, TargetRegion, VirtualTarget, WorkerTarget};
 use pyjama_trace::{arg as trace_arg, Stage, TraceId};
 
@@ -109,6 +110,16 @@ impl Default for ServerOptions {
     }
 }
 
+/// Live-control context attached by [`HttpServer::start_controlled`].
+struct ControlCtx {
+    /// Lock-free config reads: one `Acquire` load per access.
+    handle: ConfigHandle,
+    /// Queue-depth probe for admission decisions — pending regions on the
+    /// serving pool/target. Wired once the policy's pool exists (it is
+    /// built after the shared state that carries this context).
+    depth: OnceLock<Arc<dyn Fn() -> usize + Send + Sync>>,
+}
+
 struct ServerShared {
     handler: Handler,
     stop: AtomicBool,
@@ -120,6 +131,64 @@ struct ServerShared {
     /// it, so it quiesces on this count instead.
     inflight: AtomicU64,
     opts: ServerOptions,
+    /// Admission accounting: `offered == admitted + shed` always holds.
+    admission: AdmissionCounters,
+    /// `Some` only for [`HttpServer::start_controlled`] servers.
+    control: Option<ControlCtx>,
+}
+
+impl ServerShared {
+    /// Options for a *new* session: the construction-time options overlaid
+    /// with the live config snapshot (one `Acquire` load when controlled).
+    /// Existing sessions keep the options they were accepted under.
+    fn effective_opts(&self) -> ServerOptions {
+        match &self.control {
+            Some(ctl) => {
+                let cfg = ctl.handle.config();
+                ServerOptions {
+                    acceptors: self.opts.acceptors,
+                    keep_alive: self.opts.keep_alive,
+                    max_requests_per_conn: cfg.max_requests_per_conn.max(1),
+                    idle_timeout: Duration::from_millis(cfg.idle_timeout_ms),
+                    io_timeout: Duration::from_millis(cfg.io_timeout_ms),
+                }
+            }
+            None => self.opts,
+        }
+    }
+
+    /// The live request-body cap (the codec default when uncontrolled).
+    fn max_body(&self) -> usize {
+        match &self.control {
+            Some(ctl) => ctl.handle.config().max_body_bytes,
+            None => crate::message::MAX_BODY_BYTES,
+        }
+    }
+
+    /// Admission decision for one parsed request: `None` admits it; `Some`
+    /// carries the `429 Retry-After` the caller writes *instead of* running
+    /// the handler. Every offered request lands in exactly one of
+    /// `admitted`/`shed`, preserving `offered == admitted + shed`.
+    fn admit(&self, trace: TraceId) -> Option<Response> {
+        self.admission.record_offered();
+        if let Some(ctl) = &self.control {
+            let cfg = ctl.handle.config();
+            if cfg.admission_threshold > 0 {
+                let depth = ctl.depth.get().map_or(0, |probe| probe());
+                if depth > cfg.admission_threshold {
+                    self.admission.record_shed();
+                    pyjama_trace::emit(
+                        trace,
+                        Stage::AdmissionShed,
+                        depth.min(u32::MAX as usize) as u32,
+                    );
+                    return Some(Response::too_many_requests(cfg.retry_after_secs));
+                }
+            }
+        }
+        self.admission.record_admitted();
+        None
+    }
 }
 
 /// A running HTTP server bound to an ephemeral loopback port.
@@ -144,7 +213,31 @@ impl HttpServer {
     /// Starts a server with explicit [`ServerOptions`].
     pub fn start_with(
         policy: ServingPolicy,
+        opts: ServerOptions,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        Self::start_inner(policy, opts, None, handler)
+    }
+
+    /// Starts a server wired to a live [`ControlPlane`]: connection limits
+    /// and deadlines for *new* sessions, the request-body cap, and the
+    /// admission threshold all follow the plane's current config snapshot
+    /// (each read is one `Acquire` load). When the pending-region depth on
+    /// the serving pool exceeds `Config::admission_threshold`, further
+    /// requests are shed with `429 Retry-After` instead of queueing.
+    pub fn start_controlled(
+        policy: ServingPolicy,
+        opts: ServerOptions,
+        plane: &ControlPlane,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        Self::start_inner(policy, opts, Some(plane.handle()), handler)
+    }
+
+    fn start_inner(
+        policy: ServingPolicy,
         mut opts: ServerOptions,
+        control: Option<ConfigHandle>,
         handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
     ) -> std::io::Result<Self> {
         opts.acceptors = opts.acceptors.max(1);
@@ -160,6 +253,11 @@ impl HttpServer {
             conn: ConnCounters::new(),
             inflight: AtomicU64::new(0),
             opts,
+            admission: AdmissionCounters::new(),
+            control: control.map(|handle| ControlCtx {
+                handle,
+                depth: OnceLock::new(),
+            }),
         });
 
         let (pool, parker, reactor, sink) = match &policy {
@@ -203,7 +301,7 @@ impl HttpServer {
                         let ctx2 = Arc::clone(&ctx);
                         let posted = ctx.post.post(conn.trace, move || {
                             let mut conn = conn;
-                            match conn.read_request() {
+                            match conn.read_request_capped(ctx2.post.shared.max_body()) {
                                 Ok(()) => serve_one(conn, &ctx2),
                                 Err(e) => fail_read(conn, e, &ctx2.post.shared, false),
                             }
@@ -225,7 +323,9 @@ impl HttpServer {
                 (None, Some(parker), None, AcceptSink::Pyjama { ctx })
             }
             ServingPolicy::Reactor { runtime, target } => {
-                let reactor_shared = ReactorShared::new()?;
+                let reactor_shared = ReactorShared::new_controlled(
+                    shared.control.as_ref().map(|c| c.handle.clone()),
+                )?;
                 let dispatch = match runtime.lookup(target) {
                     Ok(t) => Dispatch::Direct(t),
                     Err(_) => Dispatch::Lookup {
@@ -280,6 +380,27 @@ impl HttpServer {
             }
         };
 
+        // Wire the admission depth probe now that the serving pool exists:
+        // queue depth is the pending-region count on whatever executes the
+        // handlers for this policy.
+        if let Some(ctl) = &shared.control {
+            let probe: Arc<dyn Fn() -> usize + Send + Sync> = match &sink {
+                AcceptSink::Jetty { pool, .. } => {
+                    let pool = Arc::clone(pool);
+                    Arc::new(move || pool.pending())
+                }
+                AcceptSink::Pyjama { ctx } => {
+                    let ctx = Arc::clone(ctx);
+                    Arc::new(move || ctx.post.dispatch.pending())
+                }
+                AcceptSink::Reactor { ctx } => {
+                    let ctx = Arc::clone(ctx);
+                    Arc::new(move || ctx.post.dispatch.pending())
+                }
+            };
+            let _ = ctl.depth.set(probe);
+        }
+
         let mut acceptors = Vec::with_capacity(opts.acceptors);
         for i in 0..opts.acceptors {
             let listener = listener.try_clone()?;
@@ -325,6 +446,20 @@ impl HttpServer {
     /// Connections/requests that failed mid-flight.
     pub fn errors(&self) -> u64 {
         self.shared.errors.load(Ordering::Relaxed)
+    }
+
+    /// Admission-control counters. The conservation law
+    /// `offered == admitted + shed` holds on a quiesced server.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.shared.admission.snapshot()
+    }
+
+    /// A detached probe for [`admission_stats`](Self::admission_stats),
+    /// e.g. for wiring into an [`AdminServer`](crate::admin::AdminServer)
+    /// while this handle stays usable.
+    pub fn admission_probe(&self) -> impl Fn() -> AdmissionStats + Send + Sync + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || shared.admission.snapshot()
     }
 
     /// Connection-lifecycle counters (accepts, reuse, pipelining, idle
@@ -422,6 +557,19 @@ enum Dispatch {
     Lookup { runtime: Arc<Runtime>, name: String },
 }
 
+impl Dispatch {
+    /// Pending (posted, not yet started) regions on the resolved target;
+    /// 0 when the target cannot be resolved.
+    fn pending(&self) -> usize {
+        match self {
+            Dispatch::Direct(t) => t.pending(),
+            Dispatch::Lookup { runtime, name } => {
+                runtime.lookup(name).map(|t| t.pending()).unwrap_or(0)
+            }
+        }
+    }
+}
+
 /// An inflight-counted post of a `nowait` region to the virtual target —
 /// the dispatch half shared by the Pyjama and Reactor policies.
 struct TargetPost {
@@ -503,6 +651,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSin
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
+        // Capture this session's effective options once, at accept: a live
+        // reconfiguration changes sessions accepted after it, never one
+        // mid-flight.
+        let session_opts = shared.effective_opts();
         if let AcceptSink::Reactor { ctx } = &sink {
             // The reactor policy never blocks on a socket: accept, go
             // non-blocking, hand straight to the reactor with read interest.
@@ -517,17 +669,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSin
             };
             shared.conn.record_accepted();
             conn.trace = TraceId::mint();
+            conn.opts = session_opts;
             pyjama_trace::emit(conn.trace, Stage::ConnAccepted, 0);
             ctx.reactor.register(Reg {
                 conn,
                 interest: Interest::Read,
-                deadline: Instant::now() + shared.opts.idle_timeout,
+                deadline: Instant::now() + session_opts.idle_timeout,
                 idle: true,
                 kind: RegKind::Initial,
             });
             continue;
         }
-        let mut conn = match ConnState::new(stream, shared.opts.io_timeout) {
+        let mut conn = match ConnState::new(stream, session_opts.io_timeout) {
             Ok(c) => c,
             Err(_) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -536,6 +689,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSin
         };
         shared.conn.record_accepted();
         conn.trace = TraceId::mint();
+        conn.opts = session_opts;
         pyjama_trace::emit(conn.trace, Stage::ConnAccepted, 0);
         match &sink {
             AcceptSink::Jetty { pool, label } => {
@@ -555,7 +709,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSin
                 // The acceptor parses only the *first* request (cheap),
                 // then offloads the handler — and with it the connection's
                 // future — to the virtual target.
-                match conn.read_request() {
+                match conn.read_request_capped(shared.max_body()) {
                     Ok(()) => rearm(conn, ctx),
                     Err(e) => fail_read(conn, e, &shared, true),
                 }
@@ -565,20 +719,29 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, sink: AcceptSin
     }
 }
 
-/// Should the connection close after the response to `req`?
-fn decide_close(served_before: u32, req: &Request, shared: &ServerShared) -> bool {
+/// Should the connection close after the response to `req`? `opts` are the
+/// session's effective options captured at accept.
+fn decide_close(
+    served_before: u32,
+    req: &Request,
+    shared: &ServerShared,
+    opts: &ServerOptions,
+) -> bool {
     req.wants_close()
-        || !shared.opts.keep_alive
-        || served_before + 1 >= shared.opts.max_requests_per_conn
+        || !opts.keep_alive
+        || served_before + 1 >= opts.max_requests_per_conn
         || shared.stop.load(Ordering::SeqCst)
 }
 
-/// Handles one parsed request on `conn`: run the handler, write the
-/// response, bump counters. Returns `false` when the connection must not
-/// serve further requests.
+/// Handles one parsed request on `conn`: admission check, then run the
+/// handler (or write the shed 429), write the response, bump counters.
+/// Returns `false` when the connection must not serve further requests.
 fn respond(conn: &mut ConnState, shared: &Arc<ServerShared>) -> bool {
-    let resp = run_handler(shared, &conn.req);
-    let close = decide_close(conn.served, &conn.req, shared);
+    let resp = match shared.admit(conn.trace) {
+        Some(shed) => shed,
+        None => run_handler(shared, &conn.req),
+    };
+    let close = decide_close(conn.served, &conn.req, shared, &conn.opts);
     if conn.write_response(&resp, close).is_err() {
         shared.errors.fetch_add(1, Ordering::Relaxed);
         return false;
@@ -596,7 +759,7 @@ fn respond(conn: &mut ConnState, shared: &Arc<ServerShared>) -> bool {
 
 /// Jetty-style session: the calling pool thread owns `conn` until close.
 fn serve_session(mut conn: ConnState, shared: &Arc<ServerShared>) {
-    let opts = shared.opts;
+    let opts = conn.opts;
     loop {
         if conn.served > 0 {
             // Between requests of an established session: wait for the next
@@ -620,7 +783,7 @@ fn serve_session(mut conn: ConnState, shared: &Arc<ServerShared>) {
             }
         }
         let first = conn.served == 0;
-        match conn.read_request() {
+        match conn.read_request_capped(shared.max_body()) {
             Ok(()) => {}
             Err(e) => return fail_read(conn, e, shared, first),
         }
@@ -645,12 +808,12 @@ fn serve_one(mut conn: ConnState, ctx: &Arc<PyjamaCtx>) {
     }
     if conn.has_buffered() {
         shared.conn.record_pipelined();
-        match conn.read_request() {
+        match conn.read_request_capped(shared.max_body()) {
             Ok(()) => rearm(conn, ctx),
             Err(e) => fail_read(conn, e, shared, false),
         }
     } else {
-        let deadline = Instant::now() + shared.opts.idle_timeout;
+        let deadline = Instant::now() + conn.opts.idle_timeout;
         pyjama_trace::emit(conn.trace, Stage::ConnIdlePark, conn.served);
         ctx.parker.park(conn, deadline);
     }
@@ -680,7 +843,10 @@ const REACTOR_REQUEST_BUDGET: u32 = 32;
 /// ever blocks on connection I/O.
 fn drive_reactor_conn(mut conn: ReactorConn, ctx: &Arc<ReactorCtx>) {
     let shared = &ctx.post.shared;
-    let opts = shared.opts;
+    let opts = conn.opts;
+    // One Acquire load per region: a live body-cap change applies from the
+    // next serving region onwards.
+    let max_body = shared.max_body();
     let mut budget = REACTOR_REQUEST_BUDGET;
     loop {
         // Phase 1: push staged response bytes.
@@ -731,10 +897,13 @@ fn drive_reactor_conn(mut conn: ReactorConn, ctx: &Arc<ReactorCtx>) {
             }
             return;
         }
-        match conn.parse_step() {
+        match conn.parse_step(max_body) {
             Ok(ParseStatus::Complete { .. }) => {
-                let resp = run_handler(shared, &conn.req);
-                let close = decide_close(conn.served, &conn.req, shared);
+                let resp = match shared.admit(conn.trace) {
+                    Some(shed) => shed,
+                    None => run_handler(shared, &conn.req),
+                };
+                let close = decide_close(conn.served, &conn.req, shared, &opts);
                 conn.stage_response(&resp, close);
                 budget -= 1;
             }

@@ -24,20 +24,25 @@
 //! re-arms, readiness events dispatched vs spurious — with a conservation
 //! law), [`TeamCounters`] observing the fork-join `omp parallel` thread
 //! pool (regions forked, threads spawned vs reused, barrier spins vs parks),
-//! and [`VmCounters`] observing the PJ bytecode VM (ops executed, frames
+//! [`VmCounters`] observing the PJ bytecode VM (ops executed, frames
 //! pushed, target/team dispatches — with a conservation law against the
-//! runtime's posted+inline accounting).
+//! runtime's posted+inline accounting), [`AdmissionCounters`] observing the
+//! overload-shedding front door (`offered == admitted + shed`), and
+//! [`ReconfigCounters`] observing the live control plane (snapshots
+//! applied/rejected, current generation).
 //!
 //! Everything here is synchronisation-cheap (atomics or a short
 //! `parking_lot` critical section) so that recording does not perturb the
 //! systems being measured.
 
+pub mod admission;
 pub mod conn;
 pub mod histogram;
 pub mod latency;
 pub mod occupancy;
 pub mod park;
 pub mod reactor;
+pub mod reconfig;
 pub mod stats;
 pub mod steal;
 pub mod team;
@@ -45,12 +50,14 @@ pub mod throughput;
 pub mod timeline;
 pub mod vm;
 
+pub use admission::{AdmissionCounters, AdmissionStats};
 pub use conn::{ConnCounters, ConnStats};
 pub use histogram::Histogram;
 pub use latency::LatencyRecorder;
 pub use occupancy::OccupancyTracker;
 pub use park::{ParkCounters, ParkStats};
 pub use reactor::{ReactorCounters, ReactorStats};
+pub use reconfig::{ReconfigCounters, ReconfigStats};
 pub use stats::{OnlineStats, Summary};
 pub use steal::{StealCounters, StealStats};
 pub use team::{TeamCounters, TeamStats};

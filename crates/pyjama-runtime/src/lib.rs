@@ -77,4 +77,4 @@ pub use registry::{Runtime, RuntimeError};
 pub use sync::TagRegistry;
 pub use target_edt::EdtTarget;
 pub use task::{TargetFuture, TargetRegion, TaskHandle, TaskState};
-pub use worker::WorkerTarget;
+pub use worker::{ResizeError, WorkerTarget};

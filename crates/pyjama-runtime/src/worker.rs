@@ -36,6 +36,24 @@
 //! same local-pop → steal → injector sequence, so a member blocked in an
 //! `await` drains work without contending on a pool-wide lock.
 //!
+//! ## Live resize
+//!
+//! The pool's *slot capacity* is fixed at construction, but its *logical
+//! size* (`target_threads`) changes at runtime through [`WorkerTarget::
+//! resize`] — this is what the control plane's worker subscriber calls. A
+//! worker whose index falls at or above the target gracefully **retires**:
+//! it drains its own deque into the FIFO injector (so no accepted region is
+//! ever stranded behind a parked thread), wakes a survivor to pick the
+//! drained work up, flags itself `retired` (which makes `wake_one` skip it
+//! — it must not be chosen to serve new work) and parks on its own signal
+//! until a later grow raises the target past its index or shutdown fires.
+//! Growing reuses the existing spawn path for never-started slots and just
+//! notifies retired ones; the permit semantics of [`WakeSignal`] make the
+//! store-target-then-notify / check-target-then-park race lose no wakeups.
+//! The retire drain handshake is model-checked in
+//! `pyjama-check/src/models/config_cell.rs` (DESIGN.md §5k), including the
+//! seeded mutation that skips the drain and loses a region.
+//!
 //! Model-checked twin: `pyjama-check/src/models/pool_join.rs` ports the
 //! injector's post/shutdown/final-drain protocol and the eventcount park
 //! (`ModelInjector`) onto instrumented shims; the checked invariant is that
@@ -82,6 +100,10 @@ struct WorkerSlot {
     /// True while the thread is inside (or committing to) a park in its run
     /// loop; producers scan this to pick a single thread to wake.
     parked: AtomicBool,
+    /// True while the thread is retired by a shrink (parked indefinitely,
+    /// deque drained). Retired slots are *not* wake candidates: `parked`
+    /// stays false the whole time, so `wake_one` never picks them.
+    retired: AtomicBool,
 }
 
 /// The injector's lock also serializes posts against shutdown, preserving
@@ -108,6 +130,10 @@ struct Inner {
     injector_len: AtomicUsize,
     /// Lock-free mirror of `Injector::shutdown`.
     shutdown: AtomicBool,
+    /// Logical pool size: workers with `index >= target_threads` retire.
+    /// Bounded above by `slots.len()` (the fixed capacity). SeqCst so the
+    /// retire check composes with the eventcount handshake's fences.
+    target_threads: AtomicUsize,
     barrier: Mutex<BarrierWakers>,
     /// Round-robin cursor over registered barrier wakers.
     barrier_rr: AtomicUsize,
@@ -254,6 +280,15 @@ impl Inner {
             });
         });
         loop {
+            // Live-shrink check: a resize lowered the target below our
+            // index. Retire (drain own deque → injector, park) until a
+            // grow or shutdown; either way, re-evaluate from the top.
+            if me >= self.target_threads.load(Ordering::SeqCst)
+                && !self.shutdown.load(Ordering::SeqCst)
+            {
+                self.retire_park(me);
+                continue;
+            }
             if let Some(region) = self.acquire(me) {
                 self.run(region);
                 continue;
@@ -287,6 +322,48 @@ impl Inner {
         }
     }
 
+    /// Graceful retire after a shrink: drain our deque into the injector
+    /// (zero lost regions — the items become stealable FIFO work for the
+    /// survivors), wake a survivor for them, then park until a grow raises
+    /// the target past `me` or shutdown fires. Called only from the slot's
+    /// own run loop, so the owner-only deque discipline holds throughout.
+    fn retire_park(&self, me: usize) {
+        let slot = &self.slots[me];
+        {
+            let mut g = self.injector.lock();
+            while let Some(region) = slot.deque.pop() {
+                g.tasks.push_back(region);
+                // Under the lock, exactly like `post` — the lock-free
+                // mirror never under-reports queued work.
+                self.injector_len.fetch_add(1, Ordering::SeqCst);
+            }
+            // If shutdown was flagged while we held the lock, the drained
+            // items are still safe: this thread re-checks shutdown at the
+            // top of its run loop and performs the final drain itself.
+        }
+        // `parked` stays false: wake_one must not pick a retired worker to
+        // serve new work. Resize-grow and shutdown notify this slot's
+        // signal directly; the permit makes the check/park race lossless.
+        slot.retired.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // Cascade any outstanding work to a survivor. This covers both the
+        // just-drained items and a wake_one that picked *us* (as a parked
+        // candidate) right before the shrink landed — without this, that
+        // post's wakeup would retire along with us and strand its region
+        // until the next unrelated wake.
+        if self.has_pending() {
+            self.wake_one();
+        }
+        while me >= self.target_threads.load(Ordering::SeqCst)
+            && !self.shutdown.load(Ordering::SeqCst)
+        {
+            pyjama_trace::emit(pyjama_trace::TraceId::NONE, Stage::WorkerPark, me as u32);
+            slot.signal.park();
+            pyjama_trace::emit(pyjama_trace::TraceId::NONE, Stage::WorkerWake, me as u32);
+        }
+        slot.retired.store(false, Ordering::SeqCst);
+    }
+
     /// Cancels a region that can no longer be executed by this pool.
     fn reject(&self, region: Arc<TargetRegion>) {
         // A producer racing the pool's shutdown degrades gracefully: the
@@ -313,10 +390,43 @@ impl Drop for PoolWakerGuard {
     }
 }
 
-/// A fixed-size thread-pool virtual target.
+/// Why a [`WorkerTarget::resize`] request was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResizeError {
+    /// A pool of zero workers can never drain its queue.
+    Zero,
+    /// The request exceeds the pool's fixed slot capacity.
+    ExceedsCapacity {
+        /// Workers requested.
+        requested: usize,
+        /// The pool's immutable slot capacity.
+        capacity: usize,
+    },
+    /// The pool is shutting down; its size can no longer change.
+    ShutDown,
+}
+
+impl std::fmt::Display for ResizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResizeError::Zero => write!(f, "pool size must be >= 1"),
+            ResizeError::ExceedsCapacity { requested, capacity } => {
+                write!(f, "requested {requested} workers exceeds capacity {capacity}")
+            }
+            ResizeError::ShutDown => write!(f, "pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ResizeError {}
+
+/// A thread-pool virtual target with a fixed slot capacity and a live
+/// resizable logical size.
 pub struct WorkerTarget {
     inner: Arc<Inner>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// One entry per slot: `Some` once a thread has been spawned for that
+    /// slot (it stays alive — possibly retired-parked — until shutdown).
+    threads: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 impl WorkerTarget {
@@ -328,18 +438,33 @@ impl WorkerTarget {
     }
 
     /// Creates a worker target named `name` with `m` threads (Table II's
-    /// `virtual_target_create_worker`).
+    /// `virtual_target_create_worker`). Slot capacity — the ceiling for
+    /// later [`resize`](Self::resize) grows — defaults to `m` with doubling
+    /// headroom up to 64 slots, so control-plane grows have room without
+    /// reserving thousands of empty deques.
     ///
     /// # Panics
     /// Panics if `m == 0`.
     pub fn new(name: impl Into<String>, m: usize) -> Arc<Self> {
+        let capacity = m.max((m * 2).min(64));
+        Self::with_capacity(name, m, capacity)
+    }
+
+    /// Creates a worker target with an explicit slot capacity (`capacity`
+    /// is the hard ceiling for later resizes; only `m` threads start).
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `capacity < m`.
+    pub fn with_capacity(name: impl Into<String>, m: usize, capacity: usize) -> Arc<Self> {
         assert!(m > 0, "a worker virtual target needs at least one thread");
+        assert!(capacity >= m, "capacity must be at least the initial size");
         let name = name.into();
-        let slots = (0..m)
+        let slots = (0..capacity)
             .map(|_| WorkerSlot {
                 deque: ChaseLev::new(),
                 signal: WakeSignal::new(),
                 parked: AtomicBool::new(false),
+                retired: AtomicBool::new(false),
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
@@ -352,6 +477,7 @@ impl WorkerTarget {
             }),
             injector_len: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            target_threads: AtomicUsize::new(m),
             barrier: Mutex::new(BarrierWakers {
                 wakers: Vec::new(),
                 next_id: 0,
@@ -359,13 +485,13 @@ impl WorkerTarget {
             barrier_rr: AtomicUsize::new(0),
             stats: TargetStatsInner::default(),
         });
-        let threads = (0..m)
+        let threads = (0..capacity)
             .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("{name}-{i}"))
-                    .spawn(move || inner.run_loop(i))
-                    .expect("failed to spawn worker thread")
+                if i < m {
+                    Some(Self::spawn_slot(&inner, &name, i))
+                } else {
+                    None
+                }
             })
             .collect();
         Arc::new(WorkerTarget {
@@ -374,9 +500,67 @@ impl WorkerTarget {
         })
     }
 
-    /// Number of pool threads.
+    fn spawn_slot(inner: &Arc<Inner>, name: &str, i: usize) -> JoinHandle<()> {
+        let inner = Arc::clone(inner);
+        std::thread::Builder::new()
+            .name(format!("{name}-{i}"))
+            .spawn(move || inner.run_loop(i))
+            .expect("failed to spawn worker thread")
+    }
+
+    /// Logical pool size (the live resize target), not slot capacity.
     pub fn num_threads(&self) -> usize {
+        self.inner.target_threads.load(Ordering::SeqCst)
+    }
+
+    /// Fixed slot capacity — the hard ceiling for [`resize`](Self::resize).
+    pub fn capacity(&self) -> usize {
         self.inner.slots.len()
+    }
+
+    /// Changes the logical pool size at runtime; returns the previous size.
+    ///
+    /// Shrink is graceful: each worker at or above the new target drains
+    /// its deque into the injector (no in-flight region is dropped) and
+    /// parks; its thread stays alive for cheap regrow. Grow wakes retired
+    /// slots and spawns never-started ones through the same path `new`
+    /// uses. In-flight regions on retiring workers run to completion
+    /// before the retire check is reached, so a resize never interrupts
+    /// handler execution.
+    pub fn resize(&self, n: usize) -> Result<usize, ResizeError> {
+        if n == 0 {
+            return Err(ResizeError::Zero);
+        }
+        let capacity = self.inner.slots.len();
+        if n > capacity {
+            return Err(ResizeError::ExceedsCapacity { requested: n, capacity });
+        }
+        // The threads lock serializes resizes with each other and with
+        // shutdown (which holds it while joining).
+        let mut threads = self.threads.lock();
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ResizeError::ShutDown);
+        }
+        let old = self.inner.target_threads.swap(n, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if n > old {
+            for i in old..n {
+                match &threads[i] {
+                    // Retired (or about to retire) thread: the permit from
+                    // this notify guarantees its check/park loop observes
+                    // the raised target.
+                    Some(_) => self.inner.slots[i].signal.notify(),
+                    None => threads[i] = Some(Self::spawn_slot(&self.inner, &self.inner.name, i)),
+                }
+            }
+        } else {
+            // Wake shrunk-away workers so they observe the lowered target
+            // and retire instead of sleeping as stale wake candidates.
+            for i in n..old {
+                self.inner.slots[i].signal.notify();
+            }
+        }
+        Ok(old)
     }
 
     /// Requests shutdown: queued regions still run, then threads exit.
@@ -407,7 +591,7 @@ impl WorkerTarget {
         }
         let me = std::thread::current().id();
         let mut threads = self.threads.lock();
-        for t in threads.drain(..) {
+        for t in threads.drain(..).flatten() {
             if t.thread().id() == me {
                 drop(t); // detach: a thread must not join itself
             } else {
@@ -963,6 +1147,96 @@ mod tests {
             h.wait();
         }
         assert!(t0.elapsed() < Duration::from_millis(150), "{:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn resize_validates_bounds() {
+        let w = WorkerTarget::with_capacity("w", 2, 4);
+        assert_eq!(w.num_threads(), 2);
+        assert_eq!(w.capacity(), 4);
+        assert_eq!(w.resize(0), Err(ResizeError::Zero));
+        assert_eq!(
+            w.resize(5),
+            Err(ResizeError::ExceedsCapacity { requested: 5, capacity: 4 })
+        );
+        assert_eq!(w.resize(4), Ok(2));
+        assert_eq!(w.num_threads(), 4);
+        w.shutdown();
+        assert_eq!(w.resize(2), Err(ResizeError::ShutDown));
+    }
+
+    #[test]
+    fn shrink_retires_grow_revives_and_work_keeps_flowing() {
+        let w = WorkerTarget::with_capacity("w", 8, 16);
+        let n = Arc::new(AtomicUsize::new(0));
+        let mut post_wave = |count: usize| {
+            let mut handles = Vec::new();
+            for _ in 0..count {
+                let n = Arc::clone(&n);
+                let r = TargetRegion::new("t", move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+                handles.push(r.handle());
+                w.post(r);
+            }
+            for h in &handles {
+                h.wait();
+            }
+        };
+        post_wave(50);
+        assert_eq!(w.resize(2), Ok(8));
+        post_wave(50);
+        assert_eq!(w.resize(8), Ok(2));
+        post_wave(50);
+        // Grow into never-spawned slots too.
+        assert_eq!(w.resize(16), Ok(8));
+        post_wave(50);
+        assert_eq!(n.load(Ordering::SeqCst), 200);
+        let s = w.stats();
+        assert_eq!(s.executed, 200, "no region lost across resizes: {s:?}");
+        assert_eq!(s.executed, s.local_pops + s.steals + s.injector_pops);
+    }
+
+    #[test]
+    fn shrink_under_load_loses_nothing() {
+        // Regions queued on about-to-retire workers' deques must drain to
+        // the injector and still execute. Posting from inside regions puts
+        // work on member deques, then a shrink races the wave.
+        for _ in 0..10 {
+            let w = WorkerTarget::with_capacity("w", 8, 16);
+            let inner_handles = Arc::new(Mutex::new(Vec::new()));
+            let mut outer = Vec::new();
+            for _ in 0..40 {
+                let w2 = Arc::clone(&w);
+                let ih = Arc::clone(&inner_handles);
+                let r = TargetRegion::new("outer", move || {
+                    let sub = TargetRegion::new("sub", || {});
+                    ih.lock().push(sub.handle());
+                    w2.post(sub); // member fast path → this worker's deque
+                });
+                outer.push(r.handle());
+                w.post(r);
+            }
+            w.resize(2).unwrap();
+            for h in &outer {
+                h.wait();
+            }
+            for h in std::mem::take(&mut *inner_handles.lock()) {
+                h.wait(); // would hang forever on a lost region
+            }
+            let s = w.stats();
+            assert_eq!(s.posted, 80);
+            assert_eq!(s.executed, 80, "shrink dropped a region: {s:?}");
+        }
+    }
+
+    #[test]
+    fn retired_workers_exit_cleanly_on_shutdown() {
+        let w = WorkerTarget::with_capacity("w", 4, 8);
+        w.resize(1).unwrap();
+        // Give retirees a moment to park, then shut down: join must not hang.
+        std::thread::sleep(Duration::from_millis(10));
+        w.shutdown();
     }
 
     #[test]

@@ -86,6 +86,8 @@ fn slice_name(ev: &TraceEvent) -> String {
             };
             format!("reactor_rearm({interest})")
         }
+        Stage::ConfigPublish => format!("config_publish(gen {})", ev.arg),
+        Stage::AdmissionShed => format!("admission_shed(depth {})", ev.arg),
         s => s.name().to_string(),
     }
 }

@@ -87,6 +87,18 @@ pub enum Stage {
     /// A serving region re-registered its connection with the reactor
     /// (arg 0 = read interest, 1 = write interest after a short write).
     ReactorRearm = 25,
+
+    // -- live control plane (pyjama-control) --------------------------------
+    /// A validated config snapshot was atomically published (arg = low 32
+    /// bits of the new generation). The publish and every subscriber apply
+    /// share one minted trace id, so a reconfig is one causal flow.
+    ConfigPublish = 26,
+    /// One subscriber applied the published snapshot (arg = subscriber
+    /// index in registration order).
+    ConfigApply = 27,
+    /// The admission controller shed a request with `429 Retry-After`
+    /// (arg = observed queue depth at the decision point).
+    AdmissionShed = 28,
 }
 
 /// `arg` value vocabularies, per stage.
@@ -179,6 +191,9 @@ impl Stage {
             23 => TeamJoin,
             24 => ReactorReady,
             25 => ReactorRearm,
+            26 => ConfigPublish,
+            27 => ConfigApply,
+            28 => AdmissionShed,
             _ => return None,
         })
     }
@@ -213,6 +228,9 @@ impl Stage {
             TeamJoin => "team_join",
             ReactorReady => "reactor_ready",
             ReactorRearm => "reactor_rearm",
+            ConfigPublish => "config_publish",
+            ConfigApply => "config_apply",
+            AdmissionShed => "admission_shed",
         }
     }
 
@@ -263,7 +281,7 @@ mod tests {
 
     #[test]
     fn stage_roundtrips_through_u8() {
-        for v in 0..=25u8 {
+        for v in 0..=28u8 {
             let s = Stage::from_u8(v).expect("valid discriminant");
             assert_eq!(s as u8, v);
             assert!(!s.name().is_empty());
@@ -273,7 +291,7 @@ mod tests {
 
     #[test]
     fn pairing_is_consistent() {
-        for v in 0..=25u8 {
+        for v in 0..=28u8 {
             let s = Stage::from_u8(v).unwrap();
             if let Some(close) = s.closes_with() {
                 assert!(close.is_closer(), "{close:?} must be a closer");

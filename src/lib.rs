@@ -46,6 +46,7 @@ pub use pyjama_runtime::{target_virtual, wait_tag};
 pub use pyjama_baselines as baselines;
 pub use pyjama_check as check;
 pub use pyjama_compiler as compiler;
+pub use pyjama_control as control;
 pub use pyjama_events as events;
 pub use pyjama_gui as gui;
 pub use pyjama_http as http;

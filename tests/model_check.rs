@@ -1,12 +1,13 @@
 //! Cross-crate smoke test of the model checker through the umbrella API:
 //! the core protocols explored deterministically, a fixed seed set, and
-//! the mutation-teeth guarantee (≥3 reintroduced bugs caught, failing
+//! the mutation-teeth guarantee (≥4 reintroduced bugs caught, failing
 //! schedules replayable). The full scenario matrix lives in
 //! `pyjama-check`'s own test suite; this is the tier-1 wiring check.
 
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
 
+use pyjama::check::models::config_cell::ModelConfigCell;
 use pyjama::check::models::deque::{ModelDeque, ModelSteal};
 use pyjama::check::models::parker::ModelWakeSignal;
 use pyjama::check::models::pool_join::ModelInjector;
@@ -97,6 +98,24 @@ fn shutdown_scenario(mutation: Mutation) -> impl Fn() + Send + Sync {
     }
 }
 
+fn cell_scenario(mutation: Mutation) -> impl Fn() + Send + Sync {
+    move || {
+        let cell = Arc::new(ModelConfigCell::new(3, mutation));
+        let reader = {
+            let cell = Arc::clone(&cell);
+            shim::thread::spawn("reader", move || {
+                for _ in 0..2 {
+                    let (generation, payload) = cell.read();
+                    assert_eq!(payload, generation + 1, "torn snapshot at gen {generation}");
+                }
+            })
+        };
+        cell.publish();
+        reader.join();
+        assert_eq!(cell.read(), (1, 2));
+    }
+}
+
 #[test]
 fn correct_protocols_pass_deterministic_exploration() {
     let c = checker();
@@ -104,6 +123,7 @@ fn correct_protocols_pass_deterministic_exploration() {
         ("deque", Box::new(deque_scenario(Mutation::None)) as Box<dyn Fn() + Send + Sync>),
         ("parker", Box::new(parker_scenario(Mutation::None))),
         ("shutdown", Box::new(shutdown_scenario(Mutation::None))),
+        ("config-cell", Box::new(cell_scenario(Mutation::None))),
     ] {
         let report = c.check(name, f);
         println!("scenario '{name}': {} schedules explored (dfs_complete={})",
@@ -145,5 +165,14 @@ fn at_least_three_mutations_caught_and_replayable() {
         assert_eq!(replayed.message, fail.message);
     }
 
-    assert!(caught >= 3, "only {caught}/3 seeded mutations caught — checker lost its teeth");
+    if let Some(fail) = c.find_failure("cell-publish-ptr-first", cell_scenario(Mutation::CellPublishPtrFirst)) {
+        caught += 1;
+        println!("caught cell mutation after {} schedules: {}", fail.schedules_explored, fail.message);
+        let replayed = c
+            .replay("cell-publish-ptr-first", &fail.schedule, cell_scenario(Mutation::CellPublishPtrFirst))
+            .expect("recorded schedule must reproduce the torn snapshot");
+        assert_eq!(replayed.message, fail.message);
+    }
+
+    assert!(caught >= 4, "only {caught}/4 seeded mutations caught — checker lost its teeth");
 }
