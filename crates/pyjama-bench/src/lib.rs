@@ -9,6 +9,9 @@
 //!   load, Jetty-style vs Pyjama-style, with optional per-event
 //!   `omp parallel` kernels. Drives `fig9_http_throughput`.
 //! * [`report`] — small table/CSV formatting helpers shared by the bins.
+//! * [`perfjson`] — hand-rolled JSON emission folding the headline number
+//!   of each `bench_results/*.csv` artifact into one machine-readable
+//!   document (`BENCH_hotpath.json`, written by the `post_hotpath` bench).
 //!
 //! Scaling note: the paper's testbeds (i5 desktop, 16-core Xeon) and JVM
 //! kernels ran hundreds of milliseconds per event; this harness uses
@@ -18,6 +21,7 @@
 
 pub mod gui;
 pub mod httpbench;
+pub mod perfjson;
 pub mod report;
 
 /// True when the `PJ_BENCH_QUICK` environment variable requests shortened

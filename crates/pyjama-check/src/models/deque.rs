@@ -6,9 +6,10 @@
 //! orthogonal to the push/pop/steal ordering protocol checked here.
 //!
 //! Port map (same operation order, same orderings):
-//! - [`ModelDeque::push`]  ⇔ `deque.rs::ChaseLev::push`
-//! - [`ModelDeque::pop`]   ⇔ `deque.rs::ChaseLev::pop`
-//! - [`ModelDeque::steal`] ⇔ `deque.rs::ChaseLev::steal`
+//! - [`ModelDeque::push`]       ⇔ `deque.rs::ChaseLev::push`
+//! - [`ModelDeque::pop`]        ⇔ `deque.rs::ChaseLev::pop`
+//! - [`ModelDeque::steal`]      ⇔ `deque.rs::ChaseLev::steal`
+//! - [`ModelDeque::steal_half`] ⇔ `deque.rs::ChaseLev::steal_half`
 
 use crate::models::Mutation;
 use crate::shim::atomic::{fence, AtomicIsize, AtomicU64, Ordering};
@@ -115,6 +116,73 @@ impl ModelDeque {
             ModelSteal::Item(item)
         } else {
             ModelSteal::Empty
+        }
+    }
+
+    /// One claim probe inside the [`Self::steal_half`] loop. Faithful port:
+    /// identical to [`Self::steal`]. The `DequeStealHalfKeepOnCasFail`
+    /// mutant returns the already-read item even when the claiming CAS
+    /// lost — whoever won that CAS also claims it, so the item is returned
+    /// twice.
+    fn steal_half_probe(&self) -> ModelSteal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let item = self.slot(t).load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                if self.mutation == Mutation::DequeStealHalfKeepOnCasFail {
+                    // BUG: lost the race for index t but keep the item.
+                    return ModelSteal::Item(item);
+                }
+                return ModelSteal::Retry;
+            }
+            ModelSteal::Item(item)
+        } else {
+            ModelSteal::Empty
+        }
+    }
+
+    /// Thief-side batch. ⇔ `deque.rs::ChaseLev::steal_half`: size the batch
+    /// from one racy (top, bottom) observation — at most half the run,
+    /// rounded up — then claim one proven single-item CAS at a time, first
+    /// item returned, surplus pushed onto the thief's own `dest` deque,
+    /// stopping the moment a claim is lost. Returns the first-item result
+    /// and how many surplus items moved to `dest`.
+    pub fn steal_half(&self, dest: &ModelDeque) -> (ModelSteal, usize) {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return (ModelSteal::Empty, 0);
+        }
+        let goal = ((b - t) as usize).div_ceil(2);
+        let mut first = None;
+        let mut moved = 0usize;
+        let mut miss = ModelSteal::Empty;
+        for _ in 0..goal {
+            match self.steal_half_probe() {
+                ModelSteal::Item(v) => {
+                    if first.is_none() {
+                        first = Some(v);
+                    } else {
+                        dest.push(v);
+                        moved += 1;
+                    }
+                }
+                m @ (ModelSteal::Empty | ModelSteal::Retry) => {
+                    miss = m;
+                    break;
+                }
+            }
+        }
+        match first {
+            Some(v) => (ModelSteal::Item(v), moved),
+            None => (miss, 0),
         }
     }
 }

@@ -52,6 +52,10 @@ pub enum Mutation {
     /// `deque.rs::steal`: take the item without the claiming top CAS. Two
     /// thieves (or thief and owner) both return the same item.
     DequeStealSkipCas,
+    /// `deque.rs::steal_half`: when the claiming top CAS loses the race,
+    /// keep the already-read item anyway instead of discarding the whole
+    /// batch. The winner of the CAS also claims that item — double claim.
+    DequeStealHalfKeepOnCasFail,
     /// `parker.rs::notify`: skip setting the permit when the target is not
     /// currently parked. The notify-between-check-and-park window becomes a
     /// lost wakeup (deadlock).

@@ -209,6 +209,59 @@ fn deque_push_vs_steal_scenario(mutation: Mutation) -> impl Fn() + Send + Sync {
     }
 }
 
+/// Batched steal: two thieves `steal_half` from a 3-item victim into
+/// private deques of their own while the owner pops. The first claims of
+/// the two batches race on the same `top` CAS — the window the
+/// keep-on-CAS-fail mutant turns into a double claim. Every item must be
+/// claimed exactly once across owner pops, batch firsts and dest drains.
+fn deque_steal_half_scenario(mutation: Mutation) -> impl Fn() + Send + Sync {
+    move || {
+        let d = Arc::new(ModelDeque::new(8, mutation));
+        let claims = Arc::new(StdMutex::new(Vec::<u64>::new()));
+        for item in [1u64, 2, 3] {
+            d.push(item);
+        }
+        let spawn_thief = |n: &str| {
+            let (d, claims) = (Arc::clone(&d), Arc::clone(&claims));
+            shim::thread::spawn(n, move || {
+                // Thief-private destination: the thief is its owner.
+                let dest = ModelDeque::new(8, Mutation::None);
+                for _ in 0..2 {
+                    match d.steal_half(&dest) {
+                        (ModelSteal::Item(v), _) => {
+                            assert_ne!(v, u64::MAX, "stole an uninitialised slot");
+                            claims.lock().unwrap().push(v);
+                            break;
+                        }
+                        (ModelSteal::Empty, moved) | (ModelSteal::Retry, moved) => {
+                            assert_eq!(moved, 0, "a miss must not move surplus");
+                        }
+                    }
+                }
+                while let Some(v) = dest.pop() {
+                    assert_ne!(v, u64::MAX, "moved an uninitialised slot");
+                    claims.lock().unwrap().push(v);
+                }
+            })
+        };
+        let t1 = spawn_thief("thief-1");
+        let t2 = spawn_thief("thief-2");
+        while let Some(v) = d.pop() {
+            claims.lock().unwrap().push(v);
+        }
+        t1.join();
+        t2.join();
+        let got = claims.lock().unwrap().clone();
+        for item in [1u64, 2, 3] {
+            assert_eq!(
+                got.iter().filter(|&&v| v == item).count(),
+                1,
+                "item {item} claim count wrong; claims: {got:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn deque_steal_vs_owner_pop_at_empty_ok() {
     wide().check("deque-1item", deque_one_item_scenario(Mutation::None));
@@ -251,6 +304,24 @@ fn mutation_deque_steal_skip_cas_caught() {
         deque_one_item_scenario(Mutation::DequeStealSkipCas),
     );
     assert_caught("deque-steal-skip-cas", fail);
+}
+
+#[test]
+fn deque_steal_half_ok() {
+    wide().check("deque-steal-half", deque_steal_half_scenario(Mutation::None));
+}
+
+#[test]
+fn mutation_deque_steal_half_keep_on_cas_fail_caught() {
+    let fail = wide().find_failure(
+        "deque-steal-half-keep-on-cas-fail",
+        deque_steal_half_scenario(Mutation::DequeStealHalfKeepOnCasFail),
+    );
+    let fail = assert_caught("deque-steal-half-keep-on-cas-fail", fail);
+    assert_replays(
+        &fail,
+        deque_steal_half_scenario(Mutation::DequeStealHalfKeepOnCasFail),
+    );
 }
 
 // ---------------------------------------------------------------- parker

@@ -5,6 +5,8 @@ use std::time::Instant;
 
 use pyjama_trace::TraceId;
 
+use crate::inline::InlineFn;
+
 /// Globally unique identifier of a posted event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub u64);
@@ -40,7 +42,7 @@ pub struct Event {
     label: Option<String>,
     fired_at: Instant,
     trace: TraceId,
-    handler: Box<dyn FnOnce() + Send + 'static>,
+    handler: InlineFn,
 }
 
 impl Event {
@@ -52,7 +54,7 @@ impl Event {
             label: None,
             fired_at: Instant::now(),
             trace: TraceId::mint(),
-            handler: Box::new(handler),
+            handler: InlineFn::new(handler),
         }
     }
 
@@ -93,9 +95,14 @@ impl Event {
         self.trace
     }
 
+    /// True when the handler's captures are stored inline (no allocation).
+    pub fn handler_is_inline(&self) -> bool {
+        self.handler.is_inline()
+    }
+
     /// Consumes the event and runs its handler.
     pub fn dispatch(self) {
-        (self.handler)()
+        self.handler.call()
     }
 }
 

@@ -1,0 +1,243 @@
+//! `InlineFn` — small-closure storage that skips the allocator.
+//!
+//! `Box<dyn FnOnce()>` costs one heap allocation per closure, and on the
+//! posting hot path (one closure per event, one per target region) that
+//! allocation dominates everything else the post does. Typical capture sets
+//! are tiny — an `Arc` or two, an integer — so this type stores closures of
+//! up to [`INLINE_WORDS`] machine words (with alignment ≤ that of `usize`)
+//! directly inside the struct and only spills larger or over-aligned
+//! captures to the heap.
+//!
+//! The layout is a hand-rolled vtable of two function pointers:
+//!
+//! * `call` — moves the closure out of storage and invokes it, consuming it;
+//! * `drop_in_place` — destroys a never-called closure (handler dropped
+//!   because a queue was closed, a region cancelled, …).
+//!
+//! Both are monomorphised per closure type by [`InlineFn::new`], so calling
+//! an `InlineFn` is one indirect call — the same cost as `Box<dyn FnOnce>` —
+//! while creating one is free for the common case.
+//!
+//! Safety note: `InlineFn` is `Send` (the constructor bounds `F: Send`) but
+//! deliberately not `Sync` — the storage is moved out by value on call.
+
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
+use std::ptr;
+
+/// Number of machine words a closure may capture and still be stored inline.
+pub const INLINE_WORDS: usize = 3;
+
+/// Raw inline storage: `INLINE_WORDS` words, `usize`-aligned.
+type Slot = MaybeUninit<[usize; INLINE_WORDS]>;
+
+/// Does `F` fit the inline slot (size *and* alignment)?
+const fn fits_inline<F>() -> bool {
+    size_of::<F>() <= size_of::<Slot>() && align_of::<F>() <= align_of::<Slot>()
+}
+
+/// A `FnOnce() + Send` stored without heap allocation when small.
+///
+/// Drop-in replacement for `Box<dyn FnOnce() + Send>` on hot paths:
+///
+/// ```
+/// use pyjama_events::inline::InlineFn;
+/// let x = 41u64;
+/// let f = InlineFn::new(move || assert_eq!(x + 1, 42));
+/// assert!(f.is_inline());
+/// f.call();
+/// ```
+pub struct InlineFn {
+    /// Either the closure itself (inline) or a `*mut F` (spilled).
+    slot: Slot,
+    /// Moves the closure out of `slot` and runs it.
+    call: unsafe fn(*mut Slot),
+    /// Destroys an uncalled closure in `slot`.
+    drop_in_place: unsafe fn(*mut Slot),
+    /// True when the closure lives in `slot` directly (observability only).
+    inline: bool,
+}
+
+// SAFETY: `new` requires `F: Send`, and the closure is only ever accessed
+// by whoever owns the `InlineFn`, which itself moves between threads as a
+// value. A spilled closure is an owned heap pointer, same as `Box<F>`.
+unsafe impl Send for InlineFn {}
+
+impl InlineFn {
+    /// Wraps `f`, storing it inline when it fits and boxing it otherwise.
+    pub fn new<F: FnOnce() + Send + 'static>(f: F) -> Self {
+        if fits_inline::<F>() {
+            // SAFETY: size/align checked; the value is written once here and
+            // read exactly once by `call_inline` or `drop_inline`.
+            unsafe fn call_inline<F: FnOnce()>(slot: *mut Slot) {
+                let f: F = unsafe { ptr::read(slot.cast::<F>()) };
+                f();
+            }
+            unsafe fn drop_inline<F>(slot: *mut Slot) {
+                unsafe { ptr::drop_in_place(slot.cast::<F>()) }
+            }
+            let mut slot = Slot::uninit();
+            unsafe { ptr::write(slot.as_mut_ptr().cast::<F>(), f) };
+            InlineFn {
+                slot,
+                call: call_inline::<F>,
+                drop_in_place: drop_inline::<F>,
+                inline: true,
+            }
+        } else {
+            // Spill: store the box's raw pointer in the first slot word.
+            unsafe fn call_boxed<F: FnOnce()>(slot: *mut Slot) {
+                let f = unsafe { Box::from_raw(ptr::read(slot.cast::<*mut F>())) };
+                f();
+            }
+            unsafe fn drop_boxed<F>(slot: *mut Slot) {
+                drop(unsafe { Box::from_raw(ptr::read(slot.cast::<*mut F>())) });
+            }
+            let raw = Box::into_raw(Box::new(f));
+            let mut slot = Slot::uninit();
+            unsafe { ptr::write(slot.as_mut_ptr().cast::<*mut F>(), raw) };
+            InlineFn {
+                slot,
+                call: call_boxed::<F>,
+                drop_in_place: drop_boxed::<F>,
+                inline: false,
+            }
+        }
+    }
+
+    /// True when the closure is stored inline (no allocation happened).
+    pub fn is_inline(&self) -> bool {
+        self.inline
+    }
+
+    /// Consumes the wrapper and runs the closure.
+    pub fn call(self) {
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: `self` is consumed and its Drop suppressed, so the slot is
+        // read exactly once.
+        unsafe { (this.call)(&mut this.slot) }
+    }
+}
+
+impl Drop for InlineFn {
+    fn drop(&mut self) {
+        // SAFETY: `call` consumes `self` via ManuallyDrop, so reaching Drop
+        // means the closure was never taken out.
+        unsafe { (self.drop_in_place)(&mut self.slot) }
+    }
+}
+
+impl std::fmt::Debug for InlineFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InlineFn")
+            .field("inline", &self.inline)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_capture_is_inline() {
+        let f = InlineFn::new(|| {});
+        assert!(f.is_inline());
+        f.call();
+    }
+
+    #[test]
+    fn small_captures_stay_inline_and_run() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (h, n) = (Arc::clone(&hits), 7usize);
+        let f = InlineFn::new(move || {
+            h.fetch_add(n, Ordering::SeqCst);
+        });
+        assert!(f.is_inline(), "Arc + usize must fit {INLINE_WORDS} words");
+        f.call();
+        assert_eq!(hits.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn large_captures_spill_and_run() {
+        let big = [7u64; 16];
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let f = InlineFn::new(move || {
+            h.fetch_add(big.iter().sum::<u64>() as usize, Ordering::SeqCst);
+        });
+        assert!(!f.is_inline());
+        f.call();
+        assert_eq!(hits.load(Ordering::SeqCst), 7 * 16);
+    }
+
+    #[test]
+    fn over_aligned_captures_spill() {
+        #[repr(align(64))]
+        #[derive(Clone, Copy)]
+        struct Aligned(#[allow(dead_code)] u8);
+        let a = Aligned(3);
+        // black_box the whole struct: edition-2021 closures capture disjoint
+        // fields, and `a.0` alone would be a 1-byte (inline-able) capture.
+        let f = InlineFn::new(move || {
+            std::hint::black_box(a);
+        });
+        assert!(!f.is_inline(), "align 64 exceeds slot alignment");
+        f.call();
+    }
+
+    #[test]
+    fn uncalled_inline_closure_drops_captures() {
+        let arc = Arc::new(());
+        let probe = Arc::clone(&arc);
+        let f = InlineFn::new(move || {
+            let _keep = &probe;
+        });
+        assert!(f.is_inline());
+        assert_eq!(Arc::strong_count(&arc), 2);
+        drop(f);
+        assert_eq!(Arc::strong_count(&arc), 1, "capture must be destroyed");
+    }
+
+    #[test]
+    fn uncalled_spilled_closure_drops_captures() {
+        let arc = Arc::new(());
+        let probe = Arc::clone(&arc);
+        let pad = [0u64; 16];
+        let f = InlineFn::new(move || {
+            let _keep = (&probe, &pad);
+        });
+        assert!(!f.is_inline());
+        drop(f);
+        assert_eq!(Arc::strong_count(&arc), 1);
+    }
+
+    #[test]
+    fn call_consumes_exactly_once() {
+        struct Bomb(Arc<AtomicUsize>);
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let bomb = Bomb(Arc::clone(&drops));
+        let f = InlineFn::new(move || {
+            let _b = &bomb;
+        });
+        f.call();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "capture dropped once");
+    }
+
+    #[test]
+    fn sendable_across_threads() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let f = InlineFn::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::spawn(move || f.call()).join().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

@@ -4,7 +4,8 @@
 //! event-loop) with associated event listeners" (§II-A of the paper). This
 //! crate provides that substrate:
 //!
-//! * [`Event`] — a unit of dispatch: a boxed handler plus priority and
+//! * [`Event`] — a unit of dispatch: a handler (stored inline via
+//!   [`InlineFn`] when its captures are small) plus priority and
 //!   correlation metadata.
 //! * [`EventQueue`] — the blocking, priority-ordered queue behind a loop.
 //! * [`EventLoop`] — the dispatch loop itself, with the one non-standard
@@ -25,6 +26,7 @@ pub mod coalesce;
 pub mod edt;
 pub mod event;
 pub mod eventloop;
+pub mod inline;
 pub mod pump;
 pub mod queue;
 pub mod recurring;
@@ -33,6 +35,7 @@ pub mod timer;
 pub use coalesce::Coalescer;
 pub use edt::Edt;
 pub use event::{Event, EventId, Priority};
+pub use inline::InlineFn;
 pub use eventloop::{EventLoop, EventLoopHandle, LoopStats};
 pub use queue::{EventQueue, QueueWaker};
 pub use recurring::IntervalHandle;

@@ -5,7 +5,8 @@
 //!
 //! * `GET /config` — the current config snapshot plus its generation, as
 //!   JSON.
-//! * `GET /stats`  — reconfiguration counters (applied/rejected/generation)
+//! * `GET /stats`  — reconfiguration counters (applied/rejected/generation),
+//!   admission counters, and the region recycler's allocation gauges
 //!   and, when a probe is wired, the data-plane admission counters.
 //! * `POST /config` — a flat JSON object of config overrides. The patch is
 //!   applied on top of the *current* config and handed to
@@ -142,10 +143,15 @@ fn route(plane: &ControlPlane, admission: &Option<AdmissionProbe>, req: &Request
         ("GET", "/stats") => {
             let r = plane.stats();
             let a = admission.as_ref().map(|p| p()).unwrap_or_default();
+            // Region-recycler gauges: `reused / (allocated + reused)` is the
+            // live hit rate of the allocation-free posting path.
+            let al = pyjama_runtime::alloc_stats();
             json_ok(format!(
                 "{{\"reconfig\":{{\"applied\":{},\"rejected\":{},\
                  \"subscribers_notified\":{},\"generation\":{}}},\
-                 \"admission\":{{\"offered\":{},\"admitted\":{},\"shed\":{}}}}}",
+                 \"admission\":{{\"offered\":{},\"admitted\":{},\"shed\":{}}},\
+                 \"alloc\":{{\"allocated\":{},\"reused\":{},\"recycled\":{},\
+                 \"live\":{},\"dropped\":{},\"poisoned\":{}}}}}",
                 r.applied,
                 r.rejected,
                 r.subscribers_notified,
@@ -153,6 +159,12 @@ fn route(plane: &ControlPlane, admission: &Option<AdmissionProbe>, req: &Request
                 a.offered,
                 a.admitted,
                 a.shed,
+                al.allocated,
+                al.reused,
+                al.recycled,
+                al.live,
+                al.dropped,
+                al.poisoned,
             ))
         }
         ("POST", "/config") => {
@@ -361,6 +373,7 @@ mod tests {
         let body = body_str(&resp).to_string();
         assert!(body.contains("\"applied\":1"), "{body}");
         assert!(body.contains("\"shed\":3"), "{body}");
+        assert!(body.contains("\"alloc\":{\"allocated\":"), "{body}");
         admin.shutdown();
     }
 

@@ -1,0 +1,209 @@
+//! Region/event recycling counters and their conservation law.
+//!
+//! The runtime recycles terminal `TargetRegion` allocations through a
+//! bounded lock-free slab instead of dropping them, so the steady-state
+//! posting path never touches the global allocator. These counters make the
+//! slab auditable. Every region a program ever sees is in exactly one of
+//! three places once constructed:
+//!
+//! * **live** — checked out: queued, running, or awaiting release (gauge);
+//! * **recycled** — resting in the slab awaiting reuse (gauge);
+//! * **dropped** — retired for good: slab full, panicked/poisoned, or still
+//!   pinned by an outstanding handle at release time (cumulative).
+//!
+//! which gives the conservation law checked at quiesce:
+//!
+//! ```text
+//! allocated == recycled + live + dropped
+//! ```
+//!
+//! where `allocated` cumulatively counts *fresh* constructions only. A slab
+//! hit increments `reused` instead — `reused / (allocated + reused)` is the
+//! recycler's hit rate, and a steady-state hit rate of 1.0 is exactly the
+//! "0 allocations per post" property the `post_hotpath` bench gates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative + gauge counters for an allocation recycler. All updates are
+/// relaxed atomics; exact equality in the conservation law is only expected
+/// at quiesce (no region in flight).
+#[derive(Debug, Default)]
+pub struct AllocCounters {
+    allocated: AtomicU64,
+    reused: AtomicU64,
+    dropped: AtomicU64,
+    poisoned: AtomicU64,
+    live: AtomicU64,
+    recycled: AtomicU64,
+}
+
+impl AllocCounters {
+    /// An all-zero counter set, usable in `static` position.
+    pub const fn new() -> Self {
+        AllocCounters {
+            allocated: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh region was constructed (slab miss). It starts live.
+    pub fn record_fresh(&self) {
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A region was taken from the slab (hit): recycled → live.
+    pub fn record_reuse(&self) {
+        self.reused.fetch_add(1, Ordering::Relaxed);
+        self.recycled.fetch_sub(1, Ordering::Relaxed);
+        self.live.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A parked region was claimed from the slab but found still pinned at
+    /// reset time (recycled → live); the caller retires it, and its drop
+    /// records live → dropped. Not counted as a reuse — the claim produced
+    /// no recycled region.
+    pub fn record_unpark(&self) {
+        self.recycled.fetch_sub(1, Ordering::Relaxed);
+        self.live.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A terminal region entered the slab: live → recycled.
+    pub fn record_recycle(&self) {
+        self.recycled.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A live region was retired for good (slab full, pinned by a handle,
+    /// or simply dropped by its owner): live → dropped.
+    pub fn record_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A panicked (poisoned) region was retired instead of recycled.
+    /// Also counts as a [`record_drop`](Self::record_drop) — this counter
+    /// only attributes the reason.
+    pub fn record_poisoned(&self) {
+        self.poisoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot for reporting.
+    pub fn snapshot(&self) -> AllocStats {
+        AllocStats {
+            allocated: self.allocated.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+            live: self.live.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of [`AllocCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Fresh constructions (cumulative; slab misses).
+    pub allocated: u64,
+    /// Slab hits (cumulative; posts that allocated nothing).
+    pub reused: u64,
+    /// Regions retired for good (cumulative).
+    pub dropped: u64,
+    /// Of `dropped`, those retired because their body panicked.
+    pub poisoned: u64,
+    /// Regions currently checked out (gauge).
+    pub live: u64,
+    /// Regions currently resting in the slab (gauge).
+    pub recycled: u64,
+}
+
+impl AllocStats {
+    /// The conservation law `allocated == recycled + live + dropped`.
+    /// Exact at quiesce; transiently off by in-flight transitions otherwise.
+    pub fn conserved(&self) -> bool {
+        self.allocated == self.recycled + self.live + self.dropped
+    }
+
+    /// Fraction of acquisitions served from the slab, in `[0, 1]`.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.allocated + self.reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+
+    /// Cumulative-counter growth between an earlier snapshot and this one.
+    /// Gauges (`live`, `recycled`) are carried from `self` unchanged — a
+    /// gauge delta is not meaningful.
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocated: self.allocated.saturating_sub(earlier.allocated),
+            reused: self.reused.saturating_sub(earlier.reused),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            poisoned: self.poisoned.saturating_sub(earlier.poisoned),
+            live: self.live,
+            recycled: self.recycled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_conserved() {
+        let c = AllocCounters::new();
+        let s = c.snapshot();
+        assert_eq!(s, AllocStats::default());
+        assert!(s.conserved());
+        assert_eq!(s.reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn lifecycle_conserves() {
+        let c = AllocCounters::new();
+        // Two fresh regions; one recycles, one drops.
+        c.record_fresh();
+        c.record_fresh();
+        c.record_recycle();
+        c.record_drop();
+        let s = c.snapshot();
+        assert_eq!(s.allocated, 2);
+        assert_eq!(s.recycled, 1);
+        assert_eq!(s.live, 0);
+        assert_eq!(s.dropped, 1);
+        assert!(s.conserved());
+
+        // Reuse the recycled one, then poison-drop it.
+        c.record_reuse();
+        c.record_poisoned();
+        c.record_drop();
+        let s = c.snapshot();
+        assert_eq!(s.reused, 1);
+        assert_eq!(s.poisoned, 1);
+        assert_eq!(s.dropped, 2);
+        assert!(s.conserved());
+        assert_eq!(s.reuse_rate(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn since_diffs_cumulative_keeps_gauges() {
+        let c = AllocCounters::new();
+        c.record_fresh();
+        let s1 = c.snapshot();
+        c.record_fresh();
+        c.record_recycle();
+        let d = c.snapshot().since(&s1);
+        assert_eq!(d.allocated, 1);
+        assert_eq!(d.live, 1, "gauge carried, not diffed");
+        assert_eq!(d.recycled, 1);
+    }
+}

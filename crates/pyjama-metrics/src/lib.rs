@@ -36,6 +36,7 @@
 //! systems being measured.
 
 pub mod admission;
+pub mod alloc;
 pub mod conn;
 pub mod histogram;
 pub mod latency;
@@ -51,6 +52,7 @@ pub mod timeline;
 pub mod vm;
 
 pub use admission::{AdmissionCounters, AdmissionStats};
+pub use alloc::{AllocCounters, AllocStats};
 pub use conn::{ConnCounters, ConnStats};
 pub use histogram::Histogram;
 pub use latency::LatencyRecorder;

@@ -7,6 +7,16 @@
 //! `local_pops`; external load drains through `injector_pops`; imbalance
 //! shows up as `steals`. A high `steal_attempts`-to-`steals` ratio means
 //! threads are scanning empty siblings — the pool is starved, not unbalanced.
+//!
+//! Batching (PR 10) adds a second dimension: both acquisition paths can now
+//! take *several* tasks per synchronisation — `steal_half` claims up to half
+//! the victim's run under per-item CAS, and the injector drains up to a small
+//! batch under one lock acquisition. The per-task counters above still count
+//! every executed task exactly once (the conservation law
+//! `executed == local_pops + steals + injector_pops` is unchanged); the batch
+//! counters count *synchronisation events*, so `injector_pops /
+//! injector_batches` and `(steals + steal_moved) / steal_batches` are the
+//! realised amortisation factors.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -18,6 +28,10 @@ pub struct StealCounters {
     steals: AtomicU64,
     steal_attempts: AtomicU64,
     injector_pops: AtomicU64,
+    steal_batches: AtomicU64,
+    steal_moved: AtomicU64,
+    injector_batches: AtomicU64,
+    injector_moved: AtomicU64,
 }
 
 impl StealCounters {
@@ -28,6 +42,10 @@ impl StealCounters {
             steals: AtomicU64::new(0),
             steal_attempts: AtomicU64::new(0),
             injector_pops: AtomicU64::new(0),
+            steal_batches: AtomicU64::new(0),
+            steal_moved: AtomicU64::new(0),
+            injector_batches: AtomicU64::new(0),
+            injector_moved: AtomicU64::new(0),
         }
     }
 
@@ -51,6 +69,24 @@ impl StealCounters {
         self.injector_pops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One successful `steal_half`: a batch of `1 + moved` tasks claimed
+    /// from a victim — one to run now (counted separately by
+    /// [`record_steal`](Self::record_steal)) and `moved` re-queued on the
+    /// thief's own deque (they count as `local_pops` when popped).
+    pub fn record_steal_batch(&self, moved: u64) {
+        self.steal_batches.fetch_add(1, Ordering::Relaxed);
+        self.steal_moved.fetch_add(moved, Ordering::Relaxed);
+    }
+
+    /// One injector drain: `1 + moved` tasks taken under a single lock
+    /// acquisition — one to run now plus `moved` buffered for the next
+    /// dispatch turns (each counted by
+    /// [`record_injector_pop`](Self::record_injector_pop) when it runs).
+    pub fn record_injector_batch(&self, moved: u64) {
+        self.injector_batches.fetch_add(1, Ordering::Relaxed);
+        self.injector_moved.fetch_add(moved, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> StealStats {
         StealStats {
@@ -58,6 +94,10 @@ impl StealCounters {
             steals: self.steals.load(Ordering::Relaxed),
             steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
             injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            steal_batches: self.steal_batches.load(Ordering::Relaxed),
+            steal_moved: self.steal_moved.load(Ordering::Relaxed),
+            injector_batches: self.injector_batches.load(Ordering::Relaxed),
+            injector_moved: self.injector_moved.load(Ordering::Relaxed),
         }
     }
 
@@ -70,6 +110,10 @@ impl StealCounters {
         self.steals.store(0, Ordering::Relaxed);
         self.steal_attempts.store(0, Ordering::Relaxed);
         self.injector_pops.store(0, Ordering::Relaxed);
+        self.steal_batches.store(0, Ordering::Relaxed);
+        self.steal_moved.store(0, Ordering::Relaxed);
+        self.injector_batches.store(0, Ordering::Relaxed);
+        self.injector_moved.store(0, Ordering::Relaxed);
     }
 }
 
@@ -82,15 +126,32 @@ impl StealStats {
             steals: self.steals.saturating_sub(earlier.steals),
             steal_attempts: self.steal_attempts.saturating_sub(earlier.steal_attempts),
             injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+            steal_batches: self.steal_batches.saturating_sub(earlier.steal_batches),
+            steal_moved: self.steal_moved.saturating_sub(earlier.steal_moved),
+            injector_batches: self.injector_batches.saturating_sub(earlier.injector_batches),
+            injector_moved: self.injector_moved.saturating_sub(earlier.injector_moved),
         }
     }
 
     /// Total tasks executed by the pool this snapshot describes: every task
     /// leaves through exactly one of the three sources, so
     /// `executed == local_pops + steals + injector_pops` is the scheduler's
-    /// conservation law.
+    /// conservation law. Batch-moved tasks are *not* a fourth source: a
+    /// steal-moved task runs as a later `local_pop`, an injector-moved task
+    /// runs as a later `injector_pop`.
     pub fn executed(&self) -> u64 {
         self.local_pops + self.steals + self.injector_pops
+    }
+
+    /// Batch-accounting consistency: every batch contributes exactly one
+    /// directly-run task, so the per-task counters must dominate the batch
+    /// counters (`steals >= steal_batches`,
+    /// `injector_pops >= injector_batches + injector_moved` once the moved
+    /// tasks have run). Checked at quiesce by the pool's stress tests.
+    pub fn batches_consistent(&self) -> bool {
+        self.steals >= self.steal_batches
+            && self.local_pops >= self.steal_moved
+            && self.injector_pops >= self.injector_batches
     }
 }
 
@@ -99,12 +160,22 @@ impl StealStats {
 pub struct StealStats {
     /// Tasks taken from the owning thread's deque.
     pub local_pops: u64,
-    /// Tasks taken from a sibling thread's deque.
+    /// Tasks taken from a sibling thread's deque and run directly.
     pub steals: u64,
     /// Sibling deques probed, successfully or not.
     pub steal_attempts: u64,
     /// Tasks taken from the global FIFO injector.
     pub injector_pops: u64,
+    /// Successful `steal_half` batches (each also counts one `steals`).
+    pub steal_batches: u64,
+    /// Tasks a `steal_half` moved onto the thief's own deque (they execute
+    /// as `local_pops` later).
+    pub steal_moved: u64,
+    /// Injector drains that took at least one task under one lock hold.
+    pub injector_batches: u64,
+    /// Tasks an injector drain buffered beyond the first (they execute as
+    /// `injector_pops` when dispatched).
+    pub injector_moved: u64,
 }
 
 #[cfg(test)]
@@ -149,6 +220,29 @@ mod tests {
         assert_eq!(delta.executed(), 1);
         c.reset();
         assert_eq!(c.snapshot(), StealStats::default());
+    }
+
+    #[test]
+    fn batch_counters_track_amortisation() {
+        let c = StealCounters::new();
+        // A steal_half that claimed 4 tasks: 1 run directly, 3 moved.
+        c.record_steal();
+        c.record_steal_batch(3);
+        // The 3 moved tasks later pop locally.
+        for _ in 0..3 {
+            c.record_local_pop();
+        }
+        // An injector drain of 2: 1 run now, 1 buffered, both injector_pops.
+        c.record_injector_pop();
+        c.record_injector_batch(1);
+        c.record_injector_pop();
+        let s = c.snapshot();
+        assert_eq!(s.steal_batches, 1);
+        assert_eq!(s.steal_moved, 3);
+        assert_eq!(s.injector_batches, 1);
+        assert_eq!(s.injector_moved, 1);
+        assert_eq!(s.executed(), 1 + 3 + 2);
+        assert!(s.batches_consistent());
     }
 
     #[test]

@@ -25,11 +25,27 @@
 //! Capacity doubles on each growth, so the retired chain totals less than
 //! the final buffer — bounded memory for an unbounded-lifetime pool.
 //!
-//! Items are stored as raw `Box` pointers so a steal that loses its CAS race
-//! can simply abandon the slot without dropping or duplicating the value.
-//! A lost race surfaces to the caller as [`Steal::Retry`] (the PPoPP-2013
-//! ABORT outcome) so thieves rotate to the next victim instead of spinning
-//! on one contended deque.
+//! Items are stored as raw pointers so a steal that loses its CAS race can
+//! simply abandon the slot without dropping or duplicating the value. The
+//! pointer is the *item's own* allocation ([`PointerItem`]): pushing an
+//! `Arc<TargetRegion>` stores the `Arc`'s pointer directly — the deque adds
+//! **zero** allocations per item (it used to box every value, one heap
+//! round trip per push on the hot path). A lost race surfaces to the caller
+//! as [`Steal::Retry`] (the PPoPP-2013 ABORT outcome) so thieves rotate to
+//! the next victim instead of spinning on one contended deque.
+//!
+//! ## Batched stealing
+//!
+//! [`steal_half`](ChaseLev::steal_half) claims up to half of the victim's
+//! observed run, one proven single-item CAS at a time, parking the surplus
+//! on the thief's **own** deque (where it is the owner). A single
+//! range-CAS of `top` (claim `[t, t+k)` in one step) would be unsound
+//! against this owner `pop`: the owner decrements `bottom` *without* a CAS
+//! and only races for the last item, so it can take an index strictly
+//! inside a thief's claimed range after the thief read `bottom` but before
+//! its top-CAS lands — a double-take no fence repairs. The per-item claim
+//! loop keeps every claim exactly the PPoPP-2013-verified probe and stops
+//! early the moment one is lost.
 //!
 //! ## Model-checked twin
 //!
@@ -42,8 +58,44 @@
 
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+/// An owned value that round-trips through a single raw pointer, letting
+/// the deque store it in an `AtomicPtr` slot without an extra box.
+///
+/// # Safety
+///
+/// `into_ptr` must return a non-null pointer that uniquely represents the
+/// value (ownership transfers to the pointer), and `from_ptr` must be the
+/// exact inverse, called at most once per `into_ptr`.
+pub(crate) unsafe trait PointerItem: Send {
+    fn into_ptr(self) -> *mut ();
+    /// # Safety
+    /// `ptr` must come from `into_ptr` of the same type, unconsumed.
+    unsafe fn from_ptr(ptr: *mut ()) -> Self;
+}
+
+// SAFETY: `Arc::into_raw` / `Arc::from_raw` are exactly this contract.
+unsafe impl<T: Send + Sync> PointerItem for Arc<T> {
+    fn into_ptr(self) -> *mut () {
+        Arc::into_raw(self) as *mut ()
+    }
+    unsafe fn from_ptr(ptr: *mut ()) -> Self {
+        unsafe { Arc::from_raw(ptr as *const T) }
+    }
+}
+
+// SAFETY: likewise for `Box::into_raw` / `Box::from_raw`.
+unsafe impl<T: Send> PointerItem for Box<T> {
+    fn into_ptr(self) -> *mut () {
+        Box::into_raw(self) as *mut ()
+    }
+    unsafe fn from_ptr(ptr: *mut ()) -> Self {
+        unsafe { Box::from_raw(ptr as *mut T) }
+    }
+}
 
 /// Result of one [`ChaseLev::steal`] probe.
 ///
@@ -62,17 +114,18 @@ pub(crate) enum Steal<T> {
     Retry,
 }
 
-/// A growable circular buffer of raw item pointers.
+/// A growable circular buffer of raw item pointers (untyped; the deque's
+/// `PhantomData<T>` carries the item type).
 ///
 /// Slots are `AtomicPtr` solely so concurrent owner-writes and thief-reads
 /// of the *same slot* are not a data race in the Rust memory model; the
 /// deque protocol (fences + the `top` CAS) provides the actual ordering.
-struct Buffer<T> {
+struct Buffer {
     mask: usize,
-    slots: Box<[AtomicPtr<T>]>,
+    slots: Box<[AtomicPtr<()>]>,
 }
 
-impl<T> Buffer<T> {
+impl Buffer {
     fn new(cap: usize) -> Box<Self> {
         debug_assert!(cap.is_power_of_two());
         let slots = (0..cap)
@@ -86,32 +139,33 @@ impl<T> Buffer<T> {
         self.mask + 1
     }
 
-    fn slot(&self, index: isize) -> &AtomicPtr<T> {
+    fn slot(&self, index: isize) -> &AtomicPtr<()> {
         &self.slots[index as usize & self.mask]
     }
 }
 
 /// A work-stealing deque of `T` values. See the module docs for the
 /// ownership discipline and memory-ordering provenance.
-pub(crate) struct ChaseLev<T> {
+pub(crate) struct ChaseLev<T: PointerItem> {
     /// Next index a thief steals from; only ever incremented (by a
     /// successful CAS in `steal` or the owner's last-item CAS in `pop`).
     top: AtomicIsize,
     /// Next index the owner pushes to; moved only by the owner.
     bottom: AtomicIsize,
     /// The live buffer; replaced (by the owner) on growth.
-    buffer: AtomicPtr<Buffer<T>>,
+    buffer: AtomicPtr<Buffer>,
     /// Outgrown buffers, kept alive until drop — see module docs.
-    retired: Mutex<Vec<Box<Buffer<T>>>>,
+    retired: Mutex<Vec<Box<Buffer>>>,
     _marker: PhantomData<T>,
 }
 
 // The deque hands `T` values across threads (owner push → thief steal), so
-// `T: Send` is required and sufficient; the shared state is all atomics.
-unsafe impl<T: Send> Send for ChaseLev<T> {}
-unsafe impl<T: Send> Sync for ChaseLev<T> {}
+// `T: Send` is required (implied by `PointerItem`) and sufficient; the
+// shared state is all atomics.
+unsafe impl<T: PointerItem> Send for ChaseLev<T> {}
+unsafe impl<T: PointerItem> Sync for ChaseLev<T> {}
 
-impl<T> ChaseLev<T> {
+impl<T: PointerItem> ChaseLev<T> {
     /// An empty deque with room for `min_cap` items before the first growth
     /// (rounded up to a power of two, at least 2).
     pub(crate) fn with_capacity(min_cap: usize) -> Self {
@@ -144,8 +198,10 @@ impl<T> ChaseLev<T> {
     }
 
     /// Owner-only: pushes an item at the bottom. Grows the buffer when full.
+    /// Allocation-free for already-boxed items (`Arc`/`Box`): the item's own
+    /// pointer goes into the slot.
     pub(crate) fn push(&self, value: T) {
-        let item = Box::into_raw(Box::new(value));
+        let item = value.into_ptr();
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         // Only the owner stores `buffer`, so a relaxed load reads its own
@@ -186,7 +242,7 @@ impl<T> ChaseLev<T> {
                     return None;
                 }
             }
-            Some(unsafe { *Box::from_raw(item) })
+            Some(unsafe { T::from_ptr(item) })
         } else {
             // Already empty; restore bottom.
             self.bottom.store(b + 1, Ordering::Relaxed);
@@ -216,7 +272,7 @@ impl<T> ChaseLev<T> {
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
         {
-            Steal::Item(unsafe { *Box::from_raw(item) })
+            Steal::Item(unsafe { T::from_ptr(item) })
         } else {
             // Lost the race for index t: the item went to the owner or
             // another thief.
@@ -224,8 +280,56 @@ impl<T> ChaseLev<T> {
         }
     }
 
+    /// Steals up to half of the victim's observed run in one call: the
+    /// first claimed item is returned to run immediately, the surplus is
+    /// pushed onto `dest` — the **calling thread's own deque**, where it is
+    /// the owner (the push is an owner operation). Returns the first-item
+    /// outcome plus how many extra items were moved.
+    ///
+    /// Every claim is one [`steal`](Self::steal) — the single-item probe
+    /// whose orderings the PPoPP-2013 proof (and the model port in
+    /// pyjama-check) covers — so batching adds no new synchronisation to
+    /// verify; see the module docs for why a single range-CAS of `top`
+    /// would race the owner's `pop`. The loop stops at the batch goal, on
+    /// `Empty`, or on the first lost CAS.
+    pub(crate) fn steal_half(&self, dest: &ChaseLev<T>) -> (Steal<T>, usize) {
+        // Size the batch from one racy observation: at most half the run
+        // (rounded up), at least one. The observation can go stale — the
+        // claim loop re-validates every index the proven way.
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return (Steal::Empty, 0);
+        }
+        let goal = ((b - t) as usize).div_ceil(2);
+        let mut first = None;
+        let mut moved = 0usize;
+        let mut miss = Steal::Empty;
+        for _ in 0..goal {
+            match self.steal() {
+                Steal::Item(v) => {
+                    if first.is_none() {
+                        first = Some(v);
+                    } else {
+                        dest.push(v);
+                        moved += 1;
+                    }
+                }
+                m @ (Steal::Empty | Steal::Retry) => {
+                    miss = m;
+                    break;
+                }
+            }
+        }
+        match first {
+            Some(v) => (Steal::Item(v), moved),
+            None => (miss, 0),
+        }
+    }
+
     /// Owner-only: doubles the buffer, copying the live range `t..b`.
-    fn grow(&self, b: isize, t: isize, old: &Buffer<T>) {
+    fn grow(&self, b: isize, t: isize, old: &Buffer) {
         let new = Buffer::new(old.cap() * 2);
         let mut i = t;
         while i < b {
@@ -243,7 +347,7 @@ impl<T> ChaseLev<T> {
     }
 }
 
-impl<T> Drop for ChaseLev<T> {
+impl<T: PointerItem> Drop for ChaseLev<T> {
     fn drop(&mut self) {
         // Exclusive access: drain remaining items so their destructors run.
         let b = self.bottom.load(Ordering::Relaxed);
@@ -252,20 +356,20 @@ impl<T> Drop for ChaseLev<T> {
         let mut i = t;
         while i < b {
             let item = buf.slot(i).load(Ordering::Relaxed);
-            drop(unsafe { Box::from_raw(item) });
+            drop(unsafe { T::from_ptr(item) });
             i += 1;
         }
         // `buf` and the retired buffers drop here.
     }
 }
 
-impl<T> Default for ChaseLev<T> {
+impl<T: PointerItem> Default for ChaseLev<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> std::fmt::Debug for ChaseLev<T> {
+impl<T: PointerItem> std::fmt::Debug for ChaseLev<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChaseLev").field("len", &self.len()).finish()
     }
@@ -281,39 +385,50 @@ mod tests {
     #[test]
     fn lifo_for_owner() {
         let d = ChaseLev::new();
-        d.push(1);
-        d.push(2);
-        d.push(3);
-        assert_eq!(d.pop(), Some(3));
-        assert_eq!(d.pop(), Some(2));
-        assert_eq!(d.pop(), Some(1));
+        d.push(Box::new(1));
+        d.push(Box::new(2));
+        d.push(Box::new(3));
+        assert_eq!(d.pop(), Some(Box::new(3)));
+        assert_eq!(d.pop(), Some(Box::new(2)));
+        assert_eq!(d.pop(), Some(Box::new(1)));
         assert_eq!(d.pop(), None);
     }
 
     #[test]
     fn fifo_for_thief() {
         let d = ChaseLev::new();
-        d.push(1);
-        d.push(2);
-        d.push(3);
-        assert_eq!(d.steal(), Steal::Item(1));
-        assert_eq!(d.steal(), Steal::Item(2));
-        assert_eq!(d.pop(), Some(3));
+        d.push(Box::new(1));
+        d.push(Box::new(2));
+        d.push(Box::new(3));
+        assert_eq!(d.steal(), Steal::Item(Box::new(1)));
+        assert_eq!(d.steal(), Steal::Item(Box::new(2)));
+        assert_eq!(d.pop(), Some(Box::new(3)));
         assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn arc_items_round_trip_without_clone() {
+        let d = ChaseLev::new();
+        let item = Arc::new(7usize);
+        let probe = Arc::clone(&item);
+        d.push(item);
+        assert_eq!(Arc::strong_count(&probe), 2, "push must not clone");
+        let back = d.pop().unwrap();
+        assert!(Arc::ptr_eq(&back, &probe));
     }
 
     #[test]
     fn grows_past_initial_capacity() {
         let d = ChaseLev::with_capacity(2);
         for i in 0..1000 {
-            d.push(i);
+            d.push(Box::new(i));
         }
         assert_eq!(d.len(), 1000);
         // Oldest at the top, newest at the bottom — across several growths.
-        assert_eq!(d.steal(), Steal::Item(0));
-        assert_eq!(d.pop(), Some(999));
+        assert_eq!(d.steal(), Steal::Item(Box::new(0)));
+        assert_eq!(d.pop(), Some(Box::new(999)));
         for expected in (1..999).rev() {
-            assert_eq!(d.pop(), Some(expected));
+            assert_eq!(d.pop(), Some(Box::new(expected)));
         }
         assert_eq!(d.pop(), None);
     }
@@ -322,13 +437,116 @@ mod tests {
     fn len_tracks_pushes_pops_steals() {
         let d = ChaseLev::new();
         assert!(d.is_empty());
-        d.push(7);
-        d.push(8);
+        d.push(Box::new(7));
+        d.push(Box::new(8));
         assert_eq!(d.len(), 2);
         d.steal();
         assert_eq!(d.len(), 1);
         d.pop();
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn steal_half_takes_half_oldest_first() {
+        let victim = ChaseLev::new();
+        let own = ChaseLev::new();
+        for i in 0..8 {
+            victim.push(Box::new(i));
+        }
+        let (first, moved) = victim.steal_half(&own);
+        // 8 observed → goal 4: one to run, three moved.
+        assert_eq!(first, Steal::Item(Box::new(0)));
+        assert_eq!(moved, 3);
+        assert_eq!(victim.len(), 4);
+        assert_eq!(own.len(), 3);
+        // Moved items are the next-oldest run, now on the thief's deque.
+        let mut got: Vec<i32> = Vec::new();
+        while let Some(v) = own.pop() {
+            got.push(*v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn steal_half_of_one_item_moves_nothing() {
+        let victim = ChaseLev::new();
+        let own = ChaseLev::new();
+        victim.push(Box::new(42));
+        let (first, moved) = victim.steal_half(&own);
+        assert_eq!(first, Steal::Item(Box::new(42)));
+        assert_eq!(moved, 0);
+        assert!(own.is_empty());
+        assert_eq!(victim.steal_half(&own), (Steal::Empty, 0));
+    }
+
+    /// Concurrent steal_half + owner pops: every item still claimed exactly
+    /// once (each claim inside the batch is the proven single-item probe).
+    #[test]
+    fn steal_half_race_claims_each_item_once() {
+        const ITEMS: usize = 10_000;
+        for _ in 0..4 {
+            let victim = Arc::new(ChaseLev::with_capacity(4));
+            let done = Arc::new(AtomicUsize::new(0));
+            let claimed = Arc::new(Mutex::new(HashSet::new()));
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let victim = Arc::clone(&victim);
+                    let done = Arc::clone(&done);
+                    let claimed = Arc::clone(&claimed);
+                    s.spawn(move || {
+                        let own: ChaseLev<Box<usize>> = ChaseLev::new();
+                        let mut mine = Vec::new();
+                        loop {
+                            match victim.steal_half(&own) {
+                                (Steal::Item(v), _) => {
+                                    mine.push(*v);
+                                    while let Some(v) = own.pop() {
+                                        mine.push(*v);
+                                    }
+                                }
+                                (Steal::Empty, _) => {
+                                    if done.load(Ordering::SeqCst) == 1 && victim.len() == 0 {
+                                        break;
+                                    }
+                                    std::hint::spin_loop();
+                                }
+                                (Steal::Retry, _) => std::hint::spin_loop(),
+                            }
+                        }
+                        let mut g = claimed.lock();
+                        for v in mine {
+                            assert!(g.insert(v), "item {v} claimed twice");
+                        }
+                    });
+                }
+                {
+                    let victim = Arc::clone(&victim);
+                    let done = Arc::clone(&done);
+                    let claimed = Arc::clone(&claimed);
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in 0..ITEMS {
+                            victim.push(Box::new(i));
+                            if i % 3 == 0 {
+                                if let Some(v) = victim.pop() {
+                                    mine.push(*v);
+                                }
+                            }
+                        }
+                        while let Some(v) = victim.pop() {
+                            mine.push(*v);
+                        }
+                        done.store(1, Ordering::SeqCst);
+                        let mut g = claimed.lock();
+                        for v in mine {
+                            assert!(g.insert(v), "item {v} claimed twice");
+                        }
+                    });
+                }
+            });
+            assert_eq!(claimed.lock().len(), ITEMS);
+        }
     }
 
     #[test]
@@ -343,7 +561,7 @@ mod tests {
         let d = ChaseLev::with_capacity(2);
         for _ in 0..100 {
             live.fetch_add(1, Ordering::SeqCst);
-            d.push(Counted(Arc::clone(&live)));
+            d.push(Box::new(Counted(Arc::clone(&live))));
         }
         drop(d);
         assert_eq!(live.load(Ordering::SeqCst), 0, "drop must free queued items");
@@ -356,7 +574,7 @@ mod tests {
     fn contended_single_probe_claims_item_exactly_once() {
         for _ in 0..200 {
             let d = Arc::new(ChaseLev::with_capacity(2));
-            d.push(42usize);
+            d.push(Box::new(42usize));
             let won = Arc::new(AtomicUsize::new(0));
             std::thread::scope(|s| {
                 for _ in 0..4 {
@@ -364,7 +582,7 @@ mod tests {
                     let won = Arc::clone(&won);
                     s.spawn(move || match d.steal() {
                         Steal::Item(v) => {
-                            assert_eq!(v, 42);
+                            assert_eq!(*v, 42);
                             won.fetch_add(1, Ordering::SeqCst);
                         }
                         Steal::Empty | Steal::Retry => {}
@@ -385,7 +603,7 @@ mod tests {
     fn steal_vs_owner_pop_race_claims_each_item_once() {
         const ITEMS: usize = 20_000;
         const THIEVES: usize = 3;
-        let d = Arc::new(ChaseLev::with_capacity(4));
+        let d = Arc::new(ChaseLev::<Box<usize>>::with_capacity(4));
         let claimed = Arc::new(Mutex::new(HashSet::new()));
 
         std::thread::scope(|s| {
@@ -398,7 +616,7 @@ mod tests {
                     // observed empty.
                     loop {
                         match d.steal() {
-                            Steal::Item(v) => mine.push(v),
+                            Steal::Item(v) => mine.push(*v),
                             // Lost a race: someone else made progress; the
                             // real scheduler would move to its next victim.
                             Steal::Retry => std::hint::spin_loop(),
@@ -407,7 +625,7 @@ mod tests {
                                     // Owner dropped its handle: one more
                                     // probe confirms the deque stayed dry.
                                     match d.steal() {
-                                        Steal::Item(v) => mine.push(v),
+                                        Steal::Item(v) => mine.push(*v),
                                         Steal::Empty => break,
                                         Steal::Retry => {}
                                     }
@@ -429,17 +647,17 @@ mod tests {
                 s.spawn(move || {
                     let mut mine = Vec::new();
                     for i in 0..ITEMS {
-                        d.push(i);
+                        d.push(Box::new(i));
                         // Interleave pops so the owner contends on the last
                         // item with thieves constantly.
                         if i % 2 == 0 {
                             if let Some(v) = d.pop() {
-                                mine.push(v);
+                                mine.push(*v);
                             }
                         }
                     }
                     while let Some(v) = d.pop() {
-                        mine.push(v);
+                        mine.push(*v);
                     }
                     let mut g = claimed.lock();
                     for v in mine {

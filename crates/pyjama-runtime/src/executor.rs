@@ -97,6 +97,15 @@ pub struct TargetStats {
     pub steal_attempts: u64,
     /// Blocks taken from the pool's global FIFO injector.
     pub injector_pops: u64,
+    /// `steal_half` hits that moved surplus blocks onto the thief's deque.
+    pub steal_batches: u64,
+    /// Surplus blocks moved by `steal_half` (they run as `local_pops`).
+    pub steal_moved: u64,
+    /// Injector drains (each takes 1..=N blocks under one lock hold).
+    pub injector_batches: u64,
+    /// Blocks an injector drain buffered beyond the first (they run as
+    /// `injector_pops` when dispatched).
+    pub injector_moved: u64,
 }
 
 impl TargetStatsInner {
@@ -113,6 +122,10 @@ impl TargetStatsInner {
             steals: steal.steals,
             steal_attempts: steal.steal_attempts,
             injector_pops: steal.injector_pops,
+            steal_batches: steal.steal_batches,
+            steal_moved: steal.steal_moved,
+            injector_batches: steal.injector_batches,
+            injector_moved: steal.injector_moved,
         }
     }
 
@@ -143,6 +156,10 @@ impl TargetStats {
             steals: self.steals.saturating_sub(earlier.steals),
             steal_attempts: self.steal_attempts.saturating_sub(earlier.steal_attempts),
             injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+            steal_batches: self.steal_batches.saturating_sub(earlier.steal_batches),
+            steal_moved: self.steal_moved.saturating_sub(earlier.steal_moved),
+            injector_batches: self.injector_batches.saturating_sub(earlier.injector_batches),
+            injector_moved: self.injector_moved.saturating_sub(earlier.injector_moved),
         }
     }
 

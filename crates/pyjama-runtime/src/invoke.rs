@@ -51,8 +51,14 @@ impl Runtime {
         if target.is_member() {
             // Line 6–7: already in the execution environment — the directive
             // is "simply ignored" (§III-B) and the block runs synchronously.
+            // The region goes back to the recycler exactly as it would after
+            // a pool execution: a nested-directive loop on a member thread
+            // re-arms one region out of the thread-local cache instead of
+            // allocating per post. (`release` re-checks eligibility; the
+            // handle above does not block the park — see `slab`.)
             pyjama_trace::emit(handle.trace_id(), Stage::RegionInline, 0);
             region.execute();
+            crate::slab::release(region);
         } else {
             // Line 8.
             target.post(region);
@@ -93,8 +99,9 @@ impl Runtime {
         mode: Mode,
         block: impl FnOnce() + Send + 'static,
     ) -> Result<TaskHandle, RuntimeError> {
-        let target = self.lookup(name)?;
-        let region = TargetRegion::new(format!("target virtual({name})"), block);
+        let (target, label) = self.lookup_with_label(name)?;
+        // The label was interned at registration: no per-post `format!`.
+        let region = TargetRegion::with_label(label, block);
         Ok(self.invoke_target_block(&target, mode, region))
     }
 

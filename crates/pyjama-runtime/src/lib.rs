@@ -63,6 +63,7 @@ pub mod macros;
 pub mod mode;
 pub mod parker;
 pub mod registry;
+pub mod slab;
 pub mod sync;
 pub mod target_edt;
 pub mod task;
@@ -74,6 +75,7 @@ pub use executor::{TargetKind, TargetStats, VirtualTarget};
 pub use mode::Mode;
 pub use parker::{park_stats, reset_park_stats, ParkStats, WakeSignal};
 pub use registry::{Runtime, RuntimeError};
+pub use slab::alloc_stats;
 pub use sync::TagRegistry;
 pub use target_edt::EdtTarget;
 pub use task::{TargetFuture, TargetRegion, TaskHandle, TaskState};

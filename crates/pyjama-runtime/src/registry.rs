@@ -47,11 +47,22 @@ impl std::error::Error for RuntimeError {}
 /// [`invoke_target_block`](Runtime::invoke_target_block),
 /// [`wait_tag`](Runtime::wait_tag)) live in [`crate::invoke`].
 pub struct Runtime {
-    targets: RwLock<HashMap<String, Arc<dyn VirtualTarget>>>,
+    targets: RwLock<HashMap<String, Registered>>,
     pub(crate) tags: TagRegistry,
     /// ICV in the spirit of `default-device-var`: the target used when a
     /// directive omits the target-property clause.
     default_target: RwLock<Option<String>>,
+}
+
+/// A registered target plus its interned region label.
+///
+/// `Runtime::target` used to `format!("target virtual({name})")` on every
+/// post — a per-post heap allocation on the hottest path in the runtime.
+/// The label only depends on the registration name, so it is computed once
+/// here and every post clones the `Arc<str>`.
+struct Registered {
+    target: Arc<dyn VirtualTarget>,
+    region_label: Arc<str>,
 }
 
 impl Runtime {
@@ -109,7 +120,8 @@ impl Runtime {
         if g.is_empty() {
             *self.default_target.write() = Some(name.clone());
         }
-        g.insert(name, target);
+        let region_label = Arc::from(format!("target virtual({name})"));
+        g.insert(name, Registered { target, region_label });
         Ok(())
     }
 
@@ -118,7 +130,20 @@ impl Runtime {
         self.targets
             .read()
             .get(name)
-            .cloned()
+            .map(|r| Arc::clone(&r.target))
+            .ok_or_else(|| RuntimeError::UnknownTarget(name.to_string()))
+    }
+
+    /// Looks up a target together with its interned region label (computed
+    /// once at registration, so the posting hot path never formats).
+    pub(crate) fn lookup_with_label(
+        &self,
+        name: &str,
+    ) -> Result<(Arc<dyn VirtualTarget>, Arc<str>), RuntimeError> {
+        self.targets
+            .read()
+            .get(name)
+            .map(|r| (Arc::clone(&r.target), Arc::clone(&r.region_label)))
             .ok_or_else(|| RuntimeError::UnknownTarget(name.to_string()))
     }
 

@@ -1,0 +1,325 @@
+//! Region recycler: a bounded lock-free slab of terminal [`TargetRegion`]s.
+//!
+//! Every post used to allocate a fresh `Arc<TargetRegion>` (and inside it a
+//! fresh `Arc<Core>`); every completion dropped them. On the steady-state
+//! hot path — the reactor re-arming a region per readiness event, the VM
+//! posting a region per directive — that is two allocator round trips per
+//! task for memory whose shape never changes. This module keeps terminal
+//! regions and reissues them:
+//!
+//! * **release** (executor side): after a region runs, if it is terminal
+//!   (`Finished`/`Cancelled`, body consumed) and no other region `Arc`
+//!   clone exists, its `Arc` is dissolved into a raw pointer and parked in
+//!   a slot. An outstanding [`TaskHandle`](crate::task::TaskHandle) does
+//!   not block the park: the poster's handle routinely outlives the
+//!   worker's release by nanoseconds, a resting region is never mutated,
+//!   and acquire re-checks the pin before resetting anything.
+//!   Poisoned (panicked) regions are **never** recycled: a panic can leave
+//!   the panic payload consumed or not, and the cheap guarantee that a
+//!   reissued region is indistinguishable from a fresh one is worth more
+//!   than one salvaged allocation. They retire through the normal drop
+//!   path and are attributed in `AllocStats::poisoned`.
+//! * **acquire** (constructor side): [`TargetRegion::with_label_trace`]
+//!   takes a parked region, resets it in place (state → `Pending`, fresh
+//!   label/trace/body, wakers cleared with capacity kept), and returns it.
+//!   The caller always supplies the trace id — minted fresh or an explicit
+//!   flow continuation — so a recycled region can never leak its previous
+//!   incarnation's identity into the trace.
+//!
+//! ## Shape: slot array, not a Treiber stack
+//!
+//! The classic lock-free free list is a Treiber stack, but popping one
+//! requires a dependent read of the head node's `next` pointer, which is
+//! exactly where the ABA problem lives. A fixed array of
+//! `AtomicPtr` slots needs no dependent reads: release CASes a null slot to
+//! the region pointer, acquire `swap`s a non-null slot back to null. Each
+//! pointer is published and claimed atomically in one cell — ABA-free by
+//! construction, bounded by design (a full slab just drops the region,
+//! which is the pre-recycler behaviour). A one-region thread-local cache
+//! sits in front: the common release→acquire sequence on a worker thread
+//! (run a region, then its successor is posted from the next body) never
+//! touches the shared slots at all.
+//!
+//! Accounting lives in [`pyjama_metrics::AllocCounters`]; see
+//! [`alloc_stats`] and the `allocated == recycled + live + dropped` law.
+
+use std::cell::Cell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use pyjama_events::inline::InlineFn;
+use pyjama_metrics::{AllocCounters, AllocStats};
+use pyjama_trace::TraceId;
+
+use crate::task::TargetRegion;
+
+/// Shared slots (on top of the per-thread cache). 64 parked regions bound
+/// the slab's resident footprint to a few KiB while covering every pool
+/// width this runtime is deployed at.
+const SLAB_SLOTS: usize = 64;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const NULL_SLOT: AtomicPtr<TargetRegion> = AtomicPtr::new(ptr::null_mut());
+static SLOTS: [AtomicPtr<TargetRegion>; SLAB_SLOTS] = [NULL_SLOT; SLAB_SLOTS];
+
+static ALLOC: AllocCounters = AllocCounters::new();
+
+thread_local! {
+    /// One-region cache: the release→acquire fast path on a single thread.
+    /// No destructor (const-init `Cell`); a thread that exits with a parked
+    /// region leaves it accounted as `recycled`, which keeps the
+    /// conservation law exact.
+    static CACHE: Cell<*mut TargetRegion> = const { Cell::new(ptr::null_mut()) };
+}
+
+/// Snapshot of the recycler's conservation-law counters
+/// (`allocated == recycled + live + dropped`, exact at quiesce).
+pub fn alloc_stats() -> AllocStats {
+    ALLOC.snapshot()
+}
+
+/// Constructs a fresh region, bypassing the slots (but not the accounting).
+pub(crate) fn fresh(label: Arc<str>, trace: TraceId, body: InlineFn) -> Arc<TargetRegion> {
+    ALLOC.record_fresh();
+    TargetRegion::construct(label, trace, body)
+}
+
+/// Acquires a region: recycled when a parked one is available, fresh
+/// otherwise. Backs every public `TargetRegion` constructor.
+pub(crate) fn acquire(label: Arc<str>, trace: TraceId, body: InlineFn) -> Arc<TargetRegion> {
+    let mut raw = CACHE.with(|c| c.replace(ptr::null_mut()));
+    if raw.is_null() {
+        for slot in &SLOTS {
+            // Cheap relaxed probe first; the swap both claims the pointer
+            // and (Acquire) synchronises with the releasing thread's
+            // writes into the region.
+            if !slot.load(Ordering::Relaxed).is_null() {
+                let p = slot.swap(ptr::null_mut(), Ordering::AcqRel);
+                if !p.is_null() {
+                    raw = p;
+                    break;
+                }
+            }
+        }
+    }
+    if !raw.is_null() {
+        // SAFETY: the pointer came from `Arc::into_raw` in `release` and
+        // was claimed by exactly one thread (cache replace / slot swap).
+        let mut region = unsafe { Arc::from_raw(raw as *const TargetRegion) };
+        match Arc::get_mut(&mut region) {
+            Some(r) if r.recyclable() => {
+                ALLOC.record_reuse();
+                r.reset(label, trace, body);
+                return region;
+            }
+            // A long-lived handle (e.g. a name_as tag registration) still
+            // pins the core: retire this region through the normal drop
+            // path and construct fresh. The slab never reissues a pinned
+            // core — only the park was optimistic.
+            _ => {
+                ALLOC.record_unpark();
+                drop(region);
+                return fresh(label, trace, body);
+            }
+        }
+    }
+    fresh(label, trace, body)
+}
+
+/// Offers a terminal region back to the slab. Call with the executor's
+/// (presumed last) `Arc` after `execute`. Regions pinned by another region
+/// `Arc` clone and poisoned regions fall through to a plain drop; a full
+/// slab drops too (bounded capacity). An outstanding `TaskHandle` does
+/// **not** block the park — the poster's handle routinely outlives the
+/// release by nanoseconds, and a resting region is never mutated, so the
+/// handle keeps observing the terminal state; `acquire` re-checks the pin
+/// before any reset.
+pub fn release(region: Arc<TargetRegion>) {
+    if region.poisoned() {
+        ALLOC.record_poisoned();
+        return; // normal drop; attributed above
+    }
+    if Arc::strong_count(&region) != 1 || !region.slab_eligible() {
+        return; // region Arc pinned or not terminal: normal drop
+    }
+    let mut raw = Arc::into_raw(region) as *mut TargetRegion;
+    raw = CACHE.with(|c| {
+        if c.get().is_null() {
+            c.set(raw);
+            ptr::null_mut()
+        } else {
+            raw
+        }
+    });
+    if raw.is_null() {
+        ALLOC.record_recycle();
+        return;
+    }
+    for slot in &SLOTS {
+        if slot.load(Ordering::Relaxed).is_null()
+            && slot
+                .compare_exchange(
+                    ptr::null_mut(),
+                    raw,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+        {
+            ALLOC.record_recycle();
+            return;
+        }
+    }
+    // Slab full: retire. SAFETY: `raw` was produced by `Arc::into_raw`
+    // above and not parked anywhere.
+    drop(unsafe { Arc::from_raw(raw as *const TargetRegion) });
+}
+
+/// Hook for [`TargetRegion`]'s `Drop`: live → dropped.
+pub(crate) fn note_region_drop() {
+    ALLOC.record_drop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskState;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Executes and releases a region, returning whether the follow-up
+    /// acquisition reused it. Serial, so the TLS cache makes it
+    /// deterministic.
+    fn roundtrip() -> bool {
+        let before = alloc_stats();
+        let r = TargetRegion::new("slab-test", || {});
+        r.execute();
+        release(r);
+        let r2 = TargetRegion::new("slab-test", || {});
+        let reused = alloc_stats().since(&before).reused >= 1;
+        r2.execute();
+        drop(r2);
+        reused
+    }
+
+    #[test]
+    fn release_then_acquire_reuses() {
+        assert!(roundtrip(), "serial release→acquire must hit the cache");
+    }
+
+    /// The law is exact only at quiesce; unit tests in this binary run
+    /// concurrently and hold live regions, so poll until balance.
+    fn assert_conserved_eventually() {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let s = alloc_stats();
+            if s.conserved() {
+                return;
+            }
+            if std::time::Instant::now() > deadline {
+                panic!(
+                    "allocated {} != recycled {} + live {} + dropped {}",
+                    s.allocated, s.recycled, s.live, s.dropped
+                );
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn conservation_law_holds_at_quiesce() {
+        for _ in 0..10 {
+            let r = TargetRegion::new("law", || {});
+            r.execute();
+            release(r);
+        }
+        assert_conserved_eventually();
+    }
+
+    #[test]
+    fn panicked_region_is_retired_not_reused() {
+        let before = alloc_stats();
+        let r = TargetRegion::new("boom", || panic!("x"));
+        r.execute();
+        assert_eq!(r.handle().state(), TaskState::Panicked);
+        release(r);
+        let d = alloc_stats().since(&before);
+        assert_eq!(d.poisoned, 1, "panic attributed");
+        assert_eq!(d.dropped, 1, "poisoned region retired");
+        // The next region must be fresh or a reuse of some *other* clean
+        // region — never the poisoned one. Its state must be Pending with
+        // no payload.
+        let r2 = TargetRegion::new("clean", || {});
+        assert_eq!(r2.handle().state(), TaskState::Pending);
+        r2.execute();
+        r2.handle().join(); // no stale panic payload
+    }
+
+    #[test]
+    fn pinned_region_parks_but_is_never_reissued() {
+        // Empty this thread's TLS cache so release/acquire below hit it
+        // deterministically (acquire always claims the cache first).
+        let flush = TargetRegion::new("flush", || {});
+        flush.execute();
+        drop(flush); // plain drop: the cache stays empty
+
+        let r = TargetRegion::new("pinned", || {});
+        r.execute();
+        let h = r.handle(); // outstanding handle pins the core
+        let before = alloc_stats();
+        release(r); // parks in the TLS cache despite the pin
+        assert!(h.is_finished(), "handle still observes the terminal state");
+
+        // Acquire claims the parked region, finds the core still pinned,
+        // retires it and falls back to a fresh construction — the pinned
+        // core is never reset underneath the live handle.
+        let r2 = TargetRegion::new("fresh-fallback", || {});
+        assert_eq!(r2.handle().state(), TaskState::Pending);
+        let d = alloc_stats().since(&before);
+        assert!(d.dropped >= 1, "pinned region retired at acquire: {d:?}");
+        assert!(d.allocated >= 1, "fallback constructed fresh: {d:?}");
+        assert_eq!(h.state(), TaskState::Finished, "old handle undisturbed");
+        r2.execute();
+        drop(h);
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_plain_drop() {
+        // Fill the TLS cache + every shared slot, with margin for slots
+        // concurrently drained by sibling tests.
+        let mut regions = Vec::new();
+        for _ in 0..(SLAB_SLOTS + 8) {
+            let r = TargetRegion::new("fill", || {});
+            r.execute();
+            regions.push(r);
+        }
+        let before = alloc_stats();
+        for r in regions {
+            release(r);
+        }
+        let d = alloc_stats().since(&before);
+        assert!(
+            d.dropped >= 1,
+            "overflow beyond cache + {SLAB_SLOTS} slots must drop"
+        );
+        assert_conserved_eventually();
+        // And acquiring still works fine afterwards.
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let r = TargetRegion::new("after", move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        r.execute();
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn recycled_region_carries_the_new_label_and_trace() {
+        let r = TargetRegion::with_label_trace(Arc::from("first"), TraceId::NONE, || {});
+        r.execute();
+        release(r);
+        let r2 = TargetRegion::with_label_trace(Arc::from("second"), TraceId::NONE, || {});
+        assert_eq!(r2.handle().label(), "second");
+        r2.execute();
+    }
+}

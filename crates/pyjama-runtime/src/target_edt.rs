@@ -52,13 +52,20 @@ impl VirtualTarget for EdtTarget {
         self.stats.posted.fetch_add(1, Ordering::Relaxed);
         let posted = self.handle.post({
             let region = Arc::clone(&region);
-            move || region.execute()
+            move || {
+                region.execute();
+                // Offer the region back to the recycler. Best effort: if
+                // the poster's clone is still in flight the region just
+                // drops normally.
+                crate::slab::release(region);
+            }
         });
         if posted.is_none() {
             // The loop has shut down; a block that can never run must not
             // deadlock waiters. Execute inline as a last resort — the data
             // context is shared either way; only thread affinity is lost.
             region.execute();
+            crate::slab::release(region);
         } else {
             self.stats.executed.fetch_add(1, Ordering::Relaxed);
         }

@@ -6,10 +6,12 @@
 //! completion state that the scheduling modes synchronise on.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use pyjama_events::inline::InlineFn;
 use pyjama_trace::{arg as trace_arg, Stage, TraceId};
 
 use crate::parker::WakeSignal;
@@ -39,16 +41,50 @@ impl TaskState {
             TaskState::Finished | TaskState::Panicked | TaskState::Cancelled
         )
     }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            TaskState::Pending => 0,
+            TaskState::Running => 1,
+            TaskState::Finished => 2,
+            TaskState::Panicked => 3,
+            TaskState::Cancelled => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> TaskState {
+        match v {
+            0 => TaskState::Pending,
+            1 => TaskState::Running,
+            2 => TaskState::Finished,
+            3 => TaskState::Panicked,
+            _ => TaskState::Cancelled,
+        }
+    }
 }
 
 struct Core {
     state: Mutex<CoreState>,
     cond: Condvar,
+    /// Mirror of `CoreState::state`, written under the mutex, readable
+    /// without it. `state()` / `is_finished()` / the recycler's eligibility
+    /// checks sit on the per-post hot path; taking the mutex there costs
+    /// more than the read itself, and a lock would buy nothing — a locked
+    /// read is stale the instant the lock drops, exactly like an `Acquire`
+    /// load of this tag.
+    tag: AtomicU8,
 }
 
 struct CoreState {
     state: TaskState,
     panic_payload: Option<Box<dyn Any + Send>>,
+    /// Threads blocked in `wait`/`wait_timeout` on `cond` right now.
+    /// Registered under the same mutex `transition` holds, so the count is
+    /// exact at the notify decision point: when it is zero the
+    /// `notify_all` is provably a no-op and is skipped (a bare
+    /// parking-lot `notify_all` still costs ~160ns, twice per executed
+    /// region — the single largest fixed cost on the recycled post path).
+    waiters: u32,
     /// Await-barrier parkers to notify on the terminal transition. Tokens
     /// are handle-local and never reused.
     wakers: Vec<(u64, Arc<WakeSignal>)>,
@@ -70,10 +106,12 @@ impl TaskHandle {
                 state: Mutex::new(CoreState {
                     state: TaskState::Pending,
                     panic_payload: None,
+                    waiters: 0,
                     wakers: Vec::new(),
                     next_waker_id: 0,
                 }),
                 cond: Condvar::new(),
+                tag: AtomicU8::new(TaskState::Pending.as_u8()),
             }),
             label,
             trace,
@@ -86,9 +124,13 @@ impl TaskHandle {
         self.trace
     }
 
-    /// Current lifecycle state.
+    /// Current lifecycle state. Lock-free: reads the atomic mirror of the
+    /// state, which every writer updates while holding the core mutex. The
+    /// `Acquire` load pairs with the writer's `Release` store, so anything
+    /// the block wrote before finishing is visible once a terminal state is
+    /// observed.
     pub fn state(&self) -> TaskState {
-        self.core.state.lock().state
+        TaskState::from_u8(self.core.tag.load(Ordering::Acquire))
     }
 
     /// True once the block has reached a terminal state (finished normally,
@@ -101,7 +143,9 @@ impl TaskHandle {
     pub fn wait(&self) {
         let mut g = self.core.state.lock();
         while !g.state.is_terminal() {
+            g.waiters += 1;
             self.core.cond.wait(&mut g);
+            g.waiters -= 1;
         }
     }
 
@@ -111,7 +155,10 @@ impl TaskHandle {
         let deadline = Instant::now() + timeout;
         let mut g = self.core.state.lock();
         while !g.state.is_terminal() {
-            if self.core.cond.wait_until(&mut g, deadline).timed_out() {
+            g.waiters += 1;
+            let timed_out = self.core.cond.wait_until(&mut g, deadline).timed_out();
+            g.waiters -= 1;
+            if timed_out {
                 return g.state.is_terminal();
             }
         }
@@ -137,9 +184,17 @@ impl TaskHandle {
     fn transition(&self, to: TaskState, payload: Option<Box<dyn Any + Send>>) {
         let mut g = self.core.state.lock();
         g.state = to;
+        self.core.tag.store(to.as_u8(), Ordering::Release);
         if payload.is_some() {
             g.panic_payload = payload;
         }
+        // `wait`/`wait_timeout` loop until terminal, so only the terminal
+        // transition needs the condvar — and only when someone is actually
+        // blocked on it. `waiters` is maintained under this same mutex, so
+        // a zero read here proves the notify would be a no-op; skipping it
+        // removes ~320ns of bare notify_all from every executed region
+        // (two transitions each) on the common nobody-is-joining path.
+        let notify = to.is_terminal() && g.waiters > 0;
         // The terminal transition is a wake source for await barriers: drain
         // the registered parkers under the lock, signal them after it.
         let wakers = if to.is_terminal() && !g.wakers.is_empty() {
@@ -148,7 +203,9 @@ impl TaskHandle {
             Vec::new()
         };
         drop(g);
-        self.core.cond.notify_all();
+        if notify {
+            self.core.cond.notify_all();
+        }
         for (_, w) in wakers {
             w.notify();
         }
@@ -185,8 +242,14 @@ impl std::fmt::Debug for TaskHandle {
 
 /// A restructured target block: the user code as a one-shot runnable plus
 /// its completion handle.
+///
+/// Regions are pooled: the public constructors acquire from the recycler
+/// slab ([`crate::slab`]) and executors hand terminal regions back via
+/// [`crate::slab::release`], so a steady-state post reuses a previous
+/// region's `Arc` + `Core` allocations and (with a small capture set) the
+/// body is stored inline — zero allocator traffic per post.
 pub struct TargetRegion {
-    body: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    body: Mutex<Option<InlineFn>>,
     handle: TaskHandle,
 }
 
@@ -200,8 +263,8 @@ impl TargetRegion {
     ///
     /// Repeated posts with the same diagnostic label (e.g. a persistent
     /// connection re-arming itself as a chain of regions) clone the `Arc`
-    /// instead of re-allocating the string on every post — the region
-    /// becomes two allocations (`Arc<Self>` + boxed body), nothing else.
+    /// instead of re-allocating the string on every post; with the recycler
+    /// warm and a small capture set the whole post allocates nothing.
     pub fn with_label(label: Arc<str>, body: impl FnOnce() + Send + 'static) -> Arc<Self> {
         Self::with_label_trace(label, TraceId::mint(), body)
     }
@@ -215,10 +278,90 @@ impl TargetRegion {
         trace: TraceId,
         body: impl FnOnce() + Send + 'static,
     ) -> Arc<Self> {
+        crate::slab::acquire(label, trace, InlineFn::new(body))
+    }
+
+    /// Constructs a region bypassing the recycler slab: always a fresh
+    /// `Arc` + `Core`, never a reused one. This is the pre-recycler
+    /// allocation behaviour, kept as the baseline arm for the
+    /// `post_hotpath` bench and for tests that need regions with
+    /// slab-independent identity. Still counted by `alloc_stats()`.
+    pub fn unpooled(
+        label: Arc<str>,
+        trace: TraceId,
+        body: impl FnOnce() + Send + 'static,
+    ) -> Arc<Self> {
+        crate::slab::fresh(label, trace, InlineFn::new(body))
+    }
+
+    /// Raw construction; only [`crate::slab`] calls this (it owns the
+    /// `AllocCounters` bookkeeping).
+    pub(crate) fn construct(label: Arc<str>, trace: TraceId, body: InlineFn) -> Arc<Self> {
         Arc::new(TargetRegion {
-            body: Mutex::new(Some(Box::new(body))),
+            body: Mutex::new(Some(body)),
             handle: TaskHandle::new(label, trace),
         })
+    }
+
+    /// True when the body panicked (the region is poisoned and must be
+    /// retired, never recycled).
+    pub(crate) fn poisoned(&self) -> bool {
+        self.handle.state() == TaskState::Panicked
+    }
+
+    /// True when this region may *rest* in the recycler slab: terminal,
+    /// unpoisoned, body consumed. Deliberately does **not** check for
+    /// outstanding [`TaskHandle`]s — the poster's returned handle routinely
+    /// outlives the worker's release by nanoseconds (post, execute and
+    /// release all race the end of the posting statement), and rejecting
+    /// the park for that transient pin would turn a huge fraction of
+    /// steady-state releases into drops. Parking is harmless: a resting
+    /// region is never mutated, so a surviving handle still observes the
+    /// terminal state. The pin check is deferred to [`Self::recyclable`]
+    /// at *acquire* time, when the transient handle is long dead.
+    ///
+    /// Lock-free: both paths into `Finished`/`Cancelled` consume the body
+    /// *before* transitioning (`execute` takes it before `Running`,
+    /// `cancel` takes-and-drops it before `Cancelled`), so observing either
+    /// state already proves the body slot is empty — no body lock needed.
+    pub(crate) fn slab_eligible(&self) -> bool {
+        let eligible = matches!(
+            self.handle.state(),
+            TaskState::Finished | TaskState::Cancelled
+        );
+        debug_assert!(!eligible || self.body.lock().is_none());
+        eligible
+    }
+
+    /// True when this region can be reset for reuse: no outstanding
+    /// [`TaskHandle`] pins the core (clones can only originate from
+    /// existing handles, so a strong count of 1 proves exclusivity), the
+    /// lifecycle is terminal and unpoisoned, and the body was consumed.
+    pub(crate) fn recyclable(&self) -> bool {
+        Arc::strong_count(&self.handle.core) == 1 && self.slab_eligible()
+    }
+
+    /// Re-arms a recycled region in place: fresh label/trace/body, core
+    /// state back to `Pending`, panic payload cleared, waker list cleared
+    /// (capacity kept). The caller must hold the only reference
+    /// (`Arc::get_mut` succeeded) and have verified
+    /// [`recyclable`](Self::recyclable).
+    pub(crate) fn reset(&mut self, label: Arc<str>, trace: TraceId, body: InlineFn) {
+        // `recyclable()` proved the core's strong count is 1 and we hold
+        // `&mut self`, so exclusive access lets us skip both mutexes.
+        let core = Arc::get_mut(&mut self.handle.core)
+            .expect("reset requires an unpinned core (recyclable() was checked)");
+        let g = core.state.get_mut();
+        g.state = TaskState::Pending;
+        core.tag.store(TaskState::Pending.as_u8(), Ordering::Release);
+        g.panic_payload = None;
+        g.wakers.clear();
+        // next_waker_id keeps increasing: tokens stay unique across
+        // incarnations, so a stale remove_waker can never hit a fresh
+        // registration.
+        self.handle.label = label;
+        self.handle.trace = trace;
+        *self.body.get_mut() = Some(body);
     }
 
     /// The completion handle.
@@ -241,7 +384,7 @@ impl TargetRegion {
         let Some(body) = body else { return };
         pyjama_trace::emit(self.handle.trace, Stage::RegionRunBegin, 0);
         self.handle.transition(TaskState::Running, None);
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body.call())) {
             Ok(()) => {
                 self.handle.transition(TaskState::Finished, None);
                 pyjama_trace::emit(self.handle.trace, Stage::RegionRunEnd, trace_arg::END_OK);
@@ -275,6 +418,15 @@ impl TargetRegion {
         self.handle.transition(TaskState::Cancelled, None);
         pyjama_trace::emit(self.handle.trace, Stage::RegionCancelled, 0);
         true
+    }
+}
+
+impl Drop for TargetRegion {
+    fn drop(&mut self) {
+        // Only ever runs for regions leaving the pool for good (slab-held
+        // regions live as raw pointers and never drop): live → dropped in
+        // the recycler's conservation law.
+        crate::slab::note_region_drop();
     }
 }
 

@@ -21,8 +21,21 @@
 //!   external submissions land here, preserving the observable FIFO
 //!   ordering of same-producer regions.
 //!
-//! Members look for work in that order (local, steal, injector) and park on
-//! their [`WakeSignal`] when all three are dry. An enqueue wakes exactly
+//! Both remote sources are **batched** (PR 10): a steal claims up to half
+//! the victim's run (`steal_half`, surplus re-queued on the thief's own
+//! deque), and an injector hit drains up to [`INJECTOR_BATCH`] tasks under
+//! one lock hold into a per-worker pending buffer that is consumed — still
+//! in FIFO order — before the next drain. Idle siblings rescue from a busy
+//! worker's buffer front, so batching never strands a task behind a
+//! blocking handler. Batch amortisation is observable
+//! through the `steal_batches`/`injector_batches` counters; the
+//! executed-conservation law is unchanged because moved tasks are counted
+//! at final acquisition (steal-moved → `local_pops`, injector-moved →
+//! `injector_pops`).
+//!
+//! Members look for work in that order (local, buffered, steal, injector)
+//! and park on
+//! their [`WakeSignal`] when every source is dry. An enqueue wakes exactly
 //! **one** parked helper — a parked pool thread if there is one, otherwise
 //! one registered await-barrier parker — and a woken thread that finds more
 //! work pending cascades the wake to the next sleeper. Only shutdown
@@ -88,6 +101,13 @@ thread_local! {
     static CURRENT_WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
 }
 
+/// How many injector tasks one drain may claim under a single lock hold:
+/// the first runs immediately, up to `INJECTOR_BATCH - 1` more are buffered
+/// on the draining worker. Small enough that a slow handler holds at most a
+/// handful of FIFO tasks hostage, large enough to amortise the lock to
+/// noise under external load.
+const INJECTOR_BATCH: usize = 8;
+
 /// Per-pool-thread scheduler state.
 struct WorkerSlot {
     /// The thread's own deque: owner pushes/pops the bottom, siblings steal
@@ -95,6 +115,14 @@ struct WorkerSlot {
     /// `i` (its run loop and its re-entrant helping, which are sequential on
     /// that thread) ever calls `push`/`pop` on slot `i`.
     deque: ChaseLev<Arc<TargetRegion>>,
+    /// Injector tasks this worker claimed in a batched drain but has not
+    /// yet run. The owner consumes the front between handlers; an idle
+    /// sibling that finds every deque dry *rescues* from the front too, so
+    /// a handler blocking mid-batch cannot starve co-batched tasks. The
+    /// lock is only taken when `pending_len` reads non-zero.
+    pending: Mutex<VecDeque<Arc<TargetRegion>>>,
+    /// Lock-free mirror of `pending.len()` so `queue_len` stays lock-free.
+    pending_len: AtomicUsize,
     /// Parker for the thread's idle loop.
     signal: WakeSignal,
     /// True while the thread is inside (or committing to) a park in its run
@@ -151,19 +179,52 @@ impl Inner {
         })
     }
 
-    /// Pops the oldest externally submitted region, recording the hit.
-    fn pop_injector(&self) -> Option<Arc<TargetRegion>> {
+    /// Pops a task from worker `who`'s batch-drain buffer — its own on the
+    /// fast path, a busy sibling's when rescuing (see `try_steal`). Buffered
+    /// tasks count as `injector_pops` at consumption time regardless of who
+    /// runs them, so the conservation law is batch-size independent.
+    fn pop_buffered(&self, who: usize) -> Option<Arc<TargetRegion>> {
+        let slot = &self.slots[who];
+        if slot.pending_len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let region = {
+            let mut buf = slot.pending.lock();
+            let region = buf.pop_front()?;
+            slot.pending_len.store(buf.len(), Ordering::Relaxed);
+            region
+        };
+        self.stats.steal.record_injector_pop();
+        Some(region)
+    }
+
+    /// Pops the oldest externally submitted region, recording the hit, and
+    /// drains up to `INJECTOR_BATCH - 1` follow-ups into this worker's
+    /// pending buffer under the same lock hold — one synchronisation
+    /// amortised over the batch. The buffer is consumed (FIFO) before the
+    /// next drain, so one producer's posts still run in post order.
+    fn pop_injector(&self, me: usize) -> Option<Arc<TargetRegion>> {
         if self.injector_len.load(Ordering::SeqCst) == 0 {
             return None;
         }
         let mut g = self.injector.lock();
         let region = g.tasks.pop_front()?;
+        let extra = g.tasks.len().min(INJECTOR_BATCH - 1);
+        if extra > 0 {
+            // Lock order injector → pending, same as `retire_park`; the
+            // buffer lock is owner-only so this never waits.
+            let slot = &self.slots[me];
+            let mut buf = slot.pending.lock();
+            buf.extend(g.tasks.drain(..extra));
+            slot.pending_len.store(buf.len(), Ordering::Relaxed);
+        }
         // Decrement while still holding the lock so the lock-free mirror
         // never over-reports a popped item (post's increment is likewise
         // under the lock).
-        self.injector_len.fetch_sub(1, Ordering::SeqCst);
+        self.injector_len.fetch_sub(1 + extra, Ordering::SeqCst);
         drop(g);
         self.stats.steal.record_injector_pop();
+        self.stats.steal.record_injector_batch(extra as u64);
         Some(region)
     }
 
@@ -171,28 +232,60 @@ impl Inner {
     /// loses a claim race ([`Steal::Retry`]) moves on to the next victim —
     /// the contended item went to someone else, and spinning on one hot
     /// deque would starve the other sources.
+    ///
+    /// A hit is a **batched** steal: `steal_half` claims up to half the
+    /// victim's run, returning the oldest task to run now and pushing the
+    /// surplus onto `me`'s own deque (this is the caller's thread, so the
+    /// owner-push discipline holds). The surplus stays stealable by third
+    /// parties and executes as later `local_pops`.
     fn try_steal(&self, me: usize) -> Option<Arc<TargetRegion>> {
         let n = self.slots.len();
         for i in 1..n {
             let victim = (me + i) % n;
             self.stats.steal.record_steal_attempt();
-            match self.slots[victim].deque.steal() {
+            let (result, moved) = self.slots[victim].deque.steal_half(&self.slots[me].deque);
+            match result {
                 Steal::Item(region) => {
                     self.stats.steal.record_steal();
+                    if moved > 0 {
+                        self.stats.steal.record_steal_batch(moved as u64);
+                    }
                     return Some(region);
                 }
-                Steal::Empty | Steal::Retry => {}
+                Steal::Empty | Steal::Retry => debug_assert_eq!(moved, 0),
+            }
+            // Rescue: the victim batch-drained injector tasks but is stuck
+            // in a long (or blocking) handler. Without this, co-batched
+            // tasks would be invisible to idle siblings until the handler
+            // returns — a liveness hole the pre-batching injector did not
+            // have. FIFO is preserved (rescues take the buffer's front).
+            if let Some(region) = self.pop_buffered(victim) {
+                return Some(region);
             }
         }
         None
     }
 
-    /// One acquisition pass for a member thread: own deque, then siblings,
-    /// then the injector. Shared by the run loop and the helping paths.
+    /// One acquisition pass for a member thread: own deque, then the
+    /// batch-drain buffer, then siblings, then the injector. Shared by the
+    /// run loop and the helping paths.
     fn acquire(&self, me: usize) -> Option<Arc<TargetRegion>> {
         if let Some(region) = self.slots[me].deque.pop() {
             self.stats.steal.record_local_pop();
             pyjama_trace::emit(region.trace_id(), Stage::RegionDequeued, trace_arg::DEQ_LOCAL);
+            return Some(region);
+        }
+        if let Some(region) = self.pop_buffered(me) {
+            pyjama_trace::emit(
+                region.trace_id(),
+                Stage::RegionDequeued,
+                trace_arg::DEQ_INJECTOR,
+            );
+            // Cascade like the injector path: remaining buffered tasks are
+            // rescuable by siblings, so one more sleeper can be productive.
+            if self.has_pending() {
+                self.wake_one();
+            }
             return Some(region);
         }
         if let Some(region) = self.try_steal(me) {
@@ -204,7 +297,7 @@ impl Inner {
             }
             return Some(region);
         }
-        if let Some(region) = self.pop_injector() {
+        if let Some(region) = self.pop_injector(me) {
             pyjama_trace::emit(
                 region.trace_id(),
                 Stage::RegionDequeued,
@@ -222,13 +315,21 @@ impl Inner {
     /// cascade decisions, never for correctness-critical emptiness).
     fn has_pending(&self) -> bool {
         self.injector_len.load(Ordering::SeqCst) > 0
-            || self.slots.iter().any(|s| !s.deque.is_empty())
+            || self
+                .slots
+                .iter()
+                .any(|s| !s.deque.is_empty() || s.pending_len.load(Ordering::Relaxed) > 0)
     }
 
-    /// Lock-free queue length: injector plus every member deque.
+    /// Lock-free queue length: injector, every member deque, and every
+    /// member's batch-drain buffer (claimed but not yet run).
     fn queue_len(&self) -> usize {
         self.injector_len.load(Ordering::SeqCst)
-            + self.slots.iter().map(|s| s.deque.len()).sum::<usize>()
+            + self
+                .slots
+                .iter()
+                .map(|s| s.deque.len() + s.pending_len.load(Ordering::Relaxed))
+                .sum::<usize>()
     }
 
     /// Wakes a single parked helper: a parked pool thread if any, otherwise
@@ -255,12 +356,15 @@ impl Inner {
         }
     }
 
-    /// Executes one region on behalf of the pool.
+    /// Executes one region on behalf of the pool, then offers it back to
+    /// the region recycler — on the steady-state path (nothing pinning the
+    /// region) the next post reuses it instead of allocating.
     fn run(&self, region: Arc<TargetRegion>) {
         // Counted before running: a waiter released by the region's
         // completion must never observe a snapshot missing this execution.
         self.stats.executed.fetch_add(1, Ordering::Relaxed);
         region.execute();
+        crate::slab::release(region);
     }
 
     /// The member thread run loop: acquire → execute; park when dry; exit
@@ -337,6 +441,16 @@ impl Inner {
                 // mirror never under-reports queued work.
                 self.injector_len.fetch_add(1, Ordering::SeqCst);
             }
+            // Batch-drained-but-unrun injector tasks go back too (front,
+            // preserving FIFO relative to tasks still in the injector that
+            // were posted after them). They are re-counted by the batch
+            // gauges on the next drain but execute exactly once.
+            let mut buf = slot.pending.lock();
+            while let Some(region) = buf.pop_back() {
+                g.tasks.push_front(region);
+                self.injector_len.fetch_add(1, Ordering::SeqCst);
+            }
+            slot.pending_len.store(0, Ordering::Relaxed);
             // If shutdown was flagged while we held the lock, the drained
             // items are still safe: this thread re-checks shutdown at the
             // top of its run loop and performs the final drain itself.
@@ -371,6 +485,7 @@ impl Inner {
         // released instead of the producer panicking.
         self.stats.rejected.fetch_add(1, Ordering::Relaxed);
         region.cancel();
+        crate::slab::release(region);
     }
 }
 
@@ -462,6 +577,8 @@ impl WorkerTarget {
         let slots = (0..capacity)
             .map(|_| WorkerSlot {
                 deque: ChaseLev::new(),
+                pending: Mutex::new(VecDeque::new()),
+                pending_len: AtomicUsize::new(0),
                 signal: WakeSignal::new(),
                 parked: AtomicBool::new(false),
                 retired: AtomicBool::new(false),
@@ -1169,7 +1286,7 @@ mod tests {
     fn shrink_retires_grow_revives_and_work_keeps_flowing() {
         let w = WorkerTarget::with_capacity("w", 8, 16);
         let n = Arc::new(AtomicUsize::new(0));
-        let mut post_wave = |count: usize| {
+        let post_wave = |count: usize| {
             let mut handles = Vec::new();
             for _ in 0..count {
                 let n = Arc::clone(&n);

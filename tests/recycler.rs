@@ -1,0 +1,152 @@
+//! PR-10 acceptance: recycling edge cases observed through the public
+//! posting API, end to end. A panicked region is retired and never
+//! observable dirty; an empty free list falls back to plain allocation
+//! without error; every recycled incarnation carries a fresh `TraceId`;
+//! and the recycler's books balance (`allocated == recycled + live +
+//! dropped`) after a concurrent post/steal stress run.
+//!
+//! Single `#[test]`: the recycler's `AllocCounters` and the trace switch
+//! are process-global, so the phases must run in one known order rather
+//! than interleaved by the test harness.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pyjama::runtime::{alloc_stats, Mode, Runtime};
+
+#[test]
+fn recycler_edge_cases_end_to_end() {
+    // ---------------------------------------------- burst: empty free list
+    // A cold burst posts far more regions than the slab could ever hold
+    // (it starts empty: nothing has been released yet), so most acquires
+    // miss and must fall back to plain construction — silently, with
+    // every region still executing exactly once.
+    let before = alloc_stats();
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("burst", 1);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    const BURST: usize = 512;
+    for _ in 0..BURST {
+        let ran = Arc::clone(&ran);
+        handles.push(rt.target("burst", Mode::NoWait, move || {
+            ran.fetch_add(1, Ordering::Relaxed);
+        }));
+    }
+    for h in &handles {
+        h.wait();
+    }
+    assert_eq!(ran.load(Ordering::Relaxed), BURST);
+    let d = alloc_stats().since(&before);
+    assert!(
+        d.allocated > 0,
+        "a cold burst must fall back to fresh construction: {d:?}"
+    );
+
+    // ------------------------------------------------- panic then reuse
+    // A panicking block poisons its region; the slab must retire it (the
+    // poisoned counter moves) and every subsequent post must come up
+    // clean: pending → finished, correct body, no stale panic payload.
+    let before = alloc_stats();
+    let boom = rt.target("burst", Mode::NoWait, || panic!("posted bomb"));
+    boom.wait();
+    assert!(
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| boom.join())).is_err(),
+        "the panic must surface at join"
+    );
+    // Drive enough posts to cycle the recycler past the poisoned slot.
+    let clean = Arc::new(AtomicUsize::new(0));
+    for _ in 0..64 {
+        let clean = Arc::clone(&clean);
+        let h = rt.target("burst", Mode::Wait, move || {
+            clean.fetch_add(1, Ordering::Relaxed);
+        });
+        h.join(); // must not re-raise a stale payload from the bomb
+    }
+    assert_eq!(clean.load(Ordering::Relaxed), 64);
+    let d = alloc_stats().since(&before);
+    assert!(
+        d.poisoned >= 1,
+        "the panicked region must be retired, not reused: {d:?}"
+    );
+
+    // -------------------------------------- fresh TraceId per incarnation
+    // Recycled regions must mint fresh trace ids: a reused `Arc` that kept
+    // its predecessor's id would fuse unrelated posts into one flow in the
+    // Chrome export.
+    pyjama::trace::enable();
+    let before = alloc_stats();
+    let mut ids = HashSet::new();
+    for _ in 0..256 {
+        let h = rt.target("burst", Mode::Wait, || {});
+        let id = h.trace_id();
+        assert!(id != pyjama::trace::TraceId::NONE, "tracing is enabled");
+        assert!(ids.insert(id), "trace id {id:?} reused across incarnations");
+    }
+    let d = alloc_stats().since(&before);
+    assert!(
+        d.reused > 0,
+        "the loop must actually recycle for the assertion to bite: {d:?}"
+    );
+    pyjama::trace::disable();
+    drop(rt);
+
+    // ------------------------------- conservation under post/steal stress
+    // Four external posters race a 4-worker pool (injector → deque →
+    // steal_half all active), then everything quiesces and the books must
+    // balance: every region ever constructed is resting in the slab,
+    // still live, or dropped — nothing leaks, nothing double-counts.
+    let rt = Arc::new(Runtime::new());
+    rt.virtual_target_create_worker("stress", 4);
+    let ran = Arc::new(AtomicUsize::new(0));
+    const POSTERS: usize = 4;
+    const PER_POSTER: usize = 2_000;
+    let threads: Vec<_> = (0..POSTERS)
+        .map(|_| {
+            let rt = Arc::clone(&rt);
+            let ran = Arc::clone(&ran);
+            std::thread::spawn(move || {
+                let mut handles = Vec::with_capacity(PER_POSTER);
+                for i in 0..PER_POSTER {
+                    let ran = Arc::clone(&ran);
+                    handles.push(rt.target("stress", Mode::NoWait, move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }));
+                    // Occasionally wait mid-stream so handle lifetimes
+                    // overlap releases (the deferred pin check's race).
+                    if i % 97 == 0 {
+                        handles.last().unwrap().wait();
+                    }
+                }
+                for h in handles {
+                    h.wait();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(ran.load(Ordering::Relaxed), POSTERS * PER_POSTER);
+    drop(rt);
+
+    // Workers drain their thread-local caches as they retire; give the
+    // pool a moment to shut down before auditing.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut al = alloc_stats();
+    while !al.conserved() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+        al = alloc_stats();
+    }
+    assert!(
+        al.conserved(),
+        "conservation law violated at quiesce: allocated {} != recycled {} + live {} + dropped {}",
+        al.allocated,
+        al.recycled,
+        al.live,
+        al.dropped
+    );
+    assert!(al.reused > 0, "stress run never recycled: {al:?}");
+}
